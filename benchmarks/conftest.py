@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_fig*`` module regenerates one figure of the paper's §7 and
+prints (run pytest with ``-s`` to see it):
+
+- the figure's data series (the same series the paper plots),
+- an ASCII rendering of the figure, and
+- a paper-vs-measured comparison row.
+
+Numbers are not expected to match the 2005 testbed; the *shape* assertions
+(who wins, by roughly what factor, where the crossover falls) are enforced
+with real asserts so a regression in any service breaks the bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gridsim.job import reset_id_counters
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    reset_id_counters()
+    yield
+    reset_id_counters()
+
+
+def print_figure(figure, comparison_rows=None):
+    """Render a reproduced figure plus its paper-vs-measured table."""
+    print()
+    print(figure.render())
+    if comparison_rows:
+        from repro.analysis.report import markdown_table
+
+        print(markdown_table(["quantity", "paper", "measured"], comparison_rows))

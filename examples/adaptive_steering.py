@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Learning steering policy from an advanced user (§1's intelligent agent).
+
+Run with::
+
+    python examples/adaptive_steering.py
+
+The paper's introduction argues that giving advanced users manual steering
+control "would also facilitate the development of more intelligent agents
+that could observe and learn from the actions of advanced users."  This
+demo closes that loop:
+
+1. the autonomous optimizer starts with a *conservative* policy that never
+   considers a job slow (so it does nothing);
+2. an expert physicist watches her jobs crawl on a loaded site and moves
+   them manually through the steering API;
+3. the attached :class:`AdaptiveSteeringAgent` observes each manual move —
+   the progress rate she tolerated and how long she waited;
+4. the learned policy is adopted, and the next slow job is moved
+   *autonomously*, with no human in the loop.
+"""
+
+from dataclasses import replace
+
+from repro import GridBuilder, Job, SteeringPolicy, build_gae
+from repro.core.estimators.history import HistoryRepository
+from repro.core.steering.agent import AdaptiveSteeringAgent
+from repro.workloads.generators import make_prime_count_task, prime_job_history_records
+
+
+def submit_pinned(gae, site, owner="expert"):
+    task = make_prime_count_task(owner=owner)
+    original = gae.scheduler.select_site
+    gae.scheduler.select_site = lambda t, exclude=(): site
+    gae.scheduler.submit_job(Job(tasks=[task], owner=owner))
+    gae.scheduler.select_site = original
+    return task
+
+
+def main() -> None:
+    grid = (
+        GridBuilder(seed=8)
+        .site("busy", background_load=1.0)    # jobs crawl at half speed
+        .site("idle", background_load=0.0)
+        .probe_noise(0.0)
+        .build()
+    )
+    history = HistoryRepository(prime_job_history_records(n=8, sigma=0.01))
+    # Start timid: the optimizer never intervenes on its own.
+    timid = SteeringPolicy(auto_move=False, min_elapsed_wall_s=1e9)
+    gae = build_gae(grid, policy=timid, history=history)
+    gae.add_user("expert", "pw")
+
+    agent = AdaptiveSteeringAgent(min_observations=2)
+    gae.steering.attach_agent(agent)
+
+    # --- phase 1: the expert steers by hand ---------------------------
+    client = gae.client("expert", "pw")
+    steering = client.service("steering")
+    print("phase 1: expert moves crawling jobs manually")
+    for i in range(2):
+        task = submit_pinned(gae, "busy")
+        gae.grid.run_until(gae.sim.now + 120.0)  # she watches for 2 minutes
+        progress = steering.task_progress(task.task_id)
+        print(f"  job {i + 1}: progress {progress['progress'] * 100:.0f}% after 120s "
+              f"-> expert moves it to 'idle'")
+        steering.move(task.task_id, "idle")
+
+    print(f"\n{agent.summary()}")
+
+    # --- phase 2: adopt the learned policy ----------------------------
+    learned = replace(agent.recommended_policy(), auto_move=True)
+    gae.steering.adopt_policy(learned)
+    print(f"adopted: threshold={learned.slow_rate_threshold:.2f}, "
+          f"poll={learned.poll_interval_s:.0f}s, grace={learned.min_elapsed_wall_s:.0f}s")
+
+    # Let the expert's jobs drain, then submit another crawler.
+    gae.grid.run_until(gae.sim.now + 700.0)
+    print("\nphase 2: a new job crawls on 'busy' — nobody is watching")
+    task = submit_pinned(gae, "busy")
+    gae.steering.start()
+    gae.grid.run_until(gae.sim.now + 1000.0)
+    gae.stop()
+
+    actions = [a for a in gae.steering.actions if a.task_id == task.task_id]
+    if actions:
+        a = actions[0]
+        print(f"  autonomous move at t={a.time:.0f}s: {a.decision.reason}")
+    end = gae.grid.execution_services["idle"].pool.ad(task.task_id).end_time
+    print(f"  job completed at t={end:.0f}s on 'idle' — steered by the learned policy")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Federated Clarens hosts: P2P service discovery plus real XML-RPC access.
+
+Run with::
+
+    python examples/federated_discovery.py
+
+Three institutes each run their own Clarens host with a subset of GAE
+services (as in the real deployment, where Caltech, CERN and NUST hosted
+different pieces).  A client at one institute discovers a service hosted
+elsewhere through the peer-to-peer lookup network (§3), then calls it over
+genuine XML-RPC/HTTP on loopback.
+"""
+
+from repro.clarens import (
+    ClarensClient,
+    ClarensHost,
+    DiscoveryNetwork,
+    XmlRpcServerHandle,
+    XmlRpcTransport,
+)
+
+
+class TagService:
+    """A stand-in GAE service that reports which host serves it."""
+
+    def __init__(self, host_name: str) -> None:
+        self._host_name = host_name
+
+    def where_am_i(self) -> str:
+        """Name of the host running this service instance."""
+        return self._host_name
+
+
+def main() -> None:
+    # One Clarens host per institute, each with its own users and secret.
+    hosts = {name: ClarensHost(name) for name in ("caltech", "cern", "nust")}
+    for host in hosts.values():
+        host.users.add_user("alice", "pw", groups=("gae-users",))
+        host.acl.allow("*", groups=("gae-users",))
+
+    # Distribute the services: only CERN hosts "estimator", only Caltech
+    # hosts "steering".
+    hosts["cern"].register("estimator", TagService("cern"))
+    hosts["caltech"].register("steering", TagService("caltech"))
+
+    # Peer them in a line: nust <-> cern <-> caltech.
+    network = DiscoveryNetwork()
+    for host in hosts.values():
+        network.add_host(host)
+    network.connect("nust", "cern")
+    network.connect("cern", "caltech")
+
+    # A physicist at NUST needs the steering service (hosted 2 hops away).
+    for service in ("estimator", "steering"):
+        hit = network.find_one(service, start="nust", ttl=3)
+        print(f"lookup {service!r} from nust: found at {hit.host_name} "
+              f"({hit.hops} hop{'s' if hit.hops != 1 else ''})")
+
+    # Serve every host over real XML-RPC and call the discovered service.
+    handles = {name: XmlRpcServerHandle(host).start() for name, host in hosts.items()}
+    try:
+        hit = network.find_one("steering", start="nust")
+        url = handles[hit.host_name].url
+        print(f"\nconnecting to {hit.host_name} at {url}")
+        client = ClarensClient(XmlRpcTransport(url))
+        client.login("alice", "pw")
+        print("remote host introspection:", client.list_services())
+        answer = client.service("steering").where_am_i()
+        print(f"steering.where_am_i() -> {answer!r}")
+        client.logout()
+    finally:
+        for handle in handles.values():
+            handle.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The Figure 5 runtime-estimation workflow, end to end.
+
+Run with::
+
+    python examples/runtime_estimation.py
+
+Reproduces the paper's estimator evaluation: generate a Paragon-style
+accounting trace (the SDSC trace is not redistributable, so a calibrated
+synthetic equivalent is used), build a 100-job history, estimate 20 held-out
+jobs, and report per-case and mean percentage errors — the paper's headline
+number was a 13.53 % mean error.
+"""
+
+from repro import DowneyWorkloadGenerator, RuntimeEstimator, summarize_errors
+from repro.analysis.figures import FigureData
+from repro.analysis.report import markdown_table
+
+
+def main() -> None:
+    gen = DowneyWorkloadGenerator(seed=1995)
+    history, tests = gen.history_and_tests(n_history=100, n_tests=20)
+    print(f"history: {len(history)} accounting records "
+          f"({len(history.successful())} successful)")
+
+    estimator = RuntimeEstimator(history)
+
+    rows = []
+    actuals, estimates = [], []
+    for i, rec in enumerate(tests, 1):
+        est = estimator.estimate(rec.to_task_spec())
+        actuals.append(rec.runtime_s)
+        estimates.append(est.value)
+        err = (rec.runtime_s - est.value) / rec.runtime_s * 100.0
+        rows.append([
+            i, rec.application, round(rec.runtime_s, 1), round(est.value, 1),
+            f"{err:+.1f}%", est.method, est.n_similar,
+        ])
+    print(markdown_table(
+        ["case", "app", "actual (s)", "estimated (s)", "error", "method", "similar"],
+        rows,
+    ))
+
+    summary = summarize_errors(actuals, estimates)
+    print(f"mean |% error| = {summary.mean_abs_pct:.2f}%   (paper: 13.53%)")
+    print(f"mean signed % error = {summary.mean_signed_pct:+.2f}%")
+    print(f"cases within ±25%: {summary.within_25_pct * 100:.0f}%")
+
+    figure = (
+        FigureData(
+            title="Figure 5 (reproduced): Actual & Estimated Runtimes",
+            x_label="Jobs", y_label="Job Runtime (seconds)",
+        )
+        .add("Actual Runtime", list(range(1, 21)), actuals)
+        .add("Estimated Runtime", list(range(1, 21)), estimates)
+    )
+    print()
+    print(figure.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Quota and Accounting Service.
+
+The paper's steering optimizer "contacts the Quota and Accounting Service
+(currently, just a trivial prototype) to find the cheapest site for job
+execution" (§4.2.2).  We build the full version the prototype gestured at:
+
+- :mod:`repro.accounting.cost` — per-site charge rates (CPU-hour and
+  idle-hour, the exact fields of the Paragon accounting trace) and job cost
+  estimation;
+- :mod:`repro.accounting.quota` — per-user quotas with reserve/commit
+  semantics;
+- :mod:`repro.accounting.service` — the Clarens-registrable
+  :class:`QuotaAccountingService` answering ``cheapest_site`` queries and
+  recording charges for completed work.
+"""
+
+from repro.accounting.cost import CostEstimate, CostModel
+from repro.accounting.quota import QuotaError, QuotaManager, UserQuota
+from repro.accounting.service import QuotaAccountingService
+
+__all__ = [
+    "CostEstimate",
+    "CostModel",
+    "QuotaAccountingService",
+    "QuotaError",
+    "QuotaManager",
+    "UserQuota",
+]

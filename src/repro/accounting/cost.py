@@ -1,0 +1,111 @@
+"""Cost model: what running a task at a site will cost.
+
+The Paragon trace records "the rate of charge for CPU hours and idle
+hours"; each :class:`~repro.gridsim.site.Site` carries those two rates.  A
+task's cost at a site is
+
+    cpu_hours * cpu_hour_rate + idle_hours * idle_hour_rate
+
+where CPU hours come from the runtime estimate and idle hours from the
+queue-time estimate (a queued task reserves its slot allocation).  The
+steering optimizer ranks sites by this figure when the user asks for
+*cheap* execution (§4.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.gridsim.site import ChargeRates, Site
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Estimated cost of one task at one site."""
+
+    site_name: str
+    cpu_hours: float
+    idle_hours: float
+    cpu_cost: float
+    idle_cost: float
+
+    @property
+    def total(self) -> float:
+        """Total estimated charge."""
+        return self.cpu_cost + self.idle_cost
+
+
+class CostModel:
+    """Computes task costs from site charge rates."""
+
+    def __init__(self) -> None:
+        self._rates: Dict[str, ChargeRates] = {}
+
+    def register_site(self, site: Site) -> None:
+        """Record a site's charge rates."""
+        self._rates[site.name] = site.charge_rates
+
+    def register_rates(self, site_name: str, rates: ChargeRates) -> None:
+        """Record rates directly (tests, external sites)."""
+        self._rates[site_name] = rates
+
+    def rates(self, site_name: str) -> ChargeRates:
+        """Charge rates of a site (KeyError when unknown)."""
+        return self._rates[site_name]
+
+    def sites(self) -> List[str]:
+        """Site names with known rates, sorted."""
+        return sorted(self._rates)
+
+    def estimate(
+        self,
+        site_name: str,
+        runtime_s: float,
+        queue_time_s: float = 0.0,
+        nodes: int = 1,
+    ) -> CostEstimate:
+        """Cost of *nodes* × *runtime_s* CPU plus queued idle time."""
+        if runtime_s < 0 or queue_time_s < 0:
+            raise ValueError("times must be non-negative")
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        rates = self.rates(site_name)
+        cpu_hours = nodes * runtime_s / 3600.0
+        idle_hours = nodes * queue_time_s / 3600.0
+        return CostEstimate(
+            site_name=site_name,
+            cpu_hours=cpu_hours,
+            idle_hours=idle_hours,
+            cpu_cost=cpu_hours * rates.cpu_hour,
+            idle_cost=idle_hours * rates.idle_hour,
+        )
+
+    def cheapest_site(
+        self,
+        runtime_by_site: Dict[str, float],
+        queue_time_by_site: Optional[Dict[str, float]] = None,
+        nodes: int = 1,
+        exclude: Iterable[str] = (),
+    ) -> CostEstimate:
+        """Lowest-total-cost site among those with runtime estimates.
+
+        ``runtime_by_site`` maps site name → estimated runtime seconds
+        (produced by the estimator service); queue times default to 0.
+        Ties break alphabetically for determinism.
+        """
+        excluded = set(exclude)
+        queue_time_by_site = queue_time_by_site or {}
+        candidates = [
+            self.estimate(
+                name,
+                runtime_s=runtime,
+                queue_time_s=queue_time_by_site.get(name, 0.0),
+                nodes=nodes,
+            )
+            for name, runtime in sorted(runtime_by_site.items())
+            if name in self._rates and name not in excluded
+        ]
+        if not candidates:
+            raise ValueError("no site with known charge rates among candidates")
+        return min(candidates, key=lambda c: (c.total, c.site_name))

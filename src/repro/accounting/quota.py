@@ -1,0 +1,125 @@
+"""Per-user quotas with reserve/commit semantics.
+
+A user's quota is a spendable balance.  Submitting a job *reserves* its
+estimated cost (so concurrent submissions cannot overdraw); completion
+*commits* the actual cost and releases the difference; failure or kill
+*releases* the whole reservation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class QuotaError(RuntimeError):
+    """Raised on overdrawn quotas and unknown users/reservations."""
+
+
+@dataclass
+class UserQuota:
+    """One user's balance and live reservations."""
+
+    user: str
+    limit: float
+    spent: float = 0.0
+    reserved: float = 0.0
+
+    @property
+    def available(self) -> float:
+        """Balance left to reserve against."""
+        return self.limit - self.spent - self.reserved
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A held slice of a user's quota."""
+
+    reservation_id: int
+    user: str
+    amount: float
+    note: str = ""
+
+
+class QuotaManager:
+    """Tracks quotas, reservations, and the charge ledger."""
+
+    def __init__(self) -> None:
+        self._quotas: Dict[str, UserQuota] = {}
+        self._reservations: Dict[int, Reservation] = {}
+        self._ids = itertools.count(1)
+        self.ledger: List[Tuple[str, float, str]] = []  # (user, amount, note)
+
+    # ------------------------------------------------------------------
+    def set_quota(self, user: str, limit: float) -> None:
+        """Create or resize a user's quota (spent/reserved are preserved)."""
+        if limit < 0:
+            raise QuotaError(f"quota limit must be non-negative, got {limit}")
+        if user in self._quotas:
+            self._quotas[user].limit = limit
+        else:
+            self._quotas[user] = UserQuota(user=user, limit=limit)
+
+    def quota(self, user: str) -> UserQuota:
+        """A user's quota record (QuotaError when none was set)."""
+        try:
+            return self._quotas[user]
+        except KeyError:
+            raise QuotaError(f"no quota set for user {user!r}") from None
+
+    def available(self, user: str) -> float:
+        """Spendable balance for a user."""
+        return self.quota(user).available
+
+    # ------------------------------------------------------------------
+    def reserve(self, user: str, amount: float, note: str = "") -> Reservation:
+        """Hold *amount* against the user's quota.
+
+        Raises :class:`QuotaError` when the available balance is
+        insufficient — the signal the steering service surfaces to the user
+        before submission.
+        """
+        if amount < 0:
+            raise QuotaError(f"reservation amount must be non-negative, got {amount}")
+        q = self.quota(user)
+        if amount > q.available:
+            raise QuotaError(
+                f"user {user!r} quota exceeded: need {amount:.2f}, "
+                f"available {q.available:.2f}"
+            )
+        q.reserved += amount
+        res = Reservation(reservation_id=next(self._ids), user=user, amount=amount, note=note)
+        self._reservations[res.reservation_id] = res
+        return res
+
+    def _take(self, reservation_id: int) -> Reservation:
+        try:
+            return self._reservations.pop(reservation_id)
+        except KeyError:
+            raise QuotaError(f"unknown reservation {reservation_id}") from None
+
+    def commit(self, reservation_id: int, actual_amount: float, note: str = "") -> None:
+        """Convert a reservation into a real charge of *actual_amount*.
+
+        The actual charge may exceed the reservation (estimates are
+        imperfect); the excess is charged regardless, possibly driving the
+        balance negative — matching real accounting systems that bill
+        after the fact.
+        """
+        if actual_amount < 0:
+            raise QuotaError(f"charge must be non-negative, got {actual_amount}")
+        res = self._take(reservation_id)
+        q = self.quota(res.user)
+        q.reserved -= res.amount
+        q.spent += actual_amount
+        self.ledger.append((res.user, actual_amount, note or res.note))
+
+    def release(self, reservation_id: int) -> None:
+        """Drop a reservation without charging (failed/killed job)."""
+        res = self._take(reservation_id)
+        self.quota(res.user).reserved -= res.amount
+
+    def spent(self, user: str) -> float:
+        """Total committed charges for a user."""
+        return self.quota(user).spent

@@ -1,0 +1,91 @@
+"""The Quota and Accounting Service (Clarens-registrable facade).
+
+This is the service the steering optimizer calls "to find the cheapest site
+for job execution" (§4.2.2).  It combines the :class:`CostModel` (what a
+task costs where) with the :class:`QuotaManager` (whether the user can pay)
+and exposes wire-friendly methods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.accounting.cost import CostModel
+from repro.accounting.quota import QuotaManager
+from repro.clarens.registry import clarens_method
+from repro.gridsim.site import Site
+
+
+class QuotaAccountingService:
+    """Cheapest-site queries plus quota bookkeeping."""
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        quotas: Optional[QuotaManager] = None,
+    ) -> None:
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.quotas = quotas if quotas is not None else QuotaManager()
+
+    def register_site(self, site: Site) -> None:
+        """Teach the cost model a site's charge rates."""
+        self.cost_model.register_site(site)
+
+    # ------------------------------------------------------------------
+    # Clarens-exposed methods
+    # ------------------------------------------------------------------
+    @clarens_method
+    def site_rates(self, site_name: str) -> Dict[str, float]:
+        """Charge rates of a site as a wire struct."""
+        rates = self.cost_model.rates(site_name)
+        return {"cpu_hour": rates.cpu_hour, "idle_hour": rates.idle_hour}
+
+    @clarens_method
+    def estimate_cost(
+        self, site_name: str, runtime_s: float, queue_time_s: float = 0.0, nodes: int = 1
+    ) -> Dict[str, float]:
+        """Estimated cost of a task at one site."""
+        est = self.cost_model.estimate(
+            site_name, runtime_s=runtime_s, queue_time_s=queue_time_s, nodes=nodes
+        )
+        return {
+            "site": est.site_name,  # type: ignore[dict-item]
+            "cpu_cost": est.cpu_cost,
+            "idle_cost": est.idle_cost,
+            "total": est.total,
+        }
+
+    @clarens_method
+    def cheapest_site(
+        self,
+        runtime_by_site: Dict[str, float],
+        queue_time_by_site: Optional[Dict[str, float]] = None,
+        nodes: int = 1,
+    ) -> Dict[str, object]:
+        """The lowest-cost site given per-site runtime estimates.
+
+        This is the optimizer's "cheap" preference query (§4.2.2).
+        """
+        est = self.cost_model.cheapest_site(
+            runtime_by_site, queue_time_by_site=queue_time_by_site, nodes=nodes
+        )
+        return {"site": est.site_name, "total": est.total}
+
+    @clarens_method
+    def quota_available(self, user: str) -> float:
+        """Spendable balance for a user."""
+        return self.quotas.available(user)
+
+    @clarens_method
+    def charge_completed_task(
+        self, user: str, site_name: str, cpu_seconds: float, nodes: int = 1, note: str = ""
+    ) -> float:
+        """Charge actual consumed CPU for a completed task; returns amount.
+
+        Reserve-then-commit in one step for callers that did not
+        pre-reserve (the common path in the GAE wiring).
+        """
+        est = self.cost_model.estimate(site_name, runtime_s=cpu_seconds, nodes=nodes)
+        res = self.quotas.reserve(user, 0.0, note=note)
+        self.quotas.commit(res.reservation_id, est.total, note=note or f"task at {site_name}")
+        return est.total

@@ -1,0 +1,233 @@
+"""Programmatic experiment runner: every figure as a function.
+
+The benchmark harness under ``benchmarks/`` is pytest-shaped; this module
+exposes the same experiments as plain functions returning structured
+results, so notebooks, the CLI (``gae-repro report``) and downstream code
+can regenerate the paper's evaluation without pytest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.figures import FigureData
+from repro.analysis.metrics import summarize_errors
+from repro.analysis.report import markdown_table
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated figure plus its paper-vs-measured comparison."""
+
+    name: str
+    figure: FigureData
+    comparison: List[List[object]]  # rows of (quantity, paper, measured)
+    notes: str = ""
+
+    def to_markdown(self) -> str:
+        """Render the result as a markdown section."""
+        parts = [f"## {self.name}\n"]
+        if self.notes:
+            parts.append(self.notes + "\n")
+        parts.append("```\n" + self.figure.render() + "```\n")
+        parts.append(markdown_table(["quantity", "paper", "measured"], self.comparison))
+        return "\n".join(parts)
+
+
+def run_figure5(seed: int = 1995, n_history: int = 100, n_tests: int = 20) -> ExperimentResult:
+    """Figure 5: runtime-estimator accuracy on the synthetic Paragon trace."""
+    from repro.core.estimators.runtime import RuntimeEstimator
+    from repro.workloads.downey import DowneyWorkloadGenerator
+
+    gen = DowneyWorkloadGenerator(seed=seed)
+    history, tests = gen.history_and_tests(n_history, n_tests)
+    estimator = RuntimeEstimator(history)
+    actuals = [t.runtime_s for t in tests]
+    estimates = [estimator.estimate(t.to_task_spec()).value for t in tests]
+    summary = summarize_errors(actuals, estimates)
+    corr = float(np.corrcoef(actuals, estimates)[0, 1])
+
+    cases = list(range(1, n_tests + 1))
+    figure = (
+        FigureData(
+            title="Figure 5: Actual & Estimated Runtimes",
+            x_label="Jobs", y_label="Job Runtime (seconds)",
+        )
+        .add("Actual Runtime", cases, actuals)
+        .add("Estimated Runtime", cases, estimates)
+    )
+    return ExperimentResult(
+        name="Figure 5 — runtime estimator accuracy",
+        figure=figure,
+        comparison=[
+            ["history / test jobs", f"{n_history} / {n_tests}", f"{n_history} / {n_tests}"],
+            ["mean |% error|", 13.53, round(summary.mean_abs_pct, 2)],
+            ["mean signed % error", "n/a", round(summary.mean_signed_pct, 2)],
+            ["correlation", "tracks visually", round(corr, 3)],
+        ],
+        notes=(
+            "History-based similar-task estimation (templates + mean/linear "
+            f"regression) over a synthetic SDSC Paragon trace (seed {seed})."
+        ),
+    )
+
+
+def run_figure7(
+    seed: int = 2005,
+    site_a_load: float = 1.5,
+    poll_interval_s: float = 20.0,
+    horizon_s: float = 1200.0,
+    sample_every_s: float = 20.0,
+) -> ExperimentResult:
+    """Figure 7: the steering experiment with a shadow job at site A."""
+    from repro.core.estimators.history import HistoryRepository
+    from repro.core.steering.optimizer import SteeringPolicy
+    from repro.gae import build_gae
+    from repro.gridsim import GridBuilder, Job
+    from repro.workloads.generators import (
+        PRIME_JOB_FREE_CPU_SECONDS,
+        make_prime_count_task,
+        prime_job_history_records,
+    )
+
+    grid = (
+        GridBuilder(seed=seed)
+        .site("siteA", background_load=site_a_load)
+        .site("siteB", background_load=0.0)
+        .link("siteA", "siteB", capacity_mbps=100.0, latency_s=0.05)
+        .probe_noise(0.0)
+        .build()
+    )
+    history = HistoryRepository(prime_job_history_records(n=10, sigma=0.01))
+    policy = SteeringPolicy(
+        poll_interval_s=poll_interval_s, min_elapsed_wall_s=40.0,
+        slow_rate_threshold=0.8, min_improvement_factor=1.2,
+    )
+    gae = build_gae(grid, policy=policy, history=history)
+
+    steered = make_prime_count_task(owner="runner")
+    shadow = make_prime_count_task(owner="runner")
+    original = gae.scheduler.select_site
+    gae.scheduler.select_site = lambda t, exclude=(): "siteA"
+    gae.scheduler.submit_job(Job(tasks=[steered], owner="runner"))
+    gae.scheduler.select_site = original
+    gae.grid.execution_services["siteA"].submit_task(shadow)
+
+    gae.start()
+    es = gae.grid.execution_services
+    curve_a: List[Tuple[float, float]] = []
+    curve_steer: List[Tuple[float, float]] = []
+    t = 0.0
+    while t <= horizon_s:
+        gae.grid.run_until(t)
+        curve_a.append((t, es["siteA"].pool.status(shadow.task_id).progress * 100))
+        site = "siteB" if es["siteB"].pool.has_task(steered.task_id) else "siteA"
+        curve_steer.append((t, es[site].pool.status(steered.task_id).progress * 100))
+        t += sample_every_s
+    gae.grid.run_until(horizon_s + 3000.0)
+    gae.stop()
+
+    steered_site = "siteB" if es["siteB"].pool.has_task(steered.task_id) else "siteA"
+    steered_end = es[steered_site].pool.ad(steered.task_id).end_time
+    shadow_end = es["siteA"].pool.ad(shadow.task_id).end_time
+    decision_at = gae.steering.actions[0].time if gae.steering.actions else None
+
+    figure = (
+        FigureData(
+            title="Figure 7: Job Completion at different sites",
+            x_label="Elapsed time (s)", y_label="Job progress (%)",
+        )
+        .add("Progress of the job at site A", *zip(*curve_a))
+        .add("Steered job", *zip(*curve_steer))
+        .add("283 s free-CPU reference",
+             [0.0, PRIME_JOB_FREE_CPU_SECONDS], [0.0, 100.0])
+    )
+    return ExperimentResult(
+        name="Figure 7 — autonomous steering",
+        figure=figure,
+        comparison=[
+            ["free-CPU estimate (s)", 283, PRIME_JOB_FREE_CPU_SECONDS],
+            ["steered completion (s)", "~369", round(steered_end, 1)],
+            ["stay-at-A completion (s)", "off chart", round(shadow_end, 1)],
+            ["move decision at (s)", "chart: ~120-170",
+             round(decision_at, 1) if decision_at is not None else "n/a"],
+        ],
+        notes=(
+            f"Site A load {site_a_load} (rate {1 / (1 + site_a_load):.2f}); steering "
+            f"poll {poll_interval_s:.0f}s.  Ordering asserted by the benches: "
+            "free-CPU bound < steered < stay-put."
+        ),
+    )
+
+
+def run_figure6(
+    client_counts: Optional[List[int]] = None, calls_per_client: int = 10
+) -> ExperimentResult:
+    """Figure 6: monitoring latency over real XML-RPC under concurrency.
+
+    Hardware-dependent (real sockets and threads); the other two figures
+    are fully deterministic.
+    """
+    from repro.analysis.latency import build_served_monitoring, measure_mean_latency_ms
+    from repro.clarens.server import XmlRpcServerHandle
+
+    counts = client_counts if client_counts is not None else [1, 2, 3, 5, 25, 50, 100]
+    gae, task_ids = build_served_monitoring()
+    results: Dict[int, float] = {}
+    with XmlRpcServerHandle(gae.host) as handle:
+        for n in counts:
+            results[n] = measure_mean_latency_ms(
+                handle.url, task_ids, n, calls_per_client=calls_per_client
+            )
+    figure = FigureData(
+        title="Figure 6: Response times for queries to Job Monitoring Service",
+        x_label="Number of parallel clients", y_label="Response time (ms)",
+    ).add("Average Response Time", list(results), list(results.values()))
+    hi = max(results)
+    lo = min(results)
+    return ExperimentResult(
+        name="Figure 6 — monitoring latency under concurrency",
+        figure=figure,
+        comparison=[
+            ["clients swept", "1,2,3,5,25,50,100", ",".join(map(str, results))],
+            [f"latency @ {lo} client(s) (ms)", "~10-30", round(results[lo], 2)],
+            [f"latency @ {hi} clients (ms)", "~60-70", round(results[hi], 2)],
+        ],
+        notes=(
+            "Real threaded XML-RPC server on loopback with genuinely "
+            "concurrent clients; absolute ms are hardware-dependent, the "
+            "flat-then-rising shape is the reproduced result."
+        ),
+    )
+
+
+def write_report(
+    path: Union[str, Path, None] = None,
+    include_figure6: bool = False,
+    seed: int = 1995,
+) -> str:
+    """Run the deterministic experiments and render a markdown report.
+
+    Returns the report text; writes it to *path* when given.
+    ``include_figure6`` adds the socket-latency experiment (slower,
+    hardware-dependent).
+    """
+    results = [run_figure5(seed=seed), run_figure7()]
+    if include_figure6:
+        results.append(run_figure6(client_counts=[1, 2, 5, 25]))
+    parts = [
+        "# GAE reproduction report",
+        "",
+        "Regenerated from `repro.analysis.experiments`; see EXPERIMENTS.md "
+        "for the full methodology.",
+        "",
+    ]
+    parts.extend(r.to_markdown() for r in results)
+    text = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,95 @@
+"""Figure data containers with terminal-friendly rendering.
+
+The benchmark harness reproduces each figure as *data* (the same series the
+paper plots), renders an ASCII chart so the shape is visible in test
+output, and can export CSV for external plotting.  No plotting library is
+required.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Series:
+    """One named line/bar series of (x, y) points."""
+
+    name: str
+    x: List[float]
+    y: List[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.name!r}: x and y lengths differ")
+
+
+@dataclass
+class FigureData:
+    """All series of one reproduced figure, plus axis labels."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+
+    def add(self, name: str, x: Sequence[float], y: Sequence[float]) -> "FigureData":
+        """Append a series; returns self for chaining."""
+        self.series.append(Series(name=name, x=list(map(float, x)), y=list(map(float, y))))
+        return self
+
+    def to_csv(self) -> str:
+        """Long-format CSV: series,x,y."""
+        buf = io.StringIO()
+        buf.write("series,x,y\n")
+        for s in self.series:
+            for xv, yv in zip(s.x, s.y):
+                buf.write(f"{s.name},{xv!r},{yv!r}\n")
+        return buf.getvalue()
+
+    def render(self, width: int = 72, height: int = 18) -> str:
+        """ASCII chart of every series (see :func:`ascii_chart`)."""
+        return ascii_chart(self, width=width, height=height)
+
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_chart(figure: FigureData, width: int = 72, height: int = 18) -> str:
+    """Render a FigureData as a monospace scatter/line chart.
+
+    Each series gets its own mark character; axes are annotated with data
+    ranges.  Intended for benchmark logs, not publication.
+    """
+    if not figure.series or all(len(s.x) == 0 for s in figure.series):
+        return f"{figure.title}\n(no data)\n"
+    xs = np.concatenate([np.asarray(s.x, dtype=float) for s in figure.series])
+    ys = np.concatenate([np.asarray(s.y, dtype=float) for s in figure.series])
+    x_min, x_max = float(xs.min()), float(xs.max())
+    y_min, y_max = float(ys.min()), float(ys.max())
+    y_min = min(y_min, 0.0)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(figure.series):
+        mark = _MARKS[idx % len(_MARKS)]
+        for xv, yv in zip(s.x, s.y):
+            col = int(round((xv - x_min) / x_span * (width - 1)))
+            row = int(round((yv - y_min) / y_span * (height - 1)))
+            canvas[height - 1 - row][col] = mark
+
+    lines = [figure.title]
+    lines.append(f"{figure.y_label}  [{y_min:.3g} .. {y_max:.3g}]")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(f" {figure.x_label}  [{x_min:.3g} .. {x_max:.3g}]")
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {s.name}" for i, s in enumerate(figure.series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines) + "\n"

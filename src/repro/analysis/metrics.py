@@ -1,0 +1,86 @@
+"""Accuracy metrics, using the paper's own definitions.
+
+§7: "Percentage Error = (Actual Runtime - Estimated Runtime) / Actual
+Runtime * 100 %" and "the mean error … was computed by dividing the sum of
+percentage errors in each of the twenty test cases by 20."
+
+The paper's mean is over *absolute* percentage errors (a signed mean would
+let over- and under-estimates cancel and its 13.53 % figure would be
+uninformative); we provide both, and report the absolute one as the
+headline number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def percentage_error(actual: float, estimated: float) -> float:
+    """The paper's per-case signed percentage error.
+
+    Raises ValueError for a zero actual (the formula is undefined there).
+    """
+    if actual == 0:
+        raise ValueError("percentage error undefined for actual == 0")
+    return (actual - estimated) / actual * 100.0
+
+
+def mean_percentage_error(actuals: Sequence[float], estimates: Sequence[float]) -> float:
+    """Mean of signed percentage errors (bias indicator)."""
+    _check(actuals, estimates)
+    return float(
+        np.mean([percentage_error(a, e) for a, e in zip(actuals, estimates)])
+    )
+
+
+def mean_absolute_percentage_error(
+    actuals: Sequence[float], estimates: Sequence[float]
+) -> float:
+    """Mean of |percentage error| — the paper's headline 13.53 % metric."""
+    _check(actuals, estimates)
+    return float(
+        np.mean([abs(percentage_error(a, e)) for a, e in zip(actuals, estimates)])
+    )
+
+
+def _check(actuals: Sequence[float], estimates: Sequence[float]) -> None:
+    if len(actuals) != len(estimates):
+        raise ValueError(
+            f"length mismatch: {len(actuals)} actuals vs {len(estimates)} estimates"
+        )
+    if len(actuals) == 0:
+        raise ValueError("cannot compute error over zero cases")
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Accuracy statistics over a set of (actual, estimated) pairs."""
+
+    n: int
+    mean_abs_pct: float
+    mean_signed_pct: float
+    median_abs_pct: float
+    max_abs_pct: float
+    within_25_pct: float       # fraction of cases within +/-25 %
+
+
+def summarize_errors(
+    actuals: Sequence[float], estimates: Sequence[float]
+) -> ErrorSummary:
+    """Full accuracy summary for a test set."""
+    _check(actuals, estimates)
+    signed = np.array(
+        [percentage_error(a, e) for a, e in zip(actuals, estimates)], dtype=float
+    )
+    absolute = np.abs(signed)
+    return ErrorSummary(
+        n=len(signed),
+        mean_abs_pct=float(absolute.mean()),
+        mean_signed_pct=float(signed.mean()),
+        median_abs_pct=float(np.median(absolute)),
+        max_abs_pct=float(absolute.max()),
+        within_25_pct=float((absolute <= 25.0).mean()),
+    )

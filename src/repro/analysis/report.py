@@ -1,0 +1,30 @@
+"""Markdown rendering helpers for experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A GitHub-flavoured markdown table.
+
+    Cells are stringified; floats get a compact 4-significant-digit form.
+    """
+    if not headers:
+        raise ValueError("a table needs at least one column")
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    lines: List[str] = []
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        lines.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,70 @@
+"""A Clarens-style Grid-enabled web services framework.
+
+Clarens is the backbone of the GAE (§3): it "offers a web service framework
+for hosting the GAE web services, and provides a common set of services for
+authentication, access control, and for service lookup and discovery", with
+clients speaking SOAP/XML-RPC "in a language-neutral manner".
+
+This subpackage reproduces that framework in Python:
+
+- :mod:`repro.clarens.registry` — service/method registration;
+- :mod:`repro.clarens.auth` — login → HMAC-signed session tokens;
+- :mod:`repro.clarens.acl` — per-service/method access control;
+- :mod:`repro.clarens.server` — the :class:`ClarensHost` dispatcher, plus a
+  real threaded XML-RPC HTTP server (stdlib ``xmlrpc``) used by the
+  Figure 6 latency benchmark;
+- :mod:`repro.clarens.client` — proxy objects over pluggable transports;
+- :mod:`repro.clarens.transport` — in-process and XML-RPC transports;
+- :mod:`repro.clarens.discovery` — the peer-to-peer lookup network used for
+  dynamic service discovery (§3, [5]);
+- :mod:`repro.clarens.serialization` — wire-safe marshalling helpers.
+"""
+
+from repro.clarens.acl import AccessControlList, AclRule
+from repro.clarens.auth import ANONYMOUS, AuthService, Principal, UserDatabase
+from repro.clarens.client import ClarensClient, ServiceProxy
+from repro.clarens.discovery import DiscoveryNetwork, Peer
+from repro.clarens.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    ClarensFault,
+    MethodNotFound,
+    RemoteFault,
+    SerializationError,
+    ServiceNotFound,
+    TransportError,
+)
+from repro.clarens.registry import ServiceRegistry, clarens_method
+from repro.clarens.serialization import from_wire, to_wire
+from repro.clarens.server import ClarensHost, XmlRpcServerHandle
+from repro.clarens.transport import InProcessTransport, Transport, XmlRpcTransport
+
+__all__ = [
+    "ANONYMOUS",
+    "AccessControlList",
+    "AclRule",
+    "AuthService",
+    "AuthenticationError",
+    "AuthorizationError",
+    "ClarensClient",
+    "ClarensFault",
+    "ClarensHost",
+    "DiscoveryNetwork",
+    "InProcessTransport",
+    "MethodNotFound",
+    "Peer",
+    "Principal",
+    "RemoteFault",
+    "SerializationError",
+    "ServiceNotFound",
+    "ServiceProxy",
+    "ServiceRegistry",
+    "Transport",
+    "TransportError",
+    "UserDatabase",
+    "XmlRpcServerHandle",
+    "XmlRpcTransport",
+    "clarens_method",
+    "from_wire",
+    "to_wire",
+]

@@ -1,0 +1,118 @@
+"""Access control lists.
+
+Clarens provides "access control" over every hosted method (§3).  The model
+here is ordered rules matched with shell-style patterns:
+
+- a rule names a ``service.method`` pattern (fnmatch: ``steering.*``,
+  ``*.ping`` …) and either a set of users, a set of groups, or ``everyone``;
+- the first matching rule decides (allow or deny);
+- if no rule matches, ``default_allow`` decides (ships as deny — a 2005
+  grid host that defaulted open was a compromised host).
+
+Anonymous principals only ever pass rules that grant ``everyone``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.clarens.auth import Principal
+
+
+@dataclass(frozen=True)
+class AclRule:
+    """One ordered access rule."""
+
+    pattern: str                       # fnmatch over "service.method"
+    allow: bool = True
+    users: FrozenSet[str] = frozenset()
+    groups: FrozenSet[str] = frozenset()
+    everyone: bool = False
+
+    def matches_path(self, method_path: str) -> bool:
+        """Whether the rule's pattern covers this method path."""
+        return fnmatch.fnmatchcase(method_path, self.pattern)
+
+    def covers(self, principal: Principal) -> bool:
+        """Whether the rule applies to this principal."""
+        if self.everyone:
+            return True
+        if principal.is_anonymous:
+            return False
+        if principal.user in self.users:
+            return True
+        return any(g in self.groups for g in principal.groups)
+
+
+class AccessControlList:
+    """An ordered list of :class:`AclRule` with first-match semantics."""
+
+    def __init__(self, default_allow: bool = False) -> None:
+        self.default_allow = default_allow
+        self._rules: List[AclRule] = []
+
+    # ------------------------------------------------------------------
+    # rule construction
+    # ------------------------------------------------------------------
+    def allow(
+        self,
+        pattern: str,
+        users: Tuple[str, ...] = (),
+        groups: Tuple[str, ...] = (),
+        everyone: bool = False,
+    ) -> "AccessControlList":
+        """Append an allow rule; returns self for chaining."""
+        return self._add(pattern, True, users, groups, everyone)
+
+    def deny(
+        self,
+        pattern: str,
+        users: Tuple[str, ...] = (),
+        groups: Tuple[str, ...] = (),
+        everyone: bool = False,
+    ) -> "AccessControlList":
+        """Append a deny rule; returns self for chaining."""
+        return self._add(pattern, False, users, groups, everyone)
+
+    def _add(
+        self,
+        pattern: str,
+        allow: bool,
+        users: Tuple[str, ...],
+        groups: Tuple[str, ...],
+        everyone: bool,
+    ) -> "AccessControlList":
+        if not pattern:
+            raise ValueError("ACL pattern must be non-empty")
+        if not everyone and not users and not groups:
+            raise ValueError(
+                "an ACL rule must name users, groups, or everyone — "
+                "a subject-less rule never matches and hides a config bug"
+            )
+        self._rules.append(
+            AclRule(
+                pattern=pattern,
+                allow=allow,
+                users=frozenset(users),
+                groups=frozenset(groups),
+                everyone=everyone,
+            )
+        )
+        return self
+
+    @property
+    def rules(self) -> Tuple[AclRule, ...]:
+        """The rules in evaluation order."""
+        return tuple(self._rules)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def check(self, principal: Principal, method_path: str) -> bool:
+        """First-match evaluation; falls back to ``default_allow``."""
+        for rule in self._rules:
+            if rule.matches_path(method_path) and rule.covers(principal):
+                return rule.allow
+        return self.default_allow

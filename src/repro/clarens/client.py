@@ -1,0 +1,117 @@
+"""Client-side convenience layer: sessions and service proxies.
+
+>>> client = ClarensClient(InProcessTransport(host))   # doctest: +SKIP
+>>> client.login("alice", "secret")                    # doctest: +SKIP
+>>> steering = client.service("steering")              # doctest: +SKIP
+>>> steering.list_jobs()                               # doctest: +SKIP
+
+A :class:`ServiceProxy` turns attribute access into remote calls, carrying
+the client's session token automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.clarens.transport import Transport
+
+
+class ClarensClient:
+    """A session-holding client over any :class:`Transport`."""
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+        self.token: str = ""
+
+    # ------------------------------------------------------------------
+    # session management
+    # ------------------------------------------------------------------
+    def login(self, user: str, password: str) -> str:
+        """Authenticate; stores and returns the session token."""
+        self.token = self.transport.call("system.login", [user, password])
+        return self.token
+
+    def logout(self) -> None:
+        """Revoke the current session (no-op when not logged in)."""
+        if self.token:
+            self.transport.call("system.logout", [self.token])
+            self.token = ""
+
+    @property
+    def logged_in(self) -> bool:
+        """Whether the client holds a session token."""
+        return bool(self.token)
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+    def call(self, method_path: str, *args: Any) -> Any:
+        """Invoke ``service.method`` with the stored token."""
+        return self.transport.call(method_path, list(args), token=self.token)
+
+    def batch(self, calls: List[tuple]) -> List[Any]:
+        """Execute several calls in one round trip via ``system.multicall``.
+
+        *calls* is a list of ``(method_path, *args)`` tuples.  Returns the
+        results in order; a failed sub-call surfaces as the matching
+        :class:`~repro.clarens.errors.ClarensFault` when its result is
+        accessed — here, eagerly re-raised for the first failure unless
+        ``strict=False`` semantics are needed (use :meth:`batch_detailed`).
+        """
+        detailed = self.batch_detailed(calls)
+        out = []
+        for entry in detailed:
+            if not entry["ok"]:
+                from repro.clarens.errors import fault_from_code
+
+                raise fault_from_code(int(entry["code"]), str(entry["error"]))
+            out.append(entry["result"])
+        return out
+
+    def batch_detailed(self, calls: List[tuple]) -> List[Any]:
+        """Like :meth:`batch` but returns the raw per-call result structs
+        (``{"ok": ..., "result"|"code"/"error": ...}``) without raising."""
+        payload = [
+            {"methodName": c[0], "params": list(c[1:])} for c in calls
+        ]
+        return self.call("system.multicall", payload)
+
+    def service(self, name: str) -> "ServiceProxy":
+        """A proxy whose attributes are the service's remote methods."""
+        return ServiceProxy(self, name)
+
+    # ------------------------------------------------------------------
+    # discovery helpers
+    # ------------------------------------------------------------------
+    def list_services(self) -> List[str]:
+        """Names of services on the connected host."""
+        return self.call("system.list_services")
+
+    def list_methods(self, service: str) -> List[str]:
+        """Exposed methods of one service on the connected host."""
+        return self.call("system.list_methods", service)
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return self.call("system.ping") == "pong"
+
+
+class ServiceProxy:
+    """Attribute-access facade for one remote service."""
+
+    def __init__(self, client: ClarensClient, service_name: str) -> None:
+        self._client = client
+        self._service_name = service_name
+
+    def __getattr__(self, method_name: str) -> Callable[..., Any]:
+        if method_name.startswith("_"):
+            raise AttributeError(method_name)
+
+        def remote(*args: Any) -> Any:
+            return self._client.call(f"{self._service_name}.{method_name}", *args)
+
+        remote.__name__ = method_name
+        return remote
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ServiceProxy({self._service_name!r})"

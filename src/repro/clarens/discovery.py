@@ -1,0 +1,123 @@
+"""Peer-to-peer service lookup and discovery.
+
+Clarens "enables users and services to dynamically discover other services
+and resources within the GAE through a peer-to-peer based lookup service"
+(§3, [5]).  We reproduce the mechanism: Clarens hosts form an unstructured
+peer network; a lookup floods outward from the querying peer with a TTL,
+each peer answering from its local registry and forwarding to neighbours.
+
+Results are deterministic: peers forward to neighbours in registration
+order and de-duplicate by host name, so tests can assert exact outcomes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.clarens.errors import ServiceNotFound
+from repro.clarens.server import ClarensHost
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """One discovered service instance."""
+
+    host_name: str
+    service_name: str
+    hops: int
+
+
+class Peer:
+    """A Clarens host participating in the discovery network."""
+
+    def __init__(self, host: ClarensHost) -> None:
+        self.host = host
+        self.neighbours: List["Peer"] = []
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    def connect(self, other: "Peer") -> None:
+        """Create a bidirectional peering (idempotent)."""
+        if other is self:
+            raise ValueError("a peer cannot neighbour itself")
+        if other not in self.neighbours:
+            self.neighbours.append(other)
+        if self not in other.neighbours:
+            other.neighbours.append(self)
+
+    def local_lookup(self, service_name: str) -> bool:
+        """Whether this peer's host serves *service_name* locally."""
+        return self.host.registry.has(service_name)
+
+
+class DiscoveryNetwork:
+    """The collection of peers plus the flooding lookup algorithm."""
+
+    def __init__(self) -> None:
+        self._peers: Dict[str, Peer] = {}
+
+    def add_host(self, host: ClarensHost) -> Peer:
+        """Wrap a host in a peer and add it to the network."""
+        if host.name in self._peers:
+            raise ValueError(f"peer {host.name!r} already in the network")
+        peer = Peer(host)
+        self._peers[host.name] = peer
+        return peer
+
+    def peer(self, name: str) -> Peer:
+        """Look a peer up by host name."""
+        try:
+            return self._peers[name]
+        except KeyError:
+            raise ServiceNotFound(f"no peer named {name!r}") from None
+
+    def connect(self, a: str, b: str) -> None:
+        """Peer two hosts by name."""
+        self.peer(a).connect(self.peer(b))
+
+    def peers(self) -> List[str]:
+        """All peer names, sorted."""
+        return sorted(self._peers)
+
+    # ------------------------------------------------------------------
+    def find(
+        self, service_name: str, start: str, ttl: int = 3
+    ) -> List[LookupResult]:
+        """TTL-limited flood lookup from peer *start*.
+
+        Returns every instance of *service_name* reachable within *ttl*
+        hops, closest first (breadth-first), ties broken by host name.
+        """
+        if ttl < 0:
+            raise ValueError(f"ttl must be non-negative, got {ttl}")
+        origin = self.peer(start)
+        results: List[LookupResult] = []
+        visited: Set[str] = {origin.name}
+        frontier: deque = deque([(origin, 0)])
+        while frontier:
+            peer, hops = frontier.popleft()
+            if peer.local_lookup(service_name):
+                results.append(
+                    LookupResult(host_name=peer.name, service_name=service_name, hops=hops)
+                )
+            if hops >= ttl:
+                continue
+            for neighbour in peer.neighbours:
+                if neighbour.name not in visited:
+                    visited.add(neighbour.name)
+                    frontier.append((neighbour, hops + 1))
+        results.sort(key=lambda r: (r.hops, r.host_name))
+        return results
+
+    def find_one(self, service_name: str, start: str, ttl: int = 3) -> LookupResult:
+        """The closest instance (ServiceNotFound when none is reachable)."""
+        results = self.find(service_name, start, ttl=ttl)
+        if not results:
+            raise ServiceNotFound(
+                f"service {service_name!r} not reachable from {start!r} within ttl={ttl}"
+            )
+        return results[0]

@@ -1,0 +1,104 @@
+"""Wire-safe marshalling for the XML-RPC transport.
+
+XML-RPC understands a small closed set of types: bool, int, float, str,
+bytes, ISO dates, arrays and string-keyed structs (plus nil when
+``allow_none`` is on).  Services, however, naturally return dataclasses,
+enums, tuples and numpy scalars.  :func:`to_wire` lowers rich values into
+the wire set recursively; :func:`from_wire` is the (structural) inverse used
+on receipt.
+
+The in-process transport runs values through the same functions so that the
+two transports are observationally identical — a service that works in-sim
+cannot break when moved onto real sockets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.clarens.errors import SerializationError
+
+# XML-RPC's int is 32-bit signed; wider ints must travel as doubles or strings.
+_XMLRPC_INT_MIN = -(2**31)
+_XMLRPC_INT_MAX = 2**31 - 1
+
+
+def to_wire(value: Any) -> Any:
+    """Lower *value* into XML-RPC-representable types.
+
+    - dataclasses → structs (dicts) with a ``_type`` tag,
+    - enums → their ``value``,
+    - tuples/sets → arrays,
+    - numpy scalars → Python scalars, numpy arrays → nested lists,
+    - dict keys are coerced to str (XML-RPC structs require string keys),
+    - ints outside the 32-bit range → floats.
+
+    Raises :class:`SerializationError` for values with no representation
+    (e.g. functions, arbitrary objects).
+    """
+    if value is None or isinstance(value, (bool, str, bytes)):
+        return value
+    if isinstance(value, enum.Enum):
+        return to_wire(value.value)
+    if isinstance(value, (np.integer,)):
+        value = int(value)
+    if isinstance(value, (np.floating,)):
+        value = float(value)
+    if isinstance(value, int):
+        if _XMLRPC_INT_MIN <= value <= _XMLRPC_INT_MAX:
+            return value
+        return float(value)
+    if isinstance(value, float):
+        return value
+    if isinstance(value, np.ndarray):
+        return [to_wire(v) for v in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out: Dict[str, Any] = {"_type": type(value).__name__}
+        for f in dataclasses.fields(value):
+            if f.name.startswith("_"):
+                continue
+            out[f.name] = to_wire(getattr(value, f.name))
+        return out
+    if isinstance(value, dict):
+        return {str(k): to_wire(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [to_wire(v) for v in items]
+    raise SerializationError(
+        f"cannot marshal {type(value).__name__} value {value!r} onto the wire"
+    )
+
+
+def from_wire(value: Any) -> Any:
+    """Structural identity pass over received wire values.
+
+    XML-RPC already delivers plain Python types; this hook exists so both
+    transports share one decode path (and so tests can assert the
+    ``to_wire``/``from_wire`` round trip is stable).
+    """
+    if isinstance(value, dict):
+        return {k: from_wire(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [from_wire(v) for v in value]
+    return value
+
+
+def check_wire_safe(value: Any) -> None:
+    """Assert *value* is already wire-representable (post-``to_wire``)."""
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return
+    if isinstance(value, list):
+        for v in value:
+            check_wire_safe(v)
+        return
+    if isinstance(value, dict):
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise SerializationError(f"struct key {k!r} is not a string")
+            check_wire_safe(v)
+        return
+    raise SerializationError(f"{type(value).__name__} is not wire-safe")

@@ -1,0 +1,314 @@
+"""The Clarens host: dispatch, system services, and the XML-RPC front end.
+
+:class:`ClarensHost` is the in-process core every GAE service registers
+with.  A call travels: token validation (:mod:`repro.clarens.auth`) → ACL
+check (:mod:`repro.clarens.acl`) → method invocation → wire marshalling
+(:mod:`repro.clarens.serialization`).
+
+:class:`XmlRpcServerHandle` mounts a host on a real threaded HTTP XML-RPC
+server (stdlib ``xmlrpc.server``), the stand-in for the Windows-XP JClarens
+server of §7's performance study.  The wire protocol puts the session token
+first in every parameter list: ``service.method(token, *args)``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from socketserver import ThreadingMixIn
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from xmlrpc.client import Fault
+from xmlrpc.server import SimpleXMLRPCRequestHandler, SimpleXMLRPCServer
+
+from repro.clarens.acl import AccessControlList
+from repro.clarens.auth import ANONYMOUS, AuthService, Principal, UserDatabase
+from repro.clarens.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    ClarensFault,
+    RemoteFault,
+)
+from repro.clarens.registry import ServiceRegistry, clarens_method
+from repro.clarens.serialization import to_wire
+
+
+@dataclass
+class CallStats:
+    """Aggregate call statistics, mostly for the performance benchmarks."""
+
+    calls: int = 0
+    faults: int = 0
+    per_method: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, method_path: str, ok: bool) -> None:
+        self.calls += 1
+        if not ok:
+            self.faults += 1
+        self.per_method[method_path] = self.per_method.get(method_path, 0) + 1
+
+
+class _SystemService:
+    """The built-in ``system`` service every host exposes."""
+
+    def __init__(self, host: "ClarensHost") -> None:
+        self._host = host
+
+    @clarens_method(anonymous=True)
+    def ping(self) -> str:
+        """Liveness check."""
+        return "pong"
+
+    @clarens_method(anonymous=True)
+    def login(self, user: str, password: str) -> str:
+        """Authenticate; returns a session token for subsequent calls."""
+        return self._host.auth.login(user, password)
+
+    @clarens_method(anonymous=True)
+    def logout(self, token: str) -> bool:
+        """Revoke a session token."""
+        self._host.auth.logout(token)
+        return True
+
+    @clarens_method(anonymous=True)
+    def list_services(self) -> List[str]:
+        """Names of every service hosted here."""
+        return self._host.registry.names()
+
+    @clarens_method(anonymous=True)
+    def list_methods(self, service: str) -> List[str]:
+        """Exposed method names of one service."""
+        return sorted(self._host.registry.service(service).methods)
+
+    @clarens_method(anonymous=True)
+    def method_help(self, method_path: str) -> str:
+        """Docstring of a ``service.method`` path."""
+        return self._host.registry.resolve(method_path).doc
+
+    @clarens_method(anonymous=True)
+    def host_name(self) -> str:
+        """This host's name."""
+        return self._host.name
+
+    @clarens_method(anonymous=True)
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate call statistics for this host."""
+        s = self._host.stats
+        return {
+            "calls": s.calls,
+            "faults": s.faults,
+            "per_method": dict(s.per_method),
+        }
+
+    @clarens_method(anonymous=True, pass_principal=True)
+    def multicall(self, principal: Principal, calls: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Execute several calls in one round trip (XML-RPC multicall).
+
+        Each entry is ``{"methodName": "service.method", "params": [...]}``.
+        The caller's token authenticates every sub-call; each result arrives
+        as ``{"ok": true, "result": ...}`` or ``{"ok": false, "code": ...,
+        "error": "..."}`` so one failure cannot poison the batch.  Nested
+        multicalls are rejected.
+        """
+        out: List[Dict[str, Any]] = []
+        for call in calls:
+            method = str(call.get("methodName", ""))
+            params = list(call.get("params", []))
+            if method == "system.multicall":
+                out.append({"ok": False, "code": 400,
+                            "error": "nested multicall is not allowed"})
+                continue
+            try:
+                result = self._host.invoke_as(principal, method, params)
+                out.append({"ok": True, "result": result})
+            except ClarensFault as exc:
+                out.append({"ok": False, "code": exc.code, "error": exc.message})
+        return out
+
+
+class ClarensHost:
+    """An in-process Clarens service host.
+
+    Parameters
+    ----------
+    name:
+        Host name (used by discovery).
+    time_source:
+        Clock for session expiry; defaults to wall time, the GAE wiring
+        passes the simulator clock.
+    users / acl:
+        Authentication database and access rules; fresh empty ones are
+        created when omitted.  The default ACL denies everything except
+        methods marked ``anonymous``.
+    """
+
+    def __init__(
+        self,
+        name: str = "clarens",
+        time_source: Callable[[], float] = time.time,
+        users: Optional[UserDatabase] = None,
+        acl: Optional[AccessControlList] = None,
+        session_lifetime_s: float = 3600.0,
+    ) -> None:
+        self.name = name
+        self.registry = ServiceRegistry()
+        self.users = users if users is not None else UserDatabase()
+        self.auth = AuthService(self.users, time_source, session_lifetime_s)
+        self.acl = acl if acl is not None else AccessControlList(default_allow=False)
+        self.stats = CallStats()
+        self.registry.register(
+            "system", _SystemService(self), description="built-in host introspection"
+        )
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        instance: Any,
+        methods: Optional[List[str]] = None,
+        description: str = "",
+    ) -> None:
+        """Register a service instance under *name*."""
+        self.registry.register(name, instance, methods=methods, description=description)
+
+    def dispatch(self, method_path: str, params: Sequence[Any], token: str = "") -> Any:
+        """Execute one call: auth → ACL → invoke → marshal.
+
+        Raises the :class:`ClarensFault` subclasses on any failure; an
+        application exception inside the method surfaces as
+        :class:`RemoteFault` carrying the original message.
+        """
+        principal = self.auth.validate(token)
+        return self.invoke_as(principal, method_path, params)
+
+    def invoke_as(
+        self, principal: Principal, method_path: str, params: Sequence[Any]
+    ) -> Any:
+        """Execute a call for an already-authenticated principal.
+
+        Used by ``system.multicall`` to fan one authentication out over a
+        batch; everything after token validation is identical to
+        :meth:`dispatch`.
+        """
+        entry = self.registry.resolve(method_path)
+        if not entry.anonymous:
+            if principal.is_anonymous:
+                self.stats.record(method_path, ok=False)
+                raise AuthenticationError(f"{method_path} requires a session token")
+            if not self.acl.check(principal, method_path):
+                self.stats.record(method_path, ok=False)
+                raise AuthorizationError(
+                    f"user {principal.user!r} may not call {method_path}"
+                )
+        try:
+            if entry.pass_principal:
+                result = entry.func(principal, *params)
+            else:
+                result = entry.func(*params)
+        except ClarensFault:
+            self.stats.record(method_path, ok=False)
+            raise
+        except Exception as exc:
+            self.stats.record(method_path, ok=False)
+            raise RemoteFault(f"{type(exc).__name__}: {exc}") from exc
+        self.stats.record(method_path, ok=True)
+        return to_wire(result)
+
+    def principal_of(self, token: str) -> Principal:
+        """Resolve a token to its principal (ANONYMOUS for the empty token)."""
+        return self.auth.validate(token)
+
+
+# ----------------------------------------------------------------------
+# Real XML-RPC front end (Figure 6's measurement target)
+# ----------------------------------------------------------------------
+class _Handler(SimpleXMLRPCRequestHandler):
+    rpc_paths = ("/RPC2",)
+    # Keep-alive: each client reuses one TCP connection across calls, as a
+    # real 2005 Clarens deployment would; without it, 100 clients reconnect
+    # per request and overflow the listen backlog.
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # keep benchmark output clean
+
+
+class _ThreadedXmlRpcServer(ThreadingMixIn, SimpleXMLRPCServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    # Sized for the Figure 6 experiment's 100 simultaneous clients.
+    request_queue_size = 256
+
+
+class _WireDispatcher:
+    """Adapts ClarensHost.dispatch to the xmlrpc server's _dispatch hook."""
+
+    def __init__(self, host: ClarensHost) -> None:
+        self._host = host
+
+    def _dispatch(self, method: str, params: Tuple[Any, ...]) -> Any:
+        if not params:
+            raise Fault(400, "missing session token parameter")
+        token, args = params[0], params[1:]
+        if not isinstance(token, str):
+            raise Fault(400, "session token must be a string")
+        try:
+            return self._host.dispatch(method, list(args), token=token)
+        except ClarensFault as exc:
+            raise Fault(exc.code, exc.message) from exc
+
+
+class XmlRpcServerHandle:
+    """A running threaded XML-RPC server fronting a :class:`ClarensHost`.
+
+    Use as a context manager::
+
+        with XmlRpcServerHandle(host) as handle:
+            transport = XmlRpcTransport(handle.url)
+            ...
+
+    The port defaults to 0 (ephemeral); read :attr:`url` after start.
+    """
+
+    def __init__(self, host: ClarensHost, bind: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self._server = _ThreadedXmlRpcServer(
+            (bind, port), requestHandler=_Handler, allow_none=True, logRequests=False
+        )
+        self._server.register_instance(_WireDispatcher(host))
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name=f"clarens-{host.name}", daemon=True
+        )
+        self._started = False
+
+    def start(self) -> "XmlRpcServerHandle":
+        """Begin serving in a background thread."""
+        if not self._started:
+            self._thread.start()
+            self._started = True
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) the server is bound to."""
+        return self._server.server_address  # type: ignore[return-value]
+
+    @property
+    def url(self) -> str:
+        """The server's XML-RPC endpoint URL."""
+        bind, port = self.address
+        return f"http://{bind}:{port}/RPC2"
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket."""
+        if self._started:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._started = False
+        self._server.server_close()
+
+    def __enter__(self) -> "XmlRpcServerHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

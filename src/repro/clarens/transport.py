@@ -1,0 +1,96 @@
+"""Client-side transports.
+
+Two interchangeable implementations of one interface:
+
+- :class:`InProcessTransport` — dispatches straight into a
+  :class:`~repro.clarens.server.ClarensHost` in the same process.  Values
+  still pass through :func:`~repro.clarens.serialization.to_wire`, so a
+  service that works in-process is guaranteed to work over sockets.
+- :class:`XmlRpcTransport` — speaks real XML-RPC over HTTP using the stdlib
+  client; this is what the Figure 6 benchmark measures.
+
+Both present ``call(method_path, params, token)`` and translate failures
+into the :class:`~repro.clarens.errors.ClarensFault` hierarchy, so client
+code is transport-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+import functools
+import socket
+import xmlrpc.client
+from typing import Any, List, Sequence
+
+from repro.clarens.errors import TransportError, fault_from_code
+from repro.clarens.serialization import from_wire, to_wire
+from repro.clarens.server import ClarensHost
+
+
+class Transport(abc.ABC):
+    """Abstract client transport."""
+
+    @abc.abstractmethod
+    def call(self, method_path: str, params: Sequence[Any], token: str = "") -> Any:
+        """Invoke ``service.method`` with *params* under *token*."""
+
+    def close(self) -> None:
+        """Release any underlying connection (no-op by default)."""
+
+
+class InProcessTransport(Transport):
+    """Zero-copy-distance transport into a host in the same process.
+
+    ``strict_wire`` (default True) runs parameters and results through the
+    same marshalling as the socket transport, so serialization bugs surface
+    in fast unit tests rather than in deployment.
+    """
+
+    def __init__(self, host: ClarensHost, strict_wire: bool = True) -> None:
+        self.host = host
+        self.strict_wire = strict_wire
+
+    def call(self, method_path: str, params: Sequence[Any], token: str = "") -> Any:
+        if self.strict_wire:
+            wire_params: List[Any] = [to_wire(p) for p in params]
+        else:
+            wire_params = list(params)
+        result = self.host.dispatch(method_path, wire_params, token=token)
+        return from_wire(result) if self.strict_wire else result
+
+
+class XmlRpcTransport(Transport):
+    """Real XML-RPC over HTTP.
+
+    One transport wraps one ``ServerProxy`` and therefore one HTTP
+    connection; it is **not** thread-safe.  Concurrent clients (as in the
+    Figure 6 benchmark) should each own a transport.
+    """
+
+    def __init__(self, url: str, timeout_s: float = 30.0) -> None:
+        self.url = url
+        transport = xmlrpc.client.Transport()
+        # Plumb a socket timeout through the stdlib transport.
+        original_make_connection = transport.make_connection
+
+        def make_connection(host: str):  # type: ignore[no-untyped-def]
+            conn = original_make_connection(host)
+            conn.timeout = timeout_s
+            return conn
+
+        transport.make_connection = make_connection  # type: ignore[method-assign]
+        self._proxy = xmlrpc.client.ServerProxy(url, allow_none=True, transport=transport)
+
+    def call(self, method_path: str, params: Sequence[Any], token: str = "") -> Any:
+        wire_params = [to_wire(p) for p in params]
+        method = functools.reduce(getattr, method_path.split("."), self._proxy)
+        try:
+            result = method(token, *wire_params)
+        except xmlrpc.client.Fault as fault:
+            raise fault_from_code(fault.faultCode, fault.faultString) from fault
+        except (OSError, socket.timeout, xmlrpc.client.ProtocolError) as exc:
+            raise TransportError(f"transport failure calling {method_path}: {exc}") from exc
+        return from_wire(result)
+
+    def close(self) -> None:
+        self._proxy("close")()  # type: ignore[operator]

@@ -1,0 +1,306 @@
+"""Command-line interface: regenerate experiments and demos from a shell.
+
+Installed as ``gae-repro`` (or run as ``python -m repro.cli``)::
+
+    gae-repro figure5 [--seed 1995] [--history 100] [--tests 20]
+    gae-repro figure7 [--poll 20] [--load 1.5] [--checkpoint]
+    gae-repro figure6 [--clients 1 2 5 25] [--calls 10]
+    gae-repro trace --n 200 [--seed 1995] [--out trace.csv]
+    gae-repro demo
+
+Each figure command prints the same series, chart and paper-vs-measured
+summary as the corresponding ``benchmarks/bench_fig*.py`` module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.figures import FigureData
+from repro.analysis.metrics import summarize_errors
+from repro.analysis.report import markdown_table
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    from repro.core.estimators.runtime import RuntimeEstimator
+
+    if args.swf:
+        # The real SDSC Paragon trace (Parallel Workloads Archive, SWF).
+        from repro.workloads.swf import read_swf, swf_history_and_tests
+
+        jobs = read_swf(args.swf, limit=args.history + 40 * args.tests)
+        history, swf_tests = swf_history_and_tests(
+            jobs, n_history=args.history, n_tests=args.tests
+        )
+        actuals = [t.run_time for t in swf_tests]
+        specs = [t.to_task().spec for t in swf_tests]
+    else:
+        from repro.workloads.downey import DowneyWorkloadGenerator
+
+        gen = DowneyWorkloadGenerator(seed=args.seed)
+        history, tests = gen.history_and_tests(args.history, args.tests)
+        actuals = [t.runtime_s for t in tests]
+        specs = [t.to_task_spec() for t in tests]
+    estimator = RuntimeEstimator(history)
+    estimates = [estimator.estimate(spec).value for spec in specs]
+    summary = summarize_errors(actuals, estimates)
+
+    cases = list(range(1, len(actuals) + 1))
+    figure = (
+        FigureData(
+            title="Figure 5: Actual & Estimated Runtimes",
+            x_label="Jobs", y_label="Job Runtime (seconds)",
+        )
+        .add("Actual Runtime", cases, actuals)
+        .add("Estimated Runtime", cases, estimates)
+    )
+    print(figure.render())
+    print(markdown_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["mean |% error|", 13.53, round(summary.mean_abs_pct, 2)],
+            ["mean signed % error", "n/a", round(summary.mean_signed_pct, 2)],
+            ["cases within ±25%", "n/a", f"{summary.within_25_pct * 100:.0f}%"],
+        ],
+    ))
+    return 0
+
+
+def _cmd_figure7(args: argparse.Namespace) -> int:
+    from repro.core.estimators.history import HistoryRepository
+    from repro.core.steering.optimizer import SteeringPolicy
+    from repro.gae import build_gae
+    from repro.gridsim import GridBuilder, Job
+    from repro.workloads.generators import (
+        PRIME_JOB_FREE_CPU_SECONDS,
+        make_prime_count_task,
+        prime_job_history_records,
+    )
+
+    grid = (
+        GridBuilder(seed=args.seed)
+        .site("siteA", background_load=args.load)
+        .site("siteB", background_load=0.0)
+        .link("siteA", "siteB", capacity_mbps=100.0, latency_s=0.05)
+        .probe_noise(0.0)
+        .build()
+    )
+    history = HistoryRepository(prime_job_history_records(n=10, sigma=0.01))
+    policy = SteeringPolicy(
+        poll_interval_s=args.poll, min_elapsed_wall_s=max(args.poll * 2, 40.0),
+        slow_rate_threshold=0.8, min_improvement_factor=1.2,
+    )
+    gae = build_gae(grid, policy=policy, history=history)
+
+    task = make_prime_count_task(owner="cli", checkpointable=args.checkpoint)
+    shadow = make_prime_count_task(owner="cli")
+    original = gae.scheduler.select_site
+    gae.scheduler.select_site = lambda t, exclude=(): "siteA"
+    gae.scheduler.submit_job(Job(tasks=[task], owner="cli"))
+    gae.scheduler.select_site = original
+    gae.grid.execution_services["siteA"].submit_task(shadow)
+    gae.start()
+
+    es = gae.grid.execution_services
+    curve_a, curve_b = [], []
+    t = 0.0
+    while t <= 900.0:
+        gae.grid.run_until(t)
+        curve_a.append((t, es["siteA"].pool.status(shadow.task_id).progress * 100))
+        site = "siteB" if es["siteB"].pool.has_task(task.task_id) else "siteA"
+        curve_b.append((t, es[site].pool.status(task.task_id).progress * 100))
+        t += 20.0
+    gae.grid.run_until(4000.0)
+    gae.stop()
+
+    steered_pool = "siteB" if es["siteB"].pool.has_task(task.task_id) else "siteA"
+    steered_end = es[steered_pool].pool.ad(task.task_id).end_time
+    shadow_end = es["siteA"].pool.ad(shadow.task_id).end_time
+    figure = (
+        FigureData(
+            title="Figure 7: Job Completion at different sites",
+            x_label="Elapsed time (s)", y_label="Job progress (%)",
+        )
+        .add("job at site A (not steered)", *zip(*curve_a))
+        .add("steered job", *zip(*curve_b))
+    )
+    print(figure.render())
+    print(markdown_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["free-CPU estimate (s)", 283, PRIME_JOB_FREE_CPU_SECONDS],
+            ["steered completion (s)", "~369", round(steered_end, 1)],
+            ["stay-at-A completion (s)", "off chart", round(shadow_end, 1)],
+        ],
+    ))
+    return 0
+
+
+def _cmd_figure6(args: argparse.Namespace) -> int:
+    from repro.analysis.latency import build_served_monitoring, measure_mean_latency_ms
+    from repro.clarens.server import XmlRpcServerHandle
+
+    gae, task_ids = build_served_monitoring()
+    rows = []
+    xs, ys = [], []
+    with XmlRpcServerHandle(gae.host) as handle:
+        for n in args.clients:
+            ms = measure_mean_latency_ms(handle.url, task_ids, n, calls_per_client=args.calls)
+            rows.append([n, round(ms, 2)])
+            xs.append(n)
+            ys.append(ms)
+    figure = FigureData(
+        title="Figure 6: Response times for queries to Job Monitoring Service",
+        x_label="Number of parallel clients", y_label="Response time (ms)",
+    ).add("Average Response Time", xs, ys)
+    print(figure.render())
+    print(markdown_table(["parallel clients", "mean latency (ms)"], rows))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.downey import DowneyWorkloadGenerator
+    from repro.workloads.traces import write_trace_csv
+
+    gen = DowneyWorkloadGenerator(seed=args.seed)
+    records = gen.generate(args.n)
+    text = write_trace_csv(records, args.out)
+    if args.out:
+        print(f"wrote {len(records)} accounting records to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import GridBuilder, Job, build_gae, make_prime_count_task
+
+    grid = (
+        GridBuilder(seed=args.seed)
+        .site("siteA", nodes=2, background_load=1.0)
+        .site("siteB", nodes=2, background_load=0.0)
+        .link("siteA", "siteB", capacity_mbps=622.0, latency_s=0.05)
+        .build()
+    )
+    gae = build_gae(grid)
+    gae.add_user("demo", "demo")
+    gae.start()
+    task = make_prime_count_task(owner="demo")
+    plan = gae.scheduler.submit_job(Job(tasks=[task], owner="demo"))
+    print(f"scheduled {task.task_id} on {plan.site_for(task.task_id)}")
+    client = gae.client("demo", "demo")
+    for t in (60, 180, 300):
+        gae.grid.run_until(float(t))
+        info = client.service("jobmon").job_info(task.task_id)
+        print(f"t={t:3d}s {info['status']:<10} {info['progress'] * 100:5.1f}%")
+    gae.stop()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import write_report
+
+    text = write_report(
+        path=args.out, include_figure6=args.with_figure6, seed=args.seed
+    )
+    if args.out:
+        print(f"wrote report to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.config import ScenarioConfig, gae_from_scenario, submit_scenario_workload
+
+    scenario = ScenarioConfig.from_json(args.file)
+    gae = gae_from_scenario(scenario)
+    gae.add_user(scenario.workload.owner, "scenario")
+    task_ids = submit_scenario_workload(gae, scenario)
+    gae.start()
+    gae.grid.run_until(scenario.horizon_s)
+    gae.stop()
+
+    client = gae.client(scenario.workload.owner, "scenario")
+    jobmon = client.service("jobmon")
+    rows = []
+    for task_id in task_ids:
+        info = jobmon.job_info(task_id)
+        rows.append([
+            task_id, info["site"], info["status"],
+            f"{info['progress'] * 100:.1f}%",
+            round(info["completion_time"], 1) if info["completion_time"] else "-",
+        ])
+    print(markdown_table(["task", "site", "status", "progress", "completed (s)"], rows))
+    moves = [a for a in gae.steering.actions if a.result and a.result.ok]
+    print(f"autonomous moves: {len(moves)}; "
+          f"notifications: {len(gae.steering.backup_recovery.notifications)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``gae-repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="gae-repro",
+        description="Reproduce the GAE resource-management experiments (ICPP 2005).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p5 = sub.add_parser("figure5", help="runtime-estimator accuracy (Figure 5)")
+    p5.add_argument("--seed", type=int, default=1995)
+    p5.add_argument("--history", type=int, default=100)
+    p5.add_argument("--tests", type=int, default=20)
+    p5.add_argument(
+        "--swf", type=str, default=None,
+        help="run on a real SWF trace file (e.g. SDSC-Par-1995 from the "
+             "Parallel Workloads Archive) instead of the synthetic workload",
+    )
+    p5.set_defaults(func=_cmd_figure5)
+
+    p7 = sub.add_parser("figure7", help="steering experiment (Figure 7)")
+    p7.add_argument("--seed", type=int, default=2005)
+    p7.add_argument("--poll", type=float, default=20.0, help="steering poll interval (s)")
+    p7.add_argument("--load", type=float, default=1.5, help="site A background load")
+    p7.add_argument("--checkpoint", action="store_true", help="checkpointable job")
+    p7.set_defaults(func=_cmd_figure7)
+
+    p6 = sub.add_parser("figure6", help="monitoring latency under concurrency (Figure 6)")
+    p6.add_argument("--clients", type=int, nargs="+", default=[1, 2, 3, 5, 25, 50, 100])
+    p6.add_argument("--calls", type=int, default=10)
+    p6.set_defaults(func=_cmd_figure6)
+
+    pt = sub.add_parser("trace", help="generate a synthetic Paragon accounting trace")
+    pt.add_argument("--n", type=int, required=True)
+    pt.add_argument("--seed", type=int, default=1995)
+    pt.add_argument("--out", type=str, default=None)
+    pt.set_defaults(func=_cmd_trace)
+
+    pd = sub.add_parser("demo", help="tiny end-to-end GAE demo")
+    pd.add_argument("--seed", type=int, default=42)
+    pd.set_defaults(func=_cmd_demo)
+
+    ps = sub.add_parser("scenario", help="run a JSON scenario file end to end")
+    ps.add_argument("file", type=str, help="path to the scenario JSON")
+    ps.set_defaults(func=_cmd_scenario)
+
+    pr = sub.add_parser("report", help="regenerate the experiment report (markdown)")
+    pr.add_argument("--out", type=str, default=None, help="write to this file")
+    pr.add_argument("--seed", type=int, default=1995)
+    pr.add_argument("--with-figure6", action="store_true",
+                    help="include the (slow, hardware-dependent) latency sweep")
+    pr.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""The paper's primary contribution: the three GAE resource-management
+services.
+
+- :mod:`repro.core.estimators` — the Estimator Service (§6): runtime,
+  queue-time and file-transfer-time prediction;
+- :mod:`repro.core.monitoring` — the Job Monitoring Service (§5);
+- :mod:`repro.core.steering` — the Steering Service (§4).
+
+Each service is a plain Python object registrable on a
+:class:`~repro.clarens.server.ClarensHost`; the full wiring over a
+simulated grid lives in :mod:`repro.gae`.
+"""
+
+from repro.core.estimators import (
+    EstimatorService,
+    HistoryRepository,
+    QueueTimeEstimator,
+    RuntimeEstimate,
+    RuntimeEstimator,
+    TaskRecord,
+    TransferTimeEstimator,
+)
+from repro.core.monitoring import JobMonitoringService, MonitoringRecord
+from repro.core.steering import SteeringService, SteeringPolicy
+
+__all__ = [
+    "EstimatorService",
+    "HistoryRepository",
+    "JobMonitoringService",
+    "MonitoringRecord",
+    "QueueTimeEstimator",
+    "RuntimeEstimate",
+    "RuntimeEstimator",
+    "SteeringPolicy",
+    "SteeringService",
+    "TaskRecord",
+    "TransferTimeEstimator",
+]

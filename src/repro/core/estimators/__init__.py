@@ -1,0 +1,50 @@
+"""The Estimator Service (§6).
+
+"The Estimator Service (or simply the estimators) is used to predict the
+resource consumption of a job."  Three estimators, exactly as the paper
+enumerates them:
+
+- :class:`~repro.core.estimators.runtime.RuntimeEstimator` (§6.1) —
+  history-based: find completed tasks similar to the input task and compute
+  "a statistical estimate (the mean and linear regression) of their
+  runtimes";
+- :class:`~repro.core.estimators.queue_time.QueueTimeEstimator` (§6.2) —
+  sum of the estimated *remaining* runtimes of every task ahead of the
+  input task in the queue;
+- :class:`~repro.core.estimators.transfer_time.TransferTimeEstimator`
+  (§6.3) — iperf-style bandwidth probe × file size.
+
+Supporting pieces: the task-history repository (:mod:`history`), the
+similarity-template machinery (:mod:`similarity`) including the greedy
+template search of Smith/Taylor/Foster [25], and the Clarens-registrable
+facade (:mod:`service`).
+"""
+
+from repro.core.estimators.history import HistoryRecorder, HistoryRepository, TaskRecord
+from repro.core.estimators.queue_time import QueueTimeEstimator, RuntimeEstimateDB
+from repro.core.estimators.runtime import RuntimeEstimate, RuntimeEstimator
+from repro.core.estimators.service import EstimatorService
+from repro.core.estimators.similarity import (
+    ALL_TEMPLATE_ATTRIBUTES,
+    GreedyTemplateSearch,
+    Template,
+    most_specific_match,
+)
+from repro.core.estimators.transfer_time import TransferEstimate, TransferTimeEstimator
+
+__all__ = [
+    "ALL_TEMPLATE_ATTRIBUTES",
+    "EstimatorService",
+    "GreedyTemplateSearch",
+    "HistoryRecorder",
+    "HistoryRepository",
+    "QueueTimeEstimator",
+    "RuntimeEstimate",
+    "RuntimeEstimateDB",
+    "RuntimeEstimator",
+    "TaskRecord",
+    "Template",
+    "TransferEstimate",
+    "TransferTimeEstimator",
+    "most_specific_match",
+]

@@ -1,0 +1,197 @@
+"""The task-history repository behind the runtime estimator.
+
+"We maintain a history of tasks that have executed along with their
+respective runtimes" (§6.1).  A :class:`TaskRecord` captures the
+estimator-visible attributes of one completed task — deliberately the same
+fields the SDSC Paragon accounting trace records — plus its actual runtime.
+
+"A decentralized approach is used for history maintenance": each site keeps
+its own :class:`HistoryRepository`; :class:`HistoryRecorder` subscribes to
+a site pool's completion callbacks and appends records automatically.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from repro.gridsim.condor import CondorJobAd
+from repro.gridsim.job import TaskSpec
+from repro.gridsim.site import Site
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One completed task, as the estimator is allowed to see it."""
+
+    owner: str
+    account: str
+    partition: str
+    queue: str
+    nodes: int
+    task_type: str
+    executable: str
+    requested_cpu_hours: float
+    runtime_s: float
+    status: str = "successful"      # "successful" | "failed" (trace field)
+    submit_time: float = 0.0
+    start_time: float = 0.0
+    end_time: float = 0.0
+    site: str = ""
+
+    def __post_init__(self) -> None:
+        if self.runtime_s < 0:
+            raise ValueError(f"runtime must be non-negative, got {self.runtime_s}")
+
+    def attribute(self, name: str) -> object:
+        """Attribute lookup by name (template matching)."""
+        return getattr(self, name)
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: TaskSpec,
+        runtime_s: float,
+        status: str = "successful",
+        submit_time: float = 0.0,
+        start_time: float = 0.0,
+        end_time: float = 0.0,
+        site: str = "",
+    ) -> "TaskRecord":
+        """Build a record from a task spec plus its observed runtime."""
+        return cls(
+            owner=spec.owner,
+            account=spec.account,
+            partition=spec.partition,
+            queue=spec.queue,
+            nodes=spec.nodes,
+            task_type=spec.task_type,
+            executable=spec.executable,
+            requested_cpu_hours=spec.requested_cpu_hours,
+            runtime_s=runtime_s,
+            status=status,
+            submit_time=submit_time,
+            start_time=start_time,
+            end_time=end_time,
+            site=site,
+        )
+
+
+_CSV_FIELDS = [f.name for f in fields(TaskRecord)]
+_NUMERIC_FIELDS = {
+    "nodes": int,
+    "requested_cpu_hours": float,
+    "runtime_s": float,
+    "submit_time": float,
+    "start_time": float,
+    "end_time": float,
+}
+
+
+class HistoryRepository:
+    """An append-only store of :class:`TaskRecord` with attribute queries."""
+
+    def __init__(self, records: Iterable[TaskRecord] = ()) -> None:
+        self._records: List[TaskRecord] = list(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TaskRecord]:
+        return iter(self._records)
+
+    def add(self, record: TaskRecord) -> None:
+        """Append one completed-task record."""
+        self._records.append(record)
+
+    def extend(self, records: Iterable[TaskRecord]) -> None:
+        """Append many records."""
+        self._records.extend(records)
+
+    def records(self) -> List[TaskRecord]:
+        """All records, in insertion order (copy)."""
+        return list(self._records)
+
+    def successful(self) -> List[TaskRecord]:
+        """Only records of tasks that completed successfully.
+
+        The runtime estimator trains on these — a failed task's runtime
+        says nothing about how long the work actually takes.
+        """
+        return [r for r in self._records if r.status == "successful"]
+
+    def matching(
+        self, attributes: Sequence[str], target: Dict[str, object]
+    ) -> List[TaskRecord]:
+        """Successful records equal to *target* on every named attribute."""
+        out = []
+        for r in self.successful():
+            if all(r.attribute(a) == target.get(a) for a in attributes):
+                out.append(r)
+        return out
+
+    # ------------------------------------------------------------------
+    # persistence (accounting-trace style CSV)
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Serialise to CSV with a header row."""
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for r in self._records:
+            writer.writerow({name: getattr(r, name) for name in _CSV_FIELDS})
+        return buf.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "HistoryRepository":
+        """Parse CSV produced by :meth:`to_csv`."""
+        reader = csv.DictReader(io.StringIO(text))
+        records = []
+        for row in reader:
+            kwargs: Dict[str, object] = {}
+            for name in _CSV_FIELDS:
+                raw = row[name]
+                conv = _NUMERIC_FIELDS.get(name)
+                kwargs[name] = conv(float(raw)) if conv is int else (conv(raw) if conv else raw)
+            records.append(TaskRecord(**kwargs))  # type: ignore[arg-type]
+        return cls(records)
+
+
+class HistoryRecorder:
+    """Feeds a history repository from live pool completions.
+
+    Attach to any number of sites; every successfully completed task (and,
+    when ``record_failures`` is set, every failed one) becomes a
+    :class:`TaskRecord` whose runtime is the task's accrued CPU work.
+    """
+
+    def __init__(self, repository: HistoryRepository, record_failures: bool = False) -> None:
+        self.repository = repository
+        self.record_failures = record_failures
+
+    def attach(self, site: Site) -> None:
+        """Subscribe to a site pool's completion/failure callbacks."""
+
+        def on_complete(ad: CondorJobAd) -> None:
+            self.repository.add(self._record(ad, site.name, "successful"))
+
+        def on_failed(ad: CondorJobAd) -> None:
+            if self.record_failures:
+                self.repository.add(self._record(ad, site.name, "failed"))
+
+        site.pool.on_complete.append(on_complete)
+        site.pool.on_failed.append(on_failed)
+
+    @staticmethod
+    def _record(ad: CondorJobAd, site_name: str, status: str) -> TaskRecord:
+        return TaskRecord.from_spec(
+            ad.task.spec,
+            runtime_s=ad.accrued_work,
+            status=status,
+            submit_time=ad.submit_time,
+            start_time=ad.start_time if ad.start_time is not None else ad.submit_time,
+            end_time=ad.end_time if ad.end_time is not None else ad.submit_time,
+            site=site_name,
+        )

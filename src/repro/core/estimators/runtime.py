@@ -1,0 +1,187 @@
+"""The Runtime Estimator (§6.1).
+
+"To estimate the runtime, we identify similar tasks in the history and then
+compute a statistical estimate (the mean and linear regression) of their
+runtimes.  We use this as the predicted runtime."
+
+Both statistics are computed over the similar set:
+
+- **mean** — the plain average of the similar tasks' runtimes;
+- **linear regression** — least squares of runtime on requested CPU hours
+  (the trace's user-supplied size signal), evaluated at the input task's
+  request.
+
+``method="auto"`` (the default) uses the regression when it is healthy
+(enough samples, non-degenerate x spread, in-sample fit better than the
+mean's) and falls back to the mean otherwise — small similar sets make
+regression noisy, exactly why the paper reports both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.estimators.history import HistoryRepository, TaskRecord
+from repro.core.estimators.similarity import (
+    DEFAULT_LADDER,
+    Template,
+    most_specific_match,
+)
+from repro.gridsim.job import TaskSpec
+
+
+class EstimationError(RuntimeError):
+    """Raised when no estimate can be produced (e.g. empty history)."""
+
+
+@dataclass(frozen=True)
+class RuntimeEstimate:
+    """A runtime prediction plus its provenance."""
+
+    value: float                 # the predicted runtime (seconds)
+    mean: float                  # mean of similar runtimes
+    regression: Optional[float]  # regression prediction (None if unusable)
+    n_similar: int               # size of the similar set
+    template: Template           # the template that selected it
+    method: str                  # "mean" | "regression"
+    stddev: float = 0.0          # sample std-dev of the similar runtimes
+
+    @property
+    def standard_error(self) -> float:
+        """Standard error of the mean over the similar set."""
+        if self.n_similar < 1:
+            return float("inf")
+        return self.stddev / (self.n_similar ** 0.5)
+
+    def interval(self, z: float = 1.96) -> "tuple[float, float]":
+        """A z-score confidence band around the prediction, floored at 0."""
+        half = z * self.standard_error
+        return (max(0.0, self.value - half), self.value + half)
+
+
+class RuntimeEstimator:
+    """History-based runtime prediction for task specs.
+
+    Parameters
+    ----------
+    history:
+        The completed-task repository to learn from.
+    ladder:
+        Specificity ladder of templates (see :mod:`similarity`).
+    min_samples:
+        Minimum similar records before a template is accepted.
+    method:
+        "auto", "mean", or "regression".
+    regression_feature:
+        Record attribute regressed against (default: the user's requested
+        CPU hours).
+    """
+
+    def __init__(
+        self,
+        history: HistoryRepository,
+        ladder: Sequence[Template] = DEFAULT_LADDER,
+        min_samples: int = 3,
+        method: str = "auto",
+        regression_feature: str = "requested_cpu_hours",
+    ) -> None:
+        if method not in ("auto", "mean", "regression"):
+            raise ValueError(f"unknown method {method!r}")
+        self.history = history
+        self.ladder = tuple(ladder)
+        self.min_samples = min_samples
+        self.method = method
+        self.regression_feature = regression_feature
+
+    # ------------------------------------------------------------------
+    def estimate(self, spec: TaskSpec) -> RuntimeEstimate:
+        """Predict the runtime of a task described by *spec*.
+
+        Raises :class:`EstimationError` when the history holds no
+        successful records at all.
+        """
+        target = dict(spec.attributes())
+        template, matches = most_specific_match(
+            self.history, target, min_samples=self.min_samples, ladder=self.ladder
+        )
+        if not matches:
+            raise EstimationError("history holds no successful task records")
+        runtimes = np.asarray([r.runtime_s for r in matches], dtype=float)
+        mean = float(runtimes.mean())
+        x_new = float(getattr(spec, self.regression_feature))
+        regression = self._regress(matches, runtimes, x_new)
+
+        if self.method == "mean":
+            value, method = mean, "mean"
+        elif self.method == "regression":
+            if regression is None:
+                value, method = mean, "mean"
+            else:
+                value, method = regression, "regression"
+        else:  # auto
+            if regression is not None and self._regression_beats_mean(matches, runtimes):
+                value, method = regression, "regression"
+            else:
+                value, method = mean, "mean"
+        return RuntimeEstimate(
+            value=value,
+            mean=mean,
+            regression=regression,
+            n_similar=len(matches),
+            template=template,
+            method=method,
+            stddev=float(runtimes.std(ddof=1)) if len(matches) > 1 else 0.0,
+        )
+
+    def __call__(self, spec: TaskSpec) -> float:
+        """Callable shorthand returning just the predicted seconds.
+
+        This is the signature
+        :attr:`repro.gridsim.execution.ExecutionService.runtime_estimator`
+        expects, so an estimator can be installed at a site directly.
+        """
+        return self.estimate(spec).value
+
+    # ------------------------------------------------------------------
+    def _features(self, matches: Sequence[TaskRecord]) -> np.ndarray:
+        return np.asarray(
+            [float(r.attribute(self.regression_feature)) for r in matches], dtype=float
+        )
+
+    def _regress(
+        self, matches: Sequence[TaskRecord], runtimes: np.ndarray, x_new: float
+    ) -> Optional[float]:
+        """Least-squares runtime-vs-feature prediction at *x_new*.
+
+        Returns None when regression is ill-posed: fewer than 3 points,
+        or (numerically) no spread in the feature.  Predictions are
+        clipped into [min/2, 2*max] of the observed similar runtimes —
+        a line fitted to a handful of noisy points must not extrapolate
+        to a runtime regime the similar set never exhibited.
+        """
+        if len(matches) < 3:
+            return None
+        x = self._features(matches)
+        if np.ptp(x) <= 1e-12 * max(1.0, float(np.abs(x).max())):
+            return None
+        slope, intercept = np.polyfit(x, runtimes, deg=1)
+        prediction = float(slope * x_new + intercept)
+        lo = float(runtimes.min()) / 2.0
+        hi = float(runtimes.max()) * 2.0
+        return float(np.clip(prediction, lo, hi))
+
+    def _regression_beats_mean(
+        self, matches: Sequence[TaskRecord], runtimes: np.ndarray
+    ) -> bool:
+        """Whether the in-sample regression residuals beat the mean's."""
+        x = self._features(matches)
+        if len(matches) < 3 or np.ptp(x) <= 1e-12 * max(1.0, float(np.abs(x).max())):
+            return False
+        slope, intercept = np.polyfit(x, runtimes, deg=1)
+        reg_sse = float(np.sum((runtimes - (slope * x + intercept)) ** 2))
+        mean_sse = float(np.sum((runtimes - runtimes.mean()) ** 2))
+        # Demand a real improvement, not a numerically marginal one.
+        return reg_sse < 0.9 * mean_sse

@@ -1,0 +1,87 @@
+"""The File Transfer Time Estimator (§6.3).
+
+"For transfer time estimation, we first determine the bandwidth between the
+client and the Clarens server using iperf, and then using this bandwidth
+and the file size, we calculate the transfer time."
+
+The estimator probes the (simulated) network with an
+:class:`~repro.gridsim.network.IperfProbe` and predicts
+``size / measured_bandwidth``.  Repeated probes can be smoothed to damp
+measurement noise; the prediction can be compared with the network model's
+ground-truth transfer time in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.gridsim.network import IperfProbe
+from repro.gridsim.storage import ReplicaCatalog
+
+
+@dataclass(frozen=True)
+class TransferEstimate:
+    """A transfer-time prediction plus the bandwidth that produced it."""
+
+    src: str
+    dst: str
+    size_mb: float
+    bandwidth_mbps: float
+    transfer_time_s: float
+
+
+class TransferTimeEstimator:
+    """iperf-probe-based file transfer prediction."""
+
+    def __init__(self, probe: IperfProbe, smoothing_window: int = 1) -> None:
+        """``smoothing_window`` > 1 averages that many probe measurements
+        per estimate (more probe traffic, steadier predictions)."""
+        if smoothing_window < 1:
+            raise ValueError(f"smoothing_window must be >= 1, got {smoothing_window}")
+        self.probe = probe
+        self.smoothing_window = smoothing_window
+
+    def measure_bandwidth(self, src: str, dst: str) -> float:
+        """The (possibly smoothed) measured bandwidth in Mbit/s."""
+        if self.smoothing_window == 1:
+            return self.probe.measure(src, dst).measured_mbps
+        return self.probe.smoothed_mbps(src, dst, window=self.smoothing_window)
+
+    def estimate(self, src: str, dst: str, size_mb: float) -> TransferEstimate:
+        """Predict the transfer time of *size_mb* megabytes src → dst."""
+        if size_mb < 0:
+            raise ValueError(f"size must be non-negative, got {size_mb}")
+        if src == dst or size_mb == 0.0:
+            return TransferEstimate(
+                src=src, dst=dst, size_mb=size_mb, bandwidth_mbps=float("inf"),
+                transfer_time_s=0.0,
+            )
+        bw = self.measure_bandwidth(src, dst)
+        seconds = 0.0 if bw == float("inf") else (size_mb * 8.0) / bw
+        return TransferEstimate(
+            src=src, dst=dst, size_mb=size_mb, bandwidth_mbps=bw, transfer_time_s=seconds
+        )
+
+    def estimate_stage_in(
+        self, catalog: ReplicaCatalog, file_names: List[str], to_site: str
+    ) -> float:
+        """Predicted total time to pull the named files to *to_site*.
+
+        Each file is fetched from its closest replica; local replicas are
+        free.  Files with no replica anywhere (not-yet-produced DAG
+        intermediates) contribute nothing.  This is the "file transfer
+        time" term of the optimizer's expected execution time (§4.2.2).
+        """
+        from repro.gridsim.storage import StorageError
+
+        total = 0.0
+        for name in file_names:
+            try:
+                src = catalog.closest_replica(name, to_site)
+            except StorageError:
+                continue
+            if src == to_site:
+                continue
+            total += self.estimate(src, to_site, catalog.lookup(name).size_mb).transfer_time_s
+        return total

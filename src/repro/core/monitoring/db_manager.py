@@ -1,0 +1,187 @@
+"""The DBManager (§5.4): the monitoring service's database repository.
+
+"Each Job Monitoring Service instance has a database repository.  The
+access to this repository is controlled by the DBManager.  The DBManager
+publishes the job monitoring information to MonALISA."
+
+Backed by SQLite (stdlib), in-memory by default, file-backed on request —
+a real queryable repository, as in the deployed system, not a dict.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from typing import List, Optional
+
+from repro.core.monitoring.records import MonitoringRecord
+from repro.monalisa.repository import JobStateEvent, MonALISARepository
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS monitoring (
+    task_id            TEXT PRIMARY KEY,
+    job_id             TEXT NOT NULL,
+    site               TEXT NOT NULL,
+    status             TEXT NOT NULL,
+    elapsed_time_s     REAL NOT NULL,
+    estimated_run_time_s REAL NOT NULL,
+    remaining_time_s   REAL NOT NULL,
+    progress           REAL NOT NULL,
+    queue_position     INTEGER NOT NULL,
+    priority           INTEGER NOT NULL,
+    submission_time    REAL NOT NULL,
+    execution_time     REAL,
+    completion_time    REAL,
+    cpu_time_used_s    REAL NOT NULL,
+    input_io_mb        REAL NOT NULL,
+    output_io_mb       REAL NOT NULL,
+    owner              TEXT NOT NULL,
+    environment        TEXT NOT NULL,
+    snapshot_time      REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_monitoring_job ON monitoring (job_id);
+CREATE INDEX IF NOT EXISTS idx_monitoring_owner ON monitoring (owner);
+CREATE TABLE IF NOT EXISTS monitoring_history (
+    seq            INTEGER PRIMARY KEY AUTOINCREMENT,
+    task_id        TEXT NOT NULL,
+    snapshot_time  REAL NOT NULL,
+    status         TEXT NOT NULL,
+    progress       REAL NOT NULL,
+    elapsed_time_s REAL NOT NULL,
+    site           TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_history_task ON monitoring_history (task_id);
+"""
+
+_COLUMNS = (
+    "task_id", "job_id", "site", "status", "elapsed_time_s",
+    "estimated_run_time_s", "remaining_time_s", "progress", "queue_position",
+    "priority", "submission_time", "execution_time", "completion_time",
+    "cpu_time_used_s", "input_io_mb", "output_io_mb", "owner", "environment",
+    "snapshot_time",
+)
+
+
+class DBManager:
+    """SQLite-backed store of the latest monitoring record per task."""
+
+    def __init__(
+        self,
+        path: str = ":memory:",
+        monalisa: Optional[MonALISARepository] = None,
+    ) -> None:
+        # The threaded XML-RPC front end serves monitoring queries from
+        # worker threads; one connection guarded by a lock keeps SQLite
+        # happy without a connection pool.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.Lock()
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+        self.monalisa = monalisa
+
+    def close(self) -> None:
+        """Close the underlying database connection."""
+        self._conn.close()
+
+    # ------------------------------------------------------------------
+    def update(self, record: MonitoringRecord) -> None:
+        """Upsert a task's latest record; publish the update to MonALISA."""
+        values = (
+            record.task_id, record.job_id, record.site, record.status,
+            record.elapsed_time_s, record.estimated_run_time_s,
+            record.remaining_time_s, record.progress, record.queue_position,
+            record.priority, record.submission_time, record.execution_time,
+            record.completion_time, record.cpu_time_used_s,
+            record.input_io_mb, record.output_io_mb, record.owner,
+            json.dumps(dict(record.environment)), record.snapshot_time,
+        )
+        placeholders = ", ".join("?" for _ in _COLUMNS)
+        with self._lock:
+            self._conn.execute(
+                f"INSERT OR REPLACE INTO monitoring ({', '.join(_COLUMNS)}) "
+                f"VALUES ({placeholders})",
+                values,
+            )
+            # Append-only history row: the raw material of progress-vs-time
+            # charts like Figure 7, queryable long after the task is gone.
+            self._conn.execute(
+                "INSERT INTO monitoring_history "
+                "(task_id, snapshot_time, status, progress, elapsed_time_s, site) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (record.task_id, record.snapshot_time, record.status,
+                 record.progress, record.elapsed_time_s, record.site),
+            )
+            self._conn.commit()
+        if self.monalisa is not None:
+            self.monalisa.publish_job_state(
+                JobStateEvent(
+                    time=record.snapshot_time,
+                    task_id=record.task_id,
+                    job_id=record.job_id,
+                    site=record.site,
+                    state=record.status,
+                    progress=record.progress,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _row_to_record(self, row: tuple) -> MonitoringRecord:
+        data = dict(zip(_COLUMNS, row))
+        data["environment"] = json.loads(data["environment"])
+        return MonitoringRecord(**data)  # type: ignore[arg-type]
+
+    def get(self, task_id: str) -> Optional[MonitoringRecord]:
+        """The stored record for a task, or None."""
+        with self._lock:
+            cur = self._conn.execute(
+                f"SELECT {', '.join(_COLUMNS)} FROM monitoring WHERE task_id = ?",
+                (task_id,),
+            )
+            row = cur.fetchone()
+        return self._row_to_record(row) if row is not None else None
+
+    def for_job(self, job_id: str) -> List[MonitoringRecord]:
+        """All stored records of a job, ordered by task id."""
+        with self._lock:
+            cur = self._conn.execute(
+                f"SELECT {', '.join(_COLUMNS)} FROM monitoring "
+                "WHERE job_id = ? ORDER BY task_id",
+                (job_id,),
+            )
+            rows = cur.fetchall()
+        return [self._row_to_record(r) for r in rows]
+
+    def for_owner(self, owner: str) -> List[MonitoringRecord]:
+        """All stored records owned by a user, ordered by task id."""
+        with self._lock:
+            cur = self._conn.execute(
+                f"SELECT {', '.join(_COLUMNS)} FROM monitoring "
+                "WHERE owner = ? ORDER BY task_id",
+                (owner,),
+            )
+            rows = cur.fetchall()
+        return [self._row_to_record(r) for r in rows]
+
+    def task_ids(self) -> List[str]:
+        """Every task id with a stored record, sorted."""
+        with self._lock:
+            cur = self._conn.execute("SELECT task_id FROM monitoring ORDER BY task_id")
+            return [r[0] for r in cur.fetchall()]
+
+    def progress_history(self, task_id: str) -> List[tuple]:
+        """Every stored snapshot of a task as
+        ``(snapshot_time, status, progress, elapsed_time_s, site)`` rows,
+        in arrival order."""
+        with self._lock:
+            cur = self._conn.execute(
+                "SELECT snapshot_time, status, progress, elapsed_time_s, site "
+                "FROM monitoring_history WHERE task_id = ? ORDER BY seq",
+                (task_id,),
+            )
+            return cur.fetchall()
+
+    def __len__(self) -> int:
+        with self._lock:
+            cur = self._conn.execute("SELECT COUNT(*) FROM monitoring")
+            return int(cur.fetchone()[0])

@@ -1,0 +1,53 @@
+"""The Steering Service (§4).
+
+"The Steering Service is the component of the GAE architecture that allows
+users to interact with submitted jobs … constant feedback of the submitted
+jobs … kill, pause, and resume, change priority of the job or moving the
+job to some other execution site."
+
+Components, one module each, mirroring Figure 2:
+
+- :mod:`subscriber` — receives concrete job plans from the scheduler and
+  extracts the execution services in use (§4.2.1);
+- :mod:`commands` — the Command Processor executing client/optimizer job
+  control; redirections go back through the scheduler (§4.2.2);
+- :mod:`optimizer` — finds the "Best Site" under a *cheap* or *fast*
+  preference using the Quota/Accounting service and the Estimators, and
+  detects slow execution (§4.2.2 "Optimizer");
+- :mod:`backup_recovery` — pings execution services, resubmits after
+  failure, notifies clients, retrieves output files and execution state
+  (§4.2.4);
+- :mod:`session_manager` — "makes sure that the authorized users steer the
+  jobs" (§4.2.5);
+- :mod:`service` — the Clarens-registrable facade plus the autonomous
+  steering loop that drives Figure 7.
+"""
+
+from repro.core.steering.agent import AdaptiveSteeringAgent, MoveObservation
+from repro.core.steering.backup_recovery import BackupRecovery, ClientNotification
+from repro.core.steering.commands import (
+    CommandProcessor,
+    CommandResult,
+    SteeringCommandError,
+)
+from repro.core.steering.optimizer import MoveDecision, Optimizer, SteeringPolicy
+from repro.core.steering.service import SteeringService
+from repro.core.steering.session_manager import SessionManager, SteeringAuthError
+from repro.core.steering.subscriber import Subscriber
+
+__all__ = [
+    "AdaptiveSteeringAgent",
+    "BackupRecovery",
+    "ClientNotification",
+    "CommandProcessor",
+    "CommandResult",
+    "MoveDecision",
+    "MoveObservation",
+    "Optimizer",
+    "SessionManager",
+    "SteeringAuthError",
+    "SteeringCommandError",
+    "SteeringPolicy",
+    "SteeringService",
+    "Subscriber",
+]

@@ -1,0 +1,208 @@
+"""The Grid Analysis Environment: full wiring of every component.
+
+:func:`build_gae` assembles the complete system of the paper's Figure 1
+over a simulated grid:
+
+- the :class:`~repro.gridsim.grid.Grid` substrate (sites, network, replica
+  catalog, Sphinx-like scheduler),
+- the MonALISA repository with periodic site-load publication,
+- the Estimator Service, installed at every site (§6.1) and recording
+  at-submission estimates (§6.2),
+- the Job Monitoring Service attached to every execution service (§5),
+- the Quota & Accounting Service (§4.2.2),
+- the Steering Service with its autonomous loop and Backup & Recovery
+  (§4), subscribed to the scheduler's concrete job plans, and
+- a :class:`~repro.clarens.server.ClarensHost` hosting all of them, with
+  the simulator as its clock.
+
+>>> from repro.gridsim import GridBuilder
+>>> from repro.gae import build_gae
+>>> gae = build_gae(GridBuilder(seed=1).site("a").site("b").build())
+>>> sorted(gae.host.registry.names())
+['accounting', 'estimator', 'jobmon', 'monalisa', 'steering', 'system']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.accounting.service import QuotaAccountingService
+from repro.clarens.acl import AccessControlList
+from repro.clarens.client import ClarensClient
+from repro.clarens.server import ClarensHost
+from repro.clarens.transport import InProcessTransport
+from repro.core.estimators.history import HistoryRecorder, HistoryRepository
+from repro.core.estimators.service import EstimatorService
+from repro.core.monitoring.service import JobMonitoringService
+from repro.core.steering.optimizer import SteeringPolicy
+from repro.core.steering.service import SteeringService
+from repro.gridsim.grid import Grid
+from repro.monalisa.publisher import SiteLoadPublisher
+from repro.monalisa.repository import MonALISARepository
+from repro.monalisa.service import MonALISAQueryService
+
+
+@dataclass
+class GAE:
+    """The assembled Grid Analysis Environment."""
+
+    grid: Grid
+    host: ClarensHost
+    monalisa: MonALISARepository
+    history: HistoryRepository
+    estimators: EstimatorService
+    monitoring: JobMonitoringService
+    accounting: QuotaAccountingService
+    steering: SteeringService
+    load_publisher: SiteLoadPublisher
+    #: Period (simulated s) for continuous job snapshots; None disables.
+    monitor_snapshot_period_s: Optional[float] = None
+
+    @property
+    def sim(self):
+        """The discrete-event simulator driving everything."""
+        return self.grid.sim
+
+    @property
+    def scheduler(self):
+        """The Sphinx-like scheduler."""
+        return self.grid.scheduler
+
+    def client(self, user: str = "", password: str = "") -> ClarensClient:
+        """An in-process client; logs in when credentials are given."""
+        client = ClarensClient(InProcessTransport(self.host))
+        if user:
+            client.login(user, password)
+        return client
+
+    def add_user(
+        self, name: str, password: str, groups: Tuple[str, ...] = ("gae-users",)
+    ) -> None:
+        """Create a user allowed to call every GAE service."""
+        self.host.users.add_user(name, password, groups=groups)
+
+    def start(self) -> "GAE":
+        """Arm the periodic activities (steering loop, B&R sweep, load
+        publisher, and continuous job snapshots when configured).  Call
+        before running the simulator."""
+        self.steering.start()
+        self.load_publisher.start()
+        if self.monitor_snapshot_period_s is not None:
+            self.monitoring.start_periodic_snapshots(self.monitor_snapshot_period_s)
+        return self
+
+    def stop(self) -> None:
+        """Cancel every periodic activity so the simulator can drain."""
+        self.steering.stop()
+        self.load_publisher.stop()
+        self.monitoring.stop_periodic_snapshots()
+
+
+def default_acl() -> AccessControlList:
+    """The GAE's shipped access policy.
+
+    ``gae-users`` may call every service; ``grid-admins`` inherit the same
+    (plus the session manager recognises them as super-steerers).
+    """
+    acl = AccessControlList(default_allow=False)
+    acl.allow("estimator.*", groups=("gae-users", "grid-admins"))
+    acl.allow("jobmon.*", groups=("gae-users", "grid-admins"))
+    acl.allow("steering.*", groups=("gae-users", "grid-admins"))
+    acl.allow("accounting.*", groups=("gae-users", "grid-admins"))
+    acl.allow("monalisa.*", groups=("gae-users", "grid-admins"))
+    return acl
+
+
+def build_gae(
+    grid: Grid,
+    policy: Optional[SteeringPolicy] = None,
+    history: Optional[HistoryRepository] = None,
+    load_publish_period_s: float = 30.0,
+    record_history: bool = True,
+    host_name: str = "jclarens",
+    monitor_snapshot_period_s: Optional[float] = None,
+) -> GAE:
+    """Wire the full GAE over an assembled grid.
+
+    Parameters
+    ----------
+    grid:
+        The substrate from :class:`~repro.gridsim.grid.GridBuilder`.
+    policy:
+        Steering policy (defaults per :class:`SteeringPolicy`).
+    history:
+        Pre-seeded task history for the runtime estimator (e.g. a Downey
+        workload's completed jobs); empty when omitted.
+    record_history:
+        When true, completed tasks keep feeding the history live.
+    """
+    sim = grid.sim
+    monalisa = MonALISARepository()
+    history = history if history is not None else HistoryRepository()
+
+    estimators = EstimatorService(
+        history, probe=grid.probe, catalog=grid.catalog
+    )
+    for name in sorted(grid.execution_services):
+        estimators.install_site_estimator(grid.execution_services[name])
+    estimators.attach_to_scheduler(grid.scheduler)
+
+    # The scheduler's load queries go through MonALISA (§6.1 step d).
+    grid.scheduler.load_oracle = monalisa.load_oracle(default=0.0)
+
+    monitoring = JobMonitoringService(
+        sim,
+        monalisa=monalisa,
+        estimate_lookup=lambda task_id: estimators.estimate_db.lookup(task_id),
+    )
+    accounting = QuotaAccountingService()
+    for name in sorted(grid.sites):
+        site = grid.sites[name]
+        monitoring.attach(grid.execution_services[name])
+        accounting.register_site(site)
+
+    steering = SteeringService(
+        sim=sim,
+        scheduler=grid.scheduler,
+        services=grid.execution_services,
+        monitoring=monitoring,
+        estimators=estimators,
+        accounting=accounting,
+        policy=policy,
+    )
+    for name in sorted(grid.sites):
+        steering.attach_site(grid.sites[name])
+
+    if record_history:
+        recorder = HistoryRecorder(history)
+        for name in sorted(grid.sites):
+            recorder.attach(grid.sites[name])
+
+    load_publisher = SiteLoadPublisher(
+        sim, monalisa, [grid.sites[n] for n in sorted(grid.sites)],
+        period_s=load_publish_period_s,
+    )
+
+    host = ClarensHost(name=host_name, time_source=lambda: sim.now, acl=default_acl())
+    host.register("estimator", estimators, description="runtime/queue/transfer estimates (§6)")
+    host.register("jobmon", monitoring, description="job monitoring information (§5)")
+    host.register("steering", steering, description="job steering and control (§4)")
+    host.register("accounting", accounting, description="quota and accounting (§4.2.2)")
+    host.register(
+        "monalisa", MonALISAQueryService(monalisa),
+        description="grid-weather and job-event queries (MonALISA, §5/§6.1)",
+    )
+
+    return GAE(
+        grid=grid,
+        host=host,
+        monalisa=monalisa,
+        history=history,
+        estimators=estimators,
+        monitoring=monitoring,
+        accounting=accounting,
+        steering=steering,
+        load_publisher=load_publisher,
+        monitor_snapshot_period_s=monitor_snapshot_period_s,
+    )

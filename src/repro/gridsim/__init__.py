@@ -1,0 +1,74 @@
+"""Discrete-event grid substrate.
+
+This subpackage provides everything the paper's services run *on top of*:
+
+- a deterministic discrete-event simulation kernel
+  (:mod:`repro.gridsim.events`, :mod:`repro.gridsim.clock`),
+- jobs, tasks and concrete job plans (:mod:`repro.gridsim.job`),
+- compute nodes with time-varying background CPU load
+  (:mod:`repro.gridsim.node`),
+- execution sites hosting a Condor-like batch pool
+  (:mod:`repro.gridsim.site`, :mod:`repro.gridsim.condor`),
+- a wide-area network model with an iperf-like bandwidth probe
+  (:mod:`repro.gridsim.network`),
+- storage elements and a replica catalog (:mod:`repro.gridsim.storage`),
+- the execution service each site exposes (:mod:`repro.gridsim.execution`),
+- a Sphinx-like scheduler (:mod:`repro.gridsim.scheduler`), and
+- a :class:`~repro.gridsim.grid.Grid` facade that wires a whole testbed
+  together.
+
+The real system in the paper ran on Condor pools scheduled by Sphinx; this
+package substitutes a faithful simulator so that every experiment in the
+paper's evaluation section can be regenerated on a laptop.
+"""
+
+from repro.gridsim.clock import SimClock, Simulator
+from repro.gridsim.condor import CondorPool, CondorJobAd
+from repro.gridsim.events import Event, EventHandle, EventQueue
+from repro.gridsim.execution import ExecutionService
+from repro.gridsim.grid import Grid, GridBuilder
+from repro.gridsim.job import (
+    ConcreteJobPlan,
+    Job,
+    JobState,
+    Task,
+    TaskBinding,
+    TaskSpec,
+)
+from repro.gridsim.network import IperfProbe, Link, Network
+from repro.gridsim.node import LoadProfile, Node
+from repro.gridsim.rng import RngStreams
+from repro.gridsim.scheduler import SchedulingError, SphinxScheduler
+from repro.gridsim.site import Site
+from repro.gridsim.storage import GridFile, ReplicaCatalog, StorageElement
+
+__all__ = [
+    "CondorJobAd",
+    "CondorPool",
+    "ConcreteJobPlan",
+    "Event",
+    "EventHandle",
+    "EventQueue",
+    "ExecutionService",
+    "Grid",
+    "GridBuilder",
+    "GridFile",
+    "IperfProbe",
+    "Job",
+    "JobState",
+    "Link",
+    "LoadProfile",
+    "Network",
+    "Node",
+    "ReplicaCatalog",
+    "RngStreams",
+    "SchedulingError",
+    "SimClock",
+    "Simulator",
+    "Site",
+    "SphinxScheduler",
+    "StorageElement",
+    "Task",
+    "TaskBinding",
+    "TaskSpec",
+]

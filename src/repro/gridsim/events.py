@@ -1,0 +1,157 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel is intentionally small and classical: a binary heap of timestamped
+events, each carrying a zero-argument callback.  Determinism is guaranteed by
+a monotonically increasing sequence number that breaks ties between events
+scheduled for the same instant, so two runs with the same seeds execute the
+same event interleaving bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation kernel is used incorrectly."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single scheduled occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulated time (seconds) at which the event fires.
+    seq:
+        Tie-breaking sequence number; lower fires first at equal times.
+    action:
+        Zero-argument callable executed when the event fires.
+    label:
+        Human-readable tag used in traces and error messages.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None]
+    label: str = ""
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled :class:`Event`.
+
+    Cancellation is *lazy*: the underlying heap entry stays in place and is
+    skipped when popped.  This keeps scheduling O(log n) with no heap
+    surgery, which matters for the steering service's frequently re-armed
+    poll timers.
+    """
+
+    __slots__ = ("event", "_cancelled")
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+        self._cancelled = False
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the referenced event fires."""
+        return self.event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent the referenced event from firing.
+
+        Idempotent; cancelling an already-fired event has no effect on the
+        past but marks the handle cancelled.
+        """
+        self._cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self._cancelled else "armed"
+        return f"EventHandle(t={self.event.time:.6g}, {self.event.label!r}, {state})"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects.
+
+    Events pop in ``(time, seq)`` order.  The queue never reorders equal
+    keys: insertion order *is* execution order at a given instant.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._handles: dict[int, EventHandle] = {}
+        self._counter: Iterator[int] = itertools.count()
+
+    def __len__(self) -> int:
+        # Cancelled events still occupy heap slots; report live events only.
+        return sum(1 for ev in self._heap if not self._handles[ev.seq].cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek() is not None
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> EventHandle:
+        """Schedule *action* at absolute simulated *time*.
+
+        Returns an :class:`EventHandle` that can cancel the event before it
+        fires.
+        """
+        if time != time:  # NaN guard
+            raise SimulationError("event time must not be NaN")
+        event = Event(time=float(time), seq=next(self._counter), action=action, label=label)
+        handle = EventHandle(event)
+        heapq.heappush(self._heap, event)
+        self._handles[event.seq] = handle
+        return handle
+
+    def peek(self) -> Optional[Event]:
+        """Return the next live event without removing it, or ``None``."""
+        while self._heap:
+            head = self._heap[0]
+            if self._handles[head.seq].cancelled:
+                heapq.heappop(self._heap)
+                del self._handles[head.seq]
+                continue
+            return head
+        return None
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue holds no live events.
+        """
+        head = self.peek()
+        if head is None:
+            raise SimulationError("pop from an empty event queue")
+        heapq.heappop(self._heap)
+        del self._handles[head.seq]
+        return head
+
+    def clear(self) -> None:
+        """Drop every pending event (live and cancelled)."""
+        self._heap.clear()
+        self._handles.clear()
+
+
+@dataclass
+class TraceEntry:
+    """One executed event, as recorded by :class:`repro.gridsim.clock.Simulator`."""
+
+    time: float
+    seq: int
+    label: str = ""
+    extras: dict = field(default_factory=dict)

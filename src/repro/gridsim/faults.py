@@ -1,0 +1,124 @@
+"""Stochastic fault injection for robustness experiments.
+
+§1 motivates steering with "the volatile nature of a Grid environment";
+Backup & Recovery (§4.2.4) exists because execution services *do* die.
+:class:`FaultInjector` drives that volatility deterministically: seeded
+exponential failure/repair processes per site, taking execution services
+down (crashing their pools) and bringing them back, all under the
+simulation clock.  Robustness tests assert that the GAE still completes
+every job while sites churn underneath it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.gridsim.clock import Simulator
+from repro.gridsim.execution import ExecutionService
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected failure or repair."""
+
+    time: float
+    site: str
+    kind: str  # "failure" | "repair"
+
+
+@dataclass
+class FaultPlan:
+    """Per-site fault process parameters."""
+
+    mtbf_s: float          # mean time between failures (exponential)
+    mttr_s: float          # mean time to repair (exponential)
+
+    def __post_init__(self) -> None:
+        if self.mtbf_s <= 0 or self.mttr_s <= 0:
+            raise ValueError("MTBF and MTTR must be positive")
+
+
+class FaultInjector:
+    """Schedules site failures and repairs on the simulation clock."""
+
+    def __init__(self, sim: Simulator, rng: Optional[np.random.Generator] = None) -> None:
+        self.sim = sim
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._plans: Dict[str, FaultPlan] = {}
+        self._services: Dict[str, ExecutionService] = {}
+        self.events: List[FaultEvent] = []
+        self._armed = False
+
+    def add_site(
+        self, service: ExecutionService, mtbf_s: float, mttr_s: float
+    ) -> None:
+        """Subject a site's execution service to the fault process."""
+        name = service.site.name
+        if name in self._plans:
+            raise ValueError(f"site {name!r} already under fault injection")
+        self._plans[name] = FaultPlan(mtbf_s=mtbf_s, mttr_s=mttr_s)
+        self._services[name] = service
+
+    def start(self) -> "FaultInjector":
+        """Arm the first failure for every registered site."""
+        if self._armed:
+            raise RuntimeError("fault injector already started")
+        self._armed = True
+        for name in sorted(self._plans):
+            self._arm_failure(name)
+        return self
+
+    # ------------------------------------------------------------------
+    def _arm_failure(self, site: str) -> None:
+        delay = float(self.rng.exponential(self._plans[site].mtbf_s))
+        self.sim.schedule(delay, lambda: self._fail(site), label=f"fault:{site}")
+
+    def _arm_repair(self, site: str) -> None:
+        delay = float(self.rng.exponential(self._plans[site].mttr_s))
+        self.sim.schedule(delay, lambda: self._repair(site), label=f"repair:{site}")
+
+    def _fail(self, site: str) -> None:
+        service = self._services[site]
+        try:
+            service.ping()
+        except Exception:
+            # Already down (e.g. failed by the test directly); try later.
+            self._arm_failure(site)
+            return
+        service.fail()
+        self.events.append(FaultEvent(time=self.sim.now, site=site, kind="failure"))
+        self._arm_repair(site)
+
+    def _repair(self, site: str) -> None:
+        self._services[site].recover()
+        self.events.append(FaultEvent(time=self.sim.now, site=site, kind="repair"))
+        self._arm_failure(site)
+
+    # ------------------------------------------------------------------
+    def failures(self, site: Optional[str] = None) -> List[FaultEvent]:
+        """Injected failure events, optionally for one site."""
+        return [
+            e for e in self.events
+            if e.kind == "failure" and (site is None or e.site == site)
+        ]
+
+    def availability(self, site: str, horizon: float) -> float:
+        """Fraction of [0, horizon] the site was up, from the event log."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        down = 0.0
+        down_since: Optional[float] = None
+        for e in self.events:
+            if e.site != site:
+                continue
+            if e.kind == "failure" and down_since is None:
+                down_since = e.time
+            elif e.kind == "repair" and down_since is not None:
+                down += min(e.time, horizon) - down_since
+                down_since = None
+        if down_since is not None:
+            down += max(0.0, horizon - down_since)
+        return 1.0 - down / horizon

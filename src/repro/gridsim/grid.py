@@ -1,0 +1,224 @@
+"""A facade wiring a whole simulated grid testbed together.
+
+:class:`GridBuilder` gives examples and tests a concise way to declare a
+testbed — sites, nodes, load profiles, links, replicas, flocking — and
+:class:`Grid` exposes the assembled pieces:
+
+>>> from repro.gridsim import GridBuilder
+>>> grid = (
+...     GridBuilder(seed=7)
+...     .site("caltech", nodes=4, background_load=0.2)
+...     .site("cern", nodes=8, background_load=1.5)
+...     .link("caltech", "cern", capacity_mbps=622.0, latency_s=0.08)
+...     .file("hits.db", size_mb=500.0, at="cern")
+...     .build()
+... )
+>>> sorted(grid.sites)
+['caltech', 'cern']
+
+The higher-level GAE wiring (Clarens host + the three paper services) lives
+in :mod:`repro.gae`; this module is pure substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.gridsim.clock import Simulator
+from repro.gridsim.execution import ExecutionService
+from repro.gridsim.network import IperfProbe, Link, Network
+from repro.gridsim.node import LoadProfile, Node
+from repro.gridsim.rng import RngStreams
+from repro.gridsim.scheduler import SphinxScheduler
+from repro.gridsim.site import ChargeRates, Site
+from repro.gridsim.storage import GridFile, ReplicaCatalog
+
+
+@dataclass
+class Grid:
+    """An assembled simulated grid."""
+
+    sim: Simulator
+    rngs: RngStreams
+    network: Network
+    catalog: ReplicaCatalog
+    sites: Dict[str, Site]
+    execution_services: Dict[str, ExecutionService]
+    scheduler: SphinxScheduler
+    probe: IperfProbe
+
+    def site(self, name: str) -> Site:
+        """Look up a site by name."""
+        return self.sites[name]
+
+    def execution_service(self, site_name: str) -> ExecutionService:
+        """Look up a site's execution service."""
+        return self.execution_services[site_name]
+
+    def run_until(self, t: float) -> int:
+        """Advance the simulation to time *t* (delegates to the simulator)."""
+        return self.sim.run_until(t)
+
+    def run(self) -> int:
+        """Run the simulation until the event queue drains."""
+        return self.sim.run()
+
+
+@dataclass
+class _SiteDecl:
+    name: str
+    nodes: int
+    cpus_per_node: int
+    background_load: float
+    load_profile: Optional[LoadProfile]
+    charge_rates: ChargeRates
+
+
+class GridBuilder:
+    """Fluent builder for :class:`Grid` testbeds."""
+
+    def __init__(self, seed: int = 2005, start_time: float = 0.0, trace: bool = False) -> None:
+        self._seed = seed
+        self._start = start_time
+        self._trace = trace
+        self._sites: List[_SiteDecl] = []
+        self._links: List[Link] = []
+        self._files: List[Tuple[GridFile, str]] = []
+        self._flocking: List[Tuple[str, str]] = []
+        self._probe_noise = 0.05
+        self._output_file_size_mb = 1.0
+
+    def site(
+        self,
+        name: str,
+        nodes: int = 1,
+        cpus_per_node: int = 1,
+        background_load: float = 0.0,
+        load_profile: Optional[LoadProfile] = None,
+        cpu_hour_rate: float = 1.0,
+        idle_hour_rate: float = 0.1,
+    ) -> "GridBuilder":
+        """Declare a site.
+
+        ``load_profile`` (if given) overrides the constant
+        ``background_load`` and applies to every node at the site.
+        """
+        if any(d.name == name for d in self._sites):
+            raise ValueError(f"site {name!r} declared twice")
+        self._sites.append(
+            _SiteDecl(
+                name=name,
+                nodes=nodes,
+                cpus_per_node=cpus_per_node,
+                background_load=background_load,
+                load_profile=load_profile,
+                charge_rates=ChargeRates(cpu_hour=cpu_hour_rate, idle_hour=idle_hour_rate),
+            )
+        )
+        return self
+
+    def link(
+        self, a: str, b: str, capacity_mbps: float, latency_s: float = 0.01, utilization: float = 0.0
+    ) -> "GridBuilder":
+        """Declare a network link between two sites."""
+        self._links.append(
+            Link(a=a, b=b, capacity_mbps=capacity_mbps, latency_s=latency_s, utilization=utilization)
+        )
+        return self
+
+    def file(self, name: str, size_mb: float, at: str) -> "GridBuilder":
+        """Publish a replica of a logical file at a site."""
+        self._files.append((GridFile(name=name, size_mb=size_mb), at))
+        return self
+
+    def flock(self, src: str, dst: str) -> "GridBuilder":
+        """Allow idle jobs at *src* to flock to *dst*."""
+        self._flocking.append((src, dst))
+        return self
+
+    def probe_noise(self, sigma: float) -> "GridBuilder":
+        """Set the iperf probe's lognormal noise sigma (0 = perfect probe)."""
+        self._probe_noise = sigma
+        return self
+
+    def output_file_size(self, size_mb: float) -> "GridBuilder":
+        """Size assumed for task output files published as replicas."""
+        if size_mb < 0:
+            raise ValueError("output file size must be non-negative")
+        self._output_file_size_mb = size_mb
+        return self
+
+    def build(self) -> Grid:
+        """Assemble the grid."""
+        if not self._sites:
+            raise ValueError("a grid needs at least one site")
+        sim = Simulator(start=self._start, trace=self._trace)
+        rngs = RngStreams(seed=self._seed)
+        network = Network()
+        for decl in self._sites:
+            network.add_site(decl.name)
+        for link in self._links:
+            network.add_link(link)
+        catalog = ReplicaCatalog(network=network)
+
+        sites: Dict[str, Site] = {}
+        services: Dict[str, ExecutionService] = {}
+        for decl in self._sites:
+            profile = (
+                decl.load_profile
+                if decl.load_profile is not None
+                else LoadProfile.constant(decl.background_load)
+            )
+            nodes = [
+                Node(
+                    name=f"{decl.name}-node{i:02d}",
+                    cpu_count=decl.cpus_per_node,
+                    load_profile=profile,
+                )
+                for i in range(decl.nodes)
+            ]
+            site = Site(sim, decl.name, nodes, charge_rates=decl.charge_rates)
+            sites[decl.name] = site
+            services[decl.name] = ExecutionService(site)
+            catalog.register(site.storage)
+
+        for file, at in self._files:
+            catalog.publish(at, file)
+        for src, dst in self._flocking:
+            sites[src].pool.enable_flocking(sites[dst].pool)
+
+        # A completed task's declared output files become replicas at the
+        # site that ran it, so downstream DAG tasks can be ranked (and
+        # charged) for staging them in.
+        def publish_outputs(site_name: str):
+            def on_complete(ad) -> None:
+                for name in ad.task.spec.output_files:
+                    try:
+                        catalog.publish(
+                            site_name,
+                            GridFile(name=name, size_mb=self._output_file_size_mb),
+                        )
+                    except Exception:
+                        pass  # storage full: outputs simply aren't replicated
+
+            return on_complete
+
+        for name, site in sites.items():
+            site.pool.on_complete.append(publish_outputs(name))
+
+        probe = IperfProbe(network, rng=rngs.stream("iperf"), noise_sigma=self._probe_noise)
+        scheduler = SphinxScheduler(sim, replica_catalog=catalog)
+        for name in sorted(services):
+            scheduler.register_site(services[name])
+
+        return Grid(
+            sim=sim,
+            rngs=rngs,
+            network=network,
+            catalog=catalog,
+            sites=sites,
+            execution_services=services,
+            scheduler=scheduler,
+            probe=probe,
+        )

@@ -1,0 +1,425 @@
+"""A Sphinx-like scheduling middleware.
+
+Sphinx (the GAE scheduler the paper integrates with) is substituted by
+:class:`SphinxScheduler`, which implements the §6.1 scheduling protocol
+verbatim:
+
+a. contact the available execution sites and pass the task's attributes to
+   each site's execution service,
+b. each execution service estimates the task's run time with its site-local
+   estimator,
+c. the estimate is returned to the scheduler,
+d. the scheduler contacts the (MonALISA-style) load oracle for the load at
+   each site,
+e. the scheduler selects the site with the least estimated run time and the
+   minimum queue time.
+
+On submission the scheduler emits a *concrete job plan* (task → site
+bindings) to its plan listeners — the steering service's Subscriber is the
+canonical listener (§4.2.1).  It also services redirect requests ("Requests
+for job redirection are sent to the scheduler", §4.2.2) and resubmission
+after execution-service failure ("the Backup and Recovery module contacts
+Sphinx to allocate a new execution service. The scheduler will then resubmit
+the job", §4.2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.gridsim.clock import Simulator
+from repro.gridsim.condor import CondorJobAd
+from repro.gridsim.execution import ExecutionService, ExecutionServiceDown
+from repro.gridsim.job import ConcreteJobPlan, Job, JobState, Task, TaskBinding
+from repro.gridsim.storage import ReplicaCatalog
+
+
+class SchedulingError(RuntimeError):
+    """Raised when no site can run a task, or for unknown jobs/tasks."""
+
+
+@dataclass
+class SiteRank:
+    """One site's score for a task, with the ingredients that produced it."""
+
+    site_name: str
+    score: float
+    estimated_runtime: float
+    load: float
+    stage_in_time: float = 0.0
+
+
+def default_ranking(estimated_runtime: float, load: float, stage_in_time: float) -> float:
+    """The default site score: smaller is better.
+
+    Expected completion ≈ runtime stretched by current load, plus the time
+    to stage input data in.  This is the paper's "least estimated run time
+    and … queue time … a minimum" folded into one comparable number (load is
+    the queue-time proxy MonALISA provides in step d).
+    """
+    return estimated_runtime * (1.0 + load) + stage_in_time
+
+
+@dataclass
+class _JobEntry:
+    job: Job
+    plan: ConcreteJobPlan
+    completed: Set[str] = field(default_factory=set)
+    submitted: Set[str] = field(default_factory=set)
+
+
+class SphinxScheduler:
+    """Schedules jobs over a set of execution services.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator.
+    load_oracle:
+        Callable ``site_name -> float`` returning current load (step d of
+        §6.1).  Defaults to asking the execution service directly; the GAE
+        wiring replaces it with the MonALISA repository.
+    replica_catalog:
+        Optional catalog used to charge input-staging time in site ranking.
+    ranking:
+        Score function ``(runtime, load, stage_in) -> float``; lower wins.
+    fallback_runtime:
+        Estimate assumed for a site whose estimator is missing (the paper
+        notes estimator availability per site is optional).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        load_oracle: Optional[Callable[[str], float]] = None,
+        replica_catalog: Optional[ReplicaCatalog] = None,
+        ranking: Callable[[float, float, float], float] = default_ranking,
+        fallback_runtime: float = 3600.0,
+        simulate_stage_in: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.load_oracle = load_oracle
+        self.replica_catalog = replica_catalog
+        self.ranking = ranking
+        self.fallback_runtime = fallback_runtime
+        #: When true (and a replica catalog is wired), a task with remote
+        #: input files spends the ground-truth transfer time *staging in*
+        #: before it reaches the site queue — the §7 "time taken to
+        #: transfer the data files needed by the job" made real.
+        self.simulate_stage_in = simulate_stage_in
+        #: task_id -> (site, stage-in finish time) for in-flight transfers.
+        self.staging: Dict[str, Tuple[str, float]] = {}
+        #: Commitment tracking: task_id -> site it is currently counted
+        #: against.  The load oracle (MonALISA) is only as fresh as its
+        #: publish period, and zero-age when a whole job is planned in one
+        #: instant — without this term every tied task lands on the same
+        #: site.  Sphinx balanced; so do we.
+        self.commitment_aware = True
+        self._commitments: Dict[str, str] = {}
+        self._services: Dict[str, ExecutionService] = {}
+        self._jobs: Dict[str, _JobEntry] = {}
+        self._task_index: Dict[str, str] = {}  # task_id -> job_id
+        self.plan_listeners: List[Callable[[ConcreteJobPlan, Job], None]] = []
+        self.completion_listeners: List[Callable[[Task, str], None]] = []
+        # Called as (task, site_name) right after every pool submission —
+        # the estimator service uses this to record its at-submission
+        # runtime estimate (§6.2 step c).
+        self.submission_listeners: List[Callable[[Task, str], None]] = []
+
+    # ------------------------------------------------------------------
+    # site registry
+    # ------------------------------------------------------------------
+    def register_site(self, service: ExecutionService) -> None:
+        """Make an execution site available for scheduling."""
+        name = service.site.name
+        if name in self._services:
+            raise SchedulingError(f"site {name!r} already registered")
+        self._services[name] = service
+        service.pool.on_complete.append(self._on_task_complete)
+
+        def on_state_change(ad) -> None:
+            if ad.state.is_terminal:
+                self._commitments.pop(ad.task_id, None)
+
+        service.pool.on_state_change.append(on_state_change)
+
+    def sites(self) -> List[str]:
+        """Registered site names."""
+        return sorted(self._services)
+
+    def service(self, site_name: str) -> ExecutionService:
+        """The execution service at a site (SchedulingError if unknown)."""
+        try:
+            return self._services[site_name]
+        except KeyError:
+            raise SchedulingError(f"unknown site {site_name!r}") from None
+
+    # ------------------------------------------------------------------
+    # site selection (§6.1 a–e)
+    # ------------------------------------------------------------------
+    def rank_sites(
+        self, task: Task, exclude: Iterable[str] = ()
+    ) -> List[SiteRank]:
+        """Score every reachable site for *task*; best (lowest) first."""
+        excluded = set(exclude)
+        ranks: List[SiteRank] = []
+        for name in sorted(self._services):
+            if name in excluded:
+                continue
+            service = self._services[name]
+            try:
+                service.ping()
+            except ExecutionServiceDown:
+                continue
+            # A gang task can never start on a site with fewer total slots
+            # than it needs (unless the pool can flock it away).
+            if (
+                task.spec.nodes > service.pool.total_slots
+                and not service.pool.flock_targets
+            ):
+                continue
+            if service.has_estimator:
+                try:
+                    runtime = service.estimate_runtime(task.spec)
+                except (RuntimeError, ValueError):
+                    runtime = self.fallback_runtime
+            else:
+                runtime = self.fallback_runtime
+            if self.load_oracle is not None:
+                load = float(self.load_oracle(name))
+            else:
+                load = service.current_load()
+            if self.commitment_aware:
+                committed = sum(1 for s in self._commitments.values() if s == name)
+                load += committed / max(1, service.pool.total_slots)
+            stage_in = 0.0
+            if self.replica_catalog is not None and task.spec.input_files:
+                # Inputs of downstream DAG tasks may not exist yet; they
+                # contribute no ranking signal until produced.
+                stage_in = self.replica_catalog.stage_in_time(
+                    list(task.spec.input_files), name, missing="skip"
+                )
+            ranks.append(
+                SiteRank(
+                    site_name=name,
+                    score=self.ranking(runtime, load, stage_in),
+                    estimated_runtime=runtime,
+                    load=load,
+                    stage_in_time=stage_in,
+                )
+            )
+        ranks.sort(key=lambda r: (r.score, r.site_name))
+        return ranks
+
+    def select_site(self, task: Task, exclude: Iterable[str] = ()) -> str:
+        """Best site for *task* (SchedulingError when none are available)."""
+        ranks = self.rank_sites(task, exclude=exclude)
+        if not ranks:
+            raise SchedulingError(
+                f"no execution site available for task {task.task_id}"
+            )
+        return ranks[0].site_name
+
+    # ------------------------------------------------------------------
+    # job submission
+    # ------------------------------------------------------------------
+    def submit_job(self, job: Job) -> ConcreteJobPlan:
+        """Plan and launch a job.
+
+        Produces a concrete job plan binding every task to its chosen site,
+        notifies plan listeners (the steering Subscriber), and submits every
+        dependency-free task immediately.
+        """
+        if job.job_id in self._jobs:
+            raise SchedulingError(f"job {job.job_id} already submitted")
+        binding_list = []
+        for t in job.topological_order():
+            site = self.select_site(t)
+            binding_list.append(TaskBinding(task_id=t.task_id, site_name=site))
+            # Count the binding immediately so the next task in this same
+            # plan sees the site as busier (intra-plan load balancing).
+            self._commitments[t.task_id] = site
+        bindings = tuple(binding_list)
+        plan = ConcreteJobPlan(job_id=job.job_id, bindings=bindings, created_at=self.sim.now)
+        entry = _JobEntry(job=job, plan=plan)
+        self._jobs[job.job_id] = entry
+        for t in job.tasks:
+            self._task_index[t.task_id] = job.job_id
+        self._emit_plan(entry)
+        self._submit_ready(entry)
+        return plan
+
+    def _emit_plan(self, entry: _JobEntry) -> None:
+        for listener in list(self.plan_listeners):
+            listener(entry.plan, entry.job)
+
+    def _submit_ready(self, entry: _JobEntry) -> None:
+        for task in entry.job.ready_tasks(entry.completed):
+            if task.task_id in entry.submitted:
+                continue
+            site_name = entry.plan.site_for(task.task_id)
+            self._submit_to(entry, task, site_name)
+
+    def _submit_to(self, entry: _JobEntry, task: Task, site_name: str, initial_work: float = 0.0) -> None:
+        delay = self._stage_in_delay(task, site_name)
+        entry.submitted.add(task.task_id)
+        self._commitments[task.task_id] = site_name
+        if delay <= 0.0:
+            self._deliver(task, site_name, initial_work)
+            return
+        # The input data is in flight; the task reaches the queue when the
+        # last file lands.
+        self.staging[task.task_id] = (site_name, self.sim.now + delay)
+
+        def deliver() -> None:
+            self.staging.pop(task.task_id, None)
+            # The task may have been killed (or re-routed) while its data
+            # was in flight; a terminal task must not rise from the dead.
+            if task.state.is_terminal:
+                return
+            self._deliver(task, site_name, initial_work)
+
+        self.sim.schedule(delay, deliver, label=f"stage-in:{task.task_id}->{site_name}")
+
+    def _deliver(self, task: Task, site_name: str, initial_work: float) -> None:
+        service = self.service(site_name)
+        service.submit_task(task, initial_work=initial_work)
+        for listener in list(self.submission_listeners):
+            listener(task, site_name)
+
+    def _stage_in_delay(self, task: Task, site_name: str) -> float:
+        if (
+            not self.simulate_stage_in
+            or self.replica_catalog is None
+            or not task.spec.input_files
+        ):
+            return 0.0
+        return self.replica_catalog.stage_in_time(
+            list(task.spec.input_files), site_name, missing="skip"
+        )
+
+    def _on_task_complete(self, ad: CondorJobAd) -> None:
+        job_id = self._task_index.get(ad.task_id)
+        if job_id is None:
+            return  # a task submitted around the scheduler
+        entry = self._jobs[job_id]
+        entry.completed.add(ad.task_id)
+        for listener in list(self.completion_listeners):
+            listener(ad.task, entry.plan.site_for(ad.task_id))
+        self._submit_ready(entry)
+
+    # ------------------------------------------------------------------
+    # redirection and resubmission
+    # ------------------------------------------------------------------
+    def redirect_task(
+        self,
+        task_id: str,
+        new_site: Optional[str] = None,
+        carry_work: float = 0.0,
+        image_size_mb: float = 0.0,
+    ) -> str:
+        """Move a (vacated) task to a new site; returns the site chosen.
+
+        The caller — the steering service — must already have vacated the
+        task at its old site.  ``carry_work`` is the checkpointed progress
+        to seed at the new site (0 for non-checkpointable tasks);
+        ``image_size_mb`` is the checkpoint image that must travel from the
+        old site first, charged as real simulated transfer time (§7: "the
+        time taken to transfer the data files needed by the job").
+        """
+        entry = self._entry_for_task(task_id)
+        task = entry.job.task(task_id)
+        old_site = entry.plan.site_for(task_id)
+        if new_site is None:
+            new_site = self.select_site(task, exclude={old_site})
+        elif new_site not in self._services:
+            raise SchedulingError(f"unknown target site {new_site!r}")
+        entry.plan = entry.plan.rebind(task_id, new_site)
+        task.state = JobState.PENDING
+        image_delay = self._image_transfer_delay(old_site, new_site, image_size_mb)
+        if image_delay > 0.0:
+            self.staging[task.task_id] = (new_site, self.sim.now + image_delay)
+
+            def deliver() -> None:
+                self.staging.pop(task.task_id, None)
+                if task.state.is_terminal:
+                    return  # killed while the checkpoint image was in flight
+                entry.submitted.add(task.task_id)
+                self._deliver(task, new_site, carry_work)
+
+            self.sim.schedule(
+                image_delay, deliver, label=f"ckpt-image:{task.task_id}->{new_site}"
+            )
+        else:
+            self._submit_to(entry, task, new_site, initial_work=carry_work)
+        self._emit_plan(entry)
+        return new_site
+
+    def _image_transfer_delay(
+        self, src: str, dst: str, image_size_mb: float
+    ) -> float:
+        if (
+            image_size_mb <= 0.0
+            or not self.simulate_stage_in
+            or self.replica_catalog is None
+            or self.replica_catalog.network is None
+            or src == dst
+        ):
+            return 0.0
+        try:
+            return self.replica_catalog.network.transfer_time(src, dst, image_size_mb)
+        except Exception:
+            return 0.0  # unreachable route: the image travels out of band
+
+    def resubmit_task(self, task_id: str, exclude: Iterable[str] = ()) -> str:
+        """Re-run a failed task on a fresh site; returns the site chosen.
+
+        Used by Backup & Recovery after an execution-service failure.  The
+        failed site is excluded automatically.
+        """
+        entry = self._entry_for_task(task_id)
+        task = entry.job.task(task_id)
+        old_site = entry.plan.site_for(task_id)
+        excluded = set(exclude) | {old_site}
+        try:
+            new_site = self.select_site(task, exclude=excluded)
+        except SchedulingError:
+            # Fall back to any live site, even the failed one if it recovered.
+            new_site = self.select_site(task)
+        entry.plan = entry.plan.rebind(task_id, new_site)
+        task.state = JobState.PENDING
+        self._submit_to(entry, task, new_site, initial_work=0.0)
+        self._emit_plan(entry)
+        return new_site
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def _entry_for_task(self, task_id: str) -> _JobEntry:
+        job_id = self._task_index.get(task_id)
+        if job_id is None:
+            raise SchedulingError(f"unknown task {task_id!r}")
+        return self._jobs[job_id]
+
+    def job(self, job_id: str) -> Job:
+        """The job object for an id (SchedulingError if unknown)."""
+        try:
+            return self._jobs[job_id].job
+        except KeyError:
+            raise SchedulingError(f"unknown job {job_id!r}") from None
+
+    def plan(self, job_id: str) -> ConcreteJobPlan:
+        """The *current* concrete plan (reflects redirects/resubmits)."""
+        try:
+            return self._jobs[job_id].plan
+        except KeyError:
+            raise SchedulingError(f"unknown job {job_id!r}") from None
+
+    def site_of_task(self, task_id: str) -> str:
+        """The site a task is currently bound to."""
+        return self._entry_for_task(task_id).plan.site_for(task_id)
+
+    def jobs(self) -> List[Job]:
+        """All submitted jobs."""
+        return [e.job for e in self._jobs.values()]

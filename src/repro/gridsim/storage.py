@@ -1,0 +1,178 @@
+"""Storage elements and the replica catalog.
+
+The paper's data-grid side (§2: tera/petabytes "stored and replicated to
+several geographically distributed sites"; §7: "the time taken to transfer
+the data files needed by the job" matters for move decisions) is modelled
+by:
+
+- :class:`GridFile` — a logical file with a size;
+- :class:`StorageElement` — a per-site store holding physical copies;
+- :class:`ReplicaCatalog` — maps logical file names to the sites holding a
+  replica, and answers "closest replica" queries using the network model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.gridsim.network import Network, NetworkError
+
+
+class StorageError(RuntimeError):
+    """Raised for missing files or exhausted capacity."""
+
+
+@dataclass(frozen=True)
+class GridFile:
+    """A logical grid file."""
+
+    name: str
+    size_mb: float
+
+    def __post_init__(self) -> None:
+        if self.size_mb < 0:
+            raise ValueError(f"size must be non-negative, got {self.size_mb}")
+
+
+class StorageElement:
+    """A site-local file store with finite capacity."""
+
+    def __init__(self, site_name: str, capacity_mb: float = float("inf")) -> None:
+        if capacity_mb <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_mb}")
+        self.site_name = site_name
+        self.capacity_mb = capacity_mb
+        self._files: Dict[str, GridFile] = {}
+
+    @property
+    def used_mb(self) -> float:
+        """Total size of stored files."""
+        return sum(f.size_mb for f in self._files.values())
+
+    @property
+    def free_mb(self) -> float:
+        """Remaining capacity."""
+        return self.capacity_mb - self.used_mb
+
+    def store(self, file: GridFile) -> None:
+        """Add (or overwrite) a file; raises StorageError when full."""
+        existing = self._files.get(file.name)
+        needed = file.size_mb - (existing.size_mb if existing else 0.0)
+        if needed > self.free_mb:
+            raise StorageError(
+                f"storage at {self.site_name} full: need {needed:.1f} MB, "
+                f"have {self.free_mb:.1f} MB"
+            )
+        self._files[file.name] = file
+
+    def has(self, name: str) -> bool:
+        """Whether a file with *name* is stored here."""
+        return name in self._files
+
+    def get(self, name: str) -> GridFile:
+        """Fetch file metadata (StorageError if absent)."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise StorageError(f"file {name!r} not at site {self.site_name}") from None
+
+    def delete(self, name: str) -> None:
+        """Remove a file (StorageError if absent)."""
+        if name not in self._files:
+            raise StorageError(f"file {name!r} not at site {self.site_name}")
+        del self._files[name]
+
+    def files(self) -> List[GridFile]:
+        """All stored files, sorted by name."""
+        return [self._files[k] for k in sorted(self._files)]
+
+
+class ReplicaCatalog:
+    """Grid-wide map of logical file name → replica sites."""
+
+    def __init__(self, network: Optional[Network] = None) -> None:
+        self.network = network
+        self._elements: Dict[str, StorageElement] = {}
+
+    def register(self, element: StorageElement) -> None:
+        """Attach a site's storage element to the catalog."""
+        self._elements[element.site_name] = element
+
+    def element(self, site_name: str) -> StorageElement:
+        """The storage element at a site (StorageError if unregistered)."""
+        try:
+            return self._elements[site_name]
+        except KeyError:
+            raise StorageError(f"no storage element registered at {site_name!r}") from None
+
+    def publish(self, site_name: str, file: GridFile) -> None:
+        """Store a file at a site and record the replica."""
+        self.element(site_name).store(file)
+
+    def replicas(self, name: str) -> Set[str]:
+        """Sites currently holding a replica of logical file *name*."""
+        return {s for s, el in self._elements.items() if el.has(name)}
+
+    def lookup(self, name: str) -> GridFile:
+        """Metadata for a logical file (StorageError if no replica exists)."""
+        for el in self._elements.values():
+            if el.has(name):
+                return el.get(name)
+        raise StorageError(f"no replica of {name!r} anywhere")
+
+    def closest_replica(self, name: str, to_site: str) -> str:
+        """Replica site with the cheapest transfer to *to_site*.
+
+        Requires a network model; a replica already at *to_site* wins with
+        zero cost.
+        """
+        sites = self.replicas(name)
+        if not sites:
+            raise StorageError(f"no replica of {name!r} anywhere")
+        if to_site in sites:
+            return to_site
+        if self.network is None:
+            # Deterministic fallback without a network: lexicographic.
+            return sorted(sites)[0]
+        size = self.lookup(name).size_mb
+        best_site, best_cost = None, float("inf")
+        for s in sorted(sites):
+            try:
+                cost = self.network.transfer_time(s, to_site, size)
+            except NetworkError:
+                continue
+            if cost < best_cost:
+                best_site, best_cost = s, cost
+        if best_site is None:
+            raise StorageError(f"no reachable replica of {name!r} from {to_site!r}")
+        return best_site
+
+    def stage_in_time(
+        self, file_names: List[str], to_site: str, missing: str = "error"
+    ) -> float:
+        """Total ground-truth time to pull every named file to *to_site*.
+
+        Files already local cost nothing.  Transfers are assumed sequential
+        (the common single-GridFTP-stream case in 2005).
+
+        ``missing="skip"`` ignores files with no replica anywhere — the
+        scheduler uses this when ranking sites for a DAG task whose inputs
+        are intermediate files an upstream task has not produced yet.
+        """
+        if missing not in ("error", "skip"):
+            raise ValueError(f"missing must be 'error' or 'skip', got {missing!r}")
+        if self.network is None:
+            return 0.0
+        total = 0.0
+        for name in file_names:
+            try:
+                src = self.closest_replica(name, to_site)
+            except StorageError:
+                if missing == "skip":
+                    continue
+                raise
+            if src == to_site:
+                continue
+            total += self.network.transfer_time(src, to_site, self.lookup(name).size_mb)
+        return total

@@ -1,0 +1,82 @@
+"""Periodic publishers feeding the monitoring repository.
+
+:class:`SiteLoadPublisher` samples every site's pool load on a fixed period
+under the simulator clock — the stand-in for MonALISA's farm agents.
+:class:`JobStatePublisher` adapts Condor pool state-change callbacks into
+repository job-state events (used directly in tests; in the full GAE wiring
+the Job Monitoring Service's DBManager plays this role, as in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.gridsim.clock import PeriodicHandle, Simulator
+from repro.gridsim.condor import CondorJobAd
+from repro.gridsim.site import Site
+from repro.monalisa.repository import JobStateEvent, MonALISARepository
+
+
+class SiteLoadPublisher:
+    """Publishes each site's load metric every *period_s* seconds."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        repository: MonALISARepository,
+        sites: Iterable[Site],
+        period_s: float = 30.0,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.repository = repository
+        self.sites = list(sites)
+        self.period_s = period_s
+        self._handle: Optional[PeriodicHandle] = None
+
+    def publish_now(self) -> None:
+        """Take one sample of every site immediately."""
+        for site in self.sites:
+            self.repository.publish(site.name, "load", self.sim.now, site.current_load())
+
+    def start(self) -> "SiteLoadPublisher":
+        """Begin periodic publication (first sample at t=now)."""
+        if self._handle is not None:
+            raise RuntimeError("publisher already started")
+        self.publish_now()
+        self._handle = self.sim.every(
+            self.period_s, self.publish_now, label="monalisa.site_load"
+        )
+        return self
+
+    def stop(self) -> None:
+        """Cancel the periodic publication."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+
+class JobStatePublisher:
+    """Bridges Condor pool state changes into repository job events."""
+
+    def __init__(self, sim: Simulator, repository: MonALISARepository) -> None:
+        self.sim = sim
+        self.repository = repository
+
+    def attach(self, site: Site) -> None:
+        """Subscribe to a site pool's state-change callbacks."""
+
+        def on_change(ad: CondorJobAd) -> None:
+            self.repository.publish_job_state(
+                JobStateEvent(
+                    time=self.sim.now,
+                    task_id=ad.task_id,
+                    job_id=ad.task.job_id or "",
+                    site=site.name,
+                    state=ad.state.value,
+                    progress=ad.progress,
+                )
+            )
+
+        site.pool.on_state_change.append(on_change)

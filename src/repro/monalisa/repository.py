@@ -1,0 +1,134 @@
+"""The monitoring repository: numeric metrics, job-state events, pub/sub.
+
+Two kinds of data flow in (mirroring how the paper's services use
+MonALISA):
+
+- **numeric metrics** — e.g. each site's load, published periodically by
+  :class:`~repro.monalisa.publisher.SiteLoadPublisher` and queried by the
+  scheduler (§6.1 step d) and the steering optimizer;
+- **job-state events** — published by the Job Monitoring Service's
+  DBManager "whenever the state of a job changes" (§5).
+
+Subscribers receive every update for the keys they watch; the repository
+itself is transport-neutral and can be registered on a Clarens host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.monalisa.timeseries import TimeSeries
+
+
+@dataclass(frozen=True)
+class MetricUpdate:
+    """One published sample."""
+
+    farm: str          # site / source name (MonALISA's "farm")
+    metric: str
+    time: float
+    value: float
+
+
+@dataclass(frozen=True)
+class JobStateEvent:
+    """One job-state transition published by a monitoring service."""
+
+    time: float
+    task_id: str
+    job_id: str
+    site: str
+    state: str
+    progress: float
+
+
+class MonALISARepository:
+    """Grid-wide monitoring store with publish/subscribe."""
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[str, str], TimeSeries] = {}
+        self._metric_subscribers: List[Callable[[MetricUpdate], None]] = []
+        self._job_events: List[JobStateEvent] = []
+        self._job_subscribers: List[Callable[[JobStateEvent], None]] = []
+
+    # ------------------------------------------------------------------
+    # numeric metrics
+    # ------------------------------------------------------------------
+    def publish(self, farm: str, metric: str, time: float, value: float) -> None:
+        """Record one sample and fan it out to metric subscribers."""
+        key = (farm, metric)
+        if key not in self._series:
+            self._series[key] = TimeSeries()
+        self._series[key].append(time, value)
+        update = MetricUpdate(farm=farm, metric=metric, time=time, value=value)
+        for cb in list(self._metric_subscribers):
+            cb(update)
+
+    def series(self, farm: str, metric: str) -> TimeSeries:
+        """The full series for (farm, metric); KeyError when never published."""
+        return self._series[(farm, metric)]
+
+    def has_series(self, farm: str, metric: str) -> bool:
+        """Whether any sample exists for (farm, metric)."""
+        return (farm, metric) in self._series
+
+    def latest(self, farm: str, metric: str, default: Optional[float] = None) -> float:
+        """Most recent value, or *default* when nothing was published."""
+        key = (farm, metric)
+        if key not in self._series or len(self._series[key]) == 0:
+            if default is None:
+                raise KeyError(f"no samples for {farm}/{metric}")
+            return default
+        return self._series[key].latest()[1]
+
+    def farms(self) -> List[str]:
+        """All farm (site) names that ever published, sorted."""
+        return sorted({farm for farm, _ in self._series})
+
+    def metrics_of(self, farm: str) -> List[str]:
+        """All metric names a farm ever published, sorted."""
+        return sorted({m for f, m in self._series if f == farm})
+
+    def subscribe_metrics(self, callback: Callable[[MetricUpdate], None]) -> None:
+        """Receive every future numeric sample."""
+        self._metric_subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # convenience views used by the scheduler / optimizer
+    # ------------------------------------------------------------------
+    def site_load(self, farm: str, default: float = 0.0) -> float:
+        """Latest published load for a site (the §6.1 step-d query)."""
+        return self.latest(farm, "load", default=default)
+
+    def load_oracle(self, default: float = 0.0) -> Callable[[str], float]:
+        """A ``site -> load`` callable for SphinxScheduler's load_oracle."""
+
+        def oracle(farm: str) -> float:
+            return self.site_load(farm, default=default)
+
+        return oracle
+
+    # ------------------------------------------------------------------
+    # job-state events
+    # ------------------------------------------------------------------
+    def publish_job_state(self, event: JobStateEvent) -> None:
+        """Record a job-state transition and fan it out."""
+        self._job_events.append(event)
+        for cb in list(self._job_subscribers):
+            cb(event)
+
+    def job_events(
+        self, task_id: Optional[str] = None, job_id: Optional[str] = None
+    ) -> List[JobStateEvent]:
+        """Events filtered by task and/or job id (all when both None)."""
+        out = self._job_events
+        if task_id is not None:
+            out = [e for e in out if e.task_id == task_id]
+        if job_id is not None:
+            out = [e for e in out if e.job_id == job_id]
+        return list(out)
+
+    def subscribe_job_states(self, callback: Callable[[JobStateEvent], None]) -> None:
+        """Receive every future job-state event."""
+        self._job_subscribers.append(callback)

@@ -1,0 +1,272 @@
+"""A read-only web interface over a running GAE.
+
+§4.2.4: after a job completes, Backup & Recovery archives its execution
+state, which "is made available for download on the web interface."  This
+module is that interface — a small threaded HTTP server (stdlib) rendering
+the GAE's state as HTML tables and serving execution states as JSON
+downloads:
+
+- ``/``                 — overview: sites, loads, job counts
+- ``/jobs``             — every monitored task
+- ``/job/<task_id>``    — one task's full monitoring record
+- ``/state/<task_id>``  — the archived execution state (JSON download)
+- ``/notifications``    — Backup & Recovery's client notifications
+- ``/weather``          — the MonALISA grid-weather snapshot (JSON)
+
+Read-only by design: steering *commands* go through the authenticated
+Clarens API, never through a browser GET.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from socketserver import ThreadingMixIn
+from typing import Any, Dict, List, Tuple
+
+from repro.gae import GAE
+
+_PAGE = """<!DOCTYPE html>
+<html><head><title>GAE — {title}</title>
+<style>
+ body {{ font-family: sans-serif; margin: 2em; }}
+ table {{ border-collapse: collapse; }}
+ th, td {{ border: 1px solid #999; padding: 4px 10px; text-align: left; }}
+ th {{ background: #eee; }}
+ nav a {{ margin-right: 1.2em; }}
+</style></head>
+<body>
+<nav><a href="/">overview</a><a href="/jobs">jobs</a>
+<a href="/notifications">notifications</a><a href="/weather">grid weather</a></nav>
+<h1>{title}</h1>
+{body}
+<p><small>Grid Analysis Environment — simulated time t={now:.1f}s</small></p>
+</body></html>"""
+
+
+def _table(headers: List[str], rows: List[List[Any]]) -> str:
+    head = "".join(f"<th>{html.escape(str(h))}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{cell}</td>" for cell in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+class _GAEStatusHandler(BaseHTTPRequestHandler):
+    gae: GAE  # injected by the server class
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/":
+                self._send_html("Overview", self._overview())
+            elif path == "/jobs":
+                self._send_html("Jobs", self._jobs())
+            elif path.startswith("/job/"):
+                self._send_html("Job detail", self._job_detail(path[len("/job/"):]))
+            elif path.startswith("/state/"):
+                self._send_state(path[len("/state/"):])
+            elif path == "/notifications":
+                self._send_html("Notifications", self._notifications())
+            elif path == "/weather":
+                self._send_json(self._weather())
+            else:
+                self._send_error(404, f"no such page: {path}")
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error(500, f"internal error: {exc}")
+
+    # ------------------------------------------------------------------
+    # page bodies
+    # ------------------------------------------------------------------
+    def _overview(self) -> str:
+        gae = self.gae
+        rows = []
+        for name in sorted(gae.grid.sites):
+            site = gae.grid.sites[name]
+            try:
+                gae.grid.execution_services[name].ping()
+                status = "up"
+            except Exception:
+                status = "DOWN"
+            rows.append([
+                _esc(name), status, site.pool.total_slots, site.pool.busy_slots,
+                len(site.pool.queue_snapshot()), f"{site.current_load():.2f}"
+                if status == "up" else "?",
+            ])
+        monitored = len(gae.monitoring.db_manager) + len(
+            gae.monitoring.collector.collect_running()
+        )
+        return (
+            f"<p>{len(rows)} sites; ~{monitored} monitored tasks; "
+            f"{len(gae.steering.actions)} autonomous steering actions.</p>"
+            + _table(["site", "status", "slots", "busy", "queued", "load"], rows)
+        )
+
+    def _jobs(self) -> str:
+        gae = self.gae
+        records = {r.task_id: r for r in gae.monitoring.collector.collect_running()}
+        for task_id in gae.monitoring.db_manager.task_ids():
+            records.setdefault(task_id, gae.monitoring.db_manager.get(task_id))
+        rows = []
+        for task_id in sorted(records):
+            r = records[task_id]
+            rows.append([
+                f'<a href="/job/{_esc(task_id)}">{_esc(task_id)}</a>',
+                _esc(r.job_id), _esc(r.owner), _esc(r.site), _esc(r.status),
+                f"{r.progress * 100:.1f}%", f"{r.elapsed_time_s:.1f}",
+            ])
+        return _table(
+            ["task", "job", "owner", "site", "status", "progress", "elapsed (s)"],
+            rows,
+        )
+
+    def _job_detail(self, task_id: str) -> str:
+        record = self.gae.monitoring.manager.get_info(task_id)
+        if record is None:
+            return f"<p>unknown task {_esc(task_id)}</p>"
+        rows = [[_esc(k), _esc(v)] for k, v in sorted(vars(record).items())]
+        extra = ""
+        if task_id in self.gae.steering.backup_recovery.execution_states:
+            extra = (
+                f'<p><a href="/state/{_esc(task_id)}">download execution state'
+                "</a> (JSON)</p>"
+            )
+        # With continuous monitoring enabled, render the Figure 7-style
+        # progress curve straight from the DB's snapshot history.
+        history = self.gae.monitoring.db_manager.progress_history(task_id)
+        if len(history) >= 2:
+            from repro.analysis.figures import FigureData
+
+            times = [h[0] for h in history]
+            progress = [h[2] * 100.0 for h in history]
+            figure = FigureData(
+                title=f"Progress of {task_id}",
+                x_label="simulated time (s)",
+                y_label="progress (%)",
+            ).add("progress", times, progress)
+            extra += "<pre>" + html.escape(figure.render()) + "</pre>"
+        return _table(["field", "value"], rows) + extra
+
+    def _notifications(self) -> str:
+        rows = [
+            [f"{n.time:.1f}", _esc(n.kind), _esc(n.task_id), _esc(n.owner),
+             _esc(n.site), _esc(n.detail)]
+            for n in self.gae.steering.backup_recovery.notifications
+        ]
+        return _table(["time (s)", "kind", "task", "owner", "site", "detail"], rows)
+
+    def _weather(self) -> Dict[str, float]:
+        return {
+            farm: self.gae.monalisa.site_load(farm, default=0.0)
+            for farm in self.gae.monalisa.farms()
+        }
+
+    # ------------------------------------------------------------------
+    # response plumbing
+    # ------------------------------------------------------------------
+    def _send_html(self, title: str, body: str) -> None:
+        text = _PAGE.format(title=html.escape(title), body=body, now=self.gae.sim.now)
+        payload = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, value: Any) -> None:
+        payload = json.dumps(value, indent=2).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_state(self, task_id: str) -> None:
+        states = self.gae.steering.backup_recovery.execution_states
+        if task_id not in states:
+            self._send_error(404, f"no execution state archived for {task_id}")
+            return
+        payload = json.dumps(states[task_id], indent=2).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header(
+            "Content-Disposition", f'attachment; filename="{task_id}-state.json"'
+        )
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_error(self, code: int, message: str) -> None:
+        payload = message.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+class _ThreadedHTTPServer(ThreadingMixIn, HTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class GAEWebUI:
+    """Serves the read-only status pages for one GAE.
+
+    Use as a context manager::
+
+        with GAEWebUI(gae) as ui:
+            print("browse", ui.url)
+    """
+
+    def __init__(self, gae: GAE, bind: str = "127.0.0.1", port: int = 0) -> None:
+        self.gae = gae
+        handler = type("BoundHandler", (_GAEStatusHandler,), {"gae": gae})
+        self._server = _ThreadedHTTPServer((bind, port), handler)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="gae-webui", daemon=True
+        )
+        self._started = False
+
+    def start(self) -> "GAEWebUI":
+        """Begin serving in a background thread."""
+        if not self._started:
+            self._thread.start()
+            self._started = True
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) the UI is bound to."""
+        return self._server.server_address  # type: ignore[return-value]
+
+    @property
+    def url(self) -> str:
+        """Root URL of the status pages."""
+        bind, port = self.address
+        return f"http://{bind}:{port}/"
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket."""
+        if self._started:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._started = False
+        self._server.server_close()
+
+    def __enter__(self) -> "GAEWebUI":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

@@ -1,0 +1,43 @@
+"""Workload generators and trace handling.
+
+- :mod:`repro.workloads.downey` — a synthetic substitute for the SDSC
+  Paragon accounting trace (Allen Downey, 1995) used in §7's runtime-
+  estimator evaluation, with the same record fields and a statistically
+  faithful runtime model;
+- :mod:`repro.workloads.generators` — the prime-number job of Figure 7, a
+  HEP-analysis-shaped DAG generator, and bag-of-task stress workloads;
+- :mod:`repro.workloads.traces` — CSV persistence for accounting records;
+- :mod:`repro.workloads.swf` — Standard Workload Format import, so the
+  *real* SDSC Paragon trace (Parallel Workloads Archive) can drive the
+  Figure 5 experiment when available.
+"""
+
+from repro.workloads.downey import (
+    DowneyWorkloadGenerator,
+    ParagonAccountingRecord,
+)
+from repro.workloads.generators import (
+    PRIME_JOB_FREE_CPU_SECONDS,
+    count_primes,
+    make_prime_count_task,
+    physics_analysis_job,
+    bag_of_batch_tasks,
+)
+from repro.workloads.swf import SwfJob, read_swf, swf_history_and_tests, swf_to_history
+from repro.workloads.traces import read_trace_csv, write_trace_csv
+
+__all__ = [
+    "DowneyWorkloadGenerator",
+    "PRIME_JOB_FREE_CPU_SECONDS",
+    "ParagonAccountingRecord",
+    "bag_of_batch_tasks",
+    "count_primes",
+    "make_prime_count_task",
+    "physics_analysis_job",
+    "SwfJob",
+    "read_swf",
+    "read_trace_csv",
+    "swf_history_and_tests",
+    "swf_to_history",
+    "write_trace_csv",
+]

@@ -1,0 +1,81 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.accounting.cost import CostModel
+from repro.gridsim.clock import Simulator
+from repro.gridsim.site import ChargeRates, Site
+
+
+@pytest.fixture
+def model():
+    m = CostModel()
+    m.register_rates("cheap", ChargeRates(cpu_hour=0.5, idle_hour=0.05))
+    m.register_rates("pricey", ChargeRates(cpu_hour=5.0, idle_hour=1.0))
+    return m
+
+
+class TestCostModel:
+    def test_register_site_pulls_rates(self):
+        sim = Simulator()
+        site = Site.simple(sim, "s", charge_rates=ChargeRates(cpu_hour=2.0))
+        m = CostModel()
+        m.register_site(site)
+        assert m.rates("s").cpu_hour == 2.0
+
+    def test_estimate_formula(self, model):
+        est = model.estimate("pricey", runtime_s=3600.0, queue_time_s=1800.0, nodes=2)
+        assert est.cpu_hours == pytest.approx(2.0)
+        assert est.idle_hours == pytest.approx(1.0)
+        assert est.cpu_cost == pytest.approx(10.0)
+        assert est.idle_cost == pytest.approx(1.0)
+        assert est.total == pytest.approx(11.0)
+
+    def test_estimate_validation(self, model):
+        with pytest.raises(ValueError):
+            model.estimate("cheap", runtime_s=-1.0)
+        with pytest.raises(ValueError):
+            model.estimate("cheap", runtime_s=1.0, nodes=0)
+
+    def test_unknown_site_raises(self, model):
+        with pytest.raises(KeyError):
+            model.rates("ghost")
+
+    def test_sites_sorted(self, model):
+        assert model.sites() == ["cheap", "pricey"]
+
+
+class TestCheapestSite:
+    def test_picks_lowest_total(self, model):
+        est = model.cheapest_site({"cheap": 3600.0, "pricey": 3600.0})
+        assert est.site_name == "cheap"
+
+    def test_runtime_differences_can_flip_choice(self, model):
+        # pricey at 10x rate but 100x faster
+        est = model.cheapest_site({"cheap": 36000.0, "pricey": 360.0})
+        assert est.site_name == "pricey"
+
+    def test_queue_time_counts(self, model):
+        est = model.cheapest_site(
+            {"cheap": 3600.0, "pricey": 3600.0},
+            queue_time_by_site={"cheap": 10 * 3600.0 * 100, "pricey": 0.0},
+        )
+        assert est.site_name == "pricey"
+
+    def test_exclusion(self, model):
+        est = model.cheapest_site({"cheap": 1.0, "pricey": 1.0}, exclude={"cheap"})
+        assert est.site_name == "pricey"
+
+    def test_unknown_sites_ignored(self, model):
+        est = model.cheapest_site({"cheap": 1.0, "ghost": 0.0})
+        assert est.site_name == "cheap"
+
+    def test_no_candidates_raises(self, model):
+        with pytest.raises(ValueError):
+            model.cheapest_site({"ghost": 1.0})
+
+    def test_tie_breaks_alphabetically(self):
+        m = CostModel()
+        m.register_rates("b", ChargeRates(cpu_hour=1.0))
+        m.register_rates("a", ChargeRates(cpu_hour=1.0))
+        assert m.cheapest_site({"a": 100.0, "b": 100.0}).site_name == "a"

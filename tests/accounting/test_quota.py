@@ -1,0 +1,85 @@
+"""Unit tests for quota management."""
+
+import pytest
+
+from repro.accounting.quota import QuotaError, QuotaManager
+
+
+@pytest.fixture
+def quotas():
+    q = QuotaManager()
+    q.set_quota("alice", 100.0)
+    return q
+
+
+class TestQuotaBasics:
+    def test_available_equals_limit_initially(self, quotas):
+        assert quotas.available("alice") == 100.0
+
+    def test_unknown_user_raises(self, quotas):
+        with pytest.raises(QuotaError):
+            quotas.available("ghost")
+
+    def test_resize_preserves_spend(self, quotas):
+        r = quotas.reserve("alice", 10.0)
+        quotas.commit(r.reservation_id, 10.0)
+        quotas.set_quota("alice", 50.0)
+        assert quotas.available("alice") == 40.0
+
+    def test_negative_limit_rejected(self, quotas):
+        with pytest.raises(QuotaError):
+            quotas.set_quota("x", -1.0)
+
+
+class TestReservations:
+    def test_reserve_reduces_availability(self, quotas):
+        quotas.reserve("alice", 30.0)
+        assert quotas.available("alice") == 70.0
+
+    def test_over_reserve_rejected(self, quotas):
+        quotas.reserve("alice", 90.0)
+        with pytest.raises(QuotaError):
+            quotas.reserve("alice", 20.0)
+
+    def test_commit_converts_to_spend(self, quotas):
+        r = quotas.reserve("alice", 30.0)
+        quotas.commit(r.reservation_id, 25.0)
+        assert quotas.available("alice") == 75.0
+        assert quotas.spent("alice") == 25.0
+
+    def test_commit_can_exceed_reservation(self, quotas):
+        r = quotas.reserve("alice", 10.0)
+        quotas.commit(r.reservation_id, 40.0)
+        assert quotas.spent("alice") == 40.0
+
+    def test_release_returns_funds(self, quotas):
+        r = quotas.reserve("alice", 30.0)
+        quotas.release(r.reservation_id)
+        assert quotas.available("alice") == 100.0
+
+    def test_double_commit_rejected(self, quotas):
+        r = quotas.reserve("alice", 10.0)
+        quotas.commit(r.reservation_id, 10.0)
+        with pytest.raises(QuotaError):
+            quotas.commit(r.reservation_id, 10.0)
+
+    def test_release_unknown_rejected(self, quotas):
+        with pytest.raises(QuotaError):
+            quotas.release(999)
+
+    def test_negative_amounts_rejected(self, quotas):
+        with pytest.raises(QuotaError):
+            quotas.reserve("alice", -5.0)
+        r = quotas.reserve("alice", 5.0)
+        with pytest.raises(QuotaError):
+            quotas.commit(r.reservation_id, -1.0)
+
+    def test_ledger_records_commits(self, quotas):
+        r = quotas.reserve("alice", 10.0, note="job-1")
+        quotas.commit(r.reservation_id, 8.0)
+        assert quotas.ledger == [("alice", 8.0, "job-1")]
+
+    def test_concurrent_reservations_cannot_overdraw(self, quotas):
+        quotas.reserve("alice", 60.0)
+        with pytest.raises(QuotaError):
+            quotas.reserve("alice", 60.0)

@@ -1,0 +1,58 @@
+"""Unit tests for the Quota and Accounting Service facade."""
+
+import pytest
+
+from repro.accounting.service import QuotaAccountingService
+from repro.gridsim.clock import Simulator
+from repro.gridsim.site import ChargeRates, Site
+
+
+@pytest.fixture
+def service():
+    sim = Simulator()
+    svc = QuotaAccountingService()
+    svc.register_site(Site.simple(sim, "cheap", charge_rates=ChargeRates(cpu_hour=0.5)))
+    svc.register_site(Site.simple(sim, "pricey", charge_rates=ChargeRates(cpu_hour=5.0)))
+    svc.quotas.set_quota("alice", 1000.0)
+    return svc
+
+
+class TestWireMethods:
+    def test_site_rates(self, service):
+        assert service.site_rates("cheap") == {"cpu_hour": 0.5, "idle_hour": 0.1}
+
+    def test_estimate_cost(self, service):
+        out = service.estimate_cost("pricey", runtime_s=3600.0)
+        assert out["total"] == pytest.approx(5.0)
+
+    def test_cheapest_site_query(self, service):
+        out = service.cheapest_site({"cheap": 3600.0, "pricey": 3600.0})
+        assert out["site"] == "cheap"
+        assert out["total"] == pytest.approx(0.5)
+
+    def test_cheapest_site_with_queue_times(self, service):
+        out = service.cheapest_site(
+            {"cheap": 3600.0, "pricey": 3600.0},
+            queue_time_by_site={"cheap": 3600.0 * 1000},
+        )
+        assert out["site"] == "pricey"
+
+    def test_quota_available(self, service):
+        assert service.quota_available("alice") == 1000.0
+
+    def test_charge_completed_task(self, service):
+        amount = service.charge_completed_task("alice", "pricey", cpu_seconds=3600.0)
+        assert amount == pytest.approx(5.0)
+        assert service.quota_available("alice") == pytest.approx(995.0)
+        assert service.quotas.ledger[-1][0] == "alice"
+
+    def test_registrable_on_clarens_host(self, service):
+        from repro.clarens.server import ClarensHost
+
+        host = ClarensHost()
+        host.users.add_user("u", "p", groups=("g",))
+        host.acl.allow("accounting.*", groups=("g",))
+        host.register("accounting", service)
+        token = host.dispatch("system.login", ["u", "p"])
+        out = host.dispatch("accounting.cheapest_site", [{"cheap": 10.0}], token)
+        assert out["site"] == "cheap"

@@ -1,0 +1,74 @@
+"""Unit tests for the programmatic experiment runner."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    run_figure5,
+    run_figure7,
+    write_report,
+)
+
+
+class TestFigure5Runner:
+    def test_result_structure(self):
+        result = run_figure5()
+        assert result.name.startswith("Figure 5")
+        assert len(result.figure.series) == 2
+        assert len(result.figure.series[0].y) == 20
+        quantities = [row[0] for row in result.comparison]
+        assert "mean |% error|" in quantities
+
+    def test_deterministic_per_seed(self):
+        a = run_figure5(seed=3)
+        b = run_figure5(seed=3)
+        assert a.figure.series[1].y == b.figure.series[1].y
+
+    def test_markdown_rendering(self):
+        md = run_figure5().to_markdown()
+        assert "## Figure 5" in md
+        assert "| quantity | paper | measured |" in md
+        assert "13.53" in md
+
+
+class TestFigure7Runner:
+    def test_ordering_reproduced(self):
+        result = run_figure7()
+        rows = {row[0]: row[2] for row in result.comparison}
+        steered = rows["steered completion (s)"]
+        shadow = rows["stay-at-A completion (s)"]
+        assert 283.0 < steered < shadow
+
+    def test_three_series(self):
+        result = run_figure7()
+        names = [s.name for s in result.figure.series]
+        assert any("site A" in n for n in names)
+        assert any("Steered" in n for n in names)
+        assert any("283" in n for n in names)
+
+    def test_steered_curve_reaches_100(self):
+        result = run_figure7()
+        steer = next(s for s in result.figure.series if "Steered" in s.name)
+        assert steer.y[-1] == pytest.approx(100.0)
+
+
+class TestWriteReport:
+    def test_report_text(self):
+        text = write_report()
+        assert "# GAE reproduction report" in text
+        assert "## Figure 5" in text
+        assert "## Figure 7" in text
+        assert "Figure 6" not in text  # excluded by default
+
+    def test_report_to_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        text = write_report(path=path)
+        assert path.read_text() == text
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        assert main(["report", "--out", str(out)]) == 0
+        assert "wrote report" in capsys.readouterr().out
+        assert "## Figure 7" in out.read_text()

@@ -1,0 +1,60 @@
+"""Unit tests for figure data containers and ASCII rendering."""
+
+import pytest
+
+from repro.analysis.figures import FigureData, Series, ascii_chart
+
+
+@pytest.fixture
+def figure():
+    fig = FigureData(title="Test figure", x_label="x", y_label="y")
+    fig.add("one", [0, 1, 2], [0.0, 1.0, 4.0])
+    fig.add("two", [0, 1, 2], [4.0, 1.0, 0.0])
+    return fig
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series(name="s", x=[1.0], y=[1.0, 2.0])
+
+
+class TestFigureData:
+    def test_add_chains(self):
+        fig = FigureData(title="t", x_label="x", y_label="y")
+        assert fig.add("a", [1], [2]) is fig
+        assert fig.series[0].y == [2.0]
+
+    def test_csv_long_format(self, figure):
+        csv = figure.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "series,x,y"
+        assert len(lines) == 1 + 6
+        assert lines[1].startswith("one,")
+
+
+class TestAsciiChart:
+    def test_contains_title_labels_and_legend(self, figure):
+        out = ascii_chart(figure)
+        assert "Test figure" in out
+        assert "x " in out
+        assert "y " in out
+        assert "legend:" in out
+        assert "one" in out and "two" in out
+
+    def test_marks_present(self, figure):
+        out = ascii_chart(figure)
+        assert "*" in out  # first series mark
+        assert "o" in out  # second series mark
+
+    def test_empty_figure_handled(self):
+        fig = FigureData(title="Empty", x_label="x", y_label="y")
+        assert "(no data)" in ascii_chart(fig)
+
+    def test_single_point(self):
+        fig = FigureData(title="P", x_label="x", y_label="y").add("s", [1.0], [1.0])
+        out = ascii_chart(fig)
+        assert "*" in out
+
+    def test_render_shorthand(self, figure):
+        assert figure.render() == ascii_chart(figure)

@@ -1,0 +1,51 @@
+"""Unit tests for accuracy metrics (the paper's §7 formulas)."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    mean_absolute_percentage_error,
+    mean_percentage_error,
+    percentage_error,
+    summarize_errors,
+)
+
+
+class TestPercentageError:
+    def test_paper_formula(self):
+        # (Actual - Estimated) / Actual * 100
+        assert percentage_error(100.0, 80.0) == pytest.approx(20.0)
+        assert percentage_error(100.0, 120.0) == pytest.approx(-20.0)
+
+    def test_perfect_estimate(self):
+        assert percentage_error(50.0, 50.0) == 0.0
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError):
+            percentage_error(0.0, 10.0)
+
+
+class TestMeans:
+    def test_signed_mean_cancels(self):
+        assert mean_percentage_error([100.0, 100.0], [80.0, 120.0]) == pytest.approx(0.0)
+
+    def test_absolute_mean_does_not_cancel(self):
+        assert mean_absolute_percentage_error([100.0, 100.0], [80.0, 120.0]) == pytest.approx(20.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_percentage_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([], [])
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        s = summarize_errors([100.0, 100.0, 100.0, 100.0], [90.0, 110.0, 150.0, 100.0])
+        assert s.n == 4
+        assert s.mean_abs_pct == pytest.approx((10 + 10 + 50 + 0) / 4)
+        assert s.mean_signed_pct == pytest.approx((10 - 10 - 50 + 0) / 4)
+        assert s.median_abs_pct == pytest.approx(10.0)
+        assert s.max_abs_pct == pytest.approx(50.0)
+        assert s.within_25_pct == pytest.approx(0.75)

@@ -1,0 +1,30 @@
+"""Unit tests for markdown report rendering."""
+
+import pytest
+
+from repro.analysis.report import markdown_table
+
+
+class TestMarkdownTable:
+    def test_basic_table(self):
+        out = markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = out.strip().splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_float_formatting(self):
+        out = markdown_table(["v"], [[13.528571]])
+        assert "13.53" in out
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            markdown_table([], [])
+
+    def test_empty_rows_ok(self):
+        out = markdown_table(["a"], [])
+        assert out.strip().splitlines() == ["| a |", "|---|"]

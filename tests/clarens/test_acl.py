@@ -1,0 +1,91 @@
+"""Unit tests for access control lists."""
+
+import pytest
+
+from repro.clarens.acl import AccessControlList, AclRule
+from repro.clarens.auth import ANONYMOUS, Principal
+
+ALICE = Principal(user="alice", groups=frozenset({"physicists"}))
+BOB = Principal(user="bob", groups=frozenset({"students"}))
+
+
+class TestAclRule:
+    def test_pattern_matching(self):
+        rule = AclRule(pattern="steering.*", everyone=True)
+        assert rule.matches_path("steering.kill")
+        assert not rule.matches_path("jobmon.kill")
+
+    def test_everyone_covers_anonymous(self):
+        rule = AclRule(pattern="*", everyone=True)
+        assert rule.covers(ANONYMOUS)
+
+    def test_user_rule(self):
+        rule = AclRule(pattern="*", users=frozenset({"alice"}))
+        assert rule.covers(ALICE)
+        assert not rule.covers(BOB)
+
+    def test_group_rule(self):
+        rule = AclRule(pattern="*", groups=frozenset({"physicists"}))
+        assert rule.covers(ALICE)
+        assert not rule.covers(BOB)
+
+    def test_non_everyone_rule_never_covers_anonymous(self):
+        rule = AclRule(pattern="*", users=frozenset({""}))
+        assert not rule.covers(ANONYMOUS)
+
+
+class TestAccessControlList:
+    def test_default_deny(self):
+        acl = AccessControlList()
+        assert not acl.check(ALICE, "any.method")
+
+    def test_default_allow_configurable(self):
+        acl = AccessControlList(default_allow=True)
+        assert acl.check(ALICE, "any.method")
+
+    def test_allow_by_group(self):
+        acl = AccessControlList().allow("steering.*", groups=("physicists",))
+        assert acl.check(ALICE, "steering.kill")
+        assert not acl.check(BOB, "steering.kill")
+
+    def test_first_match_wins(self):
+        acl = (
+            AccessControlList()
+            .deny("steering.kill", users=("alice",))
+            .allow("steering.*", groups=("physicists",))
+        )
+        assert not acl.check(ALICE, "steering.kill")
+        assert acl.check(ALICE, "steering.pause")
+
+    def test_deny_after_allow_is_shadowed(self):
+        acl = (
+            AccessControlList()
+            .allow("steering.*", groups=("physicists",))
+            .deny("steering.kill", users=("alice",))
+        )
+        assert acl.check(ALICE, "steering.kill")  # allow matched first
+
+    def test_everyone_rule(self):
+        acl = AccessControlList().allow("system.ping", everyone=True)
+        assert acl.check(ANONYMOUS, "system.ping")
+
+    def test_subjectless_rule_rejected(self):
+        with pytest.raises(ValueError):
+            AccessControlList().allow("x.*")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            AccessControlList().allow("", everyone=True)
+
+    def test_rules_property_ordered(self):
+        acl = AccessControlList().allow("a.*", everyone=True).deny("b.*", everyone=True)
+        assert [r.pattern for r in acl.rules] == ["a.*", "b.*"]
+
+    def test_rule_does_not_apply_to_other_principal_falls_through(self):
+        acl = (
+            AccessControlList()
+            .deny("x.y", users=("bob",))
+            .allow("x.*", users=("alice",))
+        )
+        # Bob's deny doesn't cover alice; she falls through to the allow.
+        assert acl.check(ALICE, "x.y")

@@ -1,0 +1,140 @@
+"""Unit tests for authentication and session tokens."""
+
+import pytest
+
+from repro.clarens.auth import ANONYMOUS, AuthService, Principal, UserDatabase
+from repro.clarens.errors import AuthenticationError
+
+
+@pytest.fixture
+def users():
+    db = UserDatabase()
+    db.add_user("alice", "secret", groups=("physicists", "gae-users"))
+    db.add_user("bob", "hunter2")
+    return db
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def auth(users, clock):
+    return AuthService(users, time_source=clock, session_lifetime_s=100.0)
+
+
+class TestUserDatabase:
+    def test_verify_good_credentials(self, users):
+        p = users.verify("alice", "secret")
+        assert p.user == "alice"
+        assert p.in_group("physicists")
+
+    def test_verify_bad_password(self, users):
+        with pytest.raises(AuthenticationError):
+            users.verify("alice", "wrong")
+
+    def test_verify_unknown_user(self, users):
+        with pytest.raises(AuthenticationError):
+            users.verify("mallory", "x")
+
+    def test_duplicate_user_rejected(self, users):
+        with pytest.raises(ValueError):
+            users.add_user("alice", "again")
+
+    def test_empty_name_rejected(self, users):
+        with pytest.raises(ValueError):
+            users.add_user("", "pw")
+
+    def test_users_listed_sorted(self, users):
+        assert users.users() == ("alice", "bob")
+
+    def test_password_not_stored_in_clear(self, users):
+        record = users._users["alice"]
+        assert "secret" not in record.password_hash
+        assert record.password_hash != "secret"
+
+
+class TestPrincipal:
+    def test_anonymous(self):
+        assert ANONYMOUS.is_anonymous
+        assert not Principal(user="x").is_anonymous
+
+    def test_group_membership(self):
+        p = Principal(user="x", groups=frozenset({"g"}))
+        assert p.in_group("g")
+        assert not p.in_group("other")
+
+
+class TestTokens:
+    def test_login_then_validate(self, auth):
+        token = auth.login("alice", "secret")
+        p = auth.validate(token)
+        assert p.user == "alice"
+        assert p.in_group("gae-users")
+
+    def test_login_bad_credentials(self, auth):
+        with pytest.raises(AuthenticationError):
+            auth.login("alice", "nope")
+
+    def test_empty_token_is_anonymous(self, auth):
+        assert auth.validate("") is ANONYMOUS
+
+    def test_malformed_token_rejected(self, auth):
+        with pytest.raises(AuthenticationError):
+            auth.validate("garbage")
+        with pytest.raises(AuthenticationError):
+            auth.validate("a|b|c|d|e")
+
+    def test_tampered_user_rejected(self, auth):
+        token = auth.login("alice", "secret")
+        parts = token.split("|")
+        forged = "|".join(["bob"] + parts[1:])
+        with pytest.raises(AuthenticationError):
+            auth.validate(forged)
+
+    def test_tampered_expiry_rejected(self, auth):
+        token = auth.login("alice", "secret")
+        parts = token.split("|")
+        parts[1] = "99999999.000"
+        with pytest.raises(AuthenticationError):
+            auth.validate("|".join(parts))
+
+    def test_expired_token_rejected(self, auth, clock):
+        token = auth.login("alice", "secret")
+        clock.now = 101.0
+        with pytest.raises(AuthenticationError):
+            auth.validate(token)
+
+    def test_token_valid_until_expiry(self, auth, clock):
+        token = auth.login("alice", "secret")
+        clock.now = 99.0
+        assert auth.validate(token).user == "alice"
+
+    def test_logout_revokes(self, auth):
+        token = auth.login("alice", "secret")
+        auth.logout(token)
+        with pytest.raises(AuthenticationError):
+            auth.validate(token)
+
+    def test_tokens_unique_per_login(self, auth):
+        assert auth.login("alice", "secret") != auth.login("alice", "secret")
+
+    def test_cross_host_token_rejected(self, users, clock):
+        a = AuthService(users, clock)
+        b = AuthService(users, clock)
+        token = a.login("alice", "secret")
+        with pytest.raises(AuthenticationError):
+            b.validate(token)
+
+    def test_invalid_lifetime_rejected(self, users, clock):
+        with pytest.raises(ValueError):
+            AuthService(users, clock, session_lifetime_s=0.0)

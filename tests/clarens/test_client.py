@@ -1,0 +1,96 @@
+"""Unit tests for the client facade and service proxies."""
+
+import pytest
+
+from repro.clarens.client import ClarensClient, ServiceProxy
+from repro.clarens.errors import AuthenticationError
+from repro.clarens.server import ClarensHost
+from repro.clarens.transport import InProcessTransport
+
+
+class Greeter:
+    def greet(self, name):
+        return f"hello {name}"
+
+
+@pytest.fixture
+def client():
+    host = ClarensHost()
+    host.users.add_user("u", "p", groups=("g",))
+    host.acl.allow("greeter.*", groups=("g",))
+    host.register("greeter", Greeter())
+    return ClarensClient(InProcessTransport(host))
+
+
+class TestSession:
+    def test_login_stores_token(self, client):
+        token = client.login("u", "p")
+        assert client.token == token
+        assert client.logged_in
+
+    def test_login_failure_raises(self, client):
+        with pytest.raises(AuthenticationError):
+            client.login("u", "wrong")
+        assert not client.logged_in
+
+    def test_logout_clears_token(self, client):
+        client.login("u", "p")
+        client.logout()
+        assert client.token == ""
+
+    def test_logout_without_login_is_noop(self, client):
+        client.logout()
+
+
+class TestCalls:
+    def test_call_carries_token(self, client):
+        client.login("u", "p")
+        assert client.call("greeter.greet", "world") == "hello world"
+
+    def test_unauthenticated_call_fails(self, client):
+        with pytest.raises(AuthenticationError):
+            client.call("greeter.greet", "world")
+
+    def test_service_proxy_attribute_call(self, client):
+        client.login("u", "p")
+        proxy = client.service("greeter")
+        assert isinstance(proxy, ServiceProxy)
+        assert proxy.greet("x") == "hello x"
+
+    def test_proxy_rejects_private_attributes(self, client):
+        proxy = client.service("greeter")
+        with pytest.raises(AttributeError):
+            proxy._hidden
+
+    def test_introspection_helpers(self, client):
+        assert "greeter" in client.list_services()
+        assert client.list_methods("greeter") == ["greet"]
+        assert client.ping()
+
+
+class TestBatch:
+    def test_batch_returns_results_in_order(self, client):
+        client.login("u", "p")
+        results = client.batch([
+            ("greeter.greet", "a"),
+            ("system.ping",),
+            ("greeter.greet", "b"),
+        ])
+        assert results == ["hello a", "pong", "hello b"]
+
+    def test_batch_raises_typed_fault_on_failure(self, client):
+        from repro.clarens.errors import ServiceNotFound
+
+        client.login("u", "p")
+        with pytest.raises(ServiceNotFound):
+            client.batch([("ghost.method",)])
+
+    def test_batch_detailed_never_raises(self, client):
+        client.login("u", "p")
+        detailed = client.batch_detailed([
+            ("greeter.greet", "x"),
+            ("ghost.method",),
+        ])
+        assert detailed[0] == {"ok": True, "result": "hello x"}
+        assert detailed[1]["ok"] is False
+        assert detailed[1]["code"] == 404

@@ -1,0 +1,113 @@
+"""Unit tests for service/method registration."""
+
+import pytest
+
+from repro.clarens.errors import MethodNotFound, ServiceNotFound
+from repro.clarens.registry import ServiceRegistry, clarens_method
+
+
+class PlainService:
+    def visible(self):
+        """A public method."""
+        return 1
+
+    def also_visible(self, x):
+        return x
+
+    def _private(self):
+        return "no"
+
+
+class DecoratedService:
+    @clarens_method
+    def exposed(self):
+        """Exposed method."""
+        return 1
+
+    @clarens_method(anonymous=True)
+    def open_to_all(self):
+        return 2
+
+    @clarens_method(pass_principal=True)
+    def personalized(self, principal):
+        return principal.user
+
+    def not_exposed(self):
+        return 3
+
+
+class TestRegistration:
+    def test_plain_service_exposes_all_public(self):
+        reg = ServiceRegistry()
+        entry = reg.register("svc", PlainService())
+        assert set(entry.methods) == {"visible", "also_visible"}
+
+    def test_decorated_service_exposes_only_marked(self):
+        reg = ServiceRegistry()
+        entry = reg.register("svc", DecoratedService())
+        assert set(entry.methods) == {"exposed", "open_to_all", "personalized"}
+
+    def test_explicit_method_list_wins(self):
+        reg = ServiceRegistry()
+        entry = reg.register("svc", PlainService(), methods=["visible"])
+        assert set(entry.methods) == {"visible"}
+
+    def test_explicit_list_with_missing_method_rejected(self):
+        reg = ServiceRegistry()
+        with pytest.raises(ValueError):
+            reg.register("svc", PlainService(), methods=["ghost"])
+
+    def test_duplicate_name_rejected(self):
+        reg = ServiceRegistry()
+        reg.register("svc", PlainService())
+        with pytest.raises(ValueError):
+            reg.register("svc", PlainService())
+
+    def test_unregister(self):
+        reg = ServiceRegistry()
+        reg.register("svc", PlainService())
+        reg.unregister("svc")
+        assert not reg.has("svc")
+        with pytest.raises(ServiceNotFound):
+            reg.unregister("svc")
+
+    def test_metadata_captured(self):
+        reg = ServiceRegistry()
+        entry = reg.register("svc", DecoratedService())
+        assert entry.method("exposed").doc == "Exposed method."
+        assert entry.method("open_to_all").anonymous
+        assert not entry.method("exposed").anonymous
+        assert entry.method("personalized").pass_principal
+
+
+class TestResolution:
+    def test_resolve_dotted_path(self):
+        reg = ServiceRegistry()
+        reg.register("svc", PlainService())
+        entry = reg.resolve("svc.visible")
+        assert entry.func() == 1
+
+    def test_resolve_unknown_service(self):
+        with pytest.raises(ServiceNotFound):
+            ServiceRegistry().resolve("ghost.method")
+
+    def test_resolve_unknown_method(self):
+        reg = ServiceRegistry()
+        reg.register("svc", PlainService())
+        with pytest.raises(MethodNotFound):
+            reg.resolve("svc.ghost")
+
+    def test_resolve_undotted_path_rejected(self):
+        with pytest.raises(MethodNotFound):
+            ServiceRegistry().resolve("nodots")
+
+    def test_names_sorted(self):
+        reg = ServiceRegistry()
+        reg.register("zeta", PlainService())
+        reg.register("alpha", PlainService())
+        assert reg.names() == ["alpha", "zeta"]
+
+    def test_signature_rendering(self):
+        reg = ServiceRegistry()
+        entry = reg.register("svc", PlainService())
+        assert "also_visible" in entry.method("also_visible").signature()

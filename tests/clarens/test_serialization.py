@@ -1,0 +1,105 @@
+"""Unit tests for wire marshalling."""
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.clarens.errors import SerializationError
+from repro.clarens.serialization import check_wire_safe, from_wire, to_wire
+
+
+class Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+@dataclass
+class Point:
+    x: float
+    y: float
+    _secret: str = "hidden"
+
+
+class TestToWire:
+    def test_scalars_pass_through(self):
+        for v in (None, True, 3, 2.5, "s", b"bytes"):
+            assert to_wire(v) == v
+
+    def test_enum_lowered_to_value(self):
+        assert to_wire(Color.RED) == "red"
+
+    def test_numpy_scalars_lowered(self):
+        assert to_wire(np.int64(5)) == 5
+        assert isinstance(to_wire(np.int64(5)), int)
+        assert to_wire(np.float64(2.5)) == 2.5
+
+    def test_numpy_array_lowered_to_lists(self):
+        assert to_wire(np.array([[1, 2], [3, 4]])) == [[1, 2], [3, 4]]
+
+    def test_wide_int_becomes_float(self):
+        assert to_wire(2**40) == float(2**40)
+        assert to_wire(-(2**40)) == float(-(2**40))
+
+    def test_32bit_boundaries_stay_int(self):
+        assert to_wire(2**31 - 1) == 2**31 - 1
+        assert to_wire(-(2**31)) == -(2**31)
+
+    def test_dataclass_becomes_tagged_struct(self):
+        wire = to_wire(Point(1.0, 2.0))
+        assert wire == {"_type": "Point", "x": 1.0, "y": 2.0}
+
+    def test_private_fields_dropped(self):
+        assert "_secret" not in to_wire(Point(0.0, 0.0))
+
+    def test_tuple_becomes_list(self):
+        assert to_wire((1, 2)) == [1, 2]
+
+    def test_set_becomes_sorted_list(self):
+        assert to_wire({3, 1, 2}) == [1, 2, 3]
+
+    def test_dict_keys_coerced_to_str(self):
+        assert to_wire({1: "a"}) == {"1": "a"}
+
+    def test_nested_structures(self):
+        value = {"points": [Point(0.0, 1.0)], "tag": Color.BLUE}
+        wire = to_wire(value)
+        assert wire["points"][0]["x"] == 0.0
+        assert wire["tag"] == "blue"
+
+    def test_unmarshalable_raises(self):
+        with pytest.raises(SerializationError):
+            to_wire(lambda: None)
+        with pytest.raises(SerializationError):
+            to_wire(object())
+
+
+class TestFromWire:
+    def test_structural_identity(self):
+        value = {"a": [1, 2, {"b": "c"}], "d": 2.5}
+        assert from_wire(value) == value
+
+    def test_round_trip_stability(self):
+        value = to_wire({"p": Point(1.0, 2.0), "xs": (1, 2, 3)})
+        assert from_wire(value) == value
+        assert to_wire(from_wire(value)) == value
+
+
+class TestCheckWireSafe:
+    def test_accepts_wire_types(self):
+        check_wire_safe({"a": [1, 2.5, "s", None, True]})
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(SerializationError):
+            check_wire_safe({1: "a"})
+
+    def test_rejects_objects(self):
+        with pytest.raises(SerializationError):
+            check_wire_safe({"a": object()})
+
+    def test_everything_to_wire_emits_is_wire_safe(self):
+        value = to_wire(
+            {"p": Point(1.0, 2.0), "e": Color.RED, "arr": np.arange(3), "n": 2**50}
+        )
+        check_wire_safe(value)

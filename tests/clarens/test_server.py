@@ -1,0 +1,227 @@
+"""Unit tests for the ClarensHost dispatcher and its system service."""
+
+import pytest
+
+from repro.clarens.auth import Principal
+from repro.clarens.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    MethodNotFound,
+    RemoteFault,
+    ServiceNotFound,
+)
+from repro.clarens.registry import clarens_method
+from repro.clarens.server import ClarensHost
+
+
+class Calculator:
+    def add(self, a, b):
+        """Add two numbers."""
+        return a + b
+
+    def fail(self):
+        raise ValueError("exploded")
+
+
+class PersonalService:
+    @clarens_method(pass_principal=True)
+    def whoami(self, principal):
+        return principal.user
+
+
+@pytest.fixture
+def host():
+    h = ClarensHost("test-host")
+    h.users.add_user("alice", "pw", groups=("users",))
+    h.acl.allow("calc.*", groups=("users",))
+    h.acl.allow("personal.*", groups=("users",))
+    h.register("calc", Calculator())
+    h.register("personal", PersonalService())
+    return h
+
+
+def login(host, user="alice", pw="pw"):
+    return host.dispatch("system.login", [user, pw])
+
+
+class TestDispatch:
+    def test_authenticated_call(self, host):
+        token = login(host)
+        assert host.dispatch("calc.add", [2, 3], token) == 5
+
+    def test_anonymous_call_to_protected_method_rejected(self, host):
+        with pytest.raises(AuthenticationError):
+            host.dispatch("calc.add", [2, 3], token="")
+
+    def test_acl_denial(self, host):
+        host.users.add_user("eve", "pw", groups=("strangers",))
+        token = login(host, "eve")
+        with pytest.raises(AuthorizationError):
+            host.dispatch("calc.add", [1, 1], token)
+
+    def test_unknown_service(self, host):
+        with pytest.raises(ServiceNotFound):
+            host.dispatch("ghost.x", [], "")
+
+    def test_unknown_method(self, host):
+        with pytest.raises(MethodNotFound):
+            host.dispatch("calc.ghost", [], "")
+
+    def test_application_error_becomes_remote_fault(self, host):
+        token = login(host)
+        with pytest.raises(RemoteFault) as exc:
+            host.dispatch("calc.fail", [], token)
+        assert "exploded" in str(exc.value)
+
+    def test_result_marshalled_to_wire(self, host):
+        token = login(host)
+        result = host.dispatch("calc.add", [(1, 2), (3,)], token)
+        # tuples in = concatenated tuple out, lowered to a list
+        assert result == [1, 2, 3]
+
+    def test_principal_injection(self, host):
+        token = login(host)
+        assert host.dispatch("personal.whoami", [], token) == "alice"
+
+    def test_principal_of(self, host):
+        token = login(host)
+        assert host.principal_of(token).user == "alice"
+        assert host.principal_of("").is_anonymous
+
+
+class TestSystemService:
+    def test_ping_anonymous(self, host):
+        assert host.dispatch("system.ping", [], "") == "pong"
+
+    def test_list_services(self, host):
+        assert host.dispatch("system.list_services", [], "") == [
+            "calc", "personal", "system",
+        ]
+
+    def test_list_methods(self, host):
+        methods = host.dispatch("system.list_methods", ["calc"], "")
+        assert methods == ["add", "fail"]
+
+    def test_method_help(self, host):
+        assert host.dispatch("system.method_help", ["calc.add"], "") == "Add two numbers."
+
+    def test_host_name(self, host):
+        assert host.dispatch("system.host_name", [], "") == "test-host"
+
+    def test_logout_revokes(self, host):
+        token = login(host)
+        host.dispatch("system.logout", [token], "")
+        with pytest.raises(AuthenticationError):
+            host.dispatch("calc.add", [1, 1], token)
+
+
+class TestStats:
+    def test_call_counting(self, host):
+        token = login(host)
+        host.dispatch("calc.add", [1, 1], token)
+        host.dispatch("calc.add", [2, 2], token)
+        assert host.stats.per_method["calc.add"] == 2
+
+    def test_fault_counting(self, host):
+        token = login(host)
+        with pytest.raises(RemoteFault):
+            host.dispatch("calc.fail", [], token)
+        assert host.stats.faults == 1
+
+    def test_session_expiry_uses_injected_clock(self):
+        clock = {"now": 0.0}
+        host = ClarensHost(time_source=lambda: clock["now"], session_lifetime_s=10.0)
+        host.users.add_user("u", "p")
+        token = host.dispatch("system.login", ["u", "p"])
+        clock["now"] = 11.0
+        with pytest.raises(AuthenticationError):
+            host.principal_of(token)
+
+
+class TestSystemStats:
+    def test_stats_exposed_anonymously(self, host):
+        token = login(host)
+        host.dispatch("calc.add", [1, 1], token)
+        stats = host.dispatch("system.stats", [], "")
+        assert stats["calls"] >= 2  # the login + the add at least
+        assert stats["per_method"]["calc.add"] == 1
+        assert "faults" in stats
+
+
+class TestMulticall:
+    def test_batch_of_calls_under_one_token(self, host):
+        token = login(host)
+        results = host.dispatch(
+            "system.multicall",
+            [[
+                {"methodName": "calc.add", "params": [1, 2]},
+                {"methodName": "calc.add", "params": [3, 4]},
+                {"methodName": "system.ping", "params": []},
+            ]],
+            token,
+        )
+        assert [r["ok"] for r in results] == [True, True, True]
+        assert [r["result"] for r in results] == [3, 7, "pong"]
+
+    def test_one_failure_does_not_poison_the_batch(self, host):
+        token = login(host)
+        results = host.dispatch(
+            "system.multicall",
+            [[
+                {"methodName": "calc.fail", "params": []},
+                {"methodName": "calc.add", "params": [5, 5]},
+            ]],
+            token,
+        )
+        assert results[0]["ok"] is False
+        assert "exploded" in results[0]["error"]
+        assert results[1] == {"ok": True, "result": 10}
+
+    def test_acl_enforced_per_subcall(self, host):
+        host.users.add_user("eve", "pw", groups=("strangers",))
+        token = login(host, "eve")
+        results = host.dispatch(
+            "system.multicall",
+            [[{"methodName": "calc.add", "params": [1, 1]},
+              {"methodName": "system.ping", "params": []}]],
+            token,
+        )
+        assert results[0]["ok"] is False
+        assert results[0]["code"] == 403
+        assert results[1]["ok"] is True
+
+    def test_anonymous_multicall_limited_to_anonymous_methods(self, host):
+        results = host.dispatch(
+            "system.multicall",
+            [[{"methodName": "system.ping", "params": []},
+              {"methodName": "calc.add", "params": [1, 1]}]],
+            "",
+        )
+        assert results[0]["ok"] is True
+        assert results[1]["ok"] is False
+        assert results[1]["code"] == 401
+
+    def test_nested_multicall_rejected(self, host):
+        results = host.dispatch(
+            "system.multicall",
+            [[{"methodName": "system.multicall", "params": [[]]}]],
+            "",
+        )
+        assert results[0]["ok"] is False
+        assert "nested" in results[0]["error"]
+
+    def test_multicall_over_real_xmlrpc(self, host):
+        from repro.clarens.client import ClarensClient
+        from repro.clarens.server import XmlRpcServerHandle
+        from repro.clarens.transport import XmlRpcTransport
+
+        with XmlRpcServerHandle(host) as handle:
+            client = ClarensClient(XmlRpcTransport(handle.url))
+            client.login("alice", "pw")
+            results = client.call(
+                "system.multicall",
+                [{"methodName": "calc.add", "params": [2, 2]},
+                 {"methodName": "system.host_name", "params": []}],
+            )
+            assert results[0]["result"] == 4
+            assert results[1]["result"] == "test-host"

@@ -1,0 +1,139 @@
+"""Unit tests for the history-based runtime estimator (§6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.history import HistoryRepository, TaskRecord
+from repro.core.estimators.runtime import EstimationError, RuntimeEstimator
+from repro.gridsim.job import TaskSpec
+
+
+def rec(runtime, hours=1.0, executable="exe", owner="u", **kw):
+    return TaskRecord(
+        owner=owner, account="a", partition="p", queue="q", nodes=1,
+        task_type="batch", executable=executable,
+        requested_cpu_hours=hours, runtime_s=runtime,
+        status=kw.get("status", "successful"),
+    )
+
+
+def spec(hours=1.0, executable="exe", owner="u"):
+    return TaskSpec(
+        owner=owner, account="a", partition="p", queue="q", nodes=1,
+        task_type="batch", executable=executable, requested_cpu_hours=hours,
+    )
+
+
+class TestMeanEstimation:
+    def test_mean_of_similar(self):
+        h = HistoryRepository([rec(100.0), rec(110.0), rec(120.0)])
+        est = RuntimeEstimator(h, method="mean").estimate(spec())
+        assert est.value == pytest.approx(110.0)
+        assert est.method == "mean"
+        assert est.n_similar == 3
+
+    def test_empty_history_raises(self):
+        with pytest.raises(EstimationError):
+            RuntimeEstimator(HistoryRepository()).estimate(spec())
+
+    def test_failed_records_ignored(self):
+        h = HistoryRepository([rec(100.0), rec(100.0), rec(100.0), rec(5.0, status="failed")])
+        est = RuntimeEstimator(h, method="mean").estimate(spec())
+        assert est.value == pytest.approx(100.0)
+
+    def test_callable_shorthand(self):
+        h = HistoryRepository([rec(100.0)] * 3)
+        estimator = RuntimeEstimator(h, method="mean")
+        assert estimator(spec()) == pytest.approx(100.0)
+
+
+class TestRegressionEstimation:
+    def test_regression_extrapolates_linearly(self):
+        # runtime = 100 * hours exactly
+        h = HistoryRepository([rec(100.0 * x, hours=x) for x in (1.0, 2.0, 3.0, 4.0)])
+        est = RuntimeEstimator(h, method="regression").estimate(spec(hours=2.5))
+        assert est.value == pytest.approx(250.0, rel=1e-6)
+        assert est.method == "regression"
+
+    def test_regression_needs_feature_spread(self):
+        h = HistoryRepository([rec(100.0, hours=1.0) for _ in range(5)])
+        est = RuntimeEstimator(h, method="regression").estimate(spec())
+        assert est.regression is None
+        assert est.method == "mean"  # falls back
+
+    def test_regression_needs_three_points(self):
+        h = HistoryRepository([rec(100.0, hours=1.0), rec(200.0, hours=2.0)])
+        est = RuntimeEstimator(h, method="regression", min_samples=2).estimate(spec())
+        assert est.regression is None
+
+    def test_prediction_clipped_against_extrapolation(self):
+        h = HistoryRepository(
+            [rec(100.0, hours=1.0), rec(110.0, hours=1.1), rec(120.0, hours=1.2)]
+        )
+        est = RuntimeEstimator(h, method="regression").estimate(spec(hours=100.0))
+        # Unclipped line would predict ~10000; clip caps at 2*max.
+        assert est.value <= 240.0
+
+    def test_prediction_never_negative(self):
+        h = HistoryRepository(
+            [rec(300.0, hours=1.0), rec(200.0, hours=2.0), rec(100.0, hours=3.0)]
+        )
+        est = RuntimeEstimator(h, method="regression").estimate(spec(hours=50.0))
+        assert est.value >= 0.0
+
+
+class TestAutoMethod:
+    def test_auto_prefers_regression_on_linear_data(self):
+        h = HistoryRepository([rec(100.0 * x, hours=x) for x in (1.0, 2.0, 3.0, 4.0, 5.0)])
+        est = RuntimeEstimator(h, method="auto").estimate(spec(hours=3.0))
+        assert est.method == "regression"
+
+    def test_auto_prefers_mean_on_flat_data(self):
+        rng = np.random.default_rng(0)
+        h = HistoryRepository(
+            [rec(100.0 + rng.normal(0, 1), hours=float(x)) for x in rng.uniform(1, 5, 20)]
+        )
+        est = RuntimeEstimator(h, method="auto").estimate(spec(hours=3.0))
+        assert est.method == "mean"
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeEstimator(HistoryRepository(), method="magic")
+
+
+class TestTemplateIntegration:
+    def test_estimate_uses_most_specific_template(self):
+        h = HistoryRepository(
+            [rec(100.0, executable="mine")] * 3 + [rec(9999.0, executable="other")] * 10
+        )
+        est = RuntimeEstimator(h, method="mean").estimate(spec(executable="mine"))
+        assert est.value == pytest.approx(100.0)
+        assert "executable" in est.template
+
+    def test_estimate_reports_provenance(self):
+        h = HistoryRepository([rec(100.0)] * 4)
+        est = RuntimeEstimator(h, method="mean").estimate(spec())
+        assert est.n_similar == 4
+        assert est.mean == pytest.approx(100.0)
+        assert est.template != ()
+
+
+class TestConfidence:
+    def test_stddev_and_standard_error(self):
+        h = HistoryRepository([rec(90.0), rec(100.0), rec(110.0)])
+        est = RuntimeEstimator(h, method="mean").estimate(spec())
+        assert est.stddev == pytest.approx(10.0)
+        assert est.standard_error == pytest.approx(10.0 / 3 ** 0.5)
+
+    def test_interval_brackets_value(self):
+        h = HistoryRepository([rec(90.0), rec(100.0), rec(110.0)])
+        est = RuntimeEstimator(h, method="mean").estimate(spec())
+        lo, hi = est.interval()
+        assert lo < est.value < hi
+        assert lo >= 0.0
+
+    def test_single_sample_zero_stddev(self):
+        h = HistoryRepository([rec(100.0)])
+        est = RuntimeEstimator(h, method="mean").estimate(spec())
+        assert est.stddev == 0.0
+        assert est.interval() == (100.0, 100.0)

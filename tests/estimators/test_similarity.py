@@ -1,0 +1,124 @@
+"""Unit tests for similarity templates and the greedy search."""
+
+import pytest
+
+from repro.core.estimators.history import HistoryRepository, TaskRecord
+from repro.core.estimators.similarity import (
+    ALL_TEMPLATE_ATTRIBUTES,
+    DEFAULT_LADDER,
+    GreedyTemplateSearch,
+    most_specific_match,
+)
+
+
+def rec(owner="u", executable="exe", queue="q", nodes=1, runtime=100.0, **kw):
+    return TaskRecord(
+        owner=owner, account=kw.get("account", "a"), partition=kw.get("partition", "p"),
+        queue=queue, nodes=nodes, task_type=kw.get("task_type", "batch"),
+        executable=executable, requested_cpu_hours=kw.get("requested_cpu_hours", 1.0),
+        runtime_s=runtime, status=kw.get("status", "successful"),
+    )
+
+
+def target(owner="u", executable="exe", queue="q", nodes=1):
+    return {
+        "owner": owner, "account": "a", "partition": "p", "queue": queue,
+        "nodes": nodes, "task_type": "batch", "executable": executable,
+    }
+
+
+class TestLadder:
+    def test_ladder_most_specific_first(self):
+        assert DEFAULT_LADDER[0] == ALL_TEMPLATE_ATTRIBUTES
+        assert DEFAULT_LADDER[-1] == ()
+
+    def test_ladder_prefixes(self):
+        for i, template in enumerate(DEFAULT_LADDER[:-1]):
+            assert template == ALL_TEMPLATE_ATTRIBUTES[: len(ALL_TEMPLATE_ATTRIBUTES) - i]
+
+
+class TestMostSpecificMatch:
+    def test_full_match_when_enough_samples(self):
+        h = HistoryRepository([rec() for _ in range(5)])
+        template, matches = most_specific_match(h, target())
+        assert template == ALL_TEMPLATE_ATTRIBUTES
+        assert len(matches) == 5
+
+    def test_falls_back_when_specific_rung_thin(self):
+        # Only 2 exact matches but 5 matching the executable alone.
+        h = HistoryRepository(
+            [rec(queue="q") for _ in range(2)] + [rec(queue="other") for _ in range(3)]
+        )
+        template, matches = most_specific_match(h, target(), min_samples=3)
+        assert "queue" not in template
+        assert len(matches) == 5
+
+    def test_second_pass_prefers_few_specific_over_many_generic(self):
+        # 2 records of the right executable, 50 unrelated ones.
+        h = HistoryRepository(
+            [rec(executable="mine", runtime=100.0) for _ in range(2)]
+            + [rec(executable="other", owner="someone", runtime=10000.0) for _ in range(50)]
+        )
+        template, matches = most_specific_match(
+            h, target(executable="mine"), min_samples=3
+        )
+        assert template != ()
+        assert len(matches) == 2
+        assert all(m.executable == "mine" for m in matches)
+
+    def test_empty_template_is_last_resort(self):
+        h = HistoryRepository([rec(executable="other", owner="x") for _ in range(5)])
+        template, matches = most_specific_match(h, target(executable="missing"))
+        assert template == ()
+        assert len(matches) == 5
+
+    def test_invalid_min_samples(self):
+        with pytest.raises(ValueError):
+            most_specific_match(HistoryRepository(), target(), min_samples=0)
+
+    def test_empty_history_returns_empty_matches(self):
+        template, matches = most_specific_match(HistoryRepository(), target())
+        assert template == ()
+        assert matches == []
+
+
+class TestGreedySearch:
+    def make_history(self):
+        """Two owners with very different runtimes; queue is pure noise."""
+        records = []
+        for i in range(20):
+            records.append(rec(owner="fastguy", queue=f"q{i % 3}", runtime=100.0 + i))
+            records.append(rec(owner="slowguy", queue=f"q{i % 3}", runtime=10000.0 + i))
+        return HistoryRepository(records)
+
+    def test_search_finds_discriminating_attribute(self):
+        result = GreedyTemplateSearch(candidates=("owner", "queue")).search(self.make_history())
+        assert "owner" in result.template
+
+    def test_search_improves_error(self):
+        search = GreedyTemplateSearch(candidates=("owner", "queue"))
+        result = search.search(self.make_history())
+        first_error = result.trace[0][1]
+        assert result.error < first_error
+
+    def test_trace_records_progression(self):
+        result = GreedyTemplateSearch(candidates=("owner",)).search(self.make_history())
+        assert result.trace[0][0] == ()
+        assert len(result.trace) >= 2
+
+    def test_ladder_from_result(self):
+        search = GreedyTemplateSearch(candidates=("owner", "queue"))
+        result = search.search(self.make_history())
+        ladder = search.ladder_from(result)
+        assert ladder[0] == result.template
+        assert ladder[-1] == ()
+
+    def test_min_samples_validation(self):
+        with pytest.raises(ValueError):
+            GreedyTemplateSearch(min_samples=1)
+
+    def test_empty_history_scores_inf(self):
+        search = GreedyTemplateSearch()
+        result = search.search(HistoryRepository())
+        assert result.error == float("inf")
+        assert result.template == ()

@@ -1,0 +1,77 @@
+"""Unit tests for the File Transfer Time Estimator (§6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.transfer_time import TransferTimeEstimator
+from repro.gridsim.network import IperfProbe, Link, Network
+from repro.gridsim.storage import GridFile, ReplicaCatalog, StorageElement
+
+
+@pytest.fixture
+def net():
+    n = Network()
+    n.add_link(Link("src", "dst", capacity_mbps=80.0, latency_s=0.0))
+    return n
+
+
+def perfect_probe(net):
+    return IperfProbe(net, noise_sigma=0.0)
+
+
+class TestEstimate:
+    def test_bandwidth_times_size_formula(self, net):
+        est = TransferTimeEstimator(perfect_probe(net)).estimate("src", "dst", 100.0)
+        # 100 MB = 800 Mbit / 80 Mbps = 10 s
+        assert est.transfer_time_s == pytest.approx(10.0)
+        assert est.bandwidth_mbps == pytest.approx(80.0)
+
+    def test_local_transfer_free(self, net):
+        est = TransferTimeEstimator(perfect_probe(net)).estimate("src", "src", 100.0)
+        assert est.transfer_time_s == 0.0
+
+    def test_zero_size_free(self, net):
+        est = TransferTimeEstimator(perfect_probe(net)).estimate("src", "dst", 0.0)
+        assert est.transfer_time_s == 0.0
+
+    def test_negative_size_rejected(self, net):
+        with pytest.raises(ValueError):
+            TransferTimeEstimator(perfect_probe(net)).estimate("src", "dst", -1.0)
+
+    def test_noisy_probe_estimate_near_truth(self, net):
+        probe = IperfProbe(net, rng=np.random.default_rng(1), noise_sigma=0.05)
+        est = TransferTimeEstimator(probe, smoothing_window=10)
+        result = est.estimate("src", "dst", 100.0)
+        assert result.transfer_time_s == pytest.approx(10.0, rel=0.15)
+
+    def test_smoothing_reduces_variance(self, net):
+        def spread(window):
+            probe = IperfProbe(net, rng=np.random.default_rng(2), noise_sigma=0.2)
+            est = TransferTimeEstimator(probe, smoothing_window=window)
+            times = [est.estimate("src", "dst", 100.0).transfer_time_s for _ in range(30)]
+            return float(np.std(times))
+
+        assert spread(10) < spread(1)
+
+    def test_invalid_window_rejected(self, net):
+        with pytest.raises(ValueError):
+            TransferTimeEstimator(perfect_probe(net), smoothing_window=0)
+
+
+class TestStageIn:
+    def test_stage_in_sums_remote_files(self, net):
+        catalog = ReplicaCatalog(network=net)
+        catalog.register(StorageElement("src"))
+        catalog.register(StorageElement("dst"))
+        catalog.publish("src", GridFile("a", 100.0))
+        catalog.publish("src", GridFile("b", 50.0))
+        catalog.publish("dst", GridFile("local", 1000.0))
+        est = TransferTimeEstimator(perfect_probe(net))
+        total = est.estimate_stage_in(catalog, ["a", "b", "local"], "dst")
+        assert total == pytest.approx(10.0 + 5.0)
+
+    def test_stage_in_empty_list_free(self, net):
+        catalog = ReplicaCatalog(network=net)
+        catalog.register(StorageElement("dst"))
+        est = TransferTimeEstimator(perfect_probe(net))
+        assert est.estimate_stage_in(catalog, [], "dst") == 0.0

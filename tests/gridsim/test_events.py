@@ -1,0 +1,105 @@
+"""Unit tests for the event queue primitives."""
+
+import pytest
+
+from repro.gridsim.events import Event, EventQueue, SimulationError
+
+
+def make_queue_with(times):
+    q = EventQueue()
+    fired = []
+    handles = [q.push(t, (lambda t=t: fired.append(t)), label=f"t{t}") for t in times]
+    return q, fired, handles
+
+
+class TestEventOrdering:
+    def test_pops_in_time_order(self):
+        q, fired, _ = make_queue_with([3.0, 1.0, 2.0])
+        times = []
+        while q:
+            ev = q.pop()
+            times.append(ev.time)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_equal_times_pop_in_insertion_order(self):
+        q = EventQueue()
+        order = []
+        q.push(5.0, lambda: order.append("first"))
+        q.push(5.0, lambda: order.append("second"))
+        q.push(5.0, lambda: order.append("third"))
+        while q:
+            q.pop().action()
+        assert order == ["first", "second", "third"]
+
+    def test_event_comparison_uses_time_then_seq(self):
+        a = Event(time=1.0, seq=5, action=lambda: None)
+        b = Event(time=1.0, seq=6, action=lambda: None)
+        c = Event(time=0.5, seq=9, action=lambda: None)
+        assert a < b
+        assert c < a
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        q = EventQueue()
+        fired = []
+        h = q.push(1.0, lambda: fired.append("a"))
+        q.push(2.0, lambda: fired.append("b"))
+        h.cancel()
+        while q:
+            q.pop().action()
+        assert fired == ["b"]
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        assert h.cancelled
+        assert len(q) == 0
+
+    def test_len_excludes_cancelled(self):
+        q, _, handles = make_queue_with([1.0, 2.0, 3.0])
+        handles[1].cancel()
+        assert len(q) == 2
+
+    def test_peek_skips_cancelled_head(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None, label="dead")
+        q.push(2.0, lambda: None, label="live")
+        h.cancel()
+        assert q.peek().label == "live"
+
+
+class TestQueueEdgeCases:
+    def test_pop_empty_raises(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.pop()
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek() is None
+
+    def test_bool_reflects_liveness(self):
+        q = EventQueue()
+        assert not q
+        h = q.push(1.0, lambda: None)
+        assert q
+        h.cancel()
+        assert not q
+
+    def test_nan_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.push(float("nan"), lambda: None)
+
+    def test_clear_empties_queue(self):
+        q, _, _ = make_queue_with([1.0, 2.0])
+        q.clear()
+        assert len(q) == 0
+        assert q.peek() is None
+
+    def test_handle_reports_time(self):
+        q = EventQueue()
+        h = q.push(7.5, lambda: None)
+        assert h.time == 7.5

@@ -1,0 +1,174 @@
+"""Unit tests for sites and the per-site execution service."""
+
+import pytest
+
+from repro.gridsim.execution import ExecutionService, ExecutionServiceDown
+from repro.gridsim.job import JobState, Task, TaskSpec
+from repro.gridsim.site import ChargeRates, Site
+
+
+def make_service(sim, load=0.0, n_nodes=1):
+    site = Site.simple(sim, "siteX", n_nodes=n_nodes, background_load=load)
+    return ExecutionService(site)
+
+
+def make_task(work=100.0, **kw):
+    return Task(spec=TaskSpec(**kw), work_seconds=work)
+
+
+class TestSite:
+    def test_simple_constructor(self, sim):
+        site = Site.simple(sim, "s", n_nodes=3, cpus_per_node=2, background_load=0.5)
+        assert len(site.nodes) == 3
+        assert site.pool.total_slots == 6
+        assert site.nodes[0].load_at(0.0) == 0.5
+
+    def test_charge_rates_default(self, sim):
+        site = Site.simple(sim, "s")
+        assert site.charge_rates.cpu_hour == 1.0
+
+    def test_charge_rates_validation(self):
+        with pytest.raises(ValueError):
+            ChargeRates(cpu_hour=-1.0)
+
+    def test_current_load_delegates(self, sim):
+        site = Site.simple(sim, "s", background_load=2.0)
+        assert site.current_load() == pytest.approx(2.0)
+
+
+class TestExecutionServiceBasics:
+    def test_name_derived_from_site(self, sim):
+        assert make_service(sim).name == "execution.siteX"
+
+    def test_submit_and_status(self, sim):
+        es = make_service(sim)
+        t = make_task(work=50.0)
+        cid = es.submit_task(t)
+        assert cid == 1
+        assert es.job_status(t.task_id).state is JobState.RUNNING
+
+    def test_elapsed_runtime_tracks_accrual(self, sim):
+        es = make_service(sim, load=1.0)
+        t = make_task(work=100.0)
+        es.submit_task(t)
+        sim.run_until(60.0)
+        assert es.elapsed_runtime(t.task_id) == pytest.approx(30.0)
+
+    def test_queue_introspection(self, sim):
+        es = make_service(sim)
+        t1, t2 = make_task(), make_task()
+        es.submit_task(t1)
+        es.submit_task(t2)
+        assert [a.task_id for a in es.queue_info()] == [t2.task_id]
+        assert [a.task_id for a in es.running_info()] == [t1.task_id]
+        assert es.queue_position(t2.task_id) == 0
+        assert es.queue_position(t1.task_id) == -1
+
+    def test_job_control_verbs(self, sim):
+        es = make_service(sim)
+        t = make_task(work=100.0)
+        es.submit_task(t)
+        es.pause_task(t.task_id)
+        assert t.state is JobState.PAUSED
+        es.resume_task(t.task_id)
+        assert t.state is JobState.RUNNING
+        es.set_task_priority(t.task_id, 7)
+        assert es.job_status(t.task_id).priority == 7
+        es.kill_task(t.task_id)
+        assert t.state is JobState.KILLED
+
+    def test_vacate_returns_ad(self, sim):
+        es = make_service(sim)
+        t = make_task(work=100.0)
+        es.submit_task(t)
+        sim.run_until(25.0)
+        ad = es.vacate_task(t.task_id)
+        assert ad.accrued_work == pytest.approx(25.0)
+
+
+class TestEstimatorHook:
+    def test_no_estimator_raises(self, sim):
+        es = make_service(sim)
+        assert not es.has_estimator
+        with pytest.raises(RuntimeError):
+            es.estimate_runtime(TaskSpec())
+
+    def test_installed_estimator_called(self, sim):
+        es = make_service(sim)
+        es.runtime_estimator = lambda spec: spec.requested_cpu_hours * 3600.0
+        assert es.has_estimator
+        assert es.estimate_runtime(TaskSpec(requested_cpu_hours=2.0)) == pytest.approx(7200.0)
+
+
+class TestFailure:
+    def test_ping_when_up(self, sim):
+        assert make_service(sim).ping() is True
+
+    def test_failed_service_raises_everywhere(self, sim):
+        es = make_service(sim)
+        t = make_task()
+        es.submit_task(t)
+        es.fail()
+        for call in (
+            lambda: es.ping(),
+            lambda: es.submit_task(make_task()),
+            lambda: es.job_status(t.task_id),
+            lambda: es.queue_info(),
+            lambda: es.kill_task(t.task_id),
+        ):
+            with pytest.raises(ExecutionServiceDown):
+                call()
+
+    def test_fail_crashes_pool_by_default(self, sim):
+        es = make_service(sim)
+        t = make_task()
+        es.submit_task(t)
+        victims = es.fail()
+        assert [v.task_id for v in victims] == [t.task_id]
+        assert t.state is JobState.FAILED
+
+    def test_fail_without_crash_keeps_tasks(self, sim):
+        es = make_service(sim)
+        t = make_task()
+        es.submit_task(t)
+        assert es.fail(crash_pool=False) == []
+        assert t.state is JobState.RUNNING
+
+    def test_recover_restores_service(self, sim):
+        es = make_service(sim)
+        es.fail()
+        es.recover()
+        assert es.ping() is True
+
+
+class TestFilesAndState:
+    def test_completed_task_files_retrievable(self, sim):
+        es = make_service(sim)
+        t = make_task(work=10.0, output_files=("result.root",))
+        es.submit_task(t)
+        sim.run()
+        assert es.retrieve_local_files(t.task_id) == ["result.root"]
+
+    def test_failed_task_leaves_partials(self, sim):
+        es = make_service(sim)
+        t = make_task(output_files=("result.root",))
+        es.submit_task(t)
+        es.pool.fail_task(t.task_id)
+        assert es.retrieve_local_files(t.task_id) == ["result.root.partial"]
+
+    def test_running_task_has_no_retrievable_files(self, sim):
+        es = make_service(sim)
+        t = make_task(output_files=("x",))
+        es.submit_task(t)
+        assert es.retrieve_local_files(t.task_id) == []
+
+    def test_execution_state_struct(self, sim):
+        es = make_service(sim)
+        t = make_task(work=10.0, owner="alice")
+        es.submit_task(t)
+        sim.run()
+        state = es.execution_state(t.task_id)
+        assert state["state"] == "completed"
+        assert state["owner"] == "alice"
+        assert state["site"] == "siteX"
+        assert state["progress"] == pytest.approx(1.0)

@@ -1,0 +1,119 @@
+"""Unit and robustness tests for stochastic fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.steering.optimizer import SteeringPolicy
+from repro.gae import build_gae
+from repro.gridsim import GridBuilder, Job, JobState, Task, TaskSpec
+from repro.gridsim.clock import Simulator
+from repro.gridsim.execution import ExecutionService, ExecutionServiceDown
+from repro.gridsim.faults import FaultInjector, FaultPlan
+from repro.gridsim.site import Site
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(mtbf_s=0.0, mttr_s=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(mtbf_s=1.0, mttr_s=-1.0)
+
+
+class TestFaultInjector:
+    def make(self, mtbf=100.0, mttr=50.0, seed=0):
+        sim = Simulator()
+        es = ExecutionService(Site.simple(sim, "s"))
+        injector = FaultInjector(sim, rng=np.random.default_rng(seed))
+        injector.add_site(es, mtbf_s=mtbf, mttr_s=mttr)
+        return sim, es, injector
+
+    def test_failure_then_repair_cycle(self):
+        sim, es, injector = self.make()
+        injector.start()
+        sim.run_until(2000.0)
+        kinds = [e.kind for e in injector.events]
+        assert "failure" in kinds and "repair" in kinds
+        # Events alternate: failure, repair, failure, ...
+        for a, b in zip(kinds, kinds[1:]):
+            assert a != b
+
+    def test_service_actually_goes_down_and_up(self):
+        sim, es, injector = self.make()
+        injector.start()
+        first_failure = None
+        while first_failure is None:
+            sim.step()
+            if injector.events:
+                first_failure = injector.events[0]
+        with pytest.raises(ExecutionServiceDown):
+            es.ping()
+        # Run until the matching repair.
+        while len(injector.events) < 2:
+            sim.step()
+        assert es.ping() is True
+
+    def test_deterministic_per_seed(self):
+        _, _, a = self.make(seed=9)
+        a.start()
+        a.sim.run_until(5000.0)
+        _, _, b = self.make(seed=9)
+        b.start()
+        b.sim.run_until(5000.0)
+        assert [(e.time, e.kind) for e in a.events] == [(e.time, e.kind) for e in b.events]
+
+    def test_availability_accounting(self):
+        sim, es, injector = self.make(mtbf=100.0, mttr=100.0)
+        injector.start()
+        sim.run_until(10000.0)
+        avail = injector.availability("s", 10000.0)
+        # MTBF == MTTR -> availability near 50 %.
+        assert 0.3 < avail < 0.7
+
+    def test_duplicate_site_rejected(self):
+        sim, es, injector = self.make()
+        with pytest.raises(ValueError):
+            injector.add_site(es, mtbf_s=1.0, mttr_s=1.0)
+
+    def test_double_start_rejected(self):
+        sim, es, injector = self.make()
+        injector.start()
+        with pytest.raises(RuntimeError):
+            injector.start()
+
+
+class TestRobustnessUnderChurn:
+    def test_all_jobs_complete_despite_site_churn(self):
+        """The headline robustness property: with Backup & Recovery running,
+        every job completes even while sites fail and recover underneath."""
+        grid = (
+            GridBuilder(seed=55)
+            .site("a", nodes=2).site("b", nodes=2).site("c", nodes=2)
+            .probe_noise(0.0)
+            .build()
+        )
+        policy = SteeringPolicy(poll_interval_s=30.0, min_elapsed_wall_s=1e9)
+        gae = build_gae(grid, policy=policy)
+        gae.add_user("u", "pw")
+
+        injector = FaultInjector(gae.sim, rng=np.random.default_rng(3))
+        # Only two of three sites churn; one stays reliable so completion
+        # is always possible.
+        injector.add_site(gae.grid.execution_services["a"], mtbf_s=600.0, mttr_s=300.0)
+        injector.add_site(gae.grid.execution_services["b"], mtbf_s=600.0, mttr_s=300.0)
+
+        tasks = [
+            Task(spec=TaskSpec(owner="u", requested_cpu_hours=0.1), work_seconds=300.0)
+            for _ in range(6)
+        ]
+        for t in tasks:
+            gae.scheduler.submit_job(Job(tasks=[t], owner="u"))
+
+        gae.start()
+        injector.start()
+        gae.grid.run_until(40000.0)
+        gae.stop()
+
+        assert injector.failures(), "churn must actually have happened"
+        for t in tasks:
+            assert t.state is JobState.COMPLETED, f"{t.task_id} ended {t.state}"

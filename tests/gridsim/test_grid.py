@@ -1,0 +1,79 @@
+"""Unit tests for the GridBuilder facade."""
+
+import pytest
+
+from repro.gridsim import GridBuilder, Job, LoadProfile, Task, TaskSpec
+
+
+class TestGridBuilder:
+    def test_builds_declared_sites(self, two_site_grid):
+        assert sorted(two_site_grid.sites) == ["siteA", "siteB"]
+        assert sorted(two_site_grid.execution_services) == ["siteA", "siteB"]
+
+    def test_background_load_applied(self, two_site_grid):
+        assert two_site_grid.site("siteA").nodes[0].load_at(0.0) == 1.5
+        assert two_site_grid.site("siteB").nodes[0].load_at(0.0) == 0.0
+
+    def test_explicit_load_profile_wins(self):
+        profile = LoadProfile.steps([(0.0, 0.0), (100.0, 5.0)])
+        grid = GridBuilder().site("s", background_load=9.0, load_profile=profile).build()
+        assert grid.site("s").nodes[0].load_at(50.0) == 0.0
+        assert grid.site("s").nodes[0].load_at(150.0) == 5.0
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ValueError):
+            GridBuilder().site("x").site("x")
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GridBuilder().build()
+
+    def test_links_registered(self, two_site_grid):
+        assert two_site_grid.network.path_bandwidth_mbps("siteA", "siteB") == 100.0
+
+    def test_files_published(self):
+        grid = (
+            GridBuilder()
+            .site("a").site("b")
+            .link("a", "b", capacity_mbps=10.0)
+            .file("data.db", size_mb=50.0, at="a")
+            .build()
+        )
+        assert grid.catalog.replicas("data.db") == {"a"}
+
+    def test_flocking_configured(self):
+        grid = GridBuilder().site("a").site("b").flock("a", "b").build()
+        assert grid.sites["b"].pool in grid.sites["a"].pool.flock_targets
+
+    def test_charge_rates_configurable(self):
+        grid = GridBuilder().site("s", cpu_hour_rate=5.0, idle_hour_rate=0.5).build()
+        assert grid.site("s").charge_rates.cpu_hour == 5.0
+
+    def test_scheduler_knows_all_sites(self, two_site_grid):
+        assert two_site_grid.scheduler.sites() == ["siteA", "siteB"]
+
+    def test_end_to_end_job_run(self, two_site_grid):
+        for es in two_site_grid.execution_services.values():
+            es.runtime_estimator = lambda spec: spec.requested_cpu_hours * 3600.0
+        t = Task(spec=TaskSpec(requested_cpu_hours=0.1), work_seconds=360.0)
+        two_site_grid.scheduler.submit_job(Job(tasks=[t], owner="u"))
+        two_site_grid.run()
+        assert t.state.value == "completed"
+
+    def test_probe_noise_zero_gives_exact_probe(self, two_site_grid):
+        r = two_site_grid.probe.measure("siteA", "siteB")
+        assert r.measured_mbps == r.true_mbps
+
+    def test_same_seed_same_grid_behaviour(self):
+        def build_and_probe(seed):
+            grid = (
+                GridBuilder(seed=seed)
+                .site("a").site("b")
+                .link("a", "b", capacity_mbps=100.0)
+                .probe_noise(0.1)
+                .build()
+            )
+            return [grid.probe.measure("a", "b").measured_mbps for _ in range(5)]
+
+        assert build_and_probe(3) == build_and_probe(3)
+        assert build_and_probe(3) != build_and_probe(4)

@@ -1,0 +1,230 @@
+"""Unit tests for tasks, jobs, DAGs and concrete job plans."""
+
+import pytest
+
+from repro.gridsim.job import (
+    ConcreteJobPlan,
+    DependencyError,
+    Job,
+    JobState,
+    Task,
+    TaskBinding,
+    TaskSpec,
+    bag_of_tasks,
+    sequential_job,
+)
+
+
+def make_task(work=100.0, **spec_kwargs):
+    return Task(spec=TaskSpec(**spec_kwargs), work_seconds=work)
+
+
+class TestTaskSpec:
+    def test_defaults(self):
+        spec = TaskSpec()
+        assert spec.nodes == 1
+        assert spec.task_type == "batch"
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            TaskSpec(nodes=0)
+
+    def test_invalid_requested_hours(self):
+        with pytest.raises(ValueError):
+            TaskSpec(requested_cpu_hours=0.0)
+
+    def test_invalid_task_type(self):
+        with pytest.raises(ValueError):
+            TaskSpec(task_type="weird")
+
+    def test_attributes_cover_template_fields(self):
+        attrs = TaskSpec(owner="u", executable="e").attributes()
+        assert attrs["owner"] == "u"
+        assert attrs["executable"] == "e"
+        assert set(attrs) == {
+            "owner", "account", "partition", "queue", "nodes", "task_type", "executable",
+        }
+
+    def test_with_priority_returns_copy(self):
+        spec = TaskSpec(priority=0)
+        updated = spec.with_priority(9)
+        assert updated.priority == 9
+        assert spec.priority == 0
+
+
+class TestTask:
+    def test_work_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Task(spec=TaskSpec(), work_seconds=0.0)
+
+    def test_unique_ids(self):
+        a, b = make_task(), make_task()
+        assert a.task_id != b.task_id
+
+    def test_initial_state_pending(self):
+        assert make_task().state is JobState.PENDING
+
+
+class TestJobStates:
+    def test_terminal_states(self):
+        for state in (JobState.COMPLETED, JobState.FAILED, JobState.KILLED, JobState.MOVED):
+            assert state.is_terminal
+        for state in (JobState.PENDING, JobState.QUEUED, JobState.RUNNING, JobState.PAUSED):
+            assert not state.is_terminal
+
+    def test_active_states(self):
+        assert JobState.RUNNING.is_active
+        assert JobState.QUEUED.is_active
+        assert JobState.PAUSED.is_active
+        assert not JobState.PENDING.is_active
+        assert not JobState.COMPLETED.is_active
+
+
+class TestJob:
+    def test_requires_tasks(self):
+        with pytest.raises(ValueError):
+            Job(tasks=[])
+
+    def test_tasks_inherit_job_id(self):
+        t = make_task()
+        job = Job(tasks=[t])
+        assert t.job_id == job.job_id
+
+    def test_duplicate_task_ids_rejected(self):
+        t = make_task()
+        with pytest.raises(DependencyError):
+            Job(tasks=[t, t])
+
+    def test_unknown_dependency_target_rejected(self):
+        t = make_task()
+        with pytest.raises(DependencyError):
+            Job(tasks=[t], dependencies={"nope": (t.task_id,)})
+
+    def test_unknown_parent_rejected(self):
+        t = make_task()
+        with pytest.raises(DependencyError):
+            Job(tasks=[t], dependencies={t.task_id: ("ghost",)})
+
+    def test_cycle_rejected(self):
+        a, b = make_task(), make_task()
+        with pytest.raises(DependencyError):
+            Job(tasks=[a, b], dependencies={a.task_id: (b.task_id,), b.task_id: (a.task_id,)})
+
+    def test_self_cycle_rejected(self):
+        a = make_task()
+        with pytest.raises(DependencyError):
+            Job(tasks=[a], dependencies={a.task_id: (a.task_id,)})
+
+    def test_task_lookup(self):
+        a = make_task()
+        job = Job(tasks=[a])
+        assert job.task(a.task_id) is a
+        with pytest.raises(KeyError):
+            job.task("missing")
+
+    def test_ready_tasks_respect_dependencies(self):
+        a, b, c = make_task(), make_task(), make_task()
+        job = Job(
+            tasks=[a, b, c],
+            dependencies={b.task_id: (a.task_id,), c.task_id: (b.task_id,)},
+        )
+        assert job.ready_tasks([]) == [a]
+        assert job.ready_tasks([a.task_id]) == [b]
+        assert job.ready_tasks([a.task_id, b.task_id]) == [c]
+
+    def test_ready_tasks_skips_non_pending(self):
+        a = make_task()
+        job = Job(tasks=[a])
+        a.state = JobState.RUNNING
+        assert job.ready_tasks([]) == []
+
+    def test_topological_order_valid(self):
+        a, b, c, d = (make_task() for _ in range(4))
+        job = Job(
+            tasks=[d, c, b, a],
+            dependencies={
+                b.task_id: (a.task_id,),
+                c.task_id: (a.task_id,),
+                d.task_id: (b.task_id, c.task_id),
+            },
+        )
+        order = [t.task_id for t in job.topological_order()]
+        assert order.index(a.task_id) < order.index(b.task_id)
+        assert order.index(a.task_id) < order.index(c.task_id)
+        assert order.index(b.task_id) < order.index(d.task_id)
+        assert order.index(c.task_id) < order.index(d.task_id)
+
+    def test_aggregate_state_precedence(self):
+        a, b = make_task(), make_task()
+        job = Job(tasks=[a, b])
+        assert job.state is JobState.PENDING
+        a.state = JobState.QUEUED
+        assert job.state is JobState.QUEUED
+        a.state = JobState.RUNNING
+        assert job.state is JobState.RUNNING
+        b.state = JobState.FAILED
+        assert job.state is JobState.FAILED
+        b.state = JobState.COMPLETED
+        a.state = JobState.COMPLETED
+        assert job.state is JobState.COMPLETED
+
+
+class TestConcreteJobPlan:
+    def make_plan(self):
+        a, b = make_task(), make_task()
+        job = Job(tasks=[a, b])
+        plan = ConcreteJobPlan(
+            job_id=job.job_id,
+            bindings=(
+                TaskBinding(a.task_id, "siteA"),
+                TaskBinding(b.task_id, "siteB"),
+            ),
+        )
+        return job, plan, a, b
+
+    def test_site_for(self):
+        _, plan, a, b = self.make_plan()
+        assert plan.site_for(a.task_id) == "siteA"
+        assert plan.site_for(b.task_id) == "siteB"
+
+    def test_site_for_unknown_raises(self):
+        _, plan, _, _ = self.make_plan()
+        with pytest.raises(KeyError):
+            plan.site_for("ghost")
+
+    def test_sites_deduplicated_in_order(self):
+        a, b = make_task(), make_task()
+        plan = ConcreteJobPlan(
+            job_id="j",
+            bindings=(TaskBinding(a.task_id, "s1"), TaskBinding(b.task_id, "s1")),
+        )
+        assert plan.sites() == ["s1"]
+
+    def test_rebind_moves_one_task(self):
+        _, plan, a, b = self.make_plan()
+        new = plan.rebind(a.task_id, "siteC")
+        assert new.site_for(a.task_id) == "siteC"
+        assert new.site_for(b.task_id) == "siteB"
+        assert plan.site_for(a.task_id) == "siteA"  # original untouched
+
+    def test_rebind_unknown_raises(self):
+        _, plan, _, _ = self.make_plan()
+        with pytest.raises(KeyError):
+            plan.rebind("ghost", "siteC")
+
+
+class TestJobFactories:
+    def test_sequential_job_chains_dependencies(self):
+        specs = [TaskSpec(executable=f"s{i}") for i in range(3)]
+        job = sequential_job(specs, [10.0, 20.0, 30.0])
+        order = job.topological_order()
+        assert [t.spec.executable for t in order] == ["s0", "s1", "s2"]
+
+    def test_sequential_job_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sequential_job([TaskSpec()], [1.0, 2.0])
+
+    def test_bag_of_tasks_has_no_dependencies(self):
+        job = bag_of_tasks([TaskSpec(), TaskSpec()], [5.0, 6.0])
+        assert job.dependencies == {}
+        assert len(job.ready_tasks([])) == 2

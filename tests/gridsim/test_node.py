@@ -1,0 +1,144 @@
+"""Unit tests for load profiles and nodes."""
+
+import numpy as np
+import pytest
+
+from repro.gridsim.node import LoadProfile, Node
+
+
+class TestLoadProfileBasics:
+    def test_constant_profile(self):
+        p = LoadProfile.constant(2.0)
+        assert p.load_at(0.0) == 2.0
+        assert p.load_at(1e9) == 2.0
+
+    def test_free_profile_rate_is_one(self):
+        p = LoadProfile.free()
+        assert p.rate_at(123.0) == 1.0
+
+    def test_steps_switch_at_boundaries(self):
+        p = LoadProfile.steps([(0.0, 0.0), (100.0, 3.0)])
+        assert p.load_at(99.999) == 0.0
+        assert p.load_at(100.0) == 3.0
+        assert p.load_at(500.0) == 3.0
+
+    def test_implicit_free_before_first_segment(self):
+        p = LoadProfile.steps([(50.0, 4.0)])
+        assert p.load_at(0.0) == 0.0
+        assert p.load_at(50.0) == 4.0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            LoadProfile.constant(-0.5)
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(ValueError):
+            LoadProfile([])
+
+    def test_rate_formula(self):
+        p = LoadProfile.constant(1.0)
+        assert p.rate_at(0.0) == pytest.approx(0.5)
+        assert LoadProfile.constant(3.0).rate_at(0.0) == pytest.approx(0.25)
+
+    def test_next_change_after(self):
+        p = LoadProfile.steps([(0.0, 0.0), (10.0, 1.0), (20.0, 2.0)])
+        assert p.next_change_after(0.0) == 10.0
+        assert p.next_change_after(10.0) == 20.0
+        assert p.next_change_after(20.0) is None
+
+
+class TestWorkIntegration:
+    def test_work_on_free_cpu_equals_wall_time(self):
+        p = LoadProfile.free()
+        assert p.work_between(0.0, 283.0) == pytest.approx(283.0)
+
+    def test_work_under_load_is_diluted(self):
+        p = LoadProfile.constant(1.0)
+        assert p.work_between(0.0, 100.0) == pytest.approx(50.0)
+
+    def test_work_across_segment_boundary(self):
+        p = LoadProfile.steps([(0.0, 0.0), (50.0, 1.0)])
+        # 50 s free + 50 s at half rate = 75 CPU-seconds
+        assert p.work_between(0.0, 100.0) == pytest.approx(75.0)
+
+    def test_work_between_backwards_raises(self):
+        with pytest.raises(ValueError):
+            LoadProfile.free().work_between(10.0, 5.0)
+
+    def test_time_to_accrue_on_free_cpu(self):
+        assert LoadProfile.free().time_to_accrue(0.0, 283.0) == pytest.approx(283.0)
+
+    def test_time_to_accrue_under_load(self):
+        assert LoadProfile.constant(1.0).time_to_accrue(0.0, 50.0) == pytest.approx(100.0)
+
+    def test_time_to_accrue_across_boundary(self):
+        p = LoadProfile.steps([(0.0, 1.0), (100.0, 0.0)])
+        # First 100 s yields 50 CPU-s, remaining 25 at full rate.
+        assert p.time_to_accrue(0.0, 75.0) == pytest.approx(125.0)
+
+    def test_time_to_accrue_zero_work(self):
+        assert LoadProfile.constant(5.0).time_to_accrue(10.0, 0.0) == 0.0
+
+    def test_time_to_accrue_negative_raises(self):
+        with pytest.raises(ValueError):
+            LoadProfile.free().time_to_accrue(0.0, -1.0)
+
+    def test_inverse_relation(self):
+        """work_between(t0, t0 + time_to_accrue(t0, w)) == w."""
+        p = LoadProfile.steps([(0.0, 2.0), (30.0, 0.5), (90.0, 4.0)])
+        for w in (1.0, 25.0, 80.0, 300.0):
+            t = p.time_to_accrue(5.0, w)
+            assert p.work_between(5.0, 5.0 + t) == pytest.approx(w, rel=1e-9)
+
+
+class TestRandomWalkProfile:
+    def test_random_walk_deterministic_per_seed(self):
+        a = LoadProfile.random_walk(np.random.default_rng(1), horizon=1000.0)
+        b = LoadProfile.random_walk(np.random.default_rng(1), horizon=1000.0)
+        for t in (0.0, 300.0, 600.0, 900.0):
+            assert a.load_at(t) == b.load_at(t)
+
+    def test_random_walk_loads_nonnegative(self):
+        p = LoadProfile.random_walk(np.random.default_rng(2), horizon=5000.0, volatility=2.0)
+        for t in np.linspace(0, 5000, 50):
+            assert p.load_at(float(t)) >= 0.0
+
+    def test_random_walk_validation(self):
+        with pytest.raises(ValueError):
+            LoadProfile.random_walk(np.random.default_rng(0), horizon=0.0)
+
+
+class TestNode:
+    def test_slot_accounting(self):
+        n = Node(name="n", cpu_count=2)
+        assert n.free_slots == 2
+        n.occupy("t1")
+        n.occupy("t2")
+        assert n.free_slots == 0
+        n.release("t1")
+        assert n.free_slots == 1
+
+    def test_occupy_full_node_raises(self):
+        n = Node(name="n", cpu_count=1)
+        n.occupy("t1")
+        with pytest.raises(RuntimeError):
+            n.occupy("t2")
+
+    def test_double_occupy_same_task_raises(self):
+        n = Node(name="n", cpu_count=2)
+        n.occupy("t1")
+        with pytest.raises(RuntimeError):
+            n.occupy("t1")
+
+    def test_release_unknown_raises(self):
+        n = Node(name="n")
+        with pytest.raises(ValueError):
+            n.release("ghost")
+
+    def test_invalid_cpu_count(self):
+        with pytest.raises(ValueError):
+            Node(name="n", cpu_count=0)
+
+    def test_load_at_delegates_to_profile(self):
+        n = Node(name="n", load_profile=LoadProfile.constant(1.5))
+        assert n.load_at(99.0) == 1.5

@@ -1,0 +1,55 @@
+"""Unit tests for deterministic random streams."""
+
+import numpy as np
+
+from repro.gridsim.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(seed=1).stream("workload").random(5)
+        b = RngStreams(seed=1).stream("workload").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(seed=1).stream("workload").random(5)
+        b = RngStreams(seed=2).stream("workload").random(5)
+        assert not np.allclose(a, b)
+
+    def test_different_names_are_independent(self):
+        rngs = RngStreams(seed=1)
+        a = rngs.stream("a").random(5)
+        b = rngs.stream("b").random(5)
+        assert not np.allclose(a, b)
+
+    def test_stream_cached_by_name(self):
+        rngs = RngStreams(seed=1)
+        assert rngs.stream("x") is rngs.stream("x")
+
+    def test_creation_order_irrelevant(self):
+        r1 = RngStreams(seed=9)
+        r1.stream("first")
+        a = r1.stream("target").random(3)
+
+        r2 = RngStreams(seed=9)
+        r2.stream("other")
+        r2.stream("yet-another")
+        b = r2.stream("target").random(3)
+        assert np.allclose(a, b)
+
+    def test_draws_on_one_stream_do_not_perturb_another(self):
+        r1 = RngStreams(seed=3)
+        r1.stream("noisy").random(1000)
+        a = r1.stream("quiet").random(3)
+
+        r2 = RngStreams(seed=3)
+        b = r2.stream("quiet").random(3)
+        assert np.allclose(a, b)
+
+    def test_fork_indexed_streams(self):
+        rngs = RngStreams(seed=4)
+        a = rngs.fork("site", 0).random(3)
+        b = rngs.fork("site", 1).random(3)
+        assert not np.allclose(a, b)
+        again = RngStreams(seed=4).fork("site", 0).random(3)
+        assert np.allclose(a, again)

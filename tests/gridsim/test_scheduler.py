@@ -1,0 +1,261 @@
+"""Unit tests for the Sphinx-like scheduler."""
+
+import pytest
+
+from repro.gridsim.clock import Simulator
+from repro.gridsim.execution import ExecutionService
+from repro.gridsim.job import Job, JobState, Task, TaskSpec
+from repro.gridsim.scheduler import SchedulingError, SphinxScheduler, default_ranking
+from repro.gridsim.site import Site
+
+
+def make_env(loads={"fast": 0.0, "slow": 2.0}):
+    sim = Simulator()
+    scheduler = SphinxScheduler(sim)
+    services = {}
+    for name, load in loads.items():
+        site = Site.simple(sim, name, background_load=load)
+        es = ExecutionService(site)
+        es.runtime_estimator = lambda spec: spec.requested_cpu_hours * 3600.0
+        scheduler.register_site(es)
+        services[name] = es
+    return sim, scheduler, services
+
+
+def make_task(work=100.0, **kw):
+    kw.setdefault("requested_cpu_hours", work / 3600.0)
+    return Task(spec=TaskSpec(**kw), work_seconds=work)
+
+
+class TestRanking:
+    def test_default_ranking_monotone(self):
+        assert default_ranking(100.0, 0.0, 0.0) < default_ranking(100.0, 1.0, 0.0)
+        assert default_ranking(100.0, 0.0, 0.0) < default_ranking(100.0, 0.0, 50.0)
+
+    def test_rank_sites_sorted_best_first(self):
+        _, scheduler, _ = make_env()
+        ranks = scheduler.rank_sites(make_task())
+        assert [r.site_name for r in ranks] == ["fast", "slow"]
+        assert ranks[0].score <= ranks[1].score
+
+    def test_select_site_picks_least_loaded(self):
+        _, scheduler, _ = make_env()
+        assert scheduler.select_site(make_task()) == "fast"
+
+    def test_exclusion_respected(self):
+        _, scheduler, _ = make_env()
+        assert scheduler.select_site(make_task(), exclude={"fast"}) == "slow"
+
+    def test_down_sites_skipped(self):
+        _, scheduler, services = make_env()
+        services["fast"].fail()
+        assert scheduler.select_site(make_task()) == "slow"
+
+    def test_no_sites_raises(self):
+        sim = Simulator()
+        scheduler = SphinxScheduler(sim)
+        with pytest.raises(SchedulingError):
+            scheduler.select_site(make_task())
+
+    def test_missing_estimator_uses_fallback(self):
+        sim = Simulator()
+        scheduler = SphinxScheduler(sim, fallback_runtime=1234.0)
+        es = ExecutionService(Site.simple(sim, "bare"))
+        scheduler.register_site(es)
+        ranks = scheduler.rank_sites(make_task())
+        assert ranks[0].estimated_runtime == 1234.0
+
+    def test_load_oracle_overrides_direct_query(self):
+        sim = Simulator()
+        scheduler = SphinxScheduler(sim, load_oracle=lambda s: {"a": 9.0, "b": 0.0}[s])
+        for name in ("a", "b"):
+            es = ExecutionService(Site.simple(sim, name))
+            es.runtime_estimator = lambda spec: 100.0
+            scheduler.register_site(es)
+        assert scheduler.select_site(make_task()) == "b"
+
+    def test_duplicate_site_registration_rejected(self):
+        sim, scheduler, services = make_env()
+        with pytest.raises(SchedulingError):
+            scheduler.register_site(services["fast"])
+
+
+class TestJobSubmission:
+    def test_plan_binds_every_task(self):
+        _, scheduler, _ = make_env()
+        job = Job(tasks=[make_task(), make_task()], owner="u")
+        plan = scheduler.submit_job(job)
+        assert {b.task_id for b in plan.bindings} == {t.task_id for t in job.tasks}
+
+    def test_plan_listeners_notified(self):
+        _, scheduler, _ = make_env()
+        received = []
+        scheduler.plan_listeners.append(lambda plan, job: received.append((plan, job)))
+        job = Job(tasks=[make_task()], owner="u")
+        scheduler.submit_job(job)
+        assert received[0][1] is job
+
+    def test_submission_listeners_notified(self):
+        _, scheduler, _ = make_env()
+        seen = []
+        scheduler.submission_listeners.append(lambda t, s: seen.append((t.task_id, s)))
+        job = Job(tasks=[make_task()], owner="u")
+        scheduler.submit_job(job)
+        assert len(seen) == 1
+
+    def test_double_submission_rejected(self):
+        _, scheduler, _ = make_env()
+        job = Job(tasks=[make_task()], owner="u")
+        scheduler.submit_job(job)
+        with pytest.raises(SchedulingError):
+            scheduler.submit_job(job)
+
+    def test_dag_tasks_submitted_in_dependency_order(self):
+        sim, scheduler, _ = make_env()
+        a, b = make_task(work=50.0), make_task(work=30.0)
+        job = Job(tasks=[a, b], owner="u", dependencies={b.task_id: (a.task_id,)})
+        scheduler.submit_job(job)
+        assert a.state is JobState.RUNNING
+        assert b.state is JobState.PENDING  # waits for a
+        sim.run()
+        assert a.state is JobState.COMPLETED
+        assert b.state is JobState.COMPLETED
+
+    def test_completion_listeners_fire(self):
+        sim, scheduler, _ = make_env()
+        done = []
+        scheduler.completion_listeners.append(lambda t, s: done.append(t.task_id))
+        t = make_task(work=10.0)
+        scheduler.submit_job(Job(tasks=[t], owner="u"))
+        sim.run()
+        assert done == [t.task_id]
+
+    def test_plan_lookup(self):
+        _, scheduler, _ = make_env()
+        t = make_task()
+        job = Job(tasks=[t], owner="u")
+        plan = scheduler.submit_job(job)
+        assert scheduler.plan(job.job_id) == plan
+        assert scheduler.job(job.job_id) is job
+        assert scheduler.site_of_task(t.task_id) == plan.site_for(t.task_id)
+
+    def test_unknown_job_raises(self):
+        _, scheduler, _ = make_env()
+        with pytest.raises(SchedulingError):
+            scheduler.plan("ghost")
+        with pytest.raises(SchedulingError):
+            scheduler.job("ghost")
+
+
+class TestRedirection:
+    def test_redirect_moves_task_and_updates_plan(self):
+        sim, scheduler, services = make_env()
+        t = make_task(work=100.0)
+        job = Job(tasks=[t], owner="u")
+        scheduler.submit_job(job)          # lands on "fast"
+        sim.run_until(10.0)
+        services["fast"].vacate_task(t.task_id)
+        new_site = scheduler.redirect_task(t.task_id, carry_work=0.0)
+        assert new_site == "slow"
+        assert scheduler.plan(job.job_id).site_for(t.task_id) == "slow"
+        assert services["slow"].pool.has_task(t.task_id)
+
+    def test_redirect_explicit_target(self):
+        sim, scheduler, services = make_env()
+        t = make_task(work=100.0)
+        scheduler.submit_job(Job(tasks=[t], owner="u"))
+        services["fast"].vacate_task(t.task_id)
+        assert scheduler.redirect_task(t.task_id, new_site="slow") == "slow"
+
+    def test_redirect_unknown_target_rejected(self):
+        sim, scheduler, services = make_env()
+        t = make_task()
+        scheduler.submit_job(Job(tasks=[t], owner="u"))
+        services["fast"].vacate_task(t.task_id)
+        with pytest.raises(SchedulingError):
+            scheduler.redirect_task(t.task_id, new_site="ghost")
+
+    def test_redirect_carries_checkpoint_work(self):
+        sim, scheduler, services = make_env()
+        t = make_task(work=100.0)
+        t.checkpointable = True
+        scheduler.submit_job(Job(tasks=[t], owner="u"))
+        sim.run_until(40.0)
+        ad = services["fast"].vacate_task(t.task_id)
+        scheduler.redirect_task(t.task_id, carry_work=ad.accrued_work)
+        new_ad = services["slow"].pool.ad(t.task_id)
+        assert new_ad.accrued_work == pytest.approx(40.0)
+
+    def test_redirect_updated_plan_reaches_listeners(self):
+        sim, scheduler, services = make_env()
+        plans = []
+        scheduler.plan_listeners.append(lambda p, j: plans.append(p))
+        t = make_task()
+        scheduler.submit_job(Job(tasks=[t], owner="u"))
+        services["fast"].vacate_task(t.task_id)
+        scheduler.redirect_task(t.task_id)
+        assert len(plans) == 2
+        assert plans[-1].site_for(t.task_id) == "slow"
+
+
+class TestResubmission:
+    def test_resubmit_excludes_failed_site(self):
+        sim, scheduler, services = make_env()
+        t = make_task()
+        scheduler.submit_job(Job(tasks=[t], owner="u"))
+        services["fast"].fail()
+        new_site = scheduler.resubmit_task(t.task_id)
+        assert new_site == "slow"
+        assert services["slow"].pool.has_task(t.task_id)
+
+    def test_resubmit_falls_back_when_only_old_site_lives(self):
+        sim, scheduler, services = make_env(loads={"only": 0.0})
+        t = make_task()
+        scheduler.submit_job(Job(tasks=[t], owner="u"))
+        services["only"].pool.fail_task(t.task_id)
+        # exclusion leaves nothing, so it falls back to the same site
+        assert scheduler.resubmit_task(t.task_id) == "only"
+
+    def test_resubmit_unknown_task_raises(self):
+        _, scheduler, _ = make_env()
+        with pytest.raises(SchedulingError):
+            scheduler.resubmit_task("ghost")
+
+
+class TestCommitmentAwareBalancing:
+    def test_bag_of_tasks_spreads_across_tied_sites(self):
+        """Planning a whole job in one instant must not pile every task on
+        the alphabetically-first site."""
+        sim = Simulator()
+        scheduler = SphinxScheduler(sim, load_oracle=lambda s: 0.0)
+        for name in ("s0", "s1", "s2", "s3"):
+            es = ExecutionService(Site.simple(sim, name, n_nodes=2))
+            es.runtime_estimator = lambda spec: 600.0
+            scheduler.register_site(es)
+        job = Job(tasks=[make_task(work=600.0) for _ in range(8)], owner="u")
+        plan = scheduler.submit_job(job)
+        assert len(plan.sites()) == 4  # all four sites used
+
+    def test_commitments_release_on_completion(self):
+        sim = Simulator()
+        scheduler = SphinxScheduler(sim, load_oracle=lambda s: 0.0)
+        es = ExecutionService(Site.simple(sim, "only"))
+        es.runtime_estimator = lambda spec: 10.0
+        scheduler.register_site(es)
+        t = make_task(work=10.0)
+        scheduler.submit_job(Job(tasks=[t], owner="u"))
+        assert scheduler._commitments[t.task_id] == "only"
+        sim.run()
+        assert t.task_id not in scheduler._commitments
+
+    def test_commitment_awareness_can_be_disabled(self):
+        sim = Simulator()
+        scheduler = SphinxScheduler(sim, load_oracle=lambda s: 0.0)
+        scheduler.commitment_aware = False
+        for name in ("s0", "s1"):
+            es = ExecutionService(Site.simple(sim, name))
+            es.runtime_estimator = lambda spec: 600.0
+            scheduler.register_site(es)
+        job = Job(tasks=[make_task(work=600.0) for _ in range(4)], owner="u")
+        plan = scheduler.submit_job(job)
+        assert plan.sites() == ["s0"]  # ties all break the same way

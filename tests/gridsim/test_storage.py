@@ -1,0 +1,121 @@
+"""Unit tests for storage elements and the replica catalog."""
+
+import pytest
+
+from repro.gridsim.network import Link, Network
+from repro.gridsim.storage import GridFile, ReplicaCatalog, StorageElement, StorageError
+
+
+class TestGridFile:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            GridFile("f", size_mb=-1.0)
+
+
+class TestStorageElement:
+    def test_store_and_get(self):
+        el = StorageElement("s")
+        el.store(GridFile("f", 10.0))
+        assert el.has("f")
+        assert el.get("f").size_mb == 10.0
+
+    def test_get_missing_raises(self):
+        with pytest.raises(StorageError):
+            StorageElement("s").get("ghost")
+
+    def test_capacity_enforced(self):
+        el = StorageElement("s", capacity_mb=100.0)
+        el.store(GridFile("a", 80.0))
+        with pytest.raises(StorageError):
+            el.store(GridFile("b", 30.0))
+
+    def test_overwrite_counts_delta(self):
+        el = StorageElement("s", capacity_mb=100.0)
+        el.store(GridFile("a", 80.0))
+        el.store(GridFile("a", 95.0))  # replaces, delta 15 fits
+        assert el.used_mb == pytest.approx(95.0)
+
+    def test_delete(self):
+        el = StorageElement("s")
+        el.store(GridFile("a", 1.0))
+        el.delete("a")
+        assert not el.has("a")
+        with pytest.raises(StorageError):
+            el.delete("a")
+
+    def test_free_space_accounting(self):
+        el = StorageElement("s", capacity_mb=50.0)
+        el.store(GridFile("a", 20.0))
+        assert el.free_mb == pytest.approx(30.0)
+
+    def test_files_sorted(self):
+        el = StorageElement("s")
+        el.store(GridFile("b", 1.0))
+        el.store(GridFile("a", 1.0))
+        assert [f.name for f in el.files()] == ["a", "b"]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            StorageElement("s", capacity_mb=0.0)
+
+
+def make_catalog():
+    net = Network()
+    net.add_link(Link("near", "home", capacity_mbps=1000.0, latency_s=0.001))
+    net.add_link(Link("far", "home", capacity_mbps=10.0, latency_s=0.2))
+    catalog = ReplicaCatalog(network=net)
+    for name in ("near", "far", "home"):
+        catalog.register(StorageElement(name))
+    return catalog
+
+
+class TestReplicaCatalog:
+    def test_publish_and_replicas(self):
+        c = make_catalog()
+        c.publish("near", GridFile("data", 100.0))
+        c.publish("far", GridFile("data", 100.0))
+        assert c.replicas("data") == {"near", "far"}
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(StorageError):
+            make_catalog().lookup("ghost")
+
+    def test_unregistered_site_raises(self):
+        with pytest.raises(StorageError):
+            make_catalog().element("ghost")
+
+    def test_closest_replica_prefers_local(self):
+        c = make_catalog()
+        c.publish("home", GridFile("data", 100.0))
+        c.publish("near", GridFile("data", 100.0))
+        assert c.closest_replica("data", "home") == "home"
+
+    def test_closest_replica_by_transfer_cost(self):
+        c = make_catalog()
+        c.publish("near", GridFile("data", 100.0))
+        c.publish("far", GridFile("data", 100.0))
+        assert c.closest_replica("data", "home") == "near"
+
+    def test_closest_replica_no_replica_raises(self):
+        with pytest.raises(StorageError):
+            make_catalog().closest_replica("ghost", "home")
+
+    def test_stage_in_local_files_free(self):
+        c = make_catalog()
+        c.publish("home", GridFile("data", 100.0))
+        assert c.stage_in_time(["data"], "home") == 0.0
+
+    def test_stage_in_sums_transfers(self):
+        c = make_catalog()
+        c.publish("near", GridFile("a", 125.0))   # 1000 Mbit at 1000 Mbps = 1s
+        c.publish("near", GridFile("b", 125.0))
+        t = c.stage_in_time(["a", "b"], "home")
+        assert t == pytest.approx(2 * (0.001 + 1.0))
+
+    def test_catalog_without_network_lexicographic(self):
+        c = ReplicaCatalog()
+        c.register(StorageElement("zeta"))
+        c.register(StorageElement("alpha"))
+        c.publish("zeta", GridFile("f", 1.0))
+        c.publish("alpha", GridFile("f", 1.0))
+        assert c.closest_replica("f", "other") == "alpha"

@@ -1,0 +1,113 @@
+"""Integration tests: failure injection end-to-end through the GAE."""
+
+import pytest
+
+from repro.core.steering.optimizer import SteeringPolicy
+from repro.gae import build_gae
+from repro.gridsim import GridBuilder, Job, JobState, Task, TaskSpec
+from repro.workloads.generators import physics_analysis_job
+
+
+def make_gae(ping_interval=30.0):
+    grid = (
+        GridBuilder(seed=31)
+        .site("siteA", nodes=2, background_load=0.0)
+        .site("siteB", nodes=2, background_load=0.0)
+        .probe_noise(0.0)
+        .build()
+    )
+    policy = SteeringPolicy(poll_interval_s=ping_interval, min_elapsed_wall_s=1e9)
+    gae = build_gae(grid, policy=policy)
+    gae.add_user("alice", "pw")
+    return gae
+
+
+def pin_site(gae, site):
+    gae.scheduler.select_site = lambda t, exclude=(): site
+
+
+class TestServiceCrashRecovery:
+    def test_whole_site_crash_recovers_via_sweep(self):
+        gae = make_gae(ping_interval=30.0)
+        original = gae.scheduler.select_site
+        pin_site(gae, "siteA")
+        tasks = [Task(spec=TaskSpec(owner="alice"), work_seconds=300.0) for _ in range(2)]
+        for t in tasks:
+            gae.scheduler.submit_job(Job(tasks=[t], owner="alice"))
+        gae.scheduler.select_site = original
+        gae.start()
+        gae.grid.run_until(50.0)
+        gae.grid.execution_services["siteA"].fail()
+        gae.grid.run_until(1000.0)
+        gae.stop()
+        for t in tasks:
+            assert t.state is JobState.COMPLETED
+            assert gae.grid.execution_services["siteB"].pool.has_task(t.task_id)
+
+    def test_notifications_tell_the_whole_story(self):
+        gae = make_gae(ping_interval=30.0)
+        original = gae.scheduler.select_site
+        pin_site(gae, "siteA")
+        t = Task(spec=TaskSpec(owner="alice"), work_seconds=300.0)
+        gae.scheduler.submit_job(Job(tasks=[t], owner="alice"))
+        gae.scheduler.select_site = original
+        gae.start()
+        gae.grid.run_until(50.0)
+        gae.grid.execution_services["siteA"].fail()
+        gae.grid.run_until(1000.0)
+        gae.stop()
+        kinds = [n.kind for n in gae.steering.backup_recovery.notifications]
+        assert "failure" in kinds           # the crash failed the task
+        assert "service-failure" in kinds   # sweep saw the service down
+        assert "resubmission" in kinds      # and resubmitted
+        assert "completion" in kinds        # finally completed at siteB
+
+    def test_monitoring_db_preserves_failed_attempt(self):
+        gae = make_gae()
+        original = gae.scheduler.select_site
+        pin_site(gae, "siteA")
+        t = Task(spec=TaskSpec(owner="alice"), work_seconds=300.0)
+        gae.scheduler.submit_job(Job(tasks=[t], owner="alice"))
+        gae.scheduler.select_site = original
+        gae.grid.run_until(50.0)
+        gae.grid.execution_services["siteA"].fail()
+        # Terminal failure snapshot was pushed to the DB at crash time.
+        stored = gae.monitoring.db_manager.get(t.task_id)
+        assert stored.status == "failed"
+        assert stored.site == "siteA"
+
+
+class TestDagFailureMidFlight:
+    def test_failed_analysis_stage_reruns_and_dag_finishes(self):
+        gae = make_gae()
+        job = physics_analysis_job(
+            "alice", n_analysis_tasks=2,
+            stage_seconds=20.0, analysis_seconds=200.0, merge_seconds=20.0,
+        )
+        gae.scheduler.submit_job(job)
+        gae.start()
+        gae.grid.run_until(60.0)  # stage done, analyses running
+        analysis = job.tasks[1]
+        assert analysis.state is JobState.RUNNING
+        site = gae.scheduler.site_of_task(analysis.task_id)
+        gae.grid.execution_services[site].pool.fail_task(analysis.task_id)
+        gae.grid.run_until(3000.0)
+        gae.stop()
+        assert job.state is JobState.COMPLETED
+        resubs = [n for n in gae.steering.backup_recovery.notifications
+                  if n.kind == "resubmission" and n.task_id == analysis.task_id]
+        assert len(resubs) == 1
+
+
+class TestQuotaIntegration:
+    def test_completed_work_charged(self):
+        gae = make_gae()
+        gae.accounting.quotas.set_quota("alice", 100.0)
+        t = Task(spec=TaskSpec(owner="alice"), work_seconds=3600.0)
+        gae.scheduler.submit_job(Job(tasks=[t], owner="alice"))
+        gae.grid.run_until(4000.0)
+        charged = gae.accounting.charge_completed_task(
+            "alice", gae.scheduler.site_of_task(t.task_id), cpu_seconds=3600.0
+        )
+        assert charged == pytest.approx(1.0)  # 1 CPU-hour at rate 1.0
+        assert gae.accounting.quota_available("alice") == pytest.approx(99.0)

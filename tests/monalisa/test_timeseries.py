@@ -1,0 +1,82 @@
+"""Unit tests for the monitoring time series."""
+
+import numpy as np
+import pytest
+
+from repro.monalisa.timeseries import TimeSeries
+
+
+@pytest.fixture
+def series():
+    ts = TimeSeries()
+    for t, v in [(0.0, 1.0), (10.0, 2.0), (20.0, 3.0), (30.0, 2.5)]:
+        ts.append(t, v)
+    return ts
+
+
+class TestAppend:
+    def test_length(self, series):
+        assert len(series) == 4
+
+    def test_out_of_order_rejected(self, series):
+        with pytest.raises(ValueError):
+            series.append(25.0, 1.0)
+
+    def test_equal_time_allowed(self, series):
+        series.append(30.0, 9.0)
+        assert series.latest() == (30.0, 9.0)
+
+
+class TestPointQueries:
+    def test_latest(self, series):
+        assert series.latest() == (30.0, 2.5)
+
+    def test_latest_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries().latest()
+
+    def test_value_at_exact_sample(self, series):
+        assert series.value_at(10.0) == 2.0
+
+    def test_value_at_between_samples_steps(self, series):
+        assert series.value_at(15.0) == 2.0
+
+    def test_value_at_after_last(self, series):
+        assert series.value_at(100.0) == 2.5
+
+    def test_value_at_before_first_raises(self, series):
+        with pytest.raises(ValueError):
+            series.value_at(-1.0)
+
+
+class TestWindowQueries:
+    def test_window_inclusive(self, series):
+        times, values = series.window(10.0, 20.0)
+        assert list(times) == [10.0, 20.0]
+        assert list(values) == [2.0, 3.0]
+
+    def test_window_empty(self, series):
+        times, values = series.window(11.0, 19.0)
+        assert len(times) == 0
+
+    def test_window_backwards_raises(self, series):
+        with pytest.raises(ValueError):
+            series.window(20.0, 10.0)
+
+    def test_mean_whole_series(self, series):
+        assert series.mean() == pytest.approx(np.mean([1.0, 2.0, 3.0, 2.5]))
+
+    def test_mean_window(self, series):
+        assert series.mean(10.0, 20.0) == pytest.approx(2.5)
+
+    def test_mean_empty_window_raises(self, series):
+        with pytest.raises(ValueError):
+            series.mean(11.0, 19.0)
+
+    def test_max(self, series):
+        assert series.max() == 3.0
+
+    def test_as_arrays_copies(self, series):
+        times, values = series.as_arrays()
+        times[0] = -999.0
+        assert series.as_arrays()[0][0] == 0.0

@@ -1,0 +1,57 @@
+"""Unit tests for the monitoring record."""
+
+import pytest
+
+from repro.core.monitoring.records import MonitoringRecord
+from repro.gridsim.condor import CondorPool
+from repro.gridsim.job import Task, TaskSpec
+from repro.gridsim.node import LoadProfile, Node
+
+
+def make_ad(sim, work=100.0, **spec_kw):
+    pool = CondorPool(sim, "s", [Node(name="n", load_profile=LoadProfile.constant(1.0))])
+    t = Task(spec=TaskSpec(**spec_kw), work_seconds=work)
+    pool.submit(t)
+    return pool, pool.ad(t.task_id)
+
+
+class TestFromAd:
+    def test_snapshot_fields(self, sim):
+        pool, ad = make_ad(sim, owner="alice", environment={"ROOTSYS": "/opt/root"})
+        sim.run_until(50.0)
+        pool._sync(ad)
+        record = MonitoringRecord.from_ad(
+            ad, site="s", estimated_run_time_s=100.0, snapshot_time=50.0
+        )
+        assert record.status == "running"
+        assert record.owner == "alice"
+        assert record.site == "s"
+        assert record.elapsed_time_s == pytest.approx(25.0)   # load=1 halves rate
+        assert record.remaining_time_s == pytest.approx(75.0)
+        assert record.progress == pytest.approx(0.25)
+        assert record.environment == {"ROOTSYS": "/opt/root"}
+        assert record.snapshot_time == 50.0
+
+    def test_no_estimate_reports_zero_remaining(self, sim):
+        _, ad = make_ad(sim)
+        record = MonitoringRecord.from_ad(ad, site="s", estimated_run_time_s=0.0)
+        assert record.remaining_time_s == 0.0
+
+    def test_remaining_floors_at_zero(self, sim):
+        pool, ad = make_ad(sim, work=100.0)
+        sim.run_until(120.0)
+        pool._sync(ad)
+        record = MonitoringRecord.from_ad(ad, site="s", estimated_run_time_s=10.0)
+        assert record.remaining_time_s == 0.0
+
+    def test_terminal_detection(self, sim):
+        pool, ad = make_ad(sim, work=10.0)
+        sim.run()
+        record = MonitoringRecord.from_ad(ad, site="s")
+        assert record.status == "completed"
+        assert record.is_terminal
+        assert record.completion_time == pytest.approx(20.0)
+
+    def test_non_terminal_detection(self, sim):
+        _, ad = make_ad(sim)
+        assert not MonitoringRecord.from_ad(ad, site="s").is_terminal

@@ -1,0 +1,99 @@
+"""Property-based tests: ACL evaluation invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clarens.acl import AccessControlList, AclRule
+from repro.clarens.auth import ANONYMOUS, Principal
+
+users = st.sampled_from(["alice", "bob", "carol"])
+groups = st.sampled_from(["phys", "ops", "students"])
+services = st.sampled_from(["steering", "jobmon", "estimator"])
+methods = st.sampled_from(["kill", "move", "status", "ping"])
+
+
+@st.composite
+def rules(draw):
+    pattern = draw(
+        st.sampled_from(["*", "steering.*", "jobmon.*", "*.ping", "steering.kill"])
+    )
+    kind = draw(st.sampled_from(["users", "groups", "everyone"]))
+    if kind == "users":
+        return AclRule(
+            pattern=pattern,
+            allow=draw(st.booleans()),
+            users=frozenset(draw(st.sets(users, min_size=1, max_size=3))),
+        )
+    if kind == "groups":
+        return AclRule(
+            pattern=pattern,
+            allow=draw(st.booleans()),
+            groups=frozenset(draw(st.sets(groups, min_size=1, max_size=3))),
+        )
+    return AclRule(pattern=pattern, allow=draw(st.booleans()), everyone=True)
+
+
+@st.composite
+def principals(draw):
+    if draw(st.booleans()):
+        return ANONYMOUS
+    return Principal(
+        user=draw(users), groups=frozenset(draw(st.sets(groups, max_size=2)))
+    )
+
+
+def make_acl(rule_list, default=False):
+    acl = AccessControlList(default_allow=default)
+    acl._rules = list(rule_list)
+    return acl
+
+
+class TestAclProperties:
+    @given(st.lists(rules(), max_size=8), principals(), services, methods)
+    def test_evaluation_is_deterministic(self, rule_list, principal, service, method):
+        acl = make_acl(rule_list)
+        path = f"{service}.{method}"
+        assert acl.check(principal, path) == acl.check(principal, path)
+
+    @given(st.lists(rules(), max_size=8), principals(), services, methods)
+    def test_first_applicable_rule_decides(self, rule_list, principal, service, method):
+        acl = make_acl(rule_list)
+        path = f"{service}.{method}"
+        expected = None
+        for rule in rule_list:
+            if rule.matches_path(path) and rule.covers(principal):
+                expected = rule.allow
+                break
+        if expected is None:
+            expected = acl.default_allow
+        assert acl.check(principal, path) == expected
+
+    @given(st.lists(rules(), max_size=8), services, methods)
+    def test_anonymous_only_passes_everyone_rules(self, rule_list, service, method):
+        acl = make_acl(rule_list, default=False)
+        path = f"{service}.{method}"
+        if acl.check(ANONYMOUS, path):
+            first = next(
+                r for r in rule_list
+                if r.matches_path(path) and r.covers(ANONYMOUS)
+            )
+            assert first.everyone
+
+    @given(st.lists(rules(), max_size=8), principals(), services, methods)
+    def test_appending_non_matching_rule_never_changes_decision(
+        self, rule_list, principal, service, method
+    ):
+        acl = make_acl(rule_list)
+        path = f"{service}.{method}"
+        before = acl.check(principal, path)
+        acl._rules.append(
+            AclRule(pattern="other.zzz", allow=not before, everyone=True)
+        )
+        assert acl.check(principal, path) == before
+
+    @given(st.lists(rules(), max_size=6), principals(), services, methods)
+    def test_prepending_everyone_allow_forces_allow(
+        self, rule_list, principal, service, method
+    ):
+        acl = make_acl([AclRule(pattern="*", allow=True, everyone=True)] + rule_list)
+        assert acl.check(principal, f"{service}.{method}") is True

@@ -1,0 +1,86 @@
+"""Property-based tests: batch-pool conservation and ordering invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridsim.clock import Simulator
+from repro.gridsim.condor import CondorPool
+from repro.gridsim.job import JobState, Task, TaskSpec
+from repro.gridsim.node import LoadProfile, Node
+
+work_values = st.floats(min_value=1.0, max_value=500.0, allow_nan=False)
+priorities = st.integers(min_value=0, max_value=9)
+loads = st.floats(min_value=0.0, max_value=4.0, allow_nan=False)
+
+
+class TestPoolProperties:
+    @given(
+        st.lists(st.tuples(work_values, priorities), min_size=1, max_size=20),
+        st.integers(min_value=1, max_value=4),
+        loads,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_job_completes_with_exact_work(self, jobs, slots, load):
+        sim = Simulator()
+        pool = CondorPool(
+            sim, "p",
+            [Node(name="n", cpu_count=slots, load_profile=LoadProfile.constant(load))],
+        )
+        tasks = [
+            Task(spec=TaskSpec(priority=p), work_seconds=w) for w, p in jobs
+        ]
+        for t in tasks:
+            pool.submit(t)
+        sim.run()
+        for t in tasks:
+            ad = pool.ad(t.task_id)
+            assert t.state is JobState.COMPLETED
+            assert abs(ad.accrued_work - t.work_seconds) < 1e-6
+            # Wall time on node is work / rate.
+            assert ad.end_time - ad.start_time >= t.work_seconds - 1e-6
+
+    @given(st.lists(st.tuples(work_values, priorities), min_size=2, max_size=15))
+    @settings(max_examples=60, deadline=None)
+    def test_single_slot_start_order_respects_priority(self, jobs):
+        sim = Simulator()
+        blocker = Task(spec=TaskSpec(priority=10), work_seconds=5.0)
+        pool = CondorPool(sim, "p", [Node(name="n")])
+        pool.submit(blocker)
+        tasks = [Task(spec=TaskSpec(priority=p), work_seconds=w) for w, p in jobs]
+        for t in tasks:
+            pool.submit(t)
+        sim.run()
+        starts = [(pool.ad(t.task_id).start_time, -t.priority, pool.ad(t.task_id).condor_id) for t in tasks]
+        # Start times must be sorted consistently with (priority desc, id asc).
+        expected_order = sorted(tasks, key=lambda t: (-t.priority, pool.ad(t.task_id).condor_id))
+        actual_order = sorted(tasks, key=lambda t: pool.ad(t.task_id).start_time)
+        assert [t.task_id for t in actual_order] == [t.task_id for t in expected_order]
+
+    @given(
+        st.lists(work_values, min_size=1, max_size=10),
+        st.floats(min_value=1.0, max_value=200.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pause_resume_preserves_total_work(self, works, pause_at):
+        sim = Simulator()
+        pool = CondorPool(sim, "p", [Node(name="n")])
+        t = Task(spec=TaskSpec(), work_seconds=sum(works))
+        pool.submit(t)
+        sim.run_until(min(pause_at, sum(works) / 2))
+        pool.pause(t.task_id)
+        sim.run_until(sim.now + 100.0)
+        pool.resume(t.task_id)
+        sim.run()
+        total = sum(works)
+        assert abs(pool.ad(t.task_id).accrued_work - total) < 1e-6 * max(1.0, total)
+
+    @given(st.lists(work_values, min_size=1, max_size=12), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=50, deadline=None)
+    def test_slots_never_oversubscribed(self, works, slots):
+        sim = Simulator()
+        node = Node(name="n", cpu_count=slots)
+        pool = CondorPool(sim, "p", [node])
+        for w in works:
+            pool.submit(Task(spec=TaskSpec(), work_seconds=w))
+        while sim.step():
+            assert len(node.running_task_ids) <= slots

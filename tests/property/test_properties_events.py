@@ -1,0 +1,77 @@
+"""Property-based tests: simulation kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridsim.clock import Simulator
+from repro.gridsim.events import EventQueue
+
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestEventQueueProperties:
+    @given(st.lists(times, min_size=1, max_size=50))
+    def test_pop_order_is_sorted(self, ts):
+        q = EventQueue()
+        for t in ts:
+            q.push(t, lambda: None)
+        popped = []
+        while q:
+            popped.append(q.pop().time)
+        assert popped == sorted(ts)
+
+    @given(st.lists(times, min_size=1, max_size=40), st.data())
+    def test_cancellation_removes_exactly_the_cancelled(self, ts, data):
+        q = EventQueue()
+        handles = [q.push(t, lambda: None) for t in ts]
+        n_cancel = data.draw(st.integers(min_value=0, max_value=len(ts)))
+        for h in handles[:n_cancel]:
+            h.cancel()
+        survivors = sorted(ts[n_cancel:])
+        popped = []
+        while q:
+            popped.append(q.pop().time)
+        assert popped == survivors
+
+
+class TestSimulatorProperties:
+    @given(st.lists(times, min_size=1, max_size=50))
+    def test_clock_monotone_and_events_counted(self, ts):
+        sim = Simulator()
+        observed = []
+        for t in ts:
+            sim.at(t, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(ts)
+        assert sim.executed_events == len(ts)
+        assert all(b >= a for a, b in zip(observed, observed[1:]))
+
+    @given(
+        st.lists(times, min_size=1, max_size=30),
+        times,
+    )
+    def test_run_until_partitions_events(self, ts, cut):
+        sim = Simulator()
+        fired = []
+        for t in ts:
+            sim.at(t, lambda t=t: fired.append(t))
+        sim.run_until(cut)
+        assert sorted(fired) == sorted(t for t in ts if t <= cut)
+        assert sim.now == cut
+        sim.run()
+        assert sorted(fired) == sorted(ts)
+
+    @given(
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+        st.floats(min_value=1.0, max_value=1000.0, allow_nan=False),
+    )
+    @settings(max_examples=30)
+    def test_periodic_fires_floor_times(self, interval, horizon):
+        sim = Simulator()
+        fired = []
+        handle = sim.every(interval, lambda: fired.append(sim.now))
+        sim.run_until(horizon)
+        handle.cancel()
+        expected = int(horizon / interval)
+        # Floating point boundary tolerance of one firing.
+        assert abs(len(fired) - expected) <= 1

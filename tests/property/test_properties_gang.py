@@ -1,0 +1,93 @@
+"""Property-based tests: gang scheduling and combined-profile invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridsim.clock import Simulator
+from repro.gridsim.condor import CondorPool
+from repro.gridsim.job import JobState, Task, TaskSpec
+from repro.gridsim.node import LoadProfile, Node
+
+loads = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+instants = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+works = st.floats(min_value=1.0, max_value=500.0, allow_nan=False)
+
+
+@st.composite
+def profiles(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    ts = sorted(draw(st.lists(instants, min_size=n, max_size=n, unique=True)))
+    vs = draw(st.lists(loads, min_size=n, max_size=n))
+    return LoadProfile(list(zip(ts, vs)))
+
+
+class TestCombineMaxProperties:
+    @given(st.lists(profiles(), min_size=1, max_size=4), instants)
+    def test_combined_load_is_pointwise_max(self, ps, t):
+        combined = LoadProfile.combine_max(ps)
+        assert combined.load_at(t) == max(p.load_at(t) for p in ps)
+
+    @given(st.lists(profiles(), min_size=1, max_size=4), instants, works)
+    def test_combined_work_never_exceeds_any_member(self, ps, t0, w):
+        """The gang is as slow as its slowest member: over any window the
+        combined profile accrues no more work than any single profile."""
+        combined = LoadProfile.combine_max(ps)
+        t1 = t0 + w
+        combined_work = combined.work_between(t0, t1)
+        for p in ps:
+            assert combined_work <= p.work_between(t0, t1) + 1e-9
+
+    @given(profiles(), instants, instants)
+    def test_combine_with_self_is_identity(self, p, a, b):
+        t0, t1 = sorted((a, b))
+        combined = LoadProfile.combine_max([p, p])
+        assert abs(combined.work_between(t0, t1) - p.work_between(t0, t1)) < 1e-9
+
+
+class TestGangPoolProperties:
+    @given(
+        st.lists(
+            st.tuples(works, st.integers(min_value=1, max_value=4)),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(min_value=4, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gangs_complete_and_slots_conserve(self, jobs, total_slots):
+        sim = Simulator()
+        node = Node(name="n", cpu_count=total_slots)
+        pool = CondorPool(sim, "p", [node])
+        tasks = [
+            Task(spec=TaskSpec(nodes=slots), work_seconds=w)
+            for w, slots in jobs
+        ]
+        for t in tasks:
+            pool.submit(t)
+        while sim.step():
+            # Invariant at every event: slots never oversubscribed and
+            # occupancy equals the sum of running gangs' slot needs.
+            running = [ad for ad in pool._ads.values() if ad.state is JobState.RUNNING]
+            assert len(node.running_task_ids) == sum(ad.slots_needed for ad in running)
+            assert len(node.running_task_ids) <= total_slots
+        for t in tasks:
+            ad = pool.ad(t.task_id)
+            assert t.state is JobState.COMPLETED
+            assert abs(ad.accrued_work - t.work_seconds) < 1e-6 * max(1.0, t.work_seconds)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=3), min_size=2, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_strict_dispatch_order_is_fifo_without_priorities(self, slot_needs):
+        sim = Simulator()
+        pool = CondorPool(sim, "p", [Node(name="n", cpu_count=3)])
+        tasks = [
+            Task(spec=TaskSpec(nodes=s), work_seconds=10.0) for s in slot_needs
+        ]
+        for t in tasks:
+            pool.submit(t)
+        sim.run()
+        starts = [pool.ad(t.task_id).start_time for t in tasks]
+        # FIFO: no task starts before an earlier-submitted one.
+        assert starts == sorted(starts)

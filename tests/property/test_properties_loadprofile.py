@@ -1,0 +1,59 @@
+"""Property-based tests: load-profile integration invariants.
+
+These pin the analytic engine Figure 7 rests on: work accrual must be
+additive, monotone, bounded by wall time, and exactly inverse to
+``time_to_accrue``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridsim.node import LoadProfile
+
+loads = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+instants = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+works = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+
+
+@st.composite
+def profiles(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    ts = sorted(draw(st.lists(instants, min_size=n, max_size=n, unique=True)))
+    vs = draw(st.lists(loads, min_size=n, max_size=n))
+    return LoadProfile(list(zip(ts, vs)))
+
+
+class TestWorkIntegralProperties:
+    @given(profiles(), instants, instants)
+    def test_work_is_additive(self, profile, a, b):
+        t0, t1 = sorted((a, b))
+        mid = (t0 + t1) / 2
+        whole = profile.work_between(t0, t1)
+        split = profile.work_between(t0, mid) + profile.work_between(mid, t1)
+        assert abs(whole - split) < 1e-6 * max(1.0, whole)
+
+    @given(profiles(), instants, instants)
+    def test_work_bounded_by_wall_time(self, profile, a, b):
+        t0, t1 = sorted((a, b))
+        work = profile.work_between(t0, t1)
+        assert 0.0 <= work <= (t1 - t0) + 1e-9
+
+    @given(profiles(), instants, instants, instants)
+    def test_work_monotone_in_interval(self, profile, a, b, c):
+        t0, t1, t2 = sorted((a, b, c))
+        assert (
+            profile.work_between(t0, t1)
+            <= profile.work_between(t0, t2) + 1e-9
+        )
+
+    @given(profiles(), instants, works)
+    @settings(max_examples=200)
+    def test_time_to_accrue_inverts_work_between(self, profile, t0, work):
+        duration = profile.time_to_accrue(t0, work)
+        accrued = profile.work_between(t0, t0 + duration)
+        assert abs(accrued - work) < 1e-6 * max(1.0, work)
+
+    @given(profiles(), instants, works)
+    def test_time_to_accrue_at_least_work(self, profile, t0, work):
+        # Rates never exceed 1, so wall time >= CPU work.
+        assert profile.time_to_accrue(t0, work) >= work - 1e-9

@@ -1,0 +1,88 @@
+"""Property-based tests: network model invariants."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.gridsim.network import Link, Network, NetworkError
+
+capacities = st.floats(min_value=1.0, max_value=10_000.0, allow_nan=False)
+latencies = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+sizes = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+
+
+@st.composite
+def random_networks(draw):
+    """A connected random network over 2..6 sites (spanning chain + extras)."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    names = [f"s{i}" for i in range(n)]
+    net = Network()
+    # Chain guarantees connectivity.
+    for a, b in zip(names, names[1:]):
+        net.add_link(Link(a, b, capacity_mbps=draw(capacities), latency_s=draw(latencies)))
+    # A few random extra links.
+    extras = draw(st.integers(min_value=0, max_value=4))
+    for _ in range(extras):
+        i = draw(st.integers(min_value=0, max_value=n - 1))
+        j = draw(st.integers(min_value=0, max_value=n - 1))
+        if i != j and not net._graph.has_edge(names[i], names[j]):
+            net.add_link(
+                Link(names[i], names[j], capacity_mbps=draw(capacities),
+                     latency_s=draw(latencies))
+            )
+    return net, names
+
+
+class TestNetworkProperties:
+    @given(random_networks())
+    def test_routes_exist_between_all_pairs(self, net_names):
+        net, names = net_names
+        for a in names:
+            for b in names:
+                route = net.route(a, b)
+                if a == b:
+                    assert route == []
+                else:
+                    assert route  # connected by construction
+
+    @given(random_networks())
+    def test_path_bandwidth_is_bottleneck(self, net_names):
+        net, names = net_names
+        a, b = names[0], names[-1]
+        route = net.route(a, b)
+        bw = net.path_bandwidth_mbps(a, b)
+        assert bw == min(link.available_mbps for link in route)
+        assert all(bw <= link.available_mbps for link in route)
+
+    @given(random_networks())
+    def test_route_latency_is_symmetric(self, net_names):
+        """Lowest latency is direction-independent.  (Bandwidth need not
+        be: equal-latency ties may resolve to different paths per
+        direction, as in real routing.)"""
+        net, names = net_names
+        a, b = names[0], names[-1]
+        assert net.path_latency_s(a, b) == pytest.approx(net.path_latency_s(b, a))
+
+    @given(random_networks(), sizes, sizes)
+    def test_transfer_time_monotone_in_size(self, net_names, s1, s2):
+        net, names = net_names
+        a, b = names[0], names[-1]
+        small, big = sorted((s1, s2))
+        assert net.transfer_time(a, b, small) <= net.transfer_time(a, b, big) + 1e-9
+
+    @given(random_networks(), sizes)
+    def test_transfer_time_at_least_latency(self, net_names, size):
+        net, names = net_names
+        a, b = names[0], names[-1]
+        assume(size > 0)
+        assert net.transfer_time(a, b, size) >= net.path_latency_s(a, b)
+
+    @given(random_networks())
+    def test_route_latency_never_beaten_by_any_single_edge_path(self, net_names):
+        """Shortest path: the chosen route's latency is minimal among the
+        direct edge (when one exists)."""
+        net, names = net_names
+        a, b = names[0], names[-1]
+        chosen = net.path_latency_s(a, b)
+        if net._graph.has_edge(a, b):
+            assert chosen <= net.link_between(a, b).latency_s + 1e-12

@@ -1,0 +1,66 @@
+"""Property-based tests: quota accounting conservation laws."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.accounting.quota import QuotaError, QuotaManager
+
+amounts = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+ops = st.lists(
+    st.tuples(st.sampled_from(["reserve", "commit", "release"]), amounts),
+    max_size=40,
+)
+
+
+class TestQuotaProperties:
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), ops)
+    def test_invariants_hold_under_any_op_sequence(self, limit, operations):
+        q = QuotaManager()
+        q.set_quota("u", limit)
+        live = []
+        committed_total = 0.0
+        over_commit_total = 0.0  # charges above the reserved amount
+        for op, amount in operations:
+            if op == "reserve":
+                try:
+                    live.append(q.reserve("u", amount))
+                except QuotaError:
+                    pass
+            elif op == "commit" and live:
+                res = live.pop(0)
+                q.commit(res.reservation_id, amount)
+                committed_total += amount
+                over_commit_total += max(0.0, amount - res.amount)
+            elif op == "release" and live:
+                q.release(live.pop(0).reservation_id)
+            quota = q.quota("u")
+            # Conservation: reserved equals the sum of live reservations.
+            assert abs(quota.reserved - sum(r.amount for r in live)) < 1e-6
+            # Spend only comes from commits.
+            assert abs(quota.spent - committed_total) < 1e-6
+            # Reservations never overdraw the limit, except to the extent
+            # that actual charges exceeded their reservations (billing
+            # after the fact may legitimately drive balances negative).
+            assert (
+                quota.reserved
+                <= quota.limit - quota.spent + over_commit_total + 1e-6
+            )
+
+    @given(amounts, amounts)
+    def test_reserve_release_is_identity(self, limit_pad, amount):
+        q = QuotaManager()
+        q.set_quota("u", amount + limit_pad)
+        before = q.available("u")
+        res = q.reserve("u", amount)
+        q.release(res.reservation_id)
+        assert abs(q.available("u") - before) < 1e-9
+
+    @given(amounts)
+    def test_cannot_reserve_more_than_available(self, amount):
+        q = QuotaManager()
+        q.set_quota("u", amount)
+        try:
+            q.reserve("u", amount * 1.5 + 1.0)
+            assert False, "expected QuotaError"
+        except QuotaError:
+            pass

@@ -1,0 +1,61 @@
+"""Property-based tests: wire marshalling totality and stability."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clarens.serialization import check_wire_safe, from_wire, to_wire
+
+# Values a GAE service might realistically return.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=30),
+)
+
+rich_values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+class TestMarshallingProperties:
+    @given(rich_values)
+    def test_to_wire_always_yields_wire_safe(self, value):
+        check_wire_safe(to_wire(value))
+
+    @given(rich_values)
+    def test_to_wire_idempotent_through_from_wire(self, value):
+        wire = to_wire(value)
+        assert to_wire(from_wire(wire)) == wire
+
+    @given(st.dictionaries(st.text(max_size=8), scalars, max_size=8))
+    def test_plain_string_dicts_survive_unchanged(self, value):
+        # Remove wide ints which are lowered to floats.
+        filtered = {
+            k: v
+            for k, v in value.items()
+            if not (isinstance(v, int) and not isinstance(v, bool) and abs(v) > 2**31 - 1)
+        }
+        assert to_wire(filtered) == filtered
+
+    @given(st.lists(st.integers(min_value=-(2**31), max_value=2**31 - 1), max_size=20))
+    def test_int_lists_preserved_exactly(self, xs):
+        assert to_wire(xs) == xs
+
+
+class TestXmlRpcWireCompatibility:
+    @given(rich_values)
+    @settings(max_examples=50)
+    def test_survives_actual_xmlrpc_dumps(self, value):
+        """Everything to_wire emits must be encodable by stdlib xmlrpc."""
+        import xmlrpc.client
+
+        wire = to_wire(value)
+        xmlrpc.client.dumps((wire,), allow_none=True)

@@ -1,0 +1,190 @@
+"""Unit tests for the Steering Service facade (§4)."""
+
+import pytest
+
+from repro.clarens.errors import RemoteFault
+from repro.core.steering.optimizer import SteeringPolicy
+from repro.gae import build_gae
+from repro.gridsim import GridBuilder, Job, JobState
+from repro.core.estimators.history import HistoryRepository
+from repro.workloads.generators import make_prime_count_task, prime_job_history_records
+
+
+def make_gae(policy=None):
+    grid = (
+        GridBuilder(seed=9)
+        .site("siteA", background_load=1.5)
+        .site("siteB", background_load=0.0)
+        .link("siteA", "siteB", capacity_mbps=100.0, latency_s=0.0)
+        .probe_noise(0.0)
+        .build()
+    )
+    history = HistoryRepository(prime_job_history_records(n=8, sigma=0.0))
+    gae = build_gae(grid, policy=policy, history=history)
+    gae.add_user("alice", "pw")
+    gae.add_user("bob", "pw")
+    return gae
+
+
+def submit_to(gae, site, owner="alice", checkpointable=False):
+    t = make_prime_count_task(owner=owner, checkpointable=checkpointable)
+    original = gae.scheduler.select_site
+    gae.scheduler.select_site = lambda task, exclude=(): site
+    try:
+        gae.scheduler.submit_job(Job(tasks=[t], owner=owner))
+    finally:
+        gae.scheduler.select_site = original
+    return t
+
+
+class TestClientVerbs:
+    def test_owner_can_control_own_job(self):
+        gae = make_gae()
+        t = submit_to(gae, "siteB")
+        client = gae.client("alice", "pw")
+        steering = client.service("steering")
+        assert steering.pause(t.task_id)["ok"]
+        assert t.state is JobState.PAUSED
+        assert steering.resume(t.task_id)["ok"]
+        assert steering.set_priority(t.task_id, 5)["ok"]
+        assert steering.kill(t.task_id)["ok"]
+        assert t.state is JobState.KILLED
+
+    def test_stranger_denied(self):
+        gae = make_gae()
+        t = submit_to(gae, "siteB", owner="alice")
+        bob = gae.client("bob", "pw")
+        with pytest.raises(RemoteFault):
+            bob.service("steering").kill(t.task_id)
+        assert t.state is JobState.RUNNING
+
+    def test_manual_move(self):
+        """'the user could have moved the job from site A to site B
+        manually as well' (§7)."""
+        gae = make_gae()
+        t = submit_to(gae, "siteA")
+        gae.sim.run_until(30.0)
+        client = gae.client("alice", "pw")
+        result = client.service("steering").move(t.task_id, "siteB")
+        assert result["ok"]
+        gae.grid.run_until(400.0)
+        assert t.state is JobState.COMPLETED
+
+    def test_task_progress_feedback(self):
+        gae = make_gae()
+        t = submit_to(gae, "siteB")
+        gae.sim.run_until(100.0)
+        out = gae.client("alice", "pw").service("steering").task_progress(t.task_id)
+        assert out["status"] == "running"
+        assert out["progress"] == pytest.approx(100.0 / 283.0)
+        assert out["site"] == "siteB"
+
+    def test_job_feedback_lists_tasks(self):
+        gae = make_gae()
+        t = submit_to(gae, "siteB")
+        gae.sim.run_until(10.0)
+        feedback = gae.client("alice", "pw").service("steering").job_feedback(t.job_id)
+        assert [r["task_id"] for r in feedback] == [t.task_id]
+
+    def test_evaluate_move_advisory(self):
+        gae = make_gae()
+        t = submit_to(gae, "siteA")
+        gae.sim.run_until(100.0)
+        out = gae.client("alice", "pw").service("steering").evaluate_move(t.task_id)
+        assert out["should_move"] is True
+        assert out["target_site"] == "siteB"
+        assert t.state is JobState.RUNNING  # advisory only, no action
+
+    def test_notifications_scoped_to_owner(self):
+        gae = make_gae()
+        t = submit_to(gae, "siteB", owner="alice")
+        gae.grid.execution_services["siteB"].pool.fail_task(t.task_id)
+        alice_notes = gae.client("alice", "pw").service("steering").notifications()
+        bob_notes = gae.client("bob", "pw").service("steering").notifications()
+        assert len(alice_notes) >= 1
+        assert bob_notes == []
+
+    def test_download_execution_state(self):
+        gae = make_gae()
+        t = submit_to(gae, "siteB")
+        gae.sim.run_until(300.0)
+        state = gae.client("alice", "pw").service("steering").download_execution_state(
+            t.task_id
+        )
+        assert state["state"] == "completed"
+
+    def test_download_missing_state_faults(self):
+        gae = make_gae()
+        t = submit_to(gae, "siteB")
+        with pytest.raises(RemoteFault):
+            gae.client("alice", "pw").service("steering").download_execution_state(t.task_id)
+
+
+class TestAutonomousLoop:
+    def test_loop_moves_slow_job(self):
+        policy = SteeringPolicy(poll_interval_s=20.0, min_elapsed_wall_s=60.0,
+                                slow_rate_threshold=0.8)
+        gae = make_gae(policy=policy)
+        t = submit_to(gae, "siteA")
+        gae.start()
+        gae.grid.run_until(600.0)
+        gae.stop()
+        assert t.state is JobState.COMPLETED
+        assert len(gae.steering.actions) == 1
+        action = gae.steering.actions[0]
+        assert action.decision.target_site == "siteB"
+        assert action.result.ok
+
+    def test_auto_move_disabled_records_nothing(self):
+        policy = SteeringPolicy(poll_interval_s=20.0, min_elapsed_wall_s=60.0,
+                                auto_move=False)
+        gae = make_gae(policy=policy)
+        t = submit_to(gae, "siteA")
+        gae.start()
+        gae.grid.run_until(200.0)
+        gae.stop()
+        moves = [a for a in gae.steering.actions if a.result is not None]
+        assert moves == []
+        # decision was still observed
+        assert any(a.decision.should_move for a in gae.steering.actions)
+
+    def test_steer_once_idempotent_after_move(self):
+        policy = SteeringPolicy(poll_interval_s=20.0, min_elapsed_wall_s=60.0)
+        gae = make_gae(policy=policy)
+        t = submit_to(gae, "siteA")
+        gae.sim.run_until(100.0)
+        first = gae.steering.steer_once()
+        assert len(first) == 1
+        second = gae.steering.steer_once()  # now freshly started on siteB
+        assert second == []
+
+    def test_double_start_rejected(self):
+        gae = make_gae()
+        gae.steering.start()
+        with pytest.raises(RuntimeError):
+            gae.steering.start()
+        gae.steering.stop()
+
+
+class TestMyJobs:
+    def test_lists_only_callers_jobs(self):
+        gae = make_gae()
+        mine = submit_to(gae, "siteB", owner="alice")
+        submit_to(gae, "siteB", owner="bob")
+        jobs = gae.client("alice", "pw").service("steering").my_jobs()
+        assert len(jobs) == 1
+        assert jobs[0]["job_id"] == mine.job_id
+        assert jobs[0]["tasks"] == 1
+        assert jobs[0]["sites"] == ["siteB"]
+
+    def test_reflects_completion_counts(self):
+        gae = make_gae()
+        t = submit_to(gae, "siteB", owner="alice")
+        gae.grid.run_until(400.0)
+        [summary] = gae.client("alice", "pw").service("steering").my_jobs()
+        assert summary["state"] == "completed"
+        assert summary["completed"] == 1
+
+    def test_empty_for_user_without_jobs(self):
+        gae = make_gae()
+        assert gae.client("bob", "pw").service("steering").my_jobs() == []

@@ -1,0 +1,76 @@
+"""Unit tests for the gae-repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure5_defaults(self):
+        args = build_parser().parse_args(["figure5"])
+        assert args.seed == 1995
+        assert args.history == 100
+        assert args.tests == 20
+
+    def test_figure7_flags(self):
+        args = build_parser().parse_args(["figure7", "--poll", "10", "--checkpoint"])
+        assert args.poll == 10.0
+        assert args.checkpoint is True
+
+    def test_trace_requires_n(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+
+class TestCommands:
+    def test_figure5_prints_figure_and_table(self, capsys):
+        assert main(["figure5", "--tests", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "mean |% error|" in out
+        assert "13.53" in out
+
+    def test_figure7_prints_comparison(self, capsys):
+        assert main(["figure7", "--poll", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "steered completion" in out
+        assert "~369" in out
+
+    def test_trace_to_stdout(self, capsys):
+        assert main(["trace", "--n", "5"]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("account,login")
+        assert len(lines) == 6
+
+    def test_trace_to_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.csv"
+        assert main(["trace", "--n", "7", "--out", str(path)]) == 0
+        assert "wrote 7 accounting records" in capsys.readouterr().out
+        from repro.workloads.traces import read_trace_csv
+
+        assert len(read_trace_csv(path)) == 7
+
+    def test_trace_deterministic_per_seed(self, capsys):
+        main(["trace", "--n", "3", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["trace", "--n", "3", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_demo_runs_to_completion(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduled" in out
+        assert "completed" in out
+
+    def test_figure6_small_sweep(self, capsys):
+        assert main(["figure6", "--clients", "1", "2", "--calls", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "mean latency (ms)" in out

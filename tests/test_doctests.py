@@ -1,0 +1,24 @@
+"""Run the doctests embedded in module docstrings.
+
+These are the examples users read first; they must stay true.
+"""
+
+import doctest
+
+import pytest
+
+import repro.gae
+import repro.gridsim.grid
+import repro.gridsim.rng
+
+MODULES = [repro.gridsim.grid, repro.gridsim.rng, repro.gae]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    from repro.gridsim.job import reset_id_counters
+
+    reset_id_counters()
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,47 @@
+"""Public-API contract tests: everything advertised must be importable."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ advertises missing {name!r}"
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.clarens",
+            "repro.gridsim",
+            "repro.monalisa",
+            "repro.accounting",
+            "repro.core",
+            "repro.core.estimators",
+            "repro.core.monitoring",
+            "repro.core.steering",
+            "repro.workloads",
+            "repro.analysis",
+            "repro.gae",
+            "repro.cli",
+            "repro.config",
+            "repro.webui",
+        ],
+    )
+    def test_subpackage_alls_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.__all__ advertises missing {name!r}"
+
+    def test_every_public_module_has_docstring(self):
+        import pkgutil
+
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            mod = importlib.import_module(info.name)
+            assert mod.__doc__, f"{info.name} lacks a module docstring"

@@ -1,0 +1,38 @@
+"""Unit tests for trace CSV persistence."""
+
+import pytest
+
+from repro.workloads.downey import DowneyWorkloadGenerator
+from repro.workloads.traces import read_trace_csv, write_trace_csv
+
+
+@pytest.fixture
+def records():
+    return DowneyWorkloadGenerator(seed=11).generate(25)
+
+
+class TestTraceCsv:
+    def test_round_trip_through_text(self, records):
+        text = write_trace_csv(records)
+        back = read_trace_csv(text)
+        assert back == records
+
+    def test_round_trip_through_file(self, records, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_trace_csv(records, path)
+        back = read_trace_csv(path)
+        assert back == records
+
+    def test_header_present(self, records):
+        text = write_trace_csv(records)
+        header = text.splitlines()[0]
+        assert "login" in header
+        assert "requested_cpu_hours" in header
+
+    def test_numeric_types_restored(self, records):
+        back = read_trace_csv(write_trace_csv(records))
+        assert isinstance(back[0].nodes, int)
+        assert isinstance(back[0].submit_time, float)
+
+    def test_empty_trace(self):
+        assert read_trace_csv(write_trace_csv([])) == []
