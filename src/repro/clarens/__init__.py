@@ -13,6 +13,11 @@ This subpackage reproduces that framework in Python:
 - :mod:`repro.clarens.server` — the :class:`ClarensHost` dispatcher, plus a
   real threaded XML-RPC HTTP server (stdlib ``xmlrpc``) used by the
   Figure 6 latency benchmark;
+- :mod:`repro.clarens.middleware` — the call pipeline every dispatch flows
+  through (tracing → metrics → auth → ACL → user middlewares → invoke);
+- :mod:`repro.clarens.telemetry` — thread-safe call statistics with
+  per-method latency percentiles, plus the bounded trace ring behind
+  ``system.recent_calls``;
 - :mod:`repro.clarens.client` — proxy objects over pluggable transports;
 - :mod:`repro.clarens.transport` — in-process and XML-RPC transports;
 - :mod:`repro.clarens.discovery` — the peer-to-peer lookup network used for
@@ -34,9 +39,11 @@ from repro.clarens.errors import (
     ServiceNotFound,
     TransportError,
 )
+from repro.clarens.middleware import CallContext, Middleware
 from repro.clarens.registry import ServiceRegistry, clarens_method
-from repro.clarens.serialization import from_wire, to_wire
+from repro.clarens.serialization import MulticallResult, from_wire, to_wire
 from repro.clarens.server import ClarensHost, XmlRpcServerHandle
+from repro.clarens.telemetry import CallStats, TraceLog, TraceRecord, new_trace_id
 from repro.clarens.transport import InProcessTransport, Transport, XmlRpcTransport
 
 __all__ = [
@@ -46,12 +53,16 @@ __all__ = [
     "AuthService",
     "AuthenticationError",
     "AuthorizationError",
+    "CallContext",
+    "CallStats",
     "ClarensClient",
     "ClarensFault",
     "ClarensHost",
     "DiscoveryNetwork",
     "InProcessTransport",
     "MethodNotFound",
+    "Middleware",
+    "MulticallResult",
     "Peer",
     "Principal",
     "RemoteFault",
@@ -59,6 +70,8 @@ __all__ = [
     "ServiceNotFound",
     "ServiceProxy",
     "ServiceRegistry",
+    "TraceLog",
+    "TraceRecord",
     "Transport",
     "TransportError",
     "UserDatabase",
@@ -66,5 +79,6 @@ __all__ = [
     "XmlRpcTransport",
     "clarens_method",
     "from_wire",
+    "new_trace_id",
     "to_wire",
 ]

@@ -7,12 +7,27 @@
 
 A :class:`ServiceProxy` turns attribute access into remote calls, carrying
 the client's session token automatically.
+
+Clients are context managers — leaving the ``with`` block logs out and
+closes the transport::
+
+    with ClarensClient(XmlRpcTransport(url)) as client:
+        client.login("alice", "secret")
+        ...
+
+Every call carries the client's current :attr:`~ClarensClient.trace_id`
+(empty by default — the host then mints one per call); set one with
+:meth:`~ClarensClient.new_trace` to correlate a sequence of calls in the
+host's ``system.recent_calls`` ring.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List
+from typing import Any, Callable, List, Optional
 
+from repro.clarens.errors import ClarensFault, fault_from_code
+from repro.clarens.serialization import MulticallResult
+from repro.clarens.telemetry import new_trace_id
 from repro.clarens.transport import Transport
 
 
@@ -22,6 +37,8 @@ class ClarensClient:
     def __init__(self, transport: Transport) -> None:
         self.transport = transport
         self.token: str = ""
+        #: Trace id sent with every call ("" lets the host mint one each).
+        self.trace_id: str = ""
 
     # ------------------------------------------------------------------
     # session management
@@ -42,39 +59,68 @@ class ClarensClient:
         """Whether the client holds a session token."""
         return bool(self.token)
 
+    def close(self) -> None:
+        """Log out (best effort) and close the transport.  Idempotent."""
+        try:
+            self.logout()
+        except ClarensFault:
+            self.token = ""  # server unreachable or session already dead
+        finally:
+            self.transport.close()
+
+    def __enter__(self) -> "ClarensClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def new_trace(self, trace_id: Optional[str] = None) -> str:
+        """Start a client-issued trace; subsequent calls carry the id.
+
+        Returns the id (a fresh one when *trace_id* is omitted).  Clear
+        with ``client.trace_id = ""`` to let the host mint per-call ids
+        again.
+        """
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+        return self.trace_id
+
     # ------------------------------------------------------------------
     # calls
     # ------------------------------------------------------------------
     def call(self, method_path: str, *args: Any) -> Any:
-        """Invoke ``service.method`` with the stored token."""
-        return self.transport.call(method_path, list(args), token=self.token)
+        """Invoke ``service.method`` with the stored token and trace id."""
+        return self.transport.call(
+            method_path, list(args), token=self.token, trace_id=self.trace_id
+        )
 
     def batch(self, calls: List[tuple]) -> List[Any]:
         """Execute several calls in one round trip via ``system.multicall``.
 
         *calls* is a list of ``(method_path, *args)`` tuples.  Returns the
-        results in order; a failed sub-call surfaces as the matching
-        :class:`~repro.clarens.errors.ClarensFault` when its result is
-        accessed — here, eagerly re-raised for the first failure unless
-        ``strict=False`` semantics are needed (use :meth:`batch_detailed`).
+        unwrapped results in order; the first failed sub-call is re-raised
+        as its typed :class:`~repro.clarens.errors.ClarensFault`.  Use
+        :meth:`batch_detailed` for fault-isolation semantics.
         """
-        detailed = self.batch_detailed(calls)
         out = []
-        for entry in detailed:
-            if not entry["ok"]:
-                from repro.clarens.errors import fault_from_code
-
-                raise fault_from_code(int(entry["code"]), str(entry["error"]))
-            out.append(entry["result"])
+        for entry in self.batch_detailed(calls):
+            if not entry.ok:
+                raise fault_from_code(entry.code, entry.error)
+            out.append(entry.result)
         return out
 
-    def batch_detailed(self, calls: List[tuple]) -> List[Any]:
-        """Like :meth:`batch` but returns the raw per-call result structs
-        (``{"ok": ..., "result"|"code"/"error": ...}``) without raising."""
+    def batch_detailed(self, calls: List[tuple]) -> List[MulticallResult]:
+        """Like :meth:`batch` but never raises for sub-call failures.
+
+        Returns one :class:`~repro.clarens.serialization.MulticallResult`
+        per sub-call; each carries the batch's shared ``trace_id``.
+        """
         payload = [
             {"methodName": c[0], "params": list(c[1:])} for c in calls
         ]
-        return self.call("system.multicall", payload)
+        return [MulticallResult.from_wire(r) for r in self.call("system.multicall", payload)]
 
     def service(self, name: str) -> "ServiceProxy":
         """A proxy whose attributes are the service's remote methods."""

@@ -78,6 +78,14 @@ _CODE_MAP: Dict[int, Type[ClarensFault]] = {
 
 
 def fault_from_code(code: int, message: str) -> ClarensFault:
-    """Rehydrate a wire fault into the matching exception class."""
-    cls = _CODE_MAP.get(code, ClarensFault)
-    return cls(message)
+    """Rehydrate a wire fault into the matching exception class.
+
+    Codes without a dedicated class (e.g. from a custom middleware fault)
+    come back as a base :class:`ClarensFault` carrying the wire code.
+    """
+    cls = _CODE_MAP.get(code)
+    if cls is not None:
+        return cls(message)
+    fault = ClarensFault(message)
+    fault.code = code
+    return fault

@@ -1,0 +1,229 @@
+"""The middleware pipeline every Clarens call flows through.
+
+The host's old hard-coded auth → ACL → invoke sequence is now an explicit
+chain of middlewares operating on one :class:`CallContext`.  A middleware
+is any callable ``(ctx, call_next) -> result``: it may inspect or mutate
+the context, short-circuit by raising (or returning without calling
+``call_next``), and observe the result or fault on the way back out.
+
+The built-in chain, outermost first::
+
+    TracingMiddleware     # stamps timings, records a TraceRecord
+    MetricsMiddleware     # feeds CallStats (counts + latency reservoirs)
+    AuthenticationMiddleware   # token -> Principal (skipped when pre-set)
+    AclMiddleware         # anonymous/ACL enforcement
+    ... user middlewares added via ClarensHost.add_middleware() ...
+    <terminal invoker>    # registry lookup + method invocation + to_wire
+
+This is the DIRACx-style instrumented pipeline: every GAE service inherits
+tracing and per-method latency metrics with zero changes of its own.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.clarens.auth import Principal
+from repro.clarens.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    ClarensFault,
+)
+from repro.clarens.telemetry import CallStats, TraceLog, TraceRecord
+
+#: A middleware: receives the call context and the next handler in the chain.
+Middleware = Callable[["CallContext", Callable[["CallContext"], Any]], Any]
+
+
+class CallContext:
+    """Everything the pipeline knows about one in-flight call.
+
+    Created by :meth:`ClarensHost.dispatch` (or by ``system.multicall``
+    for sub-calls, which share the parent's trace id) and threaded through
+    every middleware down to the terminal invoker.
+    """
+
+    __slots__ = (
+        "method_path",
+        "params",
+        "token",
+        "trace_id",
+        "transport",
+        "principal",
+        "entry",
+        "started",
+        "duration_ms",
+        "outcome",
+        "fault_code",
+        "fault_message",
+        "metadata",
+    )
+
+    def __init__(
+        self,
+        method_path: str,
+        params: Sequence[Any],
+        token: str = "",
+        trace_id: str = "",
+        transport: str = "inproc",
+        principal: Optional[Principal] = None,
+        started: float = 0.0,
+    ) -> None:
+        self.method_path = method_path
+        self.params = params
+        self.token = token
+        self.trace_id = trace_id
+        self.transport = transport
+        #: Resolved by auth middleware (None until then, unless pre-set by
+        #: ``invoke_as`` / multicall sub-dispatch).
+        self.principal = principal
+        #: Resolved MethodEntry, cached by the ACL middleware.
+        self.entry: Any = None
+        self.started = started
+        self.duration_ms = 0.0
+        self.outcome = ""          # "" while in flight; "ok"/"fault"/"error" after
+        self.fault_code = 0
+        self.fault_message = ""
+        #: Scratch space for user middlewares (created lazily).
+        self.metadata: Optional[Dict[str, Any]] = None
+
+    def meta(self) -> Dict[str, Any]:
+        """The metadata dict, created on first use."""
+        if self.metadata is None:
+            self.metadata = {}
+        return self.metadata
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CallContext({self.method_path!r}, trace={self.trace_id!r}, "
+            f"transport={self.transport!r}, outcome={self.outcome!r})"
+        )
+
+
+def build_pipeline(
+    middlewares: Sequence[Middleware],
+    terminal: Callable[[CallContext], Any],
+) -> Callable[[CallContext], Any]:
+    """Compose *middlewares* (outermost first) around *terminal*."""
+    handler = terminal
+    for mw in reversed(list(middlewares)):
+        def make(mw: Middleware, nxt: Callable[[CallContext], Any]):
+            def handle(ctx: CallContext) -> Any:
+                return mw(ctx, nxt)
+            return handle
+        handler = make(mw, handler)
+    return handler
+
+
+# ----------------------------------------------------------------------
+# built-in middlewares
+# ----------------------------------------------------------------------
+class AuthenticationMiddleware:
+    """Resolves ``ctx.token`` to ``ctx.principal`` (token validation).
+
+    Skipped when a principal was pre-bound (``invoke_as`` and multicall
+    sub-calls authenticate once for the whole batch).
+    """
+
+    def __init__(self, auth: Any) -> None:
+        self._auth = auth
+
+    def __call__(self, ctx: CallContext, call_next: Callable[[CallContext], Any]) -> Any:
+        if ctx.principal is None:
+            ctx.principal = self._auth.validate(ctx.token)
+        return call_next(ctx)
+
+
+class AclMiddleware:
+    """Enforces the anonymous flag and the host's access-control list."""
+
+    def __init__(self, registry: Any, acl: Any) -> None:
+        self._registry = registry
+        self._acl = acl
+
+    def __call__(self, ctx: CallContext, call_next: Callable[[CallContext], Any]) -> Any:
+        entry = ctx.entry
+        if entry is None:
+            entry = ctx.entry = self._registry.resolve(ctx.method_path)
+        if not entry.anonymous:
+            principal = ctx.principal
+            if principal is None or principal.is_anonymous:
+                raise AuthenticationError(
+                    f"{ctx.method_path} requires a session token"
+                )
+            if not self._acl.check(principal, ctx.method_path):
+                raise AuthorizationError(
+                    f"user {principal.user!r} may not call {ctx.method_path}"
+                )
+        return call_next(ctx)
+
+
+class MetricsMiddleware:
+    """Feeds :class:`CallStats`: counts, fault counts, and latency."""
+
+    def __init__(self, stats: CallStats) -> None:
+        self.stats = stats
+
+    def __call__(self, ctx: CallContext, call_next: Callable[[CallContext], Any]) -> Any:
+        t0 = time.perf_counter()
+        ok = False
+        try:
+            result = call_next(ctx)
+            ok = True
+            return result
+        finally:
+            self.stats.record(ctx.method_path, ok, time.perf_counter() - t0)
+
+
+class TracingMiddleware:
+    """Stamps call timing/outcome and records finished calls in a ring.
+
+    Outermost by default, so its duration covers the whole pipeline and
+    its record reflects the final outcome after every other middleware.
+    """
+
+    def __init__(self, log: TraceLog) -> None:
+        self.log = log
+
+    def __call__(self, ctx: CallContext, call_next: Callable[[CallContext], Any]) -> Any:
+        t0 = time.perf_counter()
+        try:
+            result = call_next(ctx)
+            ctx.outcome = "ok"
+            return result
+        except ClarensFault as exc:
+            ctx.outcome = "fault"
+            ctx.fault_code = exc.code
+            ctx.fault_message = exc.message
+            raise
+        except BaseException as exc:  # non-Clarens escape (shutdown etc.)
+            ctx.outcome = "error"
+            ctx.fault_code = 500
+            ctx.fault_message = str(exc)
+            raise
+        finally:
+            ctx.duration_ms = (time.perf_counter() - t0) * 1000.0
+            principal = ctx.principal
+            self.log.append(TraceRecord(
+                trace_id=ctx.trace_id,
+                method=ctx.method_path,
+                transport=ctx.transport,
+                principal=principal.user if principal is not None else "",
+                started=ctx.started,
+                duration_ms=ctx.duration_ms,
+                outcome=ctx.outcome,
+                code=ctx.fault_code,
+                error=ctx.fault_message,
+            ))
+
+
+__all__ = [
+    "AclMiddleware",
+    "AuthenticationMiddleware",
+    "CallContext",
+    "MetricsMiddleware",
+    "Middleware",
+    "TracingMiddleware",
+    "build_pipeline",
+]

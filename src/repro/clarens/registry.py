@@ -29,6 +29,7 @@ def clarens_method(
     *,
     anonymous: bool = False,
     pass_principal: bool = False,
+    pass_context: bool = False,
 ) -> Callable:
     """Mark a method for exposure through a Clarens host.
 
@@ -41,10 +42,19 @@ def clarens_method(
         When true the dispatcher injects the authenticated
         :class:`~repro.clarens.auth.Principal` as the first argument —
         how the steering service learns *who* is steering (§4.2.5).
+    pass_context:
+        When true the dispatcher injects the full in-flight
+        :class:`~repro.clarens.middleware.CallContext` instead — how
+        ``system.multicall`` propagates one trace id over a whole batch.
+        Takes precedence over ``pass_principal``.
     """
 
     def mark(f: Callable) -> Callable:
-        setattr(f, _CLARENS_ATTR, {"anonymous": anonymous, "pass_principal": pass_principal})
+        setattr(f, _CLARENS_ATTR, {
+            "anonymous": anonymous,
+            "pass_principal": pass_principal,
+            "pass_context": pass_context,
+        })
         return f
 
     if func is not None:
@@ -61,6 +71,7 @@ class MethodEntry:
     doc: str = ""
     anonymous: bool = False
     pass_principal: bool = False
+    pass_context: bool = False
 
     def signature(self) -> str:
         """Human-readable call signature for introspection."""
@@ -142,6 +153,7 @@ class ServiceRegistry:
                 doc=inspect.getdoc(func) or "",
                 anonymous=bool(meta.get("anonymous", False)),
                 pass_principal=bool(meta.get("pass_principal", False)),
+                pass_context=bool(meta.get("pass_context", False)),
             )
         self._services[name] = entry
         return entry

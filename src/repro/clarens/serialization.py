@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -85,6 +85,71 @@ def from_wire(value: Any) -> Any:
     if isinstance(value, list):
         return [from_wire(v) for v in value]
     return value
+
+
+@dataclasses.dataclass
+class MulticallResult:
+    """One ``system.multicall`` sub-call outcome.
+
+    Travels the wire as an ordinary dataclass struct (``_type`` tag plus
+    fields, see :func:`to_wire`); :meth:`from_wire` rehydrates it on the
+    client so callers deal with a typed value instead of an ad-hoc dict.
+    ``trace_id`` is the batch's shared trace id, so every sub-call can be
+    found in the host's ``system.recent_calls`` ring.
+    """
+
+    ok: bool
+    result: Any = None
+    code: int = 0
+    error: str = ""
+    trace_id: str = ""
+
+    @classmethod
+    def from_wire(cls, value: Any) -> "MulticallResult":
+        """Rehydrate a wire struct (tolerates the legacy tag-less shape)."""
+        if isinstance(value, MulticallResult):
+            return value
+        if not isinstance(value, dict) or "ok" not in value:
+            raise SerializationError(
+                f"not a multicall result struct: {value!r}"
+            )
+        return cls(
+            ok=bool(value["ok"]),
+            result=value.get("result"),
+            code=int(value.get("code", 0)),
+            error=str(value.get("error", "")),
+            trace_id=str(value.get("trace_id", "")),
+        )
+
+
+# ----------------------------------------------------------------------
+# trace-id propagation over the XML-RPC wire
+# ----------------------------------------------------------------------
+# The Clarens wire protocol puts the session token first in every call's
+# parameter list.  Rather than change the method signatures (which would
+# break 2005-era clients), a trace id piggybacks on that slot with a
+# prefix no HMAC token can produce: ``!t=<trace-id>!<token>``.
+_TRACE_TOKEN_PREFIX = "!t="
+
+
+def encode_trace_token(token: str, trace_id: str) -> str:
+    """Fold *trace_id* into the wire token field (identity when empty)."""
+    if not trace_id:
+        return token
+    if "!" in trace_id:
+        raise SerializationError(f"trace id {trace_id!r} may not contain '!'")
+    return f"{_TRACE_TOKEN_PREFIX}{trace_id}!{token}"
+
+
+def decode_trace_token(wire_token: str) -> Tuple[str, Optional[str]]:
+    """Split a wire token field into ``(token, trace_id-or-None)``."""
+    if not wire_token.startswith(_TRACE_TOKEN_PREFIX):
+        return wire_token, None
+    body = wire_token[len(_TRACE_TOKEN_PREFIX):]
+    trace_id, sep, token = body.partition("!")
+    if not sep:
+        return wire_token, None
+    return token, trace_id
 
 
 def check_wire_safe(value: Any) -> None:

@@ -1,51 +1,60 @@
-"""The Clarens host: dispatch, system services, and the XML-RPC front end.
+"""The Clarens host: dispatch pipeline, system services, XML-RPC front end.
 
 :class:`ClarensHost` is the in-process core every GAE service registers
-with.  A call travels: token validation (:mod:`repro.clarens.auth`) → ACL
-check (:mod:`repro.clarens.acl`) → method invocation → wire marshalling
-(:mod:`repro.clarens.serialization`).
+with.  A call no longer walks a hard-coded auth → ACL → invoke sequence;
+it flows through an explicit **middleware pipeline**
+(:mod:`repro.clarens.middleware`) operating on one
+:class:`~repro.clarens.middleware.CallContext`:
+
+    tracing → metrics → authentication → ACL → [user middlewares] → invoke
+
+so every hosted service inherits per-method latency metrics
+(``system.stats``), a queryable trace ring (``system.recent_calls``) and
+trace-id propagation for free.  ``host.add_middleware()`` extends the
+chain.
 
 :class:`XmlRpcServerHandle` mounts a host on a real threaded HTTP XML-RPC
 server (stdlib ``xmlrpc.server``), the stand-in for the Windows-XP JClarens
 server of §7's performance study.  The wire protocol puts the session token
-first in every parameter list: ``service.method(token, *args)``.
+first in every parameter list: ``service.method(token, *args)``; a client
+trace id piggybacks on the token field (see
+:func:`~repro.clarens.serialization.encode_trace_token`).
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
 from socketserver import ThreadingMixIn
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from xmlrpc.client import Fault
 from xmlrpc.server import SimpleXMLRPCRequestHandler, SimpleXMLRPCServer
 
 from repro.clarens.acl import AccessControlList
-from repro.clarens.auth import ANONYMOUS, AuthService, Principal, UserDatabase
-from repro.clarens.errors import (
-    AuthenticationError,
-    AuthorizationError,
-    ClarensFault,
-    RemoteFault,
+from repro.clarens.auth import AuthService, Principal, UserDatabase
+from repro.clarens.errors import ClarensFault, RemoteFault
+from repro.clarens.middleware import (
+    AclMiddleware,
+    AuthenticationMiddleware,
+    CallContext,
+    MetricsMiddleware,
+    Middleware,
+    TracingMiddleware,
+    build_pipeline,
 )
 from repro.clarens.registry import ServiceRegistry, clarens_method
-from repro.clarens.serialization import to_wire
+from repro.clarens.serialization import (
+    MulticallResult,
+    decode_trace_token,
+    to_wire,
+)
+from repro.clarens.telemetry import CallStats, TraceLog, new_trace_id
 
-
-@dataclass
-class CallStats:
-    """Aggregate call statistics, mostly for the performance benchmarks."""
-
-    calls: int = 0
-    faults: int = 0
-    per_method: Dict[str, int] = field(default_factory=dict)
-
-    def record(self, method_path: str, ok: bool) -> None:
-        self.calls += 1
-        if not ok:
-            self.faults += 1
-        self.per_method[method_path] = self.per_method.get(method_path, 0) + 1
+__all__ = [
+    "CallStats",  # lives in telemetry now; re-exported for compatibility
+    "ClarensHost",
+    "XmlRpcServerHandle",
+]
 
 
 class _SystemService:
@@ -92,37 +101,60 @@ class _SystemService:
 
     @clarens_method(anonymous=True)
     def stats(self) -> Dict[str, Any]:
-        """Aggregate call statistics for this host."""
-        s = self._host.stats
-        return {
-            "calls": s.calls,
-            "faults": s.faults,
-            "per_method": dict(s.per_method),
-        }
+        """Aggregate call statistics for this host.
 
-    @clarens_method(anonymous=True, pass_principal=True)
-    def multicall(self, principal: Principal, calls: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        Returns ``calls``, ``faults``, ``per_method`` counts and
+        ``latency_ms`` — per-method ``{count, faults, mean_ms, p50_ms,
+        p95_ms, p99_ms, max_ms}`` summaries from the metrics middleware.
+        """
+        return self._host.stats.snapshot()
+
+    @clarens_method(anonymous=True)
+    def recent_calls(self, limit: int = 50, trace_id: str = "") -> List[Dict[str, Any]]:
+        """The newest finished calls from the host's trace ring buffer.
+
+        Each record carries ``trace_id``, ``method``, ``transport``,
+        ``principal``, ``started``, ``duration_ms``, ``outcome`` and (for
+        failures) ``code``/``error``.  Filter to one trace with
+        *trace_id*; records arrive oldest-first.
+        """
+        records = self._host.traces.snapshot(
+            limit=int(limit), trace_id=trace_id or None
+        )
+        return [r.to_wire() for r in records]
+
+    @clarens_method(anonymous=True, pass_context=True)
+    def multicall(self, ctx: CallContext, calls: List[Dict[str, Any]]) -> List[MulticallResult]:
         """Execute several calls in one round trip (XML-RPC multicall).
 
         Each entry is ``{"methodName": "service.method", "params": [...]}``.
-        The caller's token authenticates every sub-call; each result arrives
-        as ``{"ok": true, "result": ...}`` or ``{"ok": false, "code": ...,
-        "error": "..."}`` so one failure cannot poison the batch.  Nested
+        The caller's token authenticates every sub-call; each result is a
+        :class:`~repro.clarens.serialization.MulticallResult` struct so one
+        failure cannot poison the batch.  Every sub-call runs through the
+        full middleware pipeline under the batch's trace id.  Nested
         multicalls are rejected.
         """
-        out: List[Dict[str, Any]] = []
+        out: List[MulticallResult] = []
         for call in calls:
             method = str(call.get("methodName", ""))
             params = list(call.get("params", []))
             if method == "system.multicall":
-                out.append({"ok": False, "code": 400,
-                            "error": "nested multicall is not allowed"})
+                out.append(MulticallResult(
+                    ok=False, code=400,
+                    error="nested multicall is not allowed",
+                    trace_id=ctx.trace_id,
+                ))
                 continue
             try:
-                result = self._host.invoke_as(principal, method, params)
-                out.append({"ok": True, "result": result})
+                result = self._host.invoke_in_context(ctx, method, params)
+                out.append(MulticallResult(
+                    ok=True, result=result, trace_id=ctx.trace_id
+                ))
             except ClarensFault as exc:
-                out.append({"ok": False, "code": exc.code, "error": exc.message})
+                out.append(MulticallResult(
+                    ok=False, code=exc.code, error=exc.message,
+                    trace_id=ctx.trace_id,
+                ))
         return out
 
 
@@ -149,16 +181,69 @@ class ClarensHost:
         users: Optional[UserDatabase] = None,
         acl: Optional[AccessControlList] = None,
         session_lifetime_s: float = 3600.0,
+        trace_capacity: int = 256,
     ) -> None:
         self.name = name
         self.registry = ServiceRegistry()
         self.users = users if users is not None else UserDatabase()
+        self.time_source = time_source
         self.auth = AuthService(self.users, time_source, session_lifetime_s)
         self.acl = acl if acl is not None else AccessControlList(default_allow=False)
         self.stats = CallStats()
+        self.traces = TraceLog(capacity=trace_capacity)
+        self._user_middlewares: List[Middleware] = []
+        self._pipeline = self._build_pipeline()
         self.registry.register(
             "system", _SystemService(self), description="built-in host introspection"
         )
+
+    # ------------------------------------------------------------------
+    # pipeline assembly
+    # ------------------------------------------------------------------
+    def _build_pipeline(self) -> Callable[[CallContext], Any]:
+        chain: List[Middleware] = [
+            TracingMiddleware(self.traces),
+            MetricsMiddleware(self.stats),
+            AuthenticationMiddleware(self.auth),
+            AclMiddleware(self.registry, self.acl),
+            *self._user_middlewares,
+        ]
+        return build_pipeline(chain, self._invoke)
+
+    def add_middleware(self, middleware: Middleware) -> Middleware:
+        """Append *middleware* to the pipeline (innermost position).
+
+        User middlewares run after the built-in tracing/metrics/auth/ACL
+        chain — the context reaches them with the principal resolved and
+        the method entry cached — and before the terminal invoker.
+        Returns *middleware* so the call can be used as a decorator.
+        """
+        self._user_middlewares.append(middleware)
+        self._pipeline = self._build_pipeline()
+        return middleware
+
+    @property
+    def middlewares(self) -> Tuple[Middleware, ...]:
+        """The user middlewares currently installed, in call order."""
+        return tuple(self._user_middlewares)
+
+    def _invoke(self, ctx: CallContext) -> Any:
+        """Terminal pipeline stage: resolve, call the method, marshal."""
+        entry = ctx.entry
+        if entry is None:
+            entry = ctx.entry = self.registry.resolve(ctx.method_path)
+        try:
+            if entry.pass_context:
+                result = entry.func(ctx, *ctx.params)
+            elif entry.pass_principal:
+                result = entry.func(ctx.principal, *ctx.params)
+            else:
+                result = entry.func(*ctx.params)
+        except ClarensFault:
+            raise
+        except Exception as exc:
+            raise RemoteFault(f"{type(exc).__name__}: {exc}") from exc
+        return to_wire(result)
 
     # ------------------------------------------------------------------
     def register(
@@ -171,48 +256,68 @@ class ClarensHost:
         """Register a service instance under *name*."""
         self.registry.register(name, instance, methods=methods, description=description)
 
-    def dispatch(self, method_path: str, params: Sequence[Any], token: str = "") -> Any:
-        """Execute one call: auth → ACL → invoke → marshal.
+    def dispatch(
+        self,
+        method_path: str,
+        params: Sequence[Any],
+        token: str = "",
+        trace_id: str = "",
+        transport: str = "inproc",
+    ) -> Any:
+        """Execute one call through the middleware pipeline.
 
-        Raises the :class:`ClarensFault` subclasses on any failure; an
-        application exception inside the method surfaces as
-        :class:`RemoteFault` carrying the original message.
+        A fresh trace id is minted when the caller supplies none.  Raises
+        the :class:`ClarensFault` subclasses on any failure; an application
+        exception inside the method surfaces as :class:`RemoteFault`
+        carrying the original message.
         """
-        principal = self.auth.validate(token)
-        return self.invoke_as(principal, method_path, params)
+        ctx = CallContext(
+            method_path=method_path,
+            params=list(params),
+            token=token,
+            trace_id=trace_id or new_trace_id(),
+            transport=transport,
+            started=self.time_source(),
+        )
+        return self._pipeline(ctx)
 
     def invoke_as(
         self, principal: Principal, method_path: str, params: Sequence[Any]
     ) -> Any:
         """Execute a call for an already-authenticated principal.
 
-        Used by ``system.multicall`` to fan one authentication out over a
-        batch; everything after token validation is identical to
-        :meth:`dispatch`.
+        The call still flows through the full pipeline (so it is traced
+        and counted); the authentication middleware simply skips token
+        validation because the principal is pre-bound.
         """
-        entry = self.registry.resolve(method_path)
-        if not entry.anonymous:
-            if principal.is_anonymous:
-                self.stats.record(method_path, ok=False)
-                raise AuthenticationError(f"{method_path} requires a session token")
-            if not self.acl.check(principal, method_path):
-                self.stats.record(method_path, ok=False)
-                raise AuthorizationError(
-                    f"user {principal.user!r} may not call {method_path}"
-                )
-        try:
-            if entry.pass_principal:
-                result = entry.func(principal, *params)
-            else:
-                result = entry.func(*params)
-        except ClarensFault:
-            self.stats.record(method_path, ok=False)
-            raise
-        except Exception as exc:
-            self.stats.record(method_path, ok=False)
-            raise RemoteFault(f"{type(exc).__name__}: {exc}") from exc
-        self.stats.record(method_path, ok=True)
-        return to_wire(result)
+        ctx = CallContext(
+            method_path=method_path,
+            params=list(params),
+            trace_id=new_trace_id(),
+            principal=principal,
+            started=self.time_source(),
+        )
+        return self._pipeline(ctx)
+
+    def invoke_in_context(
+        self, parent: CallContext, method_path: str, params: Sequence[Any]
+    ) -> Any:
+        """Execute a sub-call sharing *parent*'s trace id and principal.
+
+        How ``system.multicall`` fans one authentication and one trace id
+        out over a whole batch: every sub-call runs the full pipeline, so
+        each is individually traced and counted under the shared trace.
+        """
+        ctx = CallContext(
+            method_path=method_path,
+            params=list(params),
+            token=parent.token,
+            trace_id=parent.trace_id,
+            transport=parent.transport,
+            principal=parent.principal,
+            started=self.time_source(),
+        )
+        return self._pipeline(ctx)
 
     def principal_of(self, token: str) -> Principal:
         """Resolve a token to its principal (ANONYMOUS for the empty token)."""
@@ -249,11 +354,15 @@ class _WireDispatcher:
     def _dispatch(self, method: str, params: Tuple[Any, ...]) -> Any:
         if not params:
             raise Fault(400, "missing session token parameter")
-        token, args = params[0], params[1:]
-        if not isinstance(token, str):
+        wire_token, args = params[0], params[1:]
+        if not isinstance(wire_token, str):
             raise Fault(400, "session token must be a string")
+        token, trace_id = decode_trace_token(wire_token)
         try:
-            return self._host.dispatch(method, list(args), token=token)
+            return self._host.dispatch(
+                method, list(args), token=token,
+                trace_id=trace_id or "", transport="xmlrpc",
+            )
         except ClarensFault as exc:
             raise Fault(exc.code, exc.message) from exc
 

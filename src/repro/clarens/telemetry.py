@@ -1,0 +1,223 @@
+"""Telemetry for the Clarens call pipeline: stats, latency, trace records.
+
+The paper's §7 performance study measures Clarens call latency from the
+outside only; this module gives the host its own instruments so every
+service inherits them for free:
+
+- :class:`CallStats` — thread-safe aggregate counters *and* per-method
+  latency reservoirs (p50/p95/p99), safe to update from the threaded
+  XML-RPC server's concurrent request threads;
+- :class:`TraceRecord` / :class:`TraceLog` — a bounded in-memory ring
+  buffer of finished calls, queryable via ``system.recent_calls``;
+- :func:`new_trace_id` — cheap process-unique trace ids that propagate
+  across transports and ``system.multicall`` sub-calls.
+
+Everything here is transport-neutral; the middlewares in
+:mod:`repro.clarens.middleware` feed these sinks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets as _secrets
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+# ----------------------------------------------------------------------
+# trace ids
+# ----------------------------------------------------------------------
+# A random per-process prefix plus a counter: unique enough to correlate
+# calls across hosts, and ~10x cheaper than uuid4 on the hot path.
+_TRACE_PREFIX = _secrets.token_hex(4)
+_TRACE_COUNTER = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A process-unique trace id (``<random-prefix>-<counter>``)."""
+    return f"{_TRACE_PREFIX}-{next(_TRACE_COUNTER):x}"
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0..100) of *samples* by nearest-rank.
+
+    Raises ValueError on an empty sample set.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    ordered = sorted(samples)
+    if q <= 0:
+        return ordered[0]
+    if q >= 100:
+        return ordered[-1]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math import
+    return ordered[int(rank) - 1]
+
+
+class _MethodRecord:
+    """Per-method counters plus a fixed-size latency reservoir."""
+
+    __slots__ = ("count", "faults", "total_s", "max_s", "samples", "_next")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.faults = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+        self.samples: List[float] = []
+        self._next = 0
+
+    def add(self, ok: bool, duration_s: Optional[float], cap: int) -> None:
+        self.count += 1
+        if not ok:
+            self.faults += 1
+        if duration_s is None:
+            return
+        self.total_s += duration_s
+        if duration_s > self.max_s:
+            self.max_s = duration_s
+        if len(self.samples) < cap:
+            self.samples.append(duration_s)
+        else:  # overwrite cyclically: a sliding window of recent latencies
+            self.samples[self._next] = duration_s
+            self._next = (self._next + 1) % cap
+
+    def summary_ms(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"count": self.count, "faults": self.faults}
+        if self.samples:
+            samples = sorted(self.samples)
+            out.update(
+                mean_ms=self.total_s / self.count * 1000.0,
+                p50_ms=percentile(samples, 50) * 1000.0,
+                p95_ms=percentile(samples, 95) * 1000.0,
+                p99_ms=percentile(samples, 99) * 1000.0,
+                max_ms=self.max_s * 1000.0,
+            )
+        return out
+
+
+class CallStats:
+    """Thread-safe aggregate call statistics with per-method latency.
+
+    The public counter attributes (``calls``, ``faults``, ``per_method``)
+    keep their historical meaning; :meth:`record` now also accepts the
+    call duration, and :meth:`snapshot` adds the percentile summaries the
+    redesigned ``system.stats`` returns.  All mutation happens under one
+    lock because the threaded XML-RPC server records from concurrent
+    request threads.
+    """
+
+    def __init__(self, max_samples_per_method: int = 512) -> None:
+        self.calls = 0
+        self.faults = 0
+        self.per_method: Dict[str, int] = {}
+        self._methods: Dict[str, _MethodRecord] = {}
+        self._cap = max_samples_per_method
+        self._lock = threading.Lock()
+
+    def record(self, method_path: str, ok: bool, duration_s: Optional[float] = None) -> None:
+        """Record one finished call (thread-safe)."""
+        with self._lock:
+            self.calls += 1
+            if not ok:
+                self.faults += 1
+            self.per_method[method_path] = self.per_method.get(method_path, 0) + 1
+            rec = self._methods.get(method_path)
+            if rec is None:
+                rec = self._methods[method_path] = _MethodRecord()
+            rec.add(ok, duration_s, self._cap)
+
+    def latency_summary(self, method_path: str) -> Dict[str, Any]:
+        """Latency summary for one method (empty dict when never called)."""
+        with self._lock:
+            rec = self._methods.get(method_path)
+            return rec.summary_ms() if rec is not None else {}
+
+    def mean_latency_s(self, method_path: str) -> Optional[float]:
+        """Mean duration (s) of one method, or None when never timed."""
+        with self._lock:
+            rec = self._methods.get(method_path)
+            if rec is None or rec.count == 0 or not rec.samples:
+                return None
+            return rec.total_s / rec.count
+
+    def methods(self) -> List[str]:
+        """Every method path ever recorded, sorted."""
+        with self._lock:
+            return sorted(self._methods)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A wire-safe snapshot: counters plus per-method percentiles."""
+        with self._lock:
+            per_method = dict(self.per_method)
+            latency = {name: rec.summary_ms() for name, rec in self._methods.items()}
+            calls, faults = self.calls, self.faults
+        return {
+            "calls": calls,
+            "faults": faults,
+            "per_method": per_method,
+            "latency_ms": latency,
+        }
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One finished call as kept in the trace ring buffer."""
+
+    trace_id: str
+    method: str
+    transport: str
+    principal: str
+    started: float          # host time_source timestamp (sim or wall clock)
+    duration_ms: float
+    outcome: str            # "ok" | "fault" | "error"
+    code: int = 0           # fault code when outcome != "ok"
+    error: str = ""
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "method": self.method,
+            "transport": self.transport,
+            "principal": self.principal,
+            "started": self.started,
+            "duration_ms": self.duration_ms,
+            "outcome": self.outcome,
+            "code": self.code,
+            "error": self.error,
+        }
+
+
+class TraceLog:
+    """Bounded, thread-safe ring buffer of :class:`TraceRecord`."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self._records: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def append(self, record: TraceRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def snapshot(
+        self, limit: Optional[int] = None, trace_id: Optional[str] = None
+    ) -> List[TraceRecord]:
+        """Records in chronological order, optionally filtered/limited.
+
+        *limit* keeps the **newest** N records after filtering.
+        """
+        with self._lock:
+            records = list(self._records)
+        if trace_id is not None:
+            records = [r for r in records if r.trace_id == trace_id]
+        if limit is not None and limit >= 0:
+            records = records[len(records) - min(limit, len(records)):]
+        return records

@@ -9,9 +9,16 @@ Two interchangeable implementations of one interface:
 - :class:`XmlRpcTransport` — speaks real XML-RPC over HTTP using the stdlib
   client; this is what the Figure 6 benchmark measures.
 
-Both present ``call(method_path, params, token)`` and translate failures
-into the :class:`~repro.clarens.errors.ClarensFault` hierarchy, so client
-code is transport-agnostic.
+Both present ``call(method_path, params, token, trace_id)`` and translate
+failures into the :class:`~repro.clarens.errors.ClarensFault` hierarchy, so
+client code is transport-agnostic.  A caller-issued trace id reaches the
+host's pipeline on both paths: in-process it is passed straight through,
+over XML-RPC it piggybacks on the wire token field (see
+:func:`~repro.clarens.serialization.encode_trace_token`).
+
+Every transport is a context manager, and :meth:`Transport.close` is
+idempotent — closing twice (or closing an in-process transport, which holds
+no connection) is always safe.
 """
 
 from __future__ import annotations
@@ -23,19 +30,40 @@ import xmlrpc.client
 from typing import Any, List, Sequence
 
 from repro.clarens.errors import TransportError, fault_from_code
-from repro.clarens.serialization import from_wire, to_wire
+from repro.clarens.serialization import encode_trace_token, from_wire, to_wire
 from repro.clarens.server import ClarensHost
 
 
 class Transport(abc.ABC):
-    """Abstract client transport."""
+    """Abstract client transport (a reusable, idempotently-closable one)."""
+
+    #: Whether :meth:`close` has run; subclasses honour and set this.
+    closed: bool = False
 
     @abc.abstractmethod
-    def call(self, method_path: str, params: Sequence[Any], token: str = "") -> Any:
-        """Invoke ``service.method`` with *params* under *token*."""
+    def call(
+        self,
+        method_path: str,
+        params: Sequence[Any],
+        token: str = "",
+        trace_id: str = "",
+    ) -> Any:
+        """Invoke ``service.method`` with *params* under *token*.
+
+        *trace_id*, when non-empty, is propagated to the host so the call
+        (and any ``system.multicall`` sub-calls) shows up under that id in
+        ``system.recent_calls``.
+        """
 
     def close(self) -> None:
-        """Release any underlying connection (no-op by default)."""
+        """Release any underlying connection (idempotent; no-op here)."""
+        self.closed = True
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 class InProcessTransport(Transport):
@@ -50,12 +78,20 @@ class InProcessTransport(Transport):
         self.host = host
         self.strict_wire = strict_wire
 
-    def call(self, method_path: str, params: Sequence[Any], token: str = "") -> Any:
+    def call(
+        self,
+        method_path: str,
+        params: Sequence[Any],
+        token: str = "",
+        trace_id: str = "",
+    ) -> Any:
         if self.strict_wire:
             wire_params: List[Any] = [to_wire(p) for p in params]
         else:
             wire_params = list(params)
-        result = self.host.dispatch(method_path, wire_params, token=token)
+        result = self.host.dispatch(
+            method_path, wire_params, token=token, trace_id=trace_id
+        )
         return from_wire(result) if self.strict_wire else result
 
 
@@ -81,11 +117,17 @@ class XmlRpcTransport(Transport):
         transport.make_connection = make_connection  # type: ignore[method-assign]
         self._proxy = xmlrpc.client.ServerProxy(url, allow_none=True, transport=transport)
 
-    def call(self, method_path: str, params: Sequence[Any], token: str = "") -> Any:
+    def call(
+        self,
+        method_path: str,
+        params: Sequence[Any],
+        token: str = "",
+        trace_id: str = "",
+    ) -> Any:
         wire_params = [to_wire(p) for p in params]
         method = functools.reduce(getattr, method_path.split("."), self._proxy)
         try:
-            result = method(token, *wire_params)
+            result = method(encode_trace_token(token, trace_id), *wire_params)
         except xmlrpc.client.Fault as fault:
             raise fault_from_code(fault.faultCode, fault.faultString) from fault
         except (OSError, socket.timeout, xmlrpc.client.ProtocolError) as exc:
@@ -93,4 +135,7 @@ class XmlRpcTransport(Transport):
         return from_wire(result)
 
     def close(self) -> None:
-        self._proxy("close")()  # type: ignore[operator]
+        """Drop the HTTP connection (safe to call more than once)."""
+        if not self.closed:
+            self._proxy("close")()  # type: ignore[operator]
+            self.closed = True

@@ -6,6 +6,7 @@ Installed as ``gae-repro`` (or run as ``python -m repro.cli``)::
     gae-repro figure7 [--poll 20] [--load 1.5] [--checkpoint]
     gae-repro figure6 [--clients 1 2 5 25] [--calls 10]
     gae-repro trace --n 200 [--seed 1995] [--out trace.csv]
+    gae-repro stats [--calls 5]
     gae-repro demo
 
 Each figure command prints the same series, chart and paper-vs-measured
@@ -174,6 +175,52 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Drive a small GAE, then print the host's call-pipeline telemetry."""
+    from repro.gae import build_gae
+    from repro.gridsim import GridBuilder, Job
+    from repro.workloads.generators import make_prime_count_task
+
+    grid = (
+        GridBuilder(seed=args.seed)
+        .site("siteA", nodes=2, background_load=0.5)
+        .site("siteB", nodes=2, background_load=0.0)
+        .build()
+    )
+    gae = build_gae(grid)
+    gae.add_user("demo", "demo")
+    gae.start()
+    task = make_prime_count_task(owner="demo")
+    gae.scheduler.submit_job(Job(tasks=[task], owner="demo"))
+
+    with gae.client("demo", "demo") as client:
+        trace = client.new_trace()
+        jobmon = client.service("jobmon")
+        for i in range(args.calls):
+            gae.grid.run_until(60.0 * (i + 1))
+            jobmon.job_info(task.task_id)
+            client.batch([("monalisa.grid_weather",), ("system.ping",)])
+        stats = client.call("system.stats")
+        recent = client.call("system.recent_calls", 200, trace)
+    gae.stop()
+
+    rows = []
+    for method in sorted(stats["latency_ms"]):
+        s = stats["latency_ms"][method]
+        rows.append([
+            method, s["count"], s["faults"],
+            round(s.get("mean_ms", 0.0), 3), round(s.get("p50_ms", 0.0), 3),
+            round(s.get("p95_ms", 0.0), 3), round(s.get("p99_ms", 0.0), 3),
+        ])
+    print(markdown_table(
+        ["method", "calls", "faults", "mean (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+        rows,
+    ))
+    print(f"total calls: {stats['calls']}  faults: {stats['faults']}")
+    print(f"trace {trace}: {len(recent)} calls in the recent-calls ring")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import GridBuilder, Job, build_gae, make_prime_count_task
 
@@ -276,6 +323,14 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--seed", type=int, default=1995)
     pt.add_argument("--out", type=str, default=None)
     pt.set_defaults(func=_cmd_trace)
+
+    pst = sub.add_parser(
+        "stats", help="per-method call latency (p50/p95/p99) of a driven GAE host"
+    )
+    pst.add_argument("--seed", type=int, default=7)
+    pst.add_argument("--calls", type=int, default=5,
+                     help="monitoring queries to issue before reading stats")
+    pst.set_defaults(func=_cmd_stats)
 
     pd = sub.add_parser("demo", help="tiny end-to-end GAE demo")
     pd.add_argument("--seed", type=int, default=42)

@@ -38,7 +38,7 @@ from repro.core.monitoring.service import JobMonitoringService
 from repro.core.steering.optimizer import SteeringPolicy
 from repro.core.steering.service import SteeringService
 from repro.gridsim.grid import Grid
-from repro.monalisa.publisher import SiteLoadPublisher
+from repro.monalisa.publisher import ServiceMetricsPublisher, SiteLoadPublisher
 from repro.monalisa.repository import MonALISARepository
 from repro.monalisa.service import MonALISAQueryService
 
@@ -56,6 +56,7 @@ class GAE:
     accounting: QuotaAccountingService
     steering: SteeringService
     load_publisher: SiteLoadPublisher
+    service_metrics_publisher: ServiceMetricsPublisher
     #: Period (simulated s) for continuous job snapshots; None disables.
     monitor_snapshot_period_s: Optional[float] = None
 
@@ -88,6 +89,7 @@ class GAE:
         before running the simulator."""
         self.steering.start()
         self.load_publisher.start()
+        self.service_metrics_publisher.start()
         if self.monitor_snapshot_period_s is not None:
             self.monitoring.start_periodic_snapshots(self.monitor_snapshot_period_s)
         return self
@@ -96,6 +98,7 @@ class GAE:
         """Cancel every periodic activity so the simulator can drain."""
         self.steering.stop()
         self.load_publisher.stop()
+        self.service_metrics_publisher.stop()
         self.monitoring.stop_periodic_snapshots()
 
 
@@ -122,6 +125,7 @@ def build_gae(
     record_history: bool = True,
     host_name: str = "jclarens",
     monitor_snapshot_period_s: Optional[float] = None,
+    service_metrics_period_s: float = 60.0,
 ) -> GAE:
     """Wire the full GAE over an assembled grid.
 
@@ -185,6 +189,9 @@ def build_gae(
     )
 
     host = ClarensHost(name=host_name, time_source=lambda: sim.now, acl=default_acl())
+    service_metrics_publisher = ServiceMetricsPublisher(
+        sim, monalisa, host, period_s=service_metrics_period_s
+    )
     host.register("estimator", estimators, description="runtime/queue/transfer estimates (§6)")
     host.register("jobmon", monitoring, description="job monitoring information (§5)")
     host.register("steering", steering, description="job steering and control (§4)")
@@ -204,5 +211,6 @@ def build_gae(
         accounting=accounting,
         steering=steering,
         load_publisher=load_publisher,
+        service_metrics_publisher=service_metrics_publisher,
         monitor_snapshot_period_s=monitor_snapshot_period_s,
     )

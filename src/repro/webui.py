@@ -12,6 +12,8 @@ downloads:
 - ``/state/<task_id>``  — the archived execution state (JSON download)
 - ``/notifications``    — Backup & Recovery's client notifications
 - ``/weather``          — the MonALISA grid-weather snapshot (JSON)
+- ``/metrics``          — the Clarens host's call-pipeline telemetry in
+  Prometheus-style text exposition (counts plus p50/p95/p99 latency)
 
 Read-only by design: steering *commands* go through the authenticated
 Clarens API, never through a browser GET.
@@ -39,7 +41,8 @@ _PAGE = """<!DOCTYPE html>
 </style></head>
 <body>
 <nav><a href="/">overview</a><a href="/jobs">jobs</a>
-<a href="/notifications">notifications</a><a href="/weather">grid weather</a></nav>
+<a href="/notifications">notifications</a><a href="/weather">grid weather</a>
+<a href="/metrics">metrics</a></nav>
 <h1>{title}</h1>
 {body}
 <p><small>Grid Analysis Environment — simulated time t={now:.1f}s</small></p>
@@ -81,6 +84,8 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
                 self._send_html("Notifications", self._notifications())
             elif path == "/weather":
                 self._send_json(self._weather())
+            elif path == "/metrics":
+                self._send_text(self._metrics())
             else:
                 self._send_error(404, f"no such page: {path}")
         except Exception as exc:  # pragma: no cover - defensive
@@ -170,7 +175,47 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
         return {
             farm: self.gae.monalisa.site_load(farm, default=0.0)
             for farm in self.gae.monalisa.farms()
+            if self.gae.monalisa.has_series(farm, "load")
         }
+
+    def _metrics(self) -> str:
+        """Prometheus-style text exposition of the host's call telemetry."""
+        snapshot = self.gae.host.stats.snapshot()
+        lines = [
+            "# HELP gae_rpc_calls_total Calls dispatched by the Clarens host.",
+            "# TYPE gae_rpc_calls_total counter",
+            f"gae_rpc_calls_total {snapshot['calls']}",
+            "# HELP gae_rpc_faults_total Calls that ended in a fault.",
+            "# TYPE gae_rpc_faults_total counter",
+            f"gae_rpc_faults_total {snapshot['faults']}",
+            "# HELP gae_rpc_method_calls_total Per-method call counts.",
+            "# TYPE gae_rpc_method_calls_total counter",
+        ]
+        for method in sorted(snapshot["per_method"]):
+            lines.append(
+                f'gae_rpc_method_calls_total{{method="{method}"}} '
+                f"{snapshot['per_method'][method]}"
+            )
+        lines += [
+            "# HELP gae_rpc_latency_ms Per-method call latency quantiles.",
+            "# TYPE gae_rpc_latency_ms summary",
+        ]
+        for method in sorted(snapshot["latency_ms"]):
+            summary = snapshot["latency_ms"][method]
+            for quantile, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"),
+                                  ("0.99", "p99_ms")):
+                if key in summary:
+                    lines.append(
+                        f'gae_rpc_latency_ms{{method="{method}",'
+                        f'quantile="{quantile}"}} {summary[key]:.6f}'
+                    )
+        lines += [
+            "# HELP gae_site_load Latest published load per site.",
+            "# TYPE gae_site_load gauge",
+        ]
+        for farm, load in sorted(self._weather().items()):
+            lines.append(f'gae_site_load{{site="{farm}"}} {load:.6f}')
+        return "\n".join(lines) + "\n"
 
     # ------------------------------------------------------------------
     # response plumbing
@@ -180,6 +225,14 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
         payload = text.encode("utf-8")
         self.send_response(200)
         self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_text(self, text: str) -> None:
+        payload = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)

@@ -86,11 +86,60 @@ class TestBatch:
             client.batch([("ghost.method",)])
 
     def test_batch_detailed_never_raises(self, client):
+        from repro.clarens.serialization import MulticallResult
+
         client.login("u", "p")
         detailed = client.batch_detailed([
             ("greeter.greet", "x"),
             ("ghost.method",),
         ])
-        assert detailed[0] == {"ok": True, "result": "hello x"}
-        assert detailed[1]["ok"] is False
-        assert detailed[1]["code"] == 404
+        assert all(isinstance(r, MulticallResult) for r in detailed)
+        assert detailed[0].ok is True
+        assert detailed[0].result == "hello x"
+        assert detailed[1].ok is False
+        assert detailed[1].code == 404
+
+    def test_batch_results_share_one_trace_id(self, client):
+        client.login("u", "p")
+        detailed = client.batch_detailed([
+            ("greeter.greet", "x"),
+            ("system.ping",),
+        ])
+        assert detailed[0].trace_id
+        assert detailed[0].trace_id == detailed[1].trace_id
+
+
+class TestContextManager:
+    def test_with_block_logs_out_and_closes(self, client):
+        with client:
+            client.login("u", "p")
+            assert client.logged_in
+        assert not client.logged_in
+        assert client.transport.closed
+
+    def test_close_is_idempotent(self, client):
+        client.login("u", "p")
+        client.close()
+        client.close()
+        assert client.transport.closed
+
+    def test_close_swallows_dead_session(self, client):
+        client.login("u", "p")
+        # Revoke behind the client's back: close() must still succeed.
+        token = client.token
+        client.transport.call("system.logout", [token])
+        client.close()
+        assert not client.logged_in
+
+
+class TestTracing:
+    def test_new_trace_is_carried_and_recorded(self, client):
+        client.login("u", "p")
+        trace = client.new_trace()
+        client.service("greeter").greet("x")
+        records = client.call("system.recent_calls", 50, trace)
+        assert [r["method"] for r in records] == ["greeter.greet"]
+
+    def test_explicit_trace_id(self, client):
+        assert client.new_trace("my-trace") == "my-trace"
+        assert client.trace_id == "my-trace"

@@ -47,3 +47,10 @@ class TestFaultFromCode:
         fault = fault_from_code(999, "strange")
         assert type(fault) is ClarensFault
         assert fault.message == "strange"
+
+    def test_unknown_code_is_preserved_on_the_instance(self):
+        # A custom middleware fault (e.g. code=451) must not be masked by
+        # the base class's code=500 when rehydrated client-side.
+        fault = fault_from_code(451, "blocked by policy")
+        assert fault.code == 451
+        assert ClarensFault.code == 500  # the class attribute is untouched

@@ -103,3 +103,48 @@ class TestCheckWireSafe:
             {"p": Point(1.0, 2.0), "e": Color.RED, "arr": np.arange(3), "n": 2**50}
         )
         check_wire_safe(value)
+
+
+class TestMulticallResult:
+    def test_wire_round_trip(self):
+        from repro.clarens.serialization import MulticallResult
+
+        ok = MulticallResult(ok=True, result=[1, 2], trace_id="t-1")
+        wire = to_wire(ok)
+        assert wire["_type"] == "MulticallResult"
+        back = MulticallResult.from_wire(from_wire(wire))
+        assert back == ok
+
+    def test_from_wire_tolerates_legacy_shape(self):
+        from repro.clarens.serialization import MulticallResult
+
+        legacy = {"ok": False, "code": 404, "error": "gone"}
+        r = MulticallResult.from_wire(legacy)
+        assert (r.ok, r.code, r.error, r.trace_id) == (False, 404, "gone", "")
+
+    def test_from_wire_rejects_garbage(self):
+        from repro.clarens.serialization import MulticallResult
+
+        with pytest.raises(SerializationError):
+            MulticallResult.from_wire([1, 2, 3])
+
+
+class TestTraceToken:
+    def test_round_trip(self):
+        from repro.clarens.serialization import decode_trace_token, encode_trace_token
+
+        wire = encode_trace_token("tok|123|abc", "trace-9")
+        token, trace = decode_trace_token(wire)
+        assert (token, trace) == ("tok|123|abc", "trace-9")
+
+    def test_empty_trace_is_identity(self):
+        from repro.clarens.serialization import decode_trace_token, encode_trace_token
+
+        assert encode_trace_token("tok", "") == "tok"
+        assert decode_trace_token("tok") == ("tok", None)
+
+    def test_trace_id_may_not_contain_bang(self):
+        from repro.clarens.serialization import encode_trace_token
+
+        with pytest.raises(SerializationError):
+            encode_trace_token("tok", "bad!id")

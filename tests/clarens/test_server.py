@@ -147,6 +147,114 @@ class TestSystemStats:
         assert stats["per_method"]["calc.add"] == 1
         assert "faults" in stats
 
+    def test_stats_report_latency_percentiles(self, host):
+        token = login(host)
+        for _ in range(10):
+            host.dispatch("calc.add", [1, 1], token)
+        latency = host.dispatch("system.stats", [], "")["latency_ms"]["calc.add"]
+        assert latency["count"] == 10
+        assert latency["faults"] == 0
+        for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"):
+            assert latency[key] >= 0.0
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"] <= latency["max_ms"]
+
+
+class TestRecentCalls:
+    def test_finished_calls_land_in_the_ring(self, host):
+        token = login(host)
+        host.dispatch("calc.add", [1, 2], token)
+        records = host.dispatch("system.recent_calls", [10], "")
+        assert records[-1]["method"] == "calc.add"
+        assert records[-1]["outcome"] == "ok"
+        assert records[-1]["principal"] == "alice"
+        assert records[-1]["trace_id"]
+
+    def test_fault_outcome_recorded(self, host):
+        token = login(host)
+        with pytest.raises(RemoteFault):
+            host.dispatch("calc.fail", [], token)
+        records = host.dispatch("system.recent_calls", [10], "")
+        rec = [r for r in records if r["method"] == "calc.fail"][0]
+        assert rec["outcome"] == "fault"
+        assert rec["code"] == 520
+        assert "exploded" in rec["error"]
+
+    def test_trace_id_filter(self, host):
+        host.dispatch("system.ping", [], "", trace_id="t-123")
+        host.dispatch("system.ping", [], "")
+        records = host.dispatch("system.recent_calls", [50, "t-123"], "")
+        assert [r["trace_id"] for r in records] == ["t-123"]
+
+
+class TestConcurrentDispatch:
+    def test_16_threads_no_lost_stat_updates(self, host):
+        """Regression: CallStats.record used to race under the threaded
+        XML-RPC server (plain-dict read-modify-write with no lock)."""
+        import threading
+
+        token = login(host)
+        calls_per_thread = 200
+        n_threads = 16
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(calls_per_thread):
+                    host.dispatch("calc.add", [1, 1], token)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert host.stats.per_method["calc.add"] == n_threads * calls_per_thread
+        latency = host.stats.latency_summary("calc.add")
+        assert latency["count"] == n_threads * calls_per_thread
+        assert latency["faults"] == 0
+
+
+class TestMiddlewareHook:
+    def test_add_middleware_observes_calls(self, host):
+        seen = []
+
+        def spy(ctx, call_next):
+            seen.append(ctx.method_path)
+            return call_next(ctx)
+
+        host.add_middleware(spy)
+        host.dispatch("system.ping", [], "")
+        assert seen == ["system.ping"]
+        assert host.middlewares == (spy,)
+
+    def test_user_middleware_sees_resolved_principal(self, host):
+        token = login(host)
+        principals = []
+
+        def spy(ctx, call_next):
+            principals.append(ctx.principal.user)
+            return call_next(ctx)
+
+        host.add_middleware(spy)
+        host.dispatch("calc.add", [1, 1], token)
+        assert principals == ["alice"]
+
+    def test_user_middleware_can_short_circuit(self, host):
+        from repro.clarens.errors import AuthorizationError as Denied
+
+        def deny_calc(ctx, call_next):
+            if ctx.method_path.startswith("calc."):
+                raise Denied("calc is down for maintenance")
+            return call_next(ctx)
+
+        host.add_middleware(deny_calc)
+        token = login(host)
+        with pytest.raises(Denied):
+            host.dispatch("calc.add", [1, 1], token)
+        assert host.dispatch("system.ping", [], "") == "pong"
+
 
 class TestMulticall:
     def test_batch_of_calls_under_one_token(self, host):
@@ -175,7 +283,8 @@ class TestMulticall:
         )
         assert results[0]["ok"] is False
         assert "exploded" in results[0]["error"]
-        assert results[1] == {"ok": True, "result": 10}
+        assert results[1]["ok"] is True
+        assert results[1]["result"] == 10
 
     def test_acl_enforced_per_subcall(self, host):
         host.users.add_user("eve", "pw", groups=("strangers",))
@@ -209,6 +318,19 @@ class TestMulticall:
         )
         assert results[0]["ok"] is False
         assert "nested" in results[0]["error"]
+
+    def test_subcalls_share_the_batch_trace_id(self, host):
+        token = login(host)
+        results = host.dispatch(
+            "system.multicall",
+            [[{"methodName": "calc.add", "params": [1, 2]},
+              {"methodName": "system.ping", "params": []}]],
+            token,
+            trace_id="batch-7",
+        )
+        assert [r["trace_id"] for r in results] == ["batch-7", "batch-7"]
+        records = host.dispatch("system.recent_calls", [50, "batch-7"], "")
+        assert {r["method"] for r in records} >= {"calc.add", "system.ping"}
 
     def test_multicall_over_real_xmlrpc(self, host):
         from repro.clarens.client import ClarensClient

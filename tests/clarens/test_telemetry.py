@@ -1,0 +1,145 @@
+"""Unit tests for the telemetry sinks: stats, percentiles, trace ring."""
+
+import threading
+
+import pytest
+
+from repro.clarens.telemetry import (
+    CallStats,
+    TraceLog,
+    TraceRecord,
+    new_trace_id,
+    percentile,
+)
+
+
+class TestTraceIds:
+    def test_unique_and_nonempty(self):
+        ids = {new_trace_id() for _ in range(1000)}
+        assert len(ids) == 1000
+        assert all(ids)
+
+    def test_no_bang_so_it_fits_the_wire_token(self):
+        assert "!" not in new_trace_id()
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_single_sample(self):
+        assert percentile([3.0], 0) == 3.0
+        assert percentile([3.0], 50) == 3.0
+        assert percentile([3.0], 100) == 3.0
+
+    def test_nearest_rank(self):
+        samples = list(range(1, 101))  # 1..100
+        assert percentile(samples, 50) == 50
+        assert percentile(samples, 95) == 95
+        assert percentile(samples, 99) == 99
+
+    def test_unsorted_input(self):
+        assert percentile([5.0, 1.0, 3.0], 100) == 5.0
+
+
+class TestCallStats:
+    def test_counters_keep_historical_meaning(self):
+        stats = CallStats()
+        stats.record("a.b", True, 0.001)
+        stats.record("a.b", False, 0.002)
+        assert stats.calls == 2
+        assert stats.faults == 1
+        assert stats.per_method == {"a.b": 2}
+
+    def test_duration_optional(self):
+        stats = CallStats()
+        stats.record("a.b", True)
+        assert stats.latency_summary("a.b") == {"count": 1, "faults": 0}
+        assert stats.mean_latency_s("a.b") is None
+
+    def test_snapshot_shape(self):
+        stats = CallStats()
+        for i in range(20):
+            stats.record("a.b", True, 0.001 * (i + 1))
+        snap = stats.snapshot()
+        assert snap["calls"] == 20
+        summary = snap["latency_ms"]["a.b"]
+        assert summary["count"] == 20
+        assert summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"]
+        assert summary["max_ms"] == pytest.approx(20.0)
+
+    def test_reservoir_caps_memory_but_keeps_counting(self):
+        stats = CallStats(max_samples_per_method=8)
+        for _ in range(100):
+            stats.record("a.b", True, 0.001)
+        summary = stats.latency_summary("a.b")
+        assert summary["count"] == 100
+        assert len(stats._methods["a.b"].samples) == 8
+
+    def test_methods_listing(self):
+        stats = CallStats()
+        stats.record("b.x", True, 0.001)
+        stats.record("a.y", True, 0.001)
+        assert stats.methods() == ["a.y", "b.x"]
+
+    def test_record_is_thread_safe(self):
+        """16 threads hammer one CallStats; no update may be lost."""
+        stats = CallStats()
+        n_threads, per_thread = 16, 500
+
+        def hammer():
+            for _ in range(per_thread):
+                stats.record("hot.path", True, 0.0001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.calls == n_threads * per_thread
+        assert stats.per_method["hot.path"] == n_threads * per_thread
+        assert stats.latency_summary("hot.path")["count"] == n_threads * per_thread
+
+
+def _record(i, trace="t"):
+    return TraceRecord(
+        trace_id=trace, method=f"m.{i}", transport="inproc", principal="u",
+        started=float(i), duration_ms=1.0, outcome="ok",
+    )
+
+
+class TestTraceLog:
+    def test_capacity_bounds_the_ring(self):
+        log = TraceLog(capacity=4)
+        for i in range(10):
+            log.append(_record(i))
+        records = log.snapshot()
+        assert len(log) == 4
+        assert [r.method for r in records] == ["m.6", "m.7", "m.8", "m.9"]
+
+    def test_limit_keeps_newest(self):
+        log = TraceLog()
+        for i in range(5):
+            log.append(_record(i))
+        assert [r.method for r in log.snapshot(limit=2)] == ["m.3", "m.4"]
+
+    def test_filter_by_trace_id(self):
+        log = TraceLog()
+        log.append(_record(0, trace="a"))
+        log.append(_record(1, trace="b"))
+        log.append(_record(2, trace="a"))
+        assert [r.method for r in log.snapshot(trace_id="a")] == ["m.0", "m.2"]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)
+
+    def test_record_to_wire_is_a_plain_dict(self):
+        wire = _record(1).to_wire()
+        assert wire["method"] == "m.1"
+        assert wire["outcome"] == "ok"
+        assert set(wire) == {
+            "trace_id", "method", "transport", "principal", "started",
+            "duration_ms", "outcome", "code", "error",
+        }

@@ -123,3 +123,47 @@ class TestTransportEquivalence:
             assert client.service("echo").echo("abc") == "abc"
             client.logout()
             assert not client.logged_in
+
+
+class TestTracePropagation:
+    def test_inprocess_trace_reaches_the_host(self, host):
+        t = InProcessTransport(host)
+        t.call("system.ping", [], trace_id="trace-local")
+        records = host.traces.snapshot(trace_id="trace-local")
+        assert [r.method for r in records] == ["system.ping"]
+        assert records[0].transport == "inproc"
+
+    def test_xmlrpc_trace_travels_the_wire(self, host, xmlrpc_server):
+        t = XmlRpcTransport(xmlrpc_server.url)
+        token = t.call("system.login", ["u", "p"])
+        t.call("echo.echo", ["traced"], token, trace_id="trace-wire")
+        records = host.traces.snapshot(trace_id="trace-wire")
+        assert [r.method for r in records] == ["echo.echo"]
+        assert records[0].transport == "xmlrpc"
+        assert records[0].principal == "u"
+
+    def test_wire_token_still_authenticates_with_trace_attached(self, xmlrpc_server):
+        t = XmlRpcTransport(xmlrpc_server.url)
+        token = t.call("system.login", ["u", "p"])
+        # A traced call to a protected method must not corrupt the token.
+        assert t.call("echo.echo", [1], token, trace_id="x-1") == 1
+
+
+class TestClose:
+    def test_inprocess_close_is_idempotent(self, host):
+        t = InProcessTransport(host)
+        t.close()
+        t.close()
+        assert t.closed
+
+    def test_xmlrpc_close_is_idempotent(self, xmlrpc_server):
+        t = XmlRpcTransport(xmlrpc_server.url)
+        assert t.call("system.ping", []) == "pong"
+        t.close()
+        t.close()
+        assert t.closed
+
+    def test_transport_context_manager(self, xmlrpc_server):
+        with XmlRpcTransport(xmlrpc_server.url) as t:
+            assert t.call("system.ping", []) == "pong"
+        assert t.closed

@@ -90,3 +90,60 @@ class TestRemoteAccess:
         assert not errors
         assert len(answers) == 30
         assert len(set(answers)) == 1  # frozen sim clock -> one status
+
+
+class TestMulticallOverTheWire:
+    """Batch fault isolation and trace sharing over the real transport.
+
+    Until this PR multicall was only exercised in-process; these tests pin
+    the wire behaviour: one failing sub-call must not poison the batch,
+    and every sub-call must be traceable under the batch's trace id.
+    """
+
+    def test_fault_isolation_in_a_real_batch(self, served_gae):
+        gae, handle, tasks = served_gae
+        with ClarensClient(XmlRpcTransport(handle.url)) as client:
+            client.login("alice", "pw")
+            detailed = client.batch_detailed([
+                ("jobmon.job_status", tasks[0].task_id),
+                ("ghost.method",),
+                ("system.host_name",),
+            ])
+        assert [r.ok for r in detailed] == [True, False, True]
+        assert detailed[0].result in ("running", "queued")
+        assert detailed[1].code == 404
+        assert detailed[2].result == "jclarens"
+
+    def test_batch_raises_first_typed_fault(self, served_gae):
+        from repro.clarens.errors import ServiceNotFound
+
+        gae, handle, _ = served_gae
+        with ClarensClient(XmlRpcTransport(handle.url)) as client:
+            client.login("alice", "pw")
+            with pytest.raises(ServiceNotFound):
+                client.batch([("system.ping",), ("ghost.method",)])
+
+    def test_client_trace_id_spans_every_subcall(self, served_gae):
+        gae, handle, tasks = served_gae
+        with ClarensClient(XmlRpcTransport(handle.url)) as client:
+            client.login("alice", "pw")
+            trace = client.new_trace()
+            detailed = client.batch_detailed([
+                ("jobmon.job_status", tasks[0].task_id),
+                ("ghost.method",),
+                ("system.ping",),
+            ])
+            records = client.call("system.recent_calls", 200, trace)
+        # Every sub-call result carries the client-issued trace id ...
+        assert {r.trace_id for r in detailed} == {trace}
+        # ... and every sub-call (even the failed one) is in the ring,
+        # alongside the enclosing system.multicall itself.
+        methods = [r["method"] for r in records]
+        assert "system.multicall" in methods
+        assert "jobmon.job_status" in methods
+        assert "ghost.method" in methods
+        assert "system.ping" in methods
+        outcomes = {r["method"]: r["outcome"] for r in records}
+        assert outcomes["ghost.method"] == "fault"
+        assert outcomes["system.ping"] == "ok"
+        assert all(r["transport"] == "xmlrpc" for r in records)

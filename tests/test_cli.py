@@ -74,3 +74,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 6" in out
         assert "mean latency (ms)" in out
+
+
+class TestStatsCommand:
+    def test_stats_prints_latency_table_and_trace(self, capsys):
+        assert main(["stats", "--calls", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "p95 (ms)" in out
+        assert "jobmon.job_info" in out
+        assert "system.multicall" in out
+        assert "calls in the recent-calls ring" in out
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.calls == 5
+        assert args.seed == 7

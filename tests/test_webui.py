@@ -127,3 +127,29 @@ class TestProgressChart:
         gae, ui, _, running = served
         _, body, _ = fetch(ui.url + f"job/{running.task_id}")
         assert "Progress of" not in body
+
+
+class TestMetricsPage:
+    def test_metrics_exposition(self, served):
+        gae, ui, *_ = served
+        gae.client("alice", "pw")  # at least one dispatched call to count
+        status, body, headers = fetch(ui.url + "metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "gae_rpc_calls_total" in body
+        assert 'gae_rpc_method_calls_total{method="system.login"}' in body
+        assert 'gae_site_load{site="siteA"}' in body
+
+    def test_metrics_include_latency_quantiles(self, served):
+        gae, ui, done, running = served
+        client = gae.client("alice", "pw")
+        for _ in range(3):
+            client.service("jobmon").job_status(running.task_id)
+        _, body, _ = fetch(ui.url + "metrics")
+        assert 'gae_rpc_latency_ms{method="jobmon.job_status",quantile="0.5"}' in body
+        assert 'quantile="0.95"' in body and 'quantile="0.99"' in body
+
+    def test_nav_links_to_metrics(self, served):
+        gae, ui, *_ = served
+        _, body, _ = fetch(ui.url)
+        assert '<a href="/metrics">metrics</a>' in body
