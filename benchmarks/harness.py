@@ -1,0 +1,25 @@
+"""Reproducible estimator benchmark harness (standalone entry point).
+
+Thin wrapper around :mod:`repro.analysis.bench` so the harness can run
+straight from a checkout without installing the package::
+
+    PYTHONPATH=src python benchmarks/harness.py                 # full run
+    PYTHONPATH=src python benchmarks/harness.py --quick         # CI smoke
+    PYTHONPATH=src python benchmarks/harness.py --validate BENCH_estimators.json
+
+Equivalent to ``gae-repro bench`` once installed.  See
+``docs/BENCHMARKS.md`` for what gets measured and the JSON schema of the
+``BENCH_estimators.json`` it writes.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.analysis.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

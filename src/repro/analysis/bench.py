@@ -1,0 +1,672 @@
+"""Reproducible benchmark harness for the estimator hot paths.
+
+This is the machinery behind ``gae-repro bench`` (and
+``benchmarks/harness.py``).  It times the three §6 estimator paths the
+steering optimizer leans on, at several history/queue scales, **both
+ways** — the naive scans the paper describes and the indexed/incremental
+paths this repo adds — asserts the two produce identical estimates, and
+writes a ``BENCH_estimators.json`` whose schema is stable across PRs so
+later changes have a trajectory to compare against.
+
+Sections of the emitted report (see ``docs/BENCHMARKS.md`` for the full
+field glossary):
+
+- ``runtime_estimator`` — §6.1 similar-task matching throughput, indexed
+  hash buckets vs full history scan, per history scale;
+- ``queue_time``       — §6.2 queue-wait estimates for a new task,
+  incremental per-priority-band sums vs queue scan, per queue depth;
+- ``transfer_time``    — §6.3 bandwidth probes, TTL-memoized vs fresh;
+- ``steering``         — end-to-end optimizer decision latency
+  (``completion_by_site`` over a live multi-site GAE);
+- ``monitoring``       — Clarens ``jobmon.job_info`` query latency
+  through the middleware pipeline.
+
+Everything is seeded and uses ``time.perf_counter`` around fixed
+workloads (best-of-N repeats), so runs are comparable on one machine.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+
+#: History sizes for the runtime-estimator section.  10k is the scale the
+#: acceptance gate (>=5x) is checked at; keep it in every run.
+DEFAULT_HISTORY_SCALES = (1_000, 10_000, 30_000)
+QUICK_HISTORY_SCALES = (1_000, 10_000)
+DEFAULT_QUEUE_SCALES = (200, 1_000, 5_000)
+QUICK_QUEUE_SCALES = (200, 1_000)
+
+#: Speedup the indexed runtime-estimator path must reach at >=10k records.
+RUNTIME_SPEEDUP_FLOOR = 5.0
+
+
+class BenchError(RuntimeError):
+    """Raised when a benchmark invariant (identity, speedup floor) fails."""
+
+
+class BenchSchemaError(ValueError):
+    """Raised by :func:`validate_report` for malformed bench reports."""
+
+
+# ----------------------------------------------------------------------
+# timing helpers
+# ----------------------------------------------------------------------
+def _best_time_s(fn: Callable[[], object], repeats: int) -> float:
+    """Wall-clock seconds of one execution of *fn*, best of *repeats*."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _latencies_ms(fn: Callable[[], object], calls: int) -> List[float]:
+    out = []
+    for _ in range(calls):
+        t0 = time.perf_counter()
+        fn()
+        out.append((time.perf_counter() - t0) * 1e3)
+    return out
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+# ----------------------------------------------------------------------
+# synthetic workload
+# ----------------------------------------------------------------------
+def _make_applications(n_apps: int, rng: np.random.Generator) -> List[Dict[str, object]]:
+    """Distinct "applications": attribute combos the §6.1 templates bucket on."""
+    apps = []
+    for i in range(n_apps):
+        apps.append({
+            "owner": f"user{rng.integers(0, max(2, n_apps // 4)):03d}",
+            "account": f"acct{rng.integers(0, 8):02d}",
+            "partition": ("compute", "io", "gpu")[int(rng.integers(0, 3))],
+            "queue": ("standard", "express")[int(rng.integers(0, 2))],
+            "nodes": int(rng.integers(1, 9)),
+            "task_type": "batch",
+            "executable": f"app{i:05d}",
+            "mean_runtime_s": float(rng.lognormal(6.0, 1.0)),
+        })
+    return apps
+
+
+def _history_records(n_records: int, rng: np.random.Generator):
+    """*n_records* completed-task records over ~n/5 distinct applications."""
+    from repro.core.estimators.history import TaskRecord
+
+    per_app = 5
+    apps = _make_applications(max(1, n_records // per_app), rng)
+    records = []
+    for i in range(n_records):
+        app = apps[i % len(apps)]
+        runtime = float(app["mean_runtime_s"]) * float(rng.lognormal(0.0, 0.15))
+        records.append(TaskRecord(
+            owner=str(app["owner"]), account=str(app["account"]),
+            partition=str(app["partition"]), queue=str(app["queue"]),
+            nodes=int(app["nodes"]), task_type=str(app["task_type"]),
+            executable=str(app["executable"]),
+            requested_cpu_hours=float(rng.uniform(0.1, 10.0)),
+            runtime_s=runtime,
+        ))
+    return apps, records
+
+
+def _specs_for(apps, n_specs: int, rng: np.random.Generator):
+    from repro.gridsim.job import TaskSpec
+
+    specs = []
+    for _ in range(n_specs):
+        app = apps[int(rng.integers(0, len(apps)))]
+        specs.append(TaskSpec(
+            owner=str(app["owner"]), account=str(app["account"]),
+            partition=str(app["partition"]), queue=str(app["queue"]),
+            nodes=int(app["nodes"]), task_type=str(app["task_type"]),
+            executable=str(app["executable"]),
+            requested_cpu_hours=float(rng.uniform(0.1, 10.0)),
+        ))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# section 1: runtime estimator throughput (history index)
+# ----------------------------------------------------------------------
+def bench_runtime_estimator(
+    history_size: int, queries: int, repeats: int, seed: int
+) -> Dict[str, object]:
+    """Indexed vs naive similar-task matching at one history scale."""
+    from repro.core.estimators.history import HistoryRepository
+    from repro.core.estimators.runtime import RuntimeEstimator
+
+    rng = np.random.default_rng(seed)
+    apps, records = _history_records(history_size, rng)
+    specs = _specs_for(apps, queries, rng)
+
+    indexed = RuntimeEstimator(HistoryRepository(records))
+    naive = RuntimeEstimator(HistoryRepository(records, indexed=False))
+
+    # Estimates must be bit-identical between the two paths (warms the
+    # index as a side effect, so the timed passes measure steady state).
+    indexed_values = [indexed.estimate(s).value for s in specs]
+    naive_values = [naive.estimate(s).value for s in specs]
+    identical = indexed_values == naive_values
+
+    indexed_s = _best_time_s(lambda: [indexed.estimate(s) for s in specs], repeats)
+    naive_s = _best_time_s(lambda: [naive.estimate(s) for s in specs], repeats)
+    return {
+        "history_size": history_size,
+        "queries": queries,
+        "naive_s": naive_s,
+        "indexed_s": indexed_s,
+        "naive_per_estimate_ms": naive_s / queries * 1e3,
+        "indexed_per_estimate_ms": indexed_s / queries * 1e3,
+        "naive_throughput_per_s": queries / naive_s,
+        "indexed_throughput_per_s": queries / indexed_s,
+        "speedup": naive_s / indexed_s,
+        "identical": identical,
+    }
+
+
+# ----------------------------------------------------------------------
+# section 2: queue-time estimation (incremental band accounting)
+# ----------------------------------------------------------------------
+def bench_queue_time(
+    queue_depth: int, queries: int, repeats: int, seed: int, bands: int = 5
+) -> Dict[str, object]:
+    """Incremental vs naive ``estimate_for_new`` at one queue depth."""
+    from repro.core.estimators.queue_time import QueueTimeEstimator, RuntimeEstimateDB
+    from repro.gridsim.clock import Simulator
+    from repro.gridsim.execution import ExecutionService
+    from repro.gridsim.job import Task, TaskSpec, reset_id_counters
+    from repro.gridsim.site import Site
+
+    reset_id_counters()
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    site = Site.simple(sim, "bench", n_nodes=1, cpus_per_node=2)
+    service = ExecutionService(site)
+    db = RuntimeEstimateDB()
+    estimator = QueueTimeEstimator(db, fallback_runtime_s=3600.0)
+    estimator.attach(service)
+
+    # Fill the queue: 2 run, the rest idle across the priority bands.
+    # Half the estimates land before the submit, half after (the late path
+    # the RuntimeEstimateDB listener covers).
+    for i in range(queue_depth):
+        work = float(rng.uniform(100.0, 10_000.0))
+        task = Task(
+            spec=TaskSpec(priority=int(rng.integers(0, bands))), work_seconds=work
+        )
+        estimate = work * float(rng.lognormal(0.0, 0.1))
+        if i % 2 == 0:
+            db.record(task.task_id, estimate)
+            service.submit_task(task)
+        else:
+            service.submit_task(task)
+            db.record(task.task_id, estimate)
+    sim.run_until(50.0)  # accrue some elapsed runtime on the running pair
+
+    priorities = [int(p) for p in rng.integers(0, bands, size=queries)]
+    incremental_values = [
+        estimator.estimate_for_new(service, priority=p) for p in priorities
+    ]
+    naive_values = [
+        estimator.estimate_for_new(service, priority=p, naive=True) for p in priorities
+    ]
+    identical = incremental_values == naive_values
+
+    incremental_s = _best_time_s(
+        lambda: [estimator.estimate_for_new(service, priority=p) for p in priorities],
+        repeats,
+    )
+    naive_s = _best_time_s(
+        lambda: [
+            estimator.estimate_for_new(service, priority=p, naive=True)
+            for p in priorities
+        ],
+        repeats,
+    )
+    return {
+        "queue_depth": queue_depth,
+        "bands": bands,
+        "running": len(service.running_info()),
+        "queries": queries,
+        "naive_s": naive_s,
+        "incremental_s": incremental_s,
+        "naive_per_estimate_ms": naive_s / queries * 1e3,
+        "incremental_per_estimate_ms": incremental_s / queries * 1e3,
+        "speedup": naive_s / incremental_s,
+        "identical": identical,
+    }
+
+
+# ----------------------------------------------------------------------
+# section 3: transfer-time estimation (memoized bandwidth probes)
+# ----------------------------------------------------------------------
+def bench_transfer_time(calls: int, repeats: int, seed: int) -> Dict[str, object]:
+    """TTL-memoized vs fresh-probe transfer estimates over a star WAN."""
+    from repro.core.estimators.transfer_time import TransferTimeEstimator
+    from repro.gridsim.network import IperfProbe, Link, Network
+
+    rng = np.random.default_rng(seed)
+    network = Network()
+    sites = [f"site{i}" for i in range(6)]
+    for name in sites[1:]:
+        network.add_link(Link(
+            "site0", name,
+            capacity_mbps=float(rng.uniform(100.0, 1000.0)),
+            latency_s=float(rng.uniform(0.01, 0.08)),
+        ))
+    # noise_sigma=0 so cached and fresh probes are comparable bit-for-bit.
+    probe = IperfProbe(network, noise_sigma=0.0)
+    ticks = iter(range(10_000_000))
+    cached = TransferTimeEstimator(
+        probe, cache_ttl_s=1e9, clock=lambda: float(next(ticks))
+    )
+    pairs = [(a, b) for a in sites for b in sites if a != b]
+    workload = [pairs[i % len(pairs)] for i in range(calls)]
+    sizes = [float(s) for s in rng.uniform(10.0, 2000.0, size=calls)]
+
+    cached_values = [
+        cached.estimate(a, b, size).transfer_time_s
+        for (a, b), size in zip(workload, sizes)
+    ]
+    fresh_values = [
+        cached.estimate(a, b, size, fresh=True).transfer_time_s
+        for (a, b), size in zip(workload, sizes)
+    ]
+    identical = cached_values == fresh_values
+
+    cached_s = _best_time_s(
+        lambda: [
+            cached.estimate(a, b, size) for (a, b), size in zip(workload, sizes)
+        ],
+        repeats,
+    )
+    fresh_s = _best_time_s(
+        lambda: [
+            cached.estimate(a, b, size, fresh=True)
+            for (a, b), size in zip(workload, sizes)
+        ],
+        repeats,
+    )
+    return {
+        "pairs": len(pairs),
+        "calls": calls,
+        "fresh_s": fresh_s,
+        "cached_s": cached_s,
+        "fresh_per_estimate_ms": fresh_s / calls * 1e3,
+        "cached_per_estimate_ms": cached_s / calls * 1e3,
+        "speedup": fresh_s / cached_s,
+        "identical": identical,
+        "cache": cached.cache_stats.as_dict(),
+    }
+
+
+# ----------------------------------------------------------------------
+# sections 4+5: end-to-end decision and monitoring latency
+# ----------------------------------------------------------------------
+def _build_loaded_gae(seed: int, queued_per_site: int):
+    from repro.core.estimators.history import HistoryRepository
+    from repro.gae import build_gae
+    from repro.gridsim import GridBuilder
+    from repro.gridsim.job import Task, TaskSpec, reset_id_counters
+
+    reset_id_counters()
+    rng = np.random.default_rng(seed)
+    apps, records = _history_records(2_000, rng)
+    grid = (
+        GridBuilder(seed=seed)
+        .site("siteA", nodes=2, background_load=0.5)
+        .site("siteB", nodes=2, background_load=0.0)
+        .site("siteC", nodes=1, background_load=1.0)
+        .link("siteA", "siteB", capacity_mbps=622.0, latency_s=0.05)
+        .link("siteB", "siteC", capacity_mbps=155.0, latency_s=0.08)
+        .probe_noise(0.0)
+        .build()
+    )
+    gae = build_gae(grid, history=HistoryRepository(records))
+    task_ids = []
+    for name in sorted(grid.execution_services):
+        service = grid.execution_services[name]
+        for _ in range(queued_per_site):
+            task = Task(
+                spec=TaskSpec(priority=int(rng.integers(0, 5))),
+                work_seconds=float(rng.uniform(500.0, 5_000.0)),
+            )
+            service.submit_task(task)
+            gae.estimators.estimate_db.record(task.task_id, task.work_seconds)
+            task_ids.append(task.task_id)
+    grid.run_until(30.0)
+    return gae, apps, task_ids
+
+
+def bench_steering_decision(
+    decisions: int, queued_per_site: int, seed: int
+) -> Dict[str, object]:
+    """Latency of one optimizer site-comparison (``completion_by_site``)."""
+    gae, apps, _ = _build_loaded_gae(seed, queued_per_site)
+    rng = np.random.default_rng(seed + 1)
+    specs = _specs_for(apps, decisions, rng)
+    it = iter(specs)
+    latencies = _latencies_ms(
+        lambda: gae.estimators.completion_by_site(next(it)), decisions
+    )
+    return {
+        "sites": len(gae.grid.sites),
+        "queued_per_site": queued_per_site,
+        "decisions": decisions,
+        "mean_ms": float(np.mean(latencies)),
+        "p50_ms": _percentile(latencies, 50),
+        "p95_ms": _percentile(latencies, 95),
+    }
+
+
+def bench_monitoring_query(
+    queries: int, queued_per_site: int, seed: int
+) -> Dict[str, object]:
+    """Latency of ``jobmon.job_info`` through the Clarens call pipeline."""
+    gae, _, task_ids = _build_loaded_gae(seed, queued_per_site)
+    gae.add_user("bench", "bench")
+    client = gae.client("bench", "bench")
+    jobmon = client.service("jobmon")
+    counter = iter(range(queries))
+    latencies = _latencies_ms(
+        lambda: jobmon.job_info(task_ids[next(counter) % len(task_ids)]), queries
+    )
+    client.close()
+    return {
+        "queries": queries,
+        "queued_per_site": queued_per_site,
+        "mean_ms": float(np.mean(latencies)),
+        "p50_ms": _percentile(latencies, 50),
+        "p95_ms": _percentile(latencies, 95),
+    }
+
+
+# ----------------------------------------------------------------------
+# the harness
+# ----------------------------------------------------------------------
+def run_bench(
+    quick: bool = False,
+    seed: int = 1995,
+    out: Optional[str] = None,
+    history_scales: Optional[Sequence[int]] = None,
+    queue_scales: Optional[Sequence[int]] = None,
+    echo: Callable[[str], None] = print,
+) -> Dict[str, object]:
+    """Run every section, assert the invariants, and return the report.
+
+    ``quick`` shrinks workloads for CI smoke runs (the 10k-history scale
+    and every identity assertion are kept).  ``out`` additionally writes
+    the JSON report to that path.
+    """
+    if history_scales is None:
+        history_scales = QUICK_HISTORY_SCALES if quick else DEFAULT_HISTORY_SCALES
+    if queue_scales is None:
+        queue_scales = QUICK_QUEUE_SCALES if quick else DEFAULT_QUEUE_SCALES
+    queries = 30 if quick else 100
+    repeats = 2 if quick else 3
+
+    echo(f"gae-repro bench (quick={quick}, seed={seed})")
+    echo(f"  runtime estimator: history scales {list(history_scales)}")
+    runtime_rows = [
+        bench_runtime_estimator(n, queries=queries, repeats=repeats, seed=seed)
+        for n in history_scales
+    ]
+    echo(f"  queue time: queue depths {list(queue_scales)}")
+    queue_rows = [
+        bench_queue_time(n, queries=queries, repeats=repeats, seed=seed)
+        for n in queue_scales
+    ]
+    echo("  transfer time: memoized probes")
+    transfer = bench_transfer_time(
+        calls=200 if quick else 2_000, repeats=repeats, seed=seed
+    )
+    echo("  steering decision latency")
+    steering = bench_steering_decision(
+        decisions=10 if quick else 50, queued_per_site=50, seed=seed
+    )
+    echo("  monitoring query latency")
+    monitoring = bench_monitoring_query(
+        queries=200 if quick else 1_000, queued_per_site=50, seed=seed
+    )
+
+    report: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "gae-repro bench",
+        "quick": bool(quick),
+        "seed": int(seed),
+        "python": platform.python_version(),
+        "sections": {
+            "runtime_estimator": {"scales": runtime_rows},
+            "queue_time": {"scales": queue_rows},
+            "transfer_time": transfer,
+            "steering": steering,
+            "monitoring": monitoring,
+        },
+    }
+
+    _assert_invariants(report)
+    validate_report(report)
+    _print_summary(report, echo)
+    if out:
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        echo(f"wrote {out}")
+    return report
+
+
+def _assert_invariants(report: Dict[str, object]) -> None:
+    sections = report["sections"]
+    for row in sections["runtime_estimator"]["scales"]:  # type: ignore[index]
+        if not row["identical"]:
+            raise BenchError(
+                f"indexed runtime estimates diverged from naive at history "
+                f"size {row['history_size']}"
+            )
+        if row["history_size"] >= 10_000 and row["speedup"] < RUNTIME_SPEEDUP_FLOOR:
+            raise BenchError(
+                f"indexed estimator speedup {row['speedup']:.1f}x at "
+                f"{row['history_size']} records is below the "
+                f"{RUNTIME_SPEEDUP_FLOOR}x floor"
+            )
+    for row in sections["queue_time"]["scales"]:  # type: ignore[index]
+        if not row["identical"]:
+            raise BenchError(
+                f"incremental queue-time estimates diverged from naive at "
+                f"depth {row['queue_depth']}"
+            )
+    if not sections["transfer_time"]["identical"]:  # type: ignore[index]
+        raise BenchError("memoized transfer estimates diverged from fresh probes")
+
+
+def _print_summary(report: Dict[str, object], echo: Callable[[str], None]) -> None:
+    from repro.analysis.report import markdown_table
+
+    sections = report["sections"]
+    echo("")
+    echo("runtime estimator (indexed history vs full scan)")
+    echo(markdown_table(
+        ["history", "naive est/s", "indexed est/s", "speedup", "identical"],
+        [
+            [
+                row["history_size"],
+                round(row["naive_throughput_per_s"], 1),
+                round(row["indexed_throughput_per_s"], 1),
+                f"{row['speedup']:.1f}x",
+                row["identical"],
+            ]
+            for row in sections["runtime_estimator"]["scales"]
+        ],
+    ))
+    echo("queue-time estimator (per-band sums vs queue scan)")
+    echo(markdown_table(
+        ["queue depth", "naive ms/est", "incremental ms/est", "speedup", "identical"],
+        [
+            [
+                row["queue_depth"],
+                round(row["naive_per_estimate_ms"], 4),
+                round(row["incremental_per_estimate_ms"], 4),
+                f"{row['speedup']:.1f}x",
+                row["identical"],
+            ]
+            for row in sections["queue_time"]["scales"]
+        ],
+    ))
+    t = sections["transfer_time"]
+    echo("transfer-time estimator (TTL-memoized vs fresh probes)")
+    echo(markdown_table(
+        ["calls", "fresh ms/est", "cached ms/est", "speedup", "identical"],
+        [[
+            t["calls"], round(t["fresh_per_estimate_ms"], 4),
+            round(t["cached_per_estimate_ms"], 4),
+            f"{t['speedup']:.1f}x", t["identical"],
+        ]],
+    ))
+    s, m = sections["steering"], sections["monitoring"]
+    echo("end-to-end latency")
+    echo(markdown_table(
+        ["path", "mean (ms)", "p50 (ms)", "p95 (ms)"],
+        [
+            ["steering decision (completion_by_site)",
+             round(s["mean_ms"], 3), round(s["p50_ms"], 3), round(s["p95_ms"], 3)],
+            ["monitoring query (jobmon.job_info)",
+             round(m["mean_ms"], 3), round(m["p50_ms"], 3), round(m["p95_ms"], 3)],
+        ],
+    ))
+
+
+# ----------------------------------------------------------------------
+# schema validation (used by the CI smoke job)
+# ----------------------------------------------------------------------
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise BenchSchemaError(message)
+
+
+def validate_report(report: Dict[str, object]) -> None:
+    """Validate a bench report against the documented schema.
+
+    Raises :class:`BenchSchemaError` with a pointed message on the first
+    violation; returns None on success.  The schema is documented in
+    ``docs/BENCHMARKS.md`` and stable under ``schema_version``.
+    """
+    _require(isinstance(report, dict), "report must be a JSON object")
+    for key, kind in (
+        ("schema_version", int), ("generated_by", str), ("quick", bool),
+        ("seed", int), ("python", str), ("sections", dict),
+    ):
+        _require(key in report, f"missing top-level key {key!r}")
+        _require(isinstance(report[key], kind),
+                 f"top-level {key!r} must be {kind.__name__}")
+    _require(report["schema_version"] == SCHEMA_VERSION,
+             f"schema_version must be {SCHEMA_VERSION}")
+    sections = report["sections"]
+    for name in ("runtime_estimator", "queue_time", "transfer_time",
+                 "steering", "monitoring"):
+        _require(name in sections, f"missing section {name!r}")
+
+    def check_row(row, fields, where):
+        _require(isinstance(row, dict), f"{where} must be an object")
+        for fname, ftype in fields:
+            _require(fname in row, f"{where} missing field {fname!r}")
+            value = row[fname]
+            if ftype is float:
+                _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+                         f"{where}.{fname} must be a number")
+            else:
+                _require(isinstance(value, ftype),
+                         f"{where}.{fname} must be {ftype.__name__}")
+
+    scales = sections["runtime_estimator"].get("scales")
+    _require(isinstance(scales, list) and scales,
+             "runtime_estimator.scales must be a non-empty list")
+    for i, row in enumerate(scales):
+        check_row(row, [
+            ("history_size", int), ("queries", int), ("naive_s", float),
+            ("indexed_s", float), ("naive_per_estimate_ms", float),
+            ("indexed_per_estimate_ms", float), ("naive_throughput_per_s", float),
+            ("indexed_throughput_per_s", float), ("speedup", float),
+            ("identical", bool),
+        ], f"runtime_estimator.scales[{i}]")
+    scales = sections["queue_time"].get("scales")
+    _require(isinstance(scales, list) and scales,
+             "queue_time.scales must be a non-empty list")
+    for i, row in enumerate(scales):
+        check_row(row, [
+            ("queue_depth", int), ("bands", int), ("running", int),
+            ("queries", int), ("naive_s", float), ("incremental_s", float),
+            ("naive_per_estimate_ms", float), ("incremental_per_estimate_ms", float),
+            ("speedup", float), ("identical", bool),
+        ], f"queue_time.scales[{i}]")
+    check_row(sections["transfer_time"], [
+        ("pairs", int), ("calls", int), ("fresh_s", float), ("cached_s", float),
+        ("fresh_per_estimate_ms", float), ("cached_per_estimate_ms", float),
+        ("speedup", float), ("identical", bool), ("cache", dict),
+    ], "transfer_time")
+    for counter in ("hits", "misses", "expirations"):
+        _require(
+            isinstance(sections["transfer_time"]["cache"].get(counter), int),
+            f"transfer_time.cache.{counter} must be an int",
+        )
+    check_row(sections["steering"], [
+        ("sites", int), ("queued_per_site", int), ("decisions", int),
+        ("mean_ms", float), ("p50_ms", float), ("p95_ms", float),
+    ], "steering")
+    check_row(sections["monitoring"], [
+        ("queries", int), ("queued_per_site", int),
+        ("mean_ms", float), ("p50_ms", float), ("p95_ms", float),
+    ], "monitoring")
+
+
+def validate_report_file(path: str) -> None:
+    """Load *path* and validate it; raises on schema violations."""
+    with open(path) as fh:
+        validate_report(json.load(fh))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI for ``python -m repro.analysis.bench`` (mirrors ``gae-repro bench``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Estimator hot-path benchmark harness (naive vs indexed)."
+    )
+    parser.add_argument("--quick", action="store_true", help="small CI-sized run")
+    parser.add_argument("--seed", type=int, default=1995)
+    parser.add_argument("--out", type=str, default="BENCH_estimators.json",
+                        help="report path ('-' to skip writing)")
+    parser.add_argument("--history-scales", type=int, nargs="+", default=None)
+    parser.add_argument("--queue-scales", type=int, nargs="+", default=None)
+    parser.add_argument("--validate", type=str, default=None, metavar="PATH",
+                        help="validate an existing report instead of running")
+    args = parser.parse_args(argv)
+    if args.validate:
+        validate_report_file(args.validate)
+        print(f"{args.validate}: schema ok")
+        return 0
+    run_bench(
+        quick=args.quick,
+        seed=args.seed,
+        out=None if args.out == "-" else args.out,
+        history_scales=args.history_scales,
+        queue_scales=args.queue_scales,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ Installed as ``gae-repro`` (or run as ``python -m repro.cli``)::
     gae-repro figure6 [--clients 1 2 5 25] [--calls 10]
     gae-repro trace --n 200 [--seed 1995] [--out trace.csv]
     gae-repro stats [--calls 5]
+    gae-repro bench [--quick] [--out BENCH_estimators.json]
     gae-repro demo
 
 Each figure command prints the same series, chart and paper-vs-measured
@@ -221,6 +222,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run (or validate) the estimator hot-path benchmark harness."""
+    from repro.analysis.bench import run_bench, validate_report_file
+
+    if args.validate:
+        validate_report_file(args.validate)
+        print(f"{args.validate}: schema ok")
+        return 0
+    run_bench(
+        quick=args.quick,
+        seed=args.seed,
+        out=None if args.out == "-" else args.out,
+        history_scales=args.history_scales,
+        queue_scales=args.queue_scales,
+    )
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import GridBuilder, Job, build_gae, make_prime_count_task
 
@@ -331,6 +350,20 @@ def build_parser() -> argparse.ArgumentParser:
     pst.add_argument("--calls", type=int, default=5,
                      help="monitoring queries to issue before reading stats")
     pst.set_defaults(func=_cmd_stats)
+
+    pb = sub.add_parser(
+        "bench",
+        help="estimator hot-path benchmarks (indexed vs naive), written as JSON",
+    )
+    pb.add_argument("--quick", action="store_true", help="small CI-sized run")
+    pb.add_argument("--seed", type=int, default=1995)
+    pb.add_argument("--out", type=str, default="BENCH_estimators.json",
+                    help="report path ('-' to skip writing)")
+    pb.add_argument("--history-scales", type=int, nargs="+", default=None)
+    pb.add_argument("--queue-scales", type=int, nargs="+", default=None)
+    pb.add_argument("--validate", type=str, default=None, metavar="PATH",
+                    help="validate an existing report's schema instead of running")
+    pb.set_defaults(func=_cmd_bench)
 
     pd = sub.add_parser("demo", help="tiny end-to-end GAE demo")
     pd.add_argument("--seed", type=int, default=42)

@@ -8,6 +8,17 @@ fields the SDSC Paragon accounting trace records — plus its actual runtime.
 "A decentralized approach is used for history maintenance": each site keeps
 its own :class:`HistoryRepository`; :class:`HistoryRecorder` subscribes to
 a site pool's completion callbacks and appends records automatically.
+
+The repository answers the similarity queries of §6.1 through a
+**multi-attribute hash index**: for every template (attribute tuple) that
+has ever been queried, records are bucketed by their value tuple on those
+attributes.  Buckets are maintained incrementally as :meth:`add` appends
+records (so a live :class:`HistoryRecorder` keeps them warm), which turns
+the per-estimate work from a full history scan into a single dict lookup.
+The original scan survives behind ``matching(..., naive=True)`` (and
+``HistoryRepository(indexed=False)``) for the ablation benchmarks; both
+paths return the *same records in the same order*, so every estimate built
+on top is bit-identical between them.
 """
 
 from __future__ import annotations
@@ -15,7 +26,7 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass, fields
-from typing import Dict, Iterable, Iterator, List, Sequence
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.gridsim.condor import CondorJobAd
 from repro.gridsim.job import TaskSpec
@@ -91,10 +102,30 @@ _NUMERIC_FIELDS = {
 
 
 class HistoryRepository:
-    """An append-only store of :class:`TaskRecord` with attribute queries."""
+    """An append-only store of :class:`TaskRecord` with attribute queries.
 
-    def __init__(self, records: Iterable[TaskRecord] = ()) -> None:
+    Parameters
+    ----------
+    records:
+        Initial records (appended in order).
+    indexed:
+        When true (the default), :meth:`matching` is served from hash
+        buckets keyed on the queried attribute tuple.  ``indexed=False``
+        forces the original linear scan everywhere — the naive baseline
+        the ablation benchmarks time against.
+    """
+
+    def __init__(self, records: Iterable[TaskRecord] = (), indexed: bool = True) -> None:
         self._records: List[TaskRecord] = list(records)
+        self.indexed = bool(indexed)
+        # Successful records, insertion order — the estimator training set.
+        self._successful: List[TaskRecord] = [
+            r for r in self._records if r.status == "successful"
+        ]
+        # template (attribute tuple) -> value tuple -> records in insertion
+        # order.  Built lazily on first query of each template, then kept
+        # up to date incrementally by add()/extend().
+        self._indexes: Dict[Tuple[str, ...], Dict[Tuple, List[TaskRecord]]] = {}
 
     def __len__(self) -> int:
         return len(self._records)
@@ -103,12 +134,18 @@ class HistoryRepository:
         return iter(self._records)
 
     def add(self, record: TaskRecord) -> None:
-        """Append one completed-task record."""
+        """Append one completed-task record (updates every live index)."""
         self._records.append(record)
+        if record.status == "successful":
+            self._successful.append(record)
+            for attributes, buckets in self._indexes.items():
+                key = tuple(record.attribute(a) for a in attributes)
+                buckets.setdefault(key, []).append(record)
 
     def extend(self, records: Iterable[TaskRecord]) -> None:
         """Append many records."""
-        self._records.extend(records)
+        for record in records:
+            self.add(record)
 
     def records(self) -> List[TaskRecord]:
         """All records, in insertion order (copy)."""
@@ -120,17 +157,51 @@ class HistoryRepository:
         The runtime estimator trains on these — a failed task's runtime
         says nothing about how long the work actually takes.
         """
-        return [r for r in self._records if r.status == "successful"]
+        return list(self._successful)
+
+    def _index_for(self, attributes: Tuple[str, ...]) -> Dict[Tuple, List[TaskRecord]]:
+        buckets = self._indexes.get(attributes)
+        if buckets is None:
+            buckets = {}
+            for r in self._successful:
+                key = tuple(r.attribute(a) for a in attributes)
+                buckets.setdefault(key, []).append(r)
+            self._indexes[attributes] = buckets
+        return buckets
 
     def matching(
-        self, attributes: Sequence[str], target: Dict[str, object]
+        self, attributes: Sequence[str], target: Dict[str, object], naive: bool = False
     ) -> List[TaskRecord]:
-        """Successful records equal to *target* on every named attribute."""
+        """Successful records equal to *target* on every named attribute.
+
+        The indexed path and the ``naive=True`` scan return the same
+        records in the same (insertion) order, so downstream statistics
+        are bit-identical between them.
+        """
+        if not naive and self.indexed:
+            attrs = tuple(attributes)
+            try:
+                key = tuple(target.get(a) for a in attrs)
+                return list(self._index_for(attrs).get(key, ()))
+            except TypeError:
+                # Unhashable target value — fall back to the scan.
+                pass
         out = []
-        for r in self.successful():
+        for r in self._successful:
             if all(r.attribute(a) == target.get(a) for a in attributes):
                 out.append(r)
         return out
+
+    def index_stats(self) -> Dict[str, object]:
+        """Shape of the live indexes (for benchmarks and debugging)."""
+        return {
+            "records": len(self._records),
+            "successful": len(self._successful),
+            "templates": {
+                ",".join(attrs) or "<empty>": len(buckets)
+                for attrs, buckets in self._indexes.items()
+            },
+        }
 
     # ------------------------------------------------------------------
     # persistence (accounting-trace style CSV)

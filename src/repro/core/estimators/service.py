@@ -12,11 +12,36 @@ methods, plus the plumbing the rest of the GAE needs:
 - :meth:`estimate_completion` produces the optimizer's "expected execution
   time … includ[ing] the run time, queue time, and file transfer time
   estimates for job execution on a particular site" (§4.2.2).
+
+The service sits on the steering optimizer's per-decision hot path, so its
+backing stores are indexed: the history repository buckets records by
+template attributes, :meth:`install_site_estimator` attaches incremental
+per-priority-band queue accounting at each site, and the transfer
+estimator can memoize bandwidth probes with a TTL (``transfer_cache_ttl_s``).
+
+A minimal session — three similar completed tasks, then a wire-format
+runtime estimate for a new task that matches them:
+
+>>> from repro.core.estimators.history import HistoryRepository, TaskRecord
+>>> def rec(runtime_s):
+...     return TaskRecord(owner="alice", account="cms", partition="compute",
+...                       queue="standard", nodes=1, task_type="batch",
+...                       executable="reco", requested_cpu_hours=1.0,
+...                       runtime_s=runtime_s)
+>>> service = EstimatorService(HistoryRepository([rec(100.0), rec(110.0), rec(120.0)]))
+>>> est = service.estimate_runtime({
+...     "_type": "TaskSpec", "owner": "alice", "account": "cms",
+...     "partition": "compute", "queue": "standard", "nodes": 1,
+...     "task_type": "batch", "executable": "reco", "requested_cpu_hours": 1.0})
+>>> round(est["value"], 1), est["n_similar"], est["method"]
+(110.0, 3, 'mean')
+>>> service.history_size()
+3
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.clarens.registry import clarens_method
 from repro.core.estimators.history import HistoryRepository
@@ -51,7 +76,12 @@ class EstimatorService:
         min_samples: int = 3,
         method: str = "auto",
         fallback_runtime_s: Optional[float] = 3600.0,
+        transfer_cache_ttl_s: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
+        """``transfer_cache_ttl_s`` memoizes bandwidth probes for that many
+        seconds of *clock* time (pass the simulation clock when estimating
+        under simulated time); ``None`` probes on every estimate."""
         self.history = history
         self.runtime = RuntimeEstimator(history, min_samples=min_samples, method=method)
         self.estimate_db = RuntimeEstimateDB()
@@ -59,7 +89,11 @@ class EstimatorService:
             self.estimate_db, fallback_runtime_s=fallback_runtime_s
         )
         self.transfer: Optional[TransferTimeEstimator] = (
-            TransferTimeEstimator(probe) if probe is not None else None
+            TransferTimeEstimator(
+                probe, cache_ttl_s=transfer_cache_ttl_s, clock=clock
+            )
+            if probe is not None
+            else None
         )
         self.catalog = catalog
         self._services: Dict[str, ExecutionService] = {}
@@ -78,8 +112,14 @@ class EstimatorService:
             raise KeyError(f"estimator service knows no site {site_name!r}") from None
 
     def install_site_estimator(self, service: ExecutionService) -> None:
-        """Install the runtime estimator at a site (§6.1 step b)."""
+        """Install the runtime estimator at a site (§6.1 step b).
+
+        Also attaches incremental queue accounting so queue-wait estimates
+        for new tasks come from per-priority-band running sums instead of
+        a queue scan.
+        """
         service.runtime_estimator = self.runtime
+        self.queue_time.attach(service)
         self.register_execution_service(service)
 
     def attach_to_scheduler(self, scheduler: SphinxScheduler) -> None:

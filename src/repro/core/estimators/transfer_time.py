@@ -9,12 +9,39 @@ The estimator probes the (simulated) network with an
 ``size / measured_bandwidth``.  Repeated probes can be smoothed to damp
 measurement noise; the prediction can be compared with the network model's
 ground-truth transfer time in tests and benchmarks.
+
+Probing is the expensive part — a real iperf run ties up the path for
+seconds — so measured bandwidths can be **memoized per (src, dst) pair
+with TTL invalidation**: pass ``cache_ttl_s`` (and a ``clock``) and
+repeated estimates inside the TTL reuse the cached bandwidth instead of
+re-probing.  The steering optimizer compares many candidate files/sites per
+decision, so this takes the probe count per decision from O(files) to
+O(distinct pairs).
+
+>>> from repro.gridsim.network import IperfProbe, Link, Network
+>>> net = Network()
+>>> net.add_link(Link("client", "server", capacity_mbps=800.0))
+>>> probe = IperfProbe(net, noise_sigma=0.0)
+>>> est = TransferTimeEstimator(probe)
+>>> est.estimate("client", "server", 100.0).transfer_time_s  # 100 MB at 800 Mbps
+1.0
+
+With memoization, the second estimate reuses the first probe's bandwidth:
+
+>>> ticks = iter(range(100))
+>>> cached = TransferTimeEstimator(probe, cache_ttl_s=60.0,
+...                                clock=lambda: float(next(ticks)))
+>>> _ = cached.estimate("client", "server", 100.0)
+>>> _ = cached.estimate("client", "server", 200.0)
+>>> (cached.cache_stats.hits, cached.cache_stats.misses)
+(1, 1)
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.gridsim.network import IperfProbe
 from repro.gridsim.storage import ReplicaCatalog
@@ -31,24 +58,105 @@ class TransferEstimate:
     transfer_time_s: float
 
 
+@dataclass
+class BandwidthCacheStats:
+    """Hit/miss counters for the memoized bandwidth cache."""
+
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "expirations": self.expirations,
+        }
+
+
 class TransferTimeEstimator:
     """iperf-probe-based file transfer prediction."""
 
-    def __init__(self, probe: IperfProbe, smoothing_window: int = 1) -> None:
+    def __init__(
+        self,
+        probe: IperfProbe,
+        smoothing_window: int = 1,
+        cache_ttl_s: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         """``smoothing_window`` > 1 averages that many probe measurements
-        per estimate (more probe traffic, steadier predictions)."""
+        per estimate (more probe traffic, steadier predictions).
+
+        ``cache_ttl_s`` enables per-pair bandwidth memoization: a pair
+        probed less than that many seconds ago (by ``clock``, default
+        ``time.monotonic`` — pass the simulation clock when estimating
+        under simulated time) is answered from cache.  ``None`` (default)
+        probes on every estimate, the original behaviour.
+        """
         if smoothing_window < 1:
             raise ValueError(f"smoothing_window must be >= 1, got {smoothing_window}")
+        if cache_ttl_s is not None and cache_ttl_s <= 0:
+            raise ValueError(f"cache_ttl_s must be positive, got {cache_ttl_s}")
         self.probe = probe
         self.smoothing_window = smoothing_window
+        self.cache_ttl_s = cache_ttl_s
+        self.clock = clock
+        self.cache_stats = BandwidthCacheStats()
+        self._bandwidth_cache: Dict[Tuple[str, str], Tuple[float, float]] = {}
 
-    def measure_bandwidth(self, src: str, dst: str) -> float:
-        """The (possibly smoothed) measured bandwidth in Mbit/s."""
+    def _now(self) -> float:
+        return float(self.clock()) if self.clock is not None else time.monotonic()
+
+    def _probe_bandwidth(self, src: str, dst: str) -> float:
         if self.smoothing_window == 1:
             return self.probe.measure(src, dst).measured_mbps
         return self.probe.smoothed_mbps(src, dst, window=self.smoothing_window)
 
-    def estimate(self, src: str, dst: str, size_mb: float) -> TransferEstimate:
+    def measure_bandwidth(self, src: str, dst: str, fresh: bool = False) -> float:
+        """The (possibly smoothed, possibly memoized) bandwidth in Mbit/s.
+
+        ``fresh=True`` bypasses the TTL cache and forces a probe (which
+        also refreshes the cache entry) — the naive baseline the ablation
+        benchmark times against.
+        """
+        if self.cache_ttl_s is None:
+            return self._probe_bandwidth(src, dst)
+        key = (src, dst)
+        now = self._now()
+        if not fresh:
+            cached = self._bandwidth_cache.get(key)
+            if cached is not None:
+                bandwidth, measured_at = cached
+                if now - measured_at < self.cache_ttl_s:
+                    self.cache_stats.hits += 1
+                    return bandwidth
+                self.cache_stats.expirations += 1
+        self.cache_stats.misses += 1
+        bandwidth = self._probe_bandwidth(src, dst)
+        self._bandwidth_cache[key] = (bandwidth, now)
+        return bandwidth
+
+    def invalidate(self, src: Optional[str] = None, dst: Optional[str] = None) -> int:
+        """Drop cached bandwidths (all, or those touching the named sites).
+
+        Returns the number of entries dropped.  Call after a known network
+        event (link change, weather step) to force fresh probes early.
+        """
+        if src is None and dst is None:
+            dropped = len(self._bandwidth_cache)
+            self._bandwidth_cache.clear()
+            return dropped
+        doomed = [
+            key for key in self._bandwidth_cache
+            if (src is not None and src in key) or (dst is not None and dst in key)
+        ]
+        for key in doomed:
+            del self._bandwidth_cache[key]
+        return len(doomed)
+
+    def estimate(
+        self, src: str, dst: str, size_mb: float, fresh: bool = False
+    ) -> TransferEstimate:
         """Predict the transfer time of *size_mb* megabytes src → dst."""
         if size_mb < 0:
             raise ValueError(f"size must be non-negative, got {size_mb}")
@@ -57,7 +165,7 @@ class TransferTimeEstimator:
                 src=src, dst=dst, size_mb=size_mb, bandwidth_mbps=float("inf"),
                 transfer_time_s=0.0,
             )
-        bw = self.measure_bandwidth(src, dst)
+        bw = self.measure_bandwidth(src, dst, fresh=fresh)
         seconds = 0.0 if bw == float("inf") else (size_mb * 8.0) / bw
         return TransferEstimate(
             src=src, dst=dst, size_mb=size_mb, bandwidth_mbps=bw, transfer_time_s=seconds

@@ -126,6 +126,7 @@ def build_gae(
     host_name: str = "jclarens",
     monitor_snapshot_period_s: Optional[float] = None,
     service_metrics_period_s: float = 60.0,
+    transfer_cache_ttl_s: Optional[float] = 300.0,
 ) -> GAE:
     """Wire the full GAE over an assembled grid.
 
@@ -140,13 +141,19 @@ def build_gae(
         workload's completed jobs); empty when omitted.
     record_history:
         When true, completed tasks keep feeding the history live.
+    transfer_cache_ttl_s:
+        Memoize iperf bandwidth probes for this many simulated seconds
+        (matches the default network-weather period, so cached bandwidths
+        go stale no slower than the links they describe).  ``None`` probes
+        on every transfer estimate.
     """
     sim = grid.sim
     monalisa = MonALISARepository()
     history = history if history is not None else HistoryRepository()
 
     estimators = EstimatorService(
-        history, probe=grid.probe, catalog=grid.catalog
+        history, probe=grid.probe, catalog=grid.catalog,
+        transfer_cache_ttl_s=transfer_cache_ttl_s, clock=lambda: sim.now,
     )
     for name in sorted(grid.execution_services):
         estimators.install_site_estimator(grid.execution_services[name])

@@ -130,6 +130,11 @@ class CondorPool:
         self.on_complete: List[Callable[[CondorJobAd], None]] = []
         self.on_failed: List[Callable[[CondorJobAd], None]] = []
         self.on_state_change: List[Callable[[CondorJobAd], None]] = []
+        #: Fired when an idle job leaves this pool by flocking elsewhere.
+        #: The ad's state is still QUEUED but the pool no longer owns it —
+        #: incremental queue accounting subscribes here to drop the job's
+        #: contribution from this pool's per-priority-band sums.
+        self.on_forwarded: List[Callable[[CondorJobAd], None]] = []
 
     # ------------------------------------------------------------------
     # submission and dispatch
@@ -229,6 +234,8 @@ class CondorPool:
             # own dispatch forwards it onward if the target is full.
             del self._ads[ad.task_id]
             del self._by_condor_id[ad.condor_id]
+            for cb in list(self.on_forwarded):
+                cb(ad)
             carried = ad.accrued_work if ad.task.checkpointable else 0.0
             target.submit(ad.task, initial_work=carried)
         self._idle = still_idle

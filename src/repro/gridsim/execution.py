@@ -42,6 +42,13 @@ class ExecutionService:
         Optional callable ``(TaskSpec) -> float`` giving the site-local
         runtime estimate (§6.1).  Installed later by the estimator service;
         until then :meth:`estimate_runtime` raises.
+
+    The estimator service may additionally attach an incremental
+    :class:`~repro.core.estimators.queue_time.QueueAccounting` (stored on
+    :attr:`queue_accounting`), which follows this pool's submit / start /
+    complete / kill events and keeps per-priority-band sums of the queued
+    tasks' estimated-remaining runtimes, so queue-wait estimates for the
+    steering optimizer need no queue scan.
     """
 
     def __init__(
@@ -51,6 +58,9 @@ class ExecutionService:
     ) -> None:
         self.site = site
         self.runtime_estimator = runtime_estimator
+        #: Incremental per-band queue accounting, if attached (see
+        #: :meth:`repro.core.estimators.queue_time.QueueTimeEstimator.attach`).
+        self.queue_accounting: Optional[object] = None
         self._failed = False
 
     # ------------------------------------------------------------------

@@ -1,0 +1,257 @@
+"""Unit tests for the PR-2 estimator hot paths.
+
+Covers the multi-attribute history index, the incremental queue
+accounting (including the event sources the property tests cannot reach
+cheaply, like flocking), the TTL bandwidth cache, and the benchmark
+harness's schema validator.
+"""
+
+import pytest
+
+from repro.core.estimators.history import HistoryRepository, TaskRecord
+from repro.core.estimators.queue_time import (
+    QueueEstimationError,
+    QueueTimeEstimator,
+    RuntimeEstimateDB,
+)
+from repro.core.estimators.transfer_time import TransferTimeEstimator
+from repro.gridsim.clock import Simulator
+from repro.gridsim.execution import ExecutionService
+from repro.gridsim.job import Task, TaskSpec
+from repro.gridsim.network import IperfProbe, Link, Network
+from repro.gridsim.site import Site
+
+
+def record(owner="alice", executable="reco", runtime_s=100.0, status="successful"):
+    return TaskRecord(
+        owner=owner, account="cms", partition="compute", queue="q", nodes=1,
+        task_type="batch", executable=executable, requested_cpu_hours=1.0,
+        runtime_s=runtime_s, status=status,
+    )
+
+
+def target(owner="alice", executable="reco"):
+    return {
+        "owner": owner, "account": "cms", "partition": "compute", "queue": "q",
+        "nodes": 1, "task_type": "batch", "executable": executable,
+    }
+
+
+class TestHistoryIndex:
+    def test_indexed_and_naive_agree_including_order(self):
+        history = HistoryRepository(
+            [record(runtime_s=r) for r in (10.0, 20.0, 30.0)]
+            + [record(owner="bob", runtime_s=99.0)]
+        )
+        template = ("owner", "executable")
+        assert history.matching(template, target()) == history.matching(
+            template, target(), naive=True
+        )
+        assert [r.runtime_s for r in history.matching(template, target())] == [
+            10.0, 20.0, 30.0,
+        ]
+
+    def test_add_after_query_updates_live_buckets(self):
+        history = HistoryRepository([record()])
+        template = ("owner",)
+        assert len(history.matching(template, target())) == 1  # builds the index
+        history.add(record(runtime_s=55.0))
+        assert len(history.matching(template, target())) == 2
+
+    def test_failed_records_never_match(self):
+        history = HistoryRepository([record(), record(status="failed")])
+        assert len(history.matching(("owner",), target())) == 1
+
+    def test_unhashable_target_value_falls_back_to_scan(self):
+        history = HistoryRepository([record()])
+        weird = dict(target(), owner=["not", "hashable"])
+        assert history.matching(("owner",), weird) == []
+
+    def test_unindexed_repository_still_answers(self):
+        history = HistoryRepository([record()], indexed=False)
+        assert len(history.matching(("owner",), target())) == 1
+        assert history.index_stats()["templates"] == {}
+
+    def test_index_stats_reports_buckets(self):
+        history = HistoryRepository([record(), record(owner="bob")])
+        history.matching(("owner",), target())
+        stats = history.index_stats()
+        assert stats["records"] == 2
+        assert stats["successful"] == 2
+        assert stats["templates"]["owner"] == 2  # one bucket per owner
+
+
+def _service_with_estimator(fallback=None, cpus=1):
+    sim = Simulator()
+    service = ExecutionService(Site.simple(sim, "site", cpus_per_node=cpus))
+    db = RuntimeEstimateDB()
+    estimator = QueueTimeEstimator(db, fallback_runtime_s=fallback)
+    estimator.attach(service)
+    return sim, service, db, estimator
+
+
+class TestQueueAccounting:
+    def test_strict_mode_raises_exactly_like_naive(self):
+        _, service, db, estimator = _service_with_estimator(fallback=None)
+        running = Task(spec=TaskSpec(), work_seconds=500.0)
+        queued = Task(spec=TaskSpec(), work_seconds=500.0)
+        service.submit_task(running)
+        db.record(running.task_id, 500.0)
+        service.submit_task(queued)  # no estimate recorded: strict error
+        with pytest.raises(QueueEstimationError):
+            estimator.estimate_for_new(service, priority=0)
+        with pytest.raises(QueueEstimationError):
+            estimator.estimate_for_new(service, priority=0, naive=True)
+        # the moment the estimate lands, both paths answer again — equally
+        db.record(queued.task_id, 800.0)
+        assert estimator.estimate_for_new(service) == estimator.estimate_for_new(
+            service, naive=True
+        )
+
+    def test_attach_is_idempotent(self):
+        _, service, _, estimator = _service_with_estimator(fallback=60.0)
+        assert estimator.attach(service) is estimator.attach(service)
+
+    def test_flocked_job_leaves_the_accounting(self):
+        sim = Simulator()
+        full = ExecutionService(Site.simple(sim, "full", cpus_per_node=1))
+        idle = ExecutionService(Site.simple(sim, "idle", cpus_per_node=1))
+        full.pool.enable_flocking(idle.pool)
+        db = RuntimeEstimateDB()
+        estimator = QueueTimeEstimator(db, fallback_runtime_s=300.0)
+        estimator.attach(full)
+        first = Task(spec=TaskSpec(), work_seconds=1000.0)
+        second = Task(spec=TaskSpec(), work_seconds=1000.0)
+        service_estimates = {}
+        for task in (first, second):
+            db.record(task.task_id, 1000.0)
+            full.submit_task(task)  # second flocks straight to the idle pool
+        service_estimates["incremental"] = estimator.estimate_for_new(full)
+        service_estimates["naive"] = estimator.estimate_for_new(full, naive=True)
+        assert idle.has_task(second.task_id)
+        assert not full.has_task(second.task_id)
+        assert service_estimates["incremental"] == service_estimates["naive"]
+        assert full.queue_accounting.queued_depth() == 0
+
+    def test_estimate_shrinks_as_running_task_progresses(self):
+        sim, service, db, estimator = _service_with_estimator(fallback=None)
+        task = Task(spec=TaskSpec(), work_seconds=1000.0)
+        db.record(task.task_id, 1000.0)
+        service.submit_task(task)
+        before = estimator.estimate_for_new(service)
+        sim.run_until(200.0)
+        after = estimator.estimate_for_new(service)
+        assert after == pytest.approx(before - 200.0)
+        assert after == estimator.estimate_for_new(service, naive=True)
+
+
+def _star_network():
+    network = Network()
+    network.add_link(Link("a", "b", capacity_mbps=800.0))
+    return IperfProbe(network, noise_sigma=0.0)
+
+
+class TestTransferCache:
+    def test_ttl_expiry_forces_reprobe(self):
+        ticks = iter(range(1000))
+        est = TransferTimeEstimator(
+            _star_network(), cache_ttl_s=2.0, clock=lambda: float(next(ticks))
+        )
+        est.estimate("a", "b", 10.0)   # t=0: miss
+        est.estimate("a", "b", 10.0)   # t=1: hit
+        est.estimate("a", "b", 10.0)   # t=2: expired -> reprobe
+        assert est.cache_stats.hits == 1
+        assert est.cache_stats.misses == 2
+        assert est.cache_stats.expirations == 1
+
+    def test_fresh_bypasses_and_refreshes(self):
+        ticks = iter(range(1000))
+        est = TransferTimeEstimator(
+            _star_network(), cache_ttl_s=100.0, clock=lambda: float(next(ticks))
+        )
+        est.estimate("a", "b", 10.0)
+        est.estimate("a", "b", 10.0, fresh=True)  # counted as a miss
+        est.estimate("a", "b", 10.0)              # served by the refresh
+        assert est.cache_stats.misses == 2
+        assert est.cache_stats.hits == 1
+
+    def test_invalidate_by_site_and_wholesale(self):
+        ticks = iter(range(1000))
+        probe = _star_network()
+        probe.network.add_link(Link("a", "c", capacity_mbps=100.0))
+        est = TransferTimeEstimator(
+            probe, cache_ttl_s=1e9, clock=lambda: float(next(ticks))
+        )
+        est.estimate("a", "b", 10.0)
+        est.estimate("a", "c", 10.0)
+        assert est.invalidate(src="b") == 1
+        assert est.invalidate() == 1
+
+    def test_no_ttl_probes_every_time(self):
+        est = TransferTimeEstimator(_star_network())
+        est.estimate("a", "b", 10.0)
+        est.estimate("a", "b", 10.0)
+        assert est.cache_stats.hits == 0
+        assert est.cache_stats.misses == 0  # cache disabled entirely
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            TransferTimeEstimator(_star_network(), cache_ttl_s=0.0)
+
+
+class TestBenchHarness:
+    def test_sections_report_identity_at_tiny_scale(self):
+        from repro.analysis.bench import (
+            bench_queue_time,
+            bench_runtime_estimator,
+            bench_transfer_time,
+        )
+
+        runtime = bench_runtime_estimator(200, queries=5, repeats=1, seed=3)
+        assert runtime["identical"]
+        queue = bench_queue_time(30, queries=5, repeats=1, seed=3)
+        assert queue["identical"]
+        transfer = bench_transfer_time(calls=10, repeats=1, seed=3)
+        assert transfer["identical"]
+
+    def test_validator_accepts_real_reports_and_rejects_mutants(self):
+        from repro.analysis.bench import (
+            BenchSchemaError,
+            bench_queue_time,
+            bench_runtime_estimator,
+            bench_transfer_time,
+            validate_report,
+        )
+
+        report = {
+            "schema_version": 1, "generated_by": "test", "quick": True,
+            "seed": 3, "python": "3",
+            "sections": {
+                "runtime_estimator": {
+                    "scales": [bench_runtime_estimator(100, queries=3, repeats=1, seed=3)]
+                },
+                "queue_time": {
+                    "scales": [bench_queue_time(10, queries=3, repeats=1, seed=3)]
+                },
+                "transfer_time": bench_transfer_time(calls=5, repeats=1, seed=3),
+                "steering": {
+                    "sites": 3, "queued_per_site": 1, "decisions": 1,
+                    "mean_ms": 1.0, "p50_ms": 1.0, "p95_ms": 1.0,
+                },
+                "monitoring": {
+                    "queries": 1, "queued_per_site": 1,
+                    "mean_ms": 1.0, "p50_ms": 1.0, "p95_ms": 1.0,
+                },
+            },
+        }
+        validate_report(report)  # must not raise
+        with pytest.raises(BenchSchemaError):
+            validate_report({**report, "schema_version": 99})
+        broken = {**report, "sections": {**report["sections"]}}
+        del broken["sections"]["monitoring"]
+        with pytest.raises(BenchSchemaError):
+            validate_report(broken)
+        broken = {**report, "sections": {**report["sections"], "steering": {
+            **report["sections"]["steering"], "mean_ms": "fast"}}}
+        with pytest.raises(BenchSchemaError):
+            validate_report(broken)

@@ -7,11 +7,21 @@ import doctest
 
 import pytest
 
+import repro.core.estimators.service
+import repro.core.estimators.similarity
+import repro.core.estimators.transfer_time
 import repro.gae
 import repro.gridsim.grid
 import repro.gridsim.rng
 
-MODULES = [repro.gridsim.grid, repro.gridsim.rng, repro.gae]
+MODULES = [
+    repro.gridsim.grid,
+    repro.gridsim.rng,
+    repro.gae,
+    repro.core.estimators.service,
+    repro.core.estimators.similarity,
+    repro.core.estimators.transfer_time,
+]
 
 
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Check that docs/ARCHITECTURE.md covers every package under src/repro.
+
+Walks the source tree for packages (directories with ``__init__.py``),
+builds their dotted names, and fails — listing the gaps — if any dotted
+name is missing from docs/ARCHITECTURE.md.  Run from anywhere:
+
+    python tools/check_docs.py
+
+CI runs this in the docs job so the architecture map cannot silently rot
+as packages are added or renamed.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+ARCHITECTURE_MD = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+
+
+def source_packages() -> list[str]:
+    """Dotted names of every package under src/ (``repro``, ``repro.x``...)."""
+    packages = []
+    for init in sorted(SRC_ROOT.rglob("__init__.py")):
+        relative = init.parent.relative_to(SRC_ROOT)
+        packages.append(".".join(relative.parts))
+    return packages
+
+
+def main() -> int:
+    if not ARCHITECTURE_MD.exists():
+        print(f"error: {ARCHITECTURE_MD} does not exist", file=sys.stderr)
+        return 1
+    text = ARCHITECTURE_MD.read_text(encoding="utf-8")
+    packages = source_packages()
+    missing = [name for name in packages if name not in text]
+    if missing:
+        print("docs/ARCHITECTURE.md is missing these packages:", file=sys.stderr)
+        for name in missing:
+            print(f"  - {name}", file=sys.stderr)
+        print(
+            f"\n{len(missing)} of {len(packages)} packages undocumented; "
+            "add them to the package map.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"docs/ARCHITECTURE.md covers all {len(packages)} packages")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
