@@ -19,7 +19,10 @@ field glossary):
 - ``steering``         — end-to-end optimizer decision latency
   (``completion_by_site`` over a live multi-site GAE);
 - ``monitoring``       — Clarens ``jobmon.job_info`` query latency
-  through the middleware pipeline.
+  through the middleware pipeline;
+- ``observability``    — end-to-end steering-verb latency with the PR-3
+  tracing/journal layer on vs off at the 10k-job scale (the <10%
+  overhead acceptance gate).
 
 Everything is seeded and uses ``time.perf_counter`` around fixed
 workloads (best-of-N repeats), so runs are comparable on one machine.
@@ -46,6 +49,10 @@ QUICK_QUEUE_SCALES = (200, 1_000)
 
 #: Speedup the indexed runtime-estimator path must reach at >=10k records.
 RUNTIME_SPEEDUP_FLOOR = 5.0
+
+#: Ceiling on what tracing+journal may add to end-to-end steering-verb
+#: latency, checked at the 10k-job scale (PR-3 acceptance gate).
+OVERHEAD_CEILING_PCT = 10.0
 
 
 class BenchError(RuntimeError):
@@ -396,6 +403,105 @@ def bench_monitoring_query(
 
 
 # ----------------------------------------------------------------------
+# section 6: observability instrumentation overhead
+# ----------------------------------------------------------------------
+def _gae_at_scale(seed: int, n_tasks: int, observability: bool):
+    """A two-site GAE holding ``n_tasks`` live single-task jobs."""
+    from repro.gae import SteeringPolicy, build_gae
+    from repro.gridsim import GridBuilder
+    from repro.gridsim.job import Job, Task, TaskSpec, reset_id_counters
+
+    reset_id_counters()
+    rng = np.random.default_rng(seed)
+    grid = (
+        GridBuilder(seed=seed)
+        .site("siteA", nodes=64, cpus_per_node=4)
+        .site("siteB", nodes=64, cpus_per_node=4)
+        .link("siteA", "siteB", capacity_mbps=622.0, latency_s=0.05)
+        .probe_noise(0.0)
+        .build()
+    )
+    # No auto-steering and a slow poll: both configurations idle the same
+    # way, so the timed batches measure the verbs, not the optimizer.
+    gae = build_gae(
+        grid,
+        observability=observability,
+        policy=SteeringPolicy(auto_move=False, poll_interval_s=3_600.0),
+    )
+    gae.add_user("bench", "bench")
+    gae.start()
+    task_ids = []
+    for work in rng.uniform(50.0, 500.0, n_tasks):
+        task = Task(
+            spec=TaskSpec(owner="bench", priority=int(rng.integers(0, 5))),
+            work_seconds=float(work),
+        )
+        task_ids.append(task.task_id)
+        gae.scheduler.submit_job(Job(tasks=[task], owner="bench"))
+    grid.run_until(100.0)  # dispatch settles; the bulk of the queue idles
+    return gae, task_ids
+
+
+def bench_observability_overhead(
+    n_tasks: int, commands: int, rounds: int, seed: int
+) -> Dict[str, object]:
+    """Steering-verb latency with vs without the tracing/journal layer.
+
+    Two identical GAEs — one built with ``observability=True``, one
+    without — each hold ``n_tasks`` live jobs.  An identical batch of
+    ``set_priority`` steering verbs (the §4 priority-change path, a full
+    Clarens RPC plus a Condor queue re-prioritisation) then runs against
+    the tail of each queue.  Rounds alternate which configuration is
+    timed first and the best round per configuration is kept, so
+    scheduler noise on a busy machine cannot masquerade as
+    instrumentation cost.
+    """
+    configs = {}
+    for instrumented in (True, False):
+        gae, task_ids = _gae_at_scale(seed, n_tasks, instrumented)
+        steering = gae.client("bench", "bench").service("steering")
+        configs[instrumented] = (gae, steering, task_ids[-commands:])
+
+    def run_batch(instrumented: bool, priority: int):
+        _, steering, sample = configs[instrumented]
+        ok = 0
+        start = time.perf_counter()
+        for task_id in sample:
+            ok += steering.set_priority(task_id, priority)["ok"]
+        return time.perf_counter() - start, ok
+
+    run_batch(True, 1), run_batch(False, 1)  # warm both pipelines
+    best = {True: float("inf"), False: float("inf")}
+    ok_counts = {}
+    for round_no in range(rounds):
+        order = (True, False) if round_no % 2 == 0 else (False, True)
+        priority = 2 + round_no % 2  # alternate so every re-sort is real
+        for instrumented in order:
+            elapsed, ok_counts[instrumented] = run_batch(instrumented, priority)
+            best[instrumented] = min(best[instrumented], elapsed)
+
+    instrumentation = configs[True][0].observability
+    spans, events = len(instrumentation.tracer), len(instrumentation.journal)
+    for gae, _, _ in configs.values():
+        gae.stop()
+
+    instrumented_s, baseline_s = best[True], best[False]
+    return {
+        "n_tasks": n_tasks,
+        "commands": commands,
+        "rounds": rounds,
+        "baseline_s": baseline_s,
+        "instrumented_s": instrumented_s,
+        "baseline_per_command_ms": baseline_s / commands * 1e3,
+        "instrumented_per_command_ms": instrumented_s / commands * 1e3,
+        "overhead_pct": (instrumented_s / baseline_s - 1.0) * 100.0,
+        "identical": ok_counts[True] == ok_counts[False] == commands,
+        "spans": spans,
+        "events": events,
+    }
+
+
+# ----------------------------------------------------------------------
 # the harness
 # ----------------------------------------------------------------------
 def run_bench(
@@ -442,6 +548,13 @@ def run_bench(
     monitoring = bench_monitoring_query(
         queries=200 if quick else 1_000, queued_per_site=50, seed=seed
     )
+    echo("  observability instrumentation overhead")
+    observability = bench_observability_overhead(
+        n_tasks=2_000 if quick else 10_000,
+        commands=100 if quick else 300,
+        rounds=3 if quick else 5,
+        seed=seed,
+    )
 
     report: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
@@ -455,6 +568,7 @@ def run_bench(
             "transfer_time": transfer,
             "steering": steering,
             "monitoring": monitoring,
+            "observability": observability,
         },
     }
 
@@ -491,6 +605,20 @@ def _assert_invariants(report: Dict[str, object]) -> None:
             )
     if not sections["transfer_time"]["identical"]:  # type: ignore[index]
         raise BenchError("memoized transfer estimates diverged from fresh probes")
+    obs = sections["observability"]  # type: ignore[index]
+    if not obs["identical"]:
+        raise BenchError(
+            "steering verbs did not all succeed identically with and "
+            "without observability"
+        )
+    if obs["events"] <= 0 or obs["spans"] <= 0:
+        raise BenchError("instrumented GAE recorded no spans/events")
+    if obs["n_tasks"] >= 10_000 and obs["overhead_pct"] >= OVERHEAD_CEILING_PCT:
+        raise BenchError(
+            f"tracing+journal adds {obs['overhead_pct']:.1f}% to steering "
+            f"latency at {obs['n_tasks']} jobs, above the "
+            f"{OVERHEAD_CEILING_PCT:.0f}% ceiling"
+        )
 
 
 def _print_summary(report: Dict[str, object], echo: Callable[[str], None]) -> None:
@@ -547,6 +675,17 @@ def _print_summary(report: Dict[str, object], echo: Callable[[str], None]) -> No
              round(m["mean_ms"], 3), round(m["p50_ms"], 3), round(m["p95_ms"], 3)],
         ],
     ))
+    o = sections["observability"]
+    echo("observability instrumentation (steering verbs, tracing+journal on vs off)")
+    echo(markdown_table(
+        ["jobs", "verbs", "off ms/verb", "on ms/verb", "overhead", "identical"],
+        [[
+            o["n_tasks"], o["commands"],
+            round(o["baseline_per_command_ms"], 3),
+            round(o["instrumented_per_command_ms"], 3),
+            f"{o['overhead_pct']:+.1f}%", o["identical"],
+        ]],
+    ))
 
 
 # ----------------------------------------------------------------------
@@ -576,7 +715,7 @@ def validate_report(report: Dict[str, object]) -> None:
              f"schema_version must be {SCHEMA_VERSION}")
     sections = report["sections"]
     for name in ("runtime_estimator", "queue_time", "transfer_time",
-                 "steering", "monitoring"):
+                 "steering", "monitoring", "observability"):
         _require(name in sections, f"missing section {name!r}")
 
     def check_row(row, fields, where):
@@ -630,6 +769,13 @@ def validate_report(report: Dict[str, object]) -> None:
         ("queries", int), ("queued_per_site", int),
         ("mean_ms", float), ("p50_ms", float), ("p95_ms", float),
     ], "monitoring")
+    check_row(sections["observability"], [
+        ("n_tasks", int), ("commands", int), ("rounds", int),
+        ("baseline_s", float), ("instrumented_s", float),
+        ("baseline_per_command_ms", float), ("instrumented_per_command_ms", float),
+        ("overhead_pct", float), ("identical", bool),
+        ("spans", int), ("events", int),
+    ], "observability")
 
 
 def validate_report_file(path: str) -> None:

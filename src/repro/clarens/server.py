@@ -110,6 +110,19 @@ class _SystemService:
         return self._host.stats.snapshot()
 
     @clarens_method(anonymous=True)
+    def observability(self) -> Dict[str, Any]:
+        """Snapshot of the unified observability layer.
+
+        Returns ``{"enabled": False}`` on hosts without instrumentation;
+        otherwise span/journal occupancy plus every registered metric
+        (counters, gauges, histogram summaries) keyed by name.
+        """
+        instrumentation = self._host.observability
+        if instrumentation is None:
+            return {"enabled": False}
+        return instrumentation.snapshot()
+
+    @clarens_method(anonymous=True)
     def recent_calls(self, limit: int = 50, trace_id: str = "") -> List[Dict[str, Any]]:
         """The newest finished calls from the host's trace ring buffer.
 
@@ -191,6 +204,9 @@ class ClarensHost:
         self.acl = acl if acl is not None else AccessControlList(default_allow=False)
         self.stats = CallStats()
         self.traces = TraceLog(capacity=trace_capacity)
+        #: The GAE's :class:`~repro.observability.instrument.GAEInstrumentation`
+        #: when wired (``build_gae`` sets it); ``system.observability`` reads it.
+        self.observability = None
         self._user_middlewares: List[Middleware] = []
         self._pipeline = self._build_pipeline()
         self.registry.register(

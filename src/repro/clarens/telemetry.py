@@ -55,20 +55,56 @@ def percentile(samples: Sequence[float], q: float) -> float:
     return ordered[int(rank) - 1]
 
 
+class LatencyReservoir:
+    """Fixed-capacity sample store: fills, then overwrites cyclically.
+
+    The sliding-window-of-recent-values behaviour behind ``CallStats``,
+    factored out so the unified metrics registry
+    (:mod:`repro.observability.metrics`) can reuse it for histograms.
+    Not thread-safe on its own — owners hold their own lock.
+    """
+
+    __slots__ = ("cap", "samples", "_next")
+
+    def __init__(self, cap: int = 512) -> None:
+        if cap < 1:
+            raise ValueError("reservoir capacity must be positive")
+        self.cap = cap
+        self.samples: List[float] = []
+        self._next = 0
+
+    def add(self, value: float) -> None:
+        if len(self.samples) < self.cap:
+            self.samples.append(value)
+        else:  # overwrite cyclically: a sliding window of recent values
+            self.samples[self._next] = value
+            self._next = (self._next + 1) % self.cap
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the current window."""
+        return percentile(self.samples, q)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
 class _MethodRecord:
     """Per-method counters plus a fixed-size latency reservoir."""
 
-    __slots__ = ("count", "faults", "total_s", "max_s", "samples", "_next")
+    __slots__ = ("count", "faults", "total_s", "max_s", "reservoir")
 
-    def __init__(self) -> None:
+    def __init__(self, cap: int = 512) -> None:
         self.count = 0
         self.faults = 0
         self.total_s = 0.0
         self.max_s = 0.0
-        self.samples: List[float] = []
-        self._next = 0
+        self.reservoir = LatencyReservoir(cap)
 
-    def add(self, ok: bool, duration_s: Optional[float], cap: int) -> None:
+    @property
+    def samples(self) -> List[float]:
+        return self.reservoir.samples
+
+    def add(self, ok: bool, duration_s: Optional[float]) -> None:
         self.count += 1
         if not ok:
             self.faults += 1
@@ -77,11 +113,7 @@ class _MethodRecord:
         self.total_s += duration_s
         if duration_s > self.max_s:
             self.max_s = duration_s
-        if len(self.samples) < cap:
-            self.samples.append(duration_s)
-        else:  # overwrite cyclically: a sliding window of recent latencies
-            self.samples[self._next] = duration_s
-            self._next = (self._next + 1) % cap
+        self.reservoir.add(duration_s)
 
     def summary_ms(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"count": self.count, "faults": self.faults}
@@ -125,8 +157,8 @@ class CallStats:
             self.per_method[method_path] = self.per_method.get(method_path, 0) + 1
             rec = self._methods.get(method_path)
             if rec is None:
-                rec = self._methods[method_path] = _MethodRecord()
-            rec.add(ok, duration_s, self._cap)
+                rec = self._methods[method_path] = _MethodRecord(self._cap)
+            rec.add(ok, duration_s)
 
     def latency_summary(self, method_path: str) -> Dict[str, Any]:
         """Latency summary for one method (empty dict when never called)."""

@@ -5,10 +5,11 @@ Installed as ``gae-repro`` (or run as ``python -m repro.cli``)::
     gae-repro figure5 [--seed 1995] [--history 100] [--tests 20]
     gae-repro figure7 [--poll 20] [--load 1.5] [--checkpoint]
     gae-repro figure6 [--clients 1 2 5 25] [--calls 10]
+    gae-repro trace TASK_ID [--export gae_trace_export.jsonl]
     gae-repro trace --n 200 [--seed 1995] [--out trace.csv]
     gae-repro stats [--calls 5]
     gae-repro bench [--quick] [--out BENCH_estimators.json]
-    gae-repro demo
+    gae-repro demo [--trace-export gae_trace_export.jsonl]
 
 Each figure command prints the same series, chart and paper-vs-measured
 summary as the corresponding ``benchmarks/bench_fig*.py`` module.
@@ -162,7 +163,54 @@ def _cmd_figure6(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_from_export(task_id: str, path: str) -> int:
+    """Print one job's span tree and timeline from a JSONL trace export."""
+    from repro.observability import load_export, render_span_tree
+
+    try:
+        data = load_export(path)
+    except FileNotFoundError:
+        print(
+            f"error: no trace export at {path!r}; run `gae-repro demo` first "
+            f"or point --export at one",
+            file=sys.stderr,
+        )
+        return 1
+    events = [e for e in data["event"] if e.get("task_id") == task_id]
+    trace_id = next((e["trace_id"] for e in events if e.get("trace_id")), None)
+    if trace_id is None:
+        trace_id = next(
+            (s["trace_id"] for s in data["span"] if s["name"] == f"task:{task_id}"),
+            None,
+        )
+    if trace_id is None:
+        known = sorted({e["task_id"] for e in data["event"] if e.get("task_id")})
+        hint = f" (export has: {', '.join(known)})" if known else ""
+        print(f"error: task {task_id!r} not found in {path}{hint}", file=sys.stderr)
+        return 1
+    spans = [s for s in data["span"] if s["trace_id"] == trace_id]
+    print(f"trace {trace_id} — {len(spans)} spans from {path}")
+    print(render_span_tree(spans))
+    print()
+    rows = [
+        [f"{e['time']:.1f}", e["type"], e.get("site") or "-", e.get("span_id") or "-"]
+        for e in sorted(events, key=lambda e: (e["time"], e["seq"]))
+    ]
+    print(markdown_table(["t (s)", "event", "site", "span"], rows))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.task_id:
+        return _trace_from_export(args.task_id, args.export)
+    if args.n is None:
+        print(
+            "error: give a task id (lifecycle trace from an export) or "
+            "--n (synthetic accounting trace)",
+            file=sys.stderr,
+        )
+        return 2
+
     from repro.workloads.downey import DowneyWorkloadGenerator
     from repro.workloads.traces import write_trace_csv
 
@@ -241,27 +289,70 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    """A steered job's whole life, exported as one trace.
+
+    siteA has a single slot kept busy by a filler task, so the demo job
+    flocks to siteB; it is then paused, resumed, and moved back to siteA
+    via Clarens steering calls, runs to completion, and the full
+    span/journal store is exported as JSONL for ``gae-repro trace``.
+    """
     from repro import GridBuilder, Job, build_gae, make_prime_count_task
+    from repro.core.steering.optimizer import SteeringPolicy
+    from repro.observability import export_observability
 
     grid = (
         GridBuilder(seed=args.seed)
-        .site("siteA", nodes=2, background_load=1.0)
+        .site("siteA", nodes=1, background_load=0.0)
         .site("siteB", nodes=2, background_load=0.0)
         .link("siteA", "siteB", capacity_mbps=622.0, latency_s=0.05)
+        .flock("siteA", "siteB")
+        .probe_noise(0.0)
         .build()
     )
-    gae = build_gae(grid)
+    # Manual steering only: the demo narrates its own pause/resume/move.
+    gae = build_gae(grid, policy=SteeringPolicy(auto_move=False))
     gae.add_user("demo", "demo")
     gae.start()
-    task = make_prime_count_task(owner="demo")
+
+    filler = make_prime_count_task(owner="demo", work_seconds=240.0)
+    gae.grid.execution_services["siteA"].submit_task(filler)
+    task = make_prime_count_task(owner="demo", checkpointable=True)
+    original = gae.scheduler.select_site
+    gae.scheduler.select_site = lambda t, exclude=(): "siteA"
     plan = gae.scheduler.submit_job(Job(tasks=[task], owner="demo"))
-    print(f"scheduled {task.task_id} on {plan.site_for(task.task_id)}")
+    gae.scheduler.select_site = original
+    print(f"scheduled {task.task_id} on {plan.site_for(task.task_id)} "
+          f"(flocks to siteB while the filler occupies siteA)")
+
     client = gae.client("demo", "demo")
-    for t in (60, 180, 300):
-        gae.grid.run_until(float(t))
-        info = client.service("jobmon").job_info(task.task_id)
-        print(f"t={t:3d}s {info['status']:<10} {info['progress'] * 100:5.1f}%")
+    jobmon = client.service("jobmon")
+    steering = client.service("steering")
+
+    def show(t: float) -> None:
+        gae.grid.run_until(t)
+        info = jobmon.job_info(task.task_id)
+        print(f"t={t:5.0f}s {info['status']:<10} {info['progress'] * 100:5.1f}% "
+              f"at {info['site'] or '-'}")
+
+    show(60.0)
+    steering.pause(task.task_id)
+    print("steering.pause issued")
+    show(120.0)
+    steering.resume(task.task_id)
+    print("steering.resume issued")
+    show(250.0)  # the filler finished at t=240, freeing siteA's slot
+    steering.move(task.task_id, "siteA")
+    print("steering.move to siteA issued")
+    show(900.0)
     gae.stop()
+
+    out_path = args.trace_export
+    rows = export_observability(
+        out_path, gae.observability.tracer, gae.observability.journal,
+        sim_now=gae.sim.now,
+    )
+    print(f"exported {rows} observability rows to {out_path}")
+    print(f"inspect with: gae-repro trace {task.task_id} --export {out_path}")
     return 0
 
 
@@ -337,8 +428,17 @@ def build_parser() -> argparse.ArgumentParser:
     p6.add_argument("--calls", type=int, default=10)
     p6.set_defaults(func=_cmd_figure6)
 
-    pt = sub.add_parser("trace", help="generate a synthetic Paragon accounting trace")
-    pt.add_argument("--n", type=int, required=True)
+    pt = sub.add_parser(
+        "trace",
+        help="print a job's span tree from a demo export, or generate a "
+             "synthetic Paragon accounting trace (--n)",
+    )
+    pt.add_argument("task_id", type=str, nargs="?", default=None,
+                    help="task to trace from a JSONL observability export")
+    pt.add_argument("--export", type=str, default="gae_trace_export.jsonl",
+                    metavar="PATH", help="observability export to read")
+    pt.add_argument("--n", type=int, default=None,
+                    help="emit this many synthetic accounting records instead")
     pt.add_argument("--seed", type=int, default=1995)
     pt.add_argument("--out", type=str, default=None)
     pt.set_defaults(func=_cmd_trace)
@@ -365,8 +465,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="validate an existing report's schema instead of running")
     pb.set_defaults(func=_cmd_bench)
 
-    pd = sub.add_parser("demo", help="tiny end-to-end GAE demo")
+    pd = sub.add_parser(
+        "demo", help="end-to-end GAE demo: flock, pause, move, trace export"
+    )
     pd.add_argument("--seed", type=int, default=42)
+    pd.add_argument("--trace-export", type=str, default="gae_trace_export.jsonl",
+                    metavar="PATH", help="where to write the JSONL trace export")
     pd.set_defaults(func=_cmd_demo)
 
     ps = sub.add_parser("scenario", help="run a JSON scenario file end to end")

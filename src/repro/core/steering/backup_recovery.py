@@ -77,6 +77,12 @@ class BackupRecovery:
         self._resubmitted: Set[tuple] = set()  # (task_id, failed_site) pairs
         self._handle: Optional[PeriodicHandle] = None
         self.notification_listeners: List[Callable[[ClientNotification], None]] = []
+        #: Called as (task_id, files) after local files are salvaged from a
+        #: failed task, and as (task_id, state) after a completed task's
+        #: execution state is archived for download — the observability
+        #: layer records both as ``output-retrieved`` journal events.
+        self.salvage_listeners: List[Callable[[str, List[str]], None]] = []
+        self.archive_listeners: List[Callable[[str, Dict[str, object]], None]] = []
 
     # ------------------------------------------------------------------
     def _notify(self, kind: str, ad: CondorJobAd, site: str, detail: str = "") -> None:
@@ -116,7 +122,10 @@ class BackupRecovery:
             try:
                 # "contacts the execution service to get all the local
                 # files that were produced by the failed job"
-                self.recovered_files[ad.task_id] = service.retrieve_local_files(ad.task_id)
+                files = service.retrieve_local_files(ad.task_id)
+                self.recovered_files[ad.task_id] = files
+                for cb in list(self.salvage_listeners):
+                    cb(ad.task_id, files)
                 service_up = True
             except ExecutionServiceDown:
                 # The whole service is gone; the ping sweep will resubmit.
@@ -133,7 +142,10 @@ class BackupRecovery:
         try:
             # "gets the execution state from the execution service. This
             # execution state is made available for download."
-            self.execution_states[ad.task_id] = service.execution_state(ad.task_id)
+            state = service.execution_state(ad.task_id)
+            self.execution_states[ad.task_id] = state
+            for cb in list(self.archive_listeners):
+                cb(ad.task_id, state)
         except ExecutionServiceDown:
             pass
 

@@ -12,12 +12,17 @@ is checkpointable.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, ContextManager, Dict, List, Optional
 
 from repro.core.steering.subscriber import Subscriber
 from repro.gridsim.execution import ExecutionService, ExecutionServiceDown
 from repro.gridsim.scheduler import SphinxScheduler
+
+
+def _null_span(command: str, task_id: str) -> ContextManager[None]:
+    return contextlib.nullcontext()
 
 
 class SteeringCommandError(RuntimeError):
@@ -48,6 +53,12 @@ class CommandProcessor:
         self._services = services
         #: Every executed command, for audit and tests.
         self.log: List[CommandResult] = []
+        #: Called with every :class:`CommandResult` as it is logged.
+        self.listeners: List[Callable[[CommandResult], None]] = []
+        #: ``(command, task_id) -> context manager`` wrapped around every
+        #: verb's execution; the observability layer installs a factory
+        #: that opens a ``steer:<verb>`` span on the task's job trace.
+        self.span_factory: Callable[[str, str], ContextManager[None]] = _null_span
 
     def _service_for(self, task_id: str) -> ExecutionService:
         try:
@@ -62,12 +73,15 @@ class CommandProcessor:
             ) from None
 
     def _run(self, command: str, task_id: str, action: Callable[[], str]) -> CommandResult:
-        try:
-            detail = action()
-            result = CommandResult(command=command, task_id=task_id, ok=True, detail=detail)
-        except (ExecutionServiceDown, SteeringCommandError, RuntimeError) as exc:
-            result = CommandResult(command=command, task_id=task_id, ok=False, detail=str(exc))
+        with self.span_factory(command, task_id):
+            try:
+                detail = action()
+                result = CommandResult(command=command, task_id=task_id, ok=True, detail=detail)
+            except (ExecutionServiceDown, SteeringCommandError, RuntimeError) as exc:
+                result = CommandResult(command=command, task_id=task_id, ok=False, detail=str(exc))
         self.log.append(result)
+        for listener in list(self.listeners):
+            listener(result)
         return result
 
     # ------------------------------------------------------------------

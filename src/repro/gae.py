@@ -41,6 +41,7 @@ from repro.gridsim.grid import Grid
 from repro.monalisa.publisher import ServiceMetricsPublisher, SiteLoadPublisher
 from repro.monalisa.repository import MonALISARepository
 from repro.monalisa.service import MonALISAQueryService
+from repro.observability.instrument import GAEInstrumentation
 
 
 @dataclass
@@ -57,6 +58,9 @@ class GAE:
     steering: SteeringService
     load_publisher: SiteLoadPublisher
     service_metrics_publisher: ServiceMetricsPublisher
+    #: End-to-end tracing/journal/metrics; None when built with
+    #: ``observability=False``.
+    observability: Optional[GAEInstrumentation] = None
     #: Period (simulated s) for continuous job snapshots; None disables.
     monitor_snapshot_period_s: Optional[float] = None
 
@@ -127,6 +131,7 @@ def build_gae(
     monitor_snapshot_period_s: Optional[float] = None,
     service_metrics_period_s: float = 60.0,
     transfer_cache_ttl_s: Optional[float] = 300.0,
+    observability: bool = True,
 ) -> GAE:
     """Wire the full GAE over an assembled grid.
 
@@ -146,6 +151,12 @@ def build_gae(
         (matches the default network-weather period, so cached bandwidths
         go stale no slower than the links they describe).  ``None`` probes
         on every transfer estimate.
+    observability:
+        When true (the default) the end-to-end tracing/journal/metrics
+        layer is attached: per-job traces through scheduler, pools,
+        steering and MonALISA, a lifecycle event journal, the unified
+        metrics registry, the ``system.observability`` Clarens method,
+        and an ``rpc:*`` span per dispatched call.
     """
     sim = grid.sim
     monalisa = MonALISARepository()
@@ -208,6 +219,19 @@ def build_gae(
         description="grid-weather and job-event queries (MonALISA, §5/§6.1)",
     )
 
+    instrumentation: Optional[GAEInstrumentation] = None
+    if observability:
+        instrumentation = GAEInstrumentation(sim).attach(
+            grid,
+            steering=steering,
+            monitoring=monitoring,
+            accounting=accounting,
+            estimators=estimators,
+            monalisa=monalisa,
+        )
+        host.observability = instrumentation
+        host.add_middleware(instrumentation.middleware())
+
     return GAE(
         grid=grid,
         host=host,
@@ -219,5 +243,6 @@ def build_gae(
         steering=steering,
         load_publisher=load_publisher,
         service_metrics_publisher=service_metrics_publisher,
+        observability=instrumentation,
         monitor_snapshot_period_s=monitor_snapshot_period_s,
     )

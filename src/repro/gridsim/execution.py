@@ -61,7 +61,15 @@ class ExecutionService:
         #: Incremental per-band queue accounting, if attached (see
         #: :meth:`repro.core.estimators.queue_time.QueueTimeEstimator.attach`).
         self.queue_accounting: Optional[object] = None
+        #: Called as (service, up) on every :meth:`fail` / :meth:`recover`
+        #: transition; the observability layer exposes this as the
+        #: ``gae_execution_service_up`` gauge.
+        self.lifecycle_listeners: List[Callable[["ExecutionService", bool], None]] = []
         self._failed = False
+
+    def _notify_lifecycle(self, up: bool) -> None:
+        for listener in list(self.lifecycle_listeners):
+            listener(self, up)
 
     # ------------------------------------------------------------------
     # availability
@@ -96,6 +104,7 @@ class ExecutionService:
         loses the jobs it managed.  Returns the failed ads.
         """
         self._failed = True
+        self._notify_lifecycle(False)
         if crash_pool:
             return self.pool.crash()
         return []
@@ -103,6 +112,7 @@ class ExecutionService:
     def recover(self) -> None:
         """Bring the service back up (empty pool, fresh start)."""
         self._failed = False
+        self._notify_lifecycle(True)
 
     # ------------------------------------------------------------------
     # scheduling interface

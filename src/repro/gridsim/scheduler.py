@@ -126,6 +126,11 @@ class SphinxScheduler:
         # the estimator service uses this to record its at-submission
         # runtime estimate (§6.2 step c).
         self.submission_listeners: List[Callable[[Task, str], None]] = []
+        # Called as (task, site_name, delay_s, kind) whenever a task's data
+        # goes in flight before it can queue; ``kind`` is "input" for
+        # stage-in and "ckpt-image" for checkpoint-image transfers during a
+        # move.  The observability layer turns these into transfer spans.
+        self.staging_listeners: List[Callable[[Task, str, float, str], None]] = []
 
     # ------------------------------------------------------------------
     # site registry
@@ -141,6 +146,8 @@ class SphinxScheduler:
         def on_state_change(ad) -> None:
             if ad.state.is_terminal:
                 self._commitments.pop(ad.task_id, None)
+            elif ad.state is JobState.QUEUED:
+                self._note_arrival(ad.task_id, name)
 
         service.pool.on_state_change.append(on_state_change)
 
@@ -271,6 +278,7 @@ class SphinxScheduler:
         # The input data is in flight; the task reaches the queue when the
         # last file lands.
         self.staging[task.task_id] = (site_name, self.sim.now + delay)
+        self._emit_staging(task, site_name, delay, "input")
 
         def deliver() -> None:
             self.staging.pop(task.task_id, None)
@@ -281,6 +289,10 @@ class SphinxScheduler:
             self._deliver(task, site_name, initial_work)
 
         self.sim.schedule(delay, deliver, label=f"stage-in:{task.task_id}->{site_name}")
+
+    def _emit_staging(self, task: Task, site_name: str, delay: float, kind: str) -> None:
+        for listener in list(self.staging_listeners):
+            listener(task, site_name, delay, kind)
 
     def _deliver(self, task: Task, site_name: str, initial_work: float) -> None:
         service = self.service(site_name)
@@ -298,6 +310,25 @@ class SphinxScheduler:
         return self.replica_catalog.stage_in_time(
             list(task.spec.input_files), site_name, missing="skip"
         )
+
+    def _note_arrival(self, task_id: str, site_name: str) -> None:
+        """Keep the plan honest when Condor flocking moves a queued task.
+
+        Flocking happens entirely inside the pools; without this hook the
+        concrete plan would keep binding the task to the pool it left, so
+        steering verbs (pause/move/kill) would be sent to the wrong site.
+        On arrival at an unplanned pool the binding is updated and the
+        revised plan re-emitted to the plan listeners (the Subscriber).
+        """
+        job_id = self._task_index.get(task_id)
+        if job_id is None:
+            return  # a task submitted around the scheduler
+        entry = self._jobs[job_id]
+        if entry.plan.site_for(task_id) == site_name:
+            return
+        entry.plan = entry.plan.rebind(task_id, site_name)
+        self._commitments[task_id] = site_name
+        self._emit_plan(entry)
 
     def _on_task_complete(self, ad: CondorJobAd) -> None:
         job_id = self._task_index.get(ad.task_id)
@@ -340,6 +371,7 @@ class SphinxScheduler:
         image_delay = self._image_transfer_delay(old_site, new_site, image_size_mb)
         if image_delay > 0.0:
             self.staging[task.task_id] = (new_site, self.sim.now + image_delay)
+            self._emit_staging(task, new_site, image_delay, "ckpt-image")
 
             def deliver() -> None:
                 self.staging.pop(task.task_id, None)

@@ -38,16 +38,29 @@ class SiteLoadPublisher:
         self.sites = list(sites)
         self.period_s = period_s
         self._handle: Optional[PeriodicHandle] = None
+        self._stopped = False
 
     def publish_now(self) -> None:
-        """Take one sample of every site immediately."""
+        """Take one sample of every site immediately.
+
+        A no-op after :meth:`stop`, so a straggling caller cannot smear
+        stale samples into the repository.
+        """
+        if self._stopped:
+            return
         for site in self.sites:
             self.repository.publish(site.name, "load", self.sim.now, site.current_load())
 
     def start(self) -> "SiteLoadPublisher":
-        """Begin periodic publication (first sample at t=now)."""
+        """Begin periodic publication (first sample at t=now).
+
+        Idempotent: calling again while running is a no-op, matching the
+        client/transport lifecycle convention.  After :meth:`stop` a new
+        ``start`` re-arms the publisher.
+        """
         if self._handle is not None:
-            raise RuntimeError("publisher already started")
+            return self
+        self._stopped = False
         self.publish_now()
         self._handle = self.sim.every(
             self.period_s, self.publish_now, label="monalisa.site_load"
@@ -55,10 +68,17 @@ class SiteLoadPublisher:
         return self
 
     def stop(self) -> None:
-        """Cancel the periodic publication."""
+        """Cancel the periodic publication (idempotent)."""
+        self._stopped = True
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
+
+    def __enter__(self) -> "SiteLoadPublisher":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
 
 
 #: Latency-summary keys republished as metrics per method.
@@ -93,9 +113,15 @@ class ServiceMetricsPublisher:
         self.host = host
         self.period_s = period_s
         self._handle: Optional[PeriodicHandle] = None
+        self._stopped = False
 
     def publish_now(self) -> None:
-        """Take one sample of the host's call statistics immediately."""
+        """Take one sample of the host's call statistics immediately.
+
+        A no-op after :meth:`stop` (publish-after-stop guard).
+        """
+        if self._stopped:
+            return
         snapshot = self.host.stats.snapshot()
         farm, now = self.host.name, self.sim.now
         self.repository.publish(farm, "rpc.calls", now, float(snapshot["calls"]))
@@ -111,9 +137,14 @@ class ServiceMetricsPublisher:
                     )
 
     def start(self) -> "ServiceMetricsPublisher":
-        """Begin periodic publication (first sample at t=now)."""
+        """Begin periodic publication (first sample at t=now).
+
+        Idempotent: calling again while running is a no-op.  After
+        :meth:`stop` a new ``start`` re-arms the publisher.
+        """
         if self._handle is not None:
-            raise RuntimeError("publisher already started")
+            return self
+        self._stopped = False
         self.publish_now()
         self._handle = self.sim.every(
             self.period_s, self.publish_now, label="monalisa.service_metrics"
@@ -121,10 +152,17 @@ class ServiceMetricsPublisher:
         return self
 
     def stop(self) -> None:
-        """Cancel the periodic publication."""
+        """Cancel the periodic publication (idempotent)."""
+        self._stopped = True
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
+
+    def __enter__(self) -> "ServiceMetricsPublisher":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
 
 
 class JobStatePublisher:

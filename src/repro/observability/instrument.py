@@ -1,0 +1,555 @@
+"""Wiring that threads tracing, the journal, and metrics through a GAE.
+
+:class:`GAEInstrumentation` owns one :class:`Tracer`, one
+:class:`EventJournal` and one :class:`MetricsRegistry` per GAE and
+subscribes them to every layer a job touches:
+
+- ``scheduler.plan_listeners`` — a new job opens a ``job:<id>`` root
+  span and one ``task:<id>`` span per task (all sharing a fresh trace
+  id), plus *submitted*/*scheduled* journal events;
+- ``scheduler.staging_listeners`` — input stage-in and checkpoint-image
+  transfers become timed ``stage-in:*`` spans;
+- each site pool's ``on_state_change``/``on_forwarded`` — dispatch,
+  start, pause, resume, flock, move, failure and completion become
+  phase spans (``queue@site``, ``run@site``, ``paused@site``) and
+  journal events, including the flock forwards;
+- the steering ``CommandProcessor`` — every verb runs inside a
+  ``steer:<verb>`` span *on the job's trace*; if the verb arrived via a
+  Clarens RPC, :meth:`Tracer.adopt_current_trace` re-homes the open RPC
+  span so the call, the command, and the resulting pool events share
+  one trace id end to end;
+- Backup & Recovery — resubmissions become *recovered* events; salvaged
+  files and archived execution states become *output-retrieved* events;
+- the MonALISA repository — the first publish of each new task state
+  becomes a ``monalisa:publish`` span under the task;
+- execution services — ``fail``/``recover`` drive the
+  ``gae_execution_service_up`` gauge.
+
+:class:`ObservabilityMiddleware` is the Clarens end of the same story:
+installed via ``host.add_middleware``, it opens an ``rpc:<method>`` span
+per dispatched call under the call's wire trace id.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.clarens.middleware import CallContext
+from repro.clarens.telemetry import new_trace_id
+from repro.gridsim.job import JobState
+from repro.observability.journal import EventJournal, EventType
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Span, Tracer
+
+__all__ = ["GAEInstrumentation", "ObservabilityMiddleware"]
+
+
+class ObservabilityMiddleware:
+    """Clarens middleware: one ``rpc:<method>`` span per dispatched call.
+
+    The span lives under the *call's* trace id (client-propagated or
+    minted by the PR-1 tracing middleware); multicall sub-calls nest
+    because the parent RPC span is still active on the thread.
+    """
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+
+    def __call__(self, ctx: CallContext, call_next) -> Any:
+        span = self.tracer.start_span(
+            f"rpc:{ctx.method_path}",
+            trace_id=ctx.trace_id,
+            attributes={"method": ctx.method_path, "transport": ctx.transport},
+        )
+        try:
+            result = call_next(ctx)
+        except BaseException:
+            self.tracer.end_span(span, status="error")
+            raise
+        self.tracer.end_span(span, status="ok")
+        return result
+
+
+class _TaskTrace:
+    """Per-task tracing state."""
+
+    __slots__ = (
+        "trace_id",
+        "job_id",
+        "root",
+        "root_ctx",
+        "phase",
+        "last_state",
+        "last_priority",
+        "site",
+        "queued_at",
+        "flock_span",
+        "published_states",
+    )
+
+    def __init__(self, trace_id: str, job_id: str, root: Span, priority: int) -> None:
+        self.trace_id = trace_id
+        self.job_id = job_id
+        self.root = root
+        self.root_ctx = root.context  # immutable for task roots; cached for the hot path
+        self.phase: Optional[Span] = None
+        self.last_state: Optional[JobState] = None
+        self.last_priority = priority
+        self.site: Optional[str] = None
+        self.queued_at: Optional[float] = None
+        self.flock_span: Optional[Span] = None
+        self.published_states: Set[str] = set()
+
+
+class _JobTrace:
+    __slots__ = ("trace_id", "span", "pending", "task_ids")
+
+    def __init__(self, trace_id: str, span: Span, pending: Set[str]) -> None:
+        self.trace_id = trace_id
+        self.span = span
+        self.pending = pending
+        # ``pending`` shrinks as tasks finish; keep the full membership so
+        # closing the job span stays O(tasks in this job), not O(all tasks).
+        self.task_ids = frozenset(pending)
+
+
+class GAEInstrumentation:
+    """One GAE's tracer + journal + metrics, and all their subscriptions."""
+
+    def __init__(
+        self,
+        sim,
+        *,
+        span_capacity: int = 8192,
+        journal_capacity: int = 100_000,
+    ) -> None:
+        self.sim = sim
+        clock = lambda: sim.now  # noqa: E731 - tiny clock adapter
+        self.tracer = Tracer(clock, capacity=span_capacity)
+        self.journal = EventJournal(clock, capacity=journal_capacity)
+        self.metrics = MetricsRegistry()
+        self._tasks: Dict[str, _TaskTrace] = {}
+        self._jobs: Dict[str, _JobTrace] = {}
+
+        m = self.metrics
+        self._jobs_planned = m.counter("gae_scheduler_jobs_planned_total", "jobs planned")
+        self._tasks_planned = m.counter("gae_scheduler_tasks_planned_total", "tasks planned")
+        self._events_total = m.counter("gae_task_events_total", "journal events by type")
+        self._commands_total = m.counter(
+            "gae_steering_commands_total", "steering verbs by command and outcome"
+        )
+        self._flocks_total = m.counter("gae_condor_flock_forwards_total", "flock forwards")
+        self._recovery_total = m.counter(
+            "gae_recovery_notifications_total", "backup & recovery client notifications"
+        )
+        self._monalisa_publish_total = m.counter(
+            "gae_monalisa_job_state_publish_total", "job-state events published to MonALISA"
+        )
+        self._queue_wait = m.histogram(
+            "gae_task_queue_wait_seconds", "sim seconds from dispatch to start"
+        )
+        self._run_time = m.histogram(
+            "gae_task_run_seconds", "sim seconds from start to completion"
+        )
+        self._service_up = m.gauge(
+            "gae_execution_service_up", "1 while the site's execution service answers pings"
+        )
+        m.gauge(
+            "gae_observability_spans", "spans in the bounded store", fn=lambda: len(self.tracer)
+        )
+        m.gauge(
+            "gae_observability_events", "events in the journal", fn=lambda: len(self.journal)
+        )
+        # Pre-bound label handles keep the per-event hot path allocation-free.
+        self._jobs_planned_b = self._jobs_planned.bind()
+        self._tasks_planned_b = self._tasks_planned.bind()
+        self._monalisa_publish_b = self._monalisa_publish_total.bind()
+        self._queue_wait_by_site: Dict[str, Any] = {}
+        self._run_time_by_site: Dict[str, Any] = {}
+        self._flocks_by_site: Dict[str, Any] = {}
+        self._phase_names: Dict[str, Tuple[str, str, str]] = {}
+        events_by_type = {t: self._events_total.bind(type=t.value) for t in EventType}
+        self.journal.listeners.append(lambda event: events_by_type[event.type].inc())
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        grid,
+        steering=None,
+        monitoring=None,
+        accounting=None,
+        estimators=None,
+        monalisa=None,
+    ) -> "GAEInstrumentation":
+        """Subscribe to every observable seam of an assembled GAE.
+
+        ``grid`` is required; the services are optional so partial rigs
+        (scheduler-only tests, bare grids) can still be instrumented.
+        """
+        scheduler = grid.scheduler
+        scheduler.plan_listeners.append(self._on_plan)
+        scheduler.staging_listeners.append(self._on_staging)
+
+        for name in sorted(grid.sites):
+            site = grid.sites[name]
+            self._site_handles(name)
+
+            def on_state(ad, _site=name):
+                self._on_state(_site, ad)
+
+            def on_forwarded(ad, _site=name):
+                self._on_forwarded(_site, ad)
+
+            site.pool.on_state_change.append(on_state)
+            site.pool.on_forwarded.append(on_forwarded)
+
+        for name in sorted(grid.execution_services):
+            service = grid.execution_services[name]
+            self._service_up.set(1.0, site=name)
+            service.lifecycle_listeners.append(
+                lambda svc, up: self._service_up.set(1.0 if up else 0.0, site=svc.site.name)
+            )
+
+        if steering is not None:
+            processor = steering.command_processor
+            processor.span_factory = self.command_span
+            processor.listeners.append(self._on_command)
+            recovery = steering.backup_recovery
+            recovery.notification_listeners.append(self._on_recovery_note)
+            recovery.salvage_listeners.append(
+                lambda task_id, files: self._on_output_retrieved(task_id, "salvage", len(files))
+            )
+            recovery.archive_listeners.append(
+                lambda task_id, state: self._on_output_retrieved(
+                    task_id, "archive", len(state.get("output_files", []) or [])
+                )
+            )
+        if monalisa is not None:
+            monalisa.subscribe_job_states(self._on_monalisa_publish)
+        if estimators is not None:
+            self.metrics.gauge(
+                "gae_estimator_history_records",
+                "task-history rows feeding the runtime estimator",
+                fn=lambda: float(estimators.history_size()),
+            )
+        if monitoring is not None:
+            self.metrics.gauge(
+                "gae_monitoring_records",
+                "monitoring DB rows (one per observed task)",
+                fn=lambda: float(len(monitoring.db_manager)),
+            )
+        if accounting is not None:
+            self.metrics.gauge(
+                "gae_accounting_ledger_entries",
+                "quota ledger entries (reservations committed or released)",
+                fn=lambda: float(len(accounting.quotas.ledger)),
+            )
+        return self
+
+    def middleware(self) -> ObservabilityMiddleware:
+        """The Clarens middleware that feeds this instrumentation's tracer."""
+        return ObservabilityMiddleware(self.tracer)
+
+    # ------------------------------------------------------------------
+    # scheduler hooks
+    # ------------------------------------------------------------------
+    def _on_plan(self, plan, job) -> None:
+        if job.job_id in self._jobs:
+            return  # re-plan after a move/resubmit: the trace already exists
+        trace_id = new_trace_id()
+        job_span = self.tracer.start_span(
+            f"job:{job.job_id}",
+            trace_id=trace_id,
+            attributes={"job_id": job.job_id, "tasks": len(job.tasks)},
+            activate=False,
+        )
+        jt = _JobTrace(trace_id, job_span, {t.task_id for t in job.tasks})
+        self._jobs[job.job_id] = jt
+        self._jobs_planned_b.inc()
+        for task in job.tasks:
+            root = self.tracer.start_span(
+                f"task:{task.task_id}",
+                trace_id=trace_id,
+                parent=job_span.context,
+                attributes={"task_id": task.task_id, "owner": task.spec.owner},
+                activate=False,
+            )
+            tt = _TaskTrace(trace_id, job.job_id, root, task.priority)
+            self._tasks[task.task_id] = tt
+            self._tasks_planned_b.inc()
+            site = plan.site_for(task.task_id)
+            self.journal.record(
+                EventType.SUBMITTED, task.task_id, job_id=job.job_id,
+                trace_id=trace_id, span_id=root.span_id,
+            )
+            sched = self.tracer.instant(
+                "schedule", trace_id=trace_id, parent=root.context,
+                attributes={"site": site},
+            )
+            self.journal.record(
+                EventType.SCHEDULED, task.task_id, job_id=job.job_id, site=site,
+                trace_id=trace_id, span_id=sched.span_id,
+            )
+
+    def _on_staging(self, task, site: str, delay: float, kind: str) -> None:
+        tt = self._tasks.get(task.task_id)
+        if tt is None:
+            return
+        self.tracer.instant(
+            f"stage-in:{kind}",
+            trace_id=tt.trace_id,
+            parent=tt.root_ctx,
+            attributes={"site": site, "kind": kind, "delay_s": delay},
+            end=self.sim.now + delay,
+        )
+
+    # ------------------------------------------------------------------
+    # pool hooks
+    # ------------------------------------------------------------------
+    def _site_handles(self, site: str) -> Tuple[str, str, str]:
+        """Cached per-site phase-span names and bound metric handles."""
+        names = self._phase_names.get(site)
+        if names is None:
+            names = self._phase_names[site] = (
+                f"queue@{site}", f"run@{site}", f"paused@{site}"
+            )
+            self._queue_wait_by_site[site] = self._queue_wait.bind(site=site)
+            self._run_time_by_site[site] = self._run_time.bind(site=site)
+            self._flocks_by_site[site] = self._flocks_total.bind(**{"from": site})
+        return names
+
+    def _close_phase(self, tt: _TaskTrace, status: str = "ok") -> None:
+        if tt.phase is not None:
+            self.tracer.end_span(tt.phase, status=status)
+            tt.phase = None
+
+    def _open_phase(self, tt: _TaskTrace, name: str, **attributes: Any) -> Span:
+        tt.phase = self.tracer.start_span(
+            name, trace_id=tt.trace_id, parent=tt.root_ctx,
+            attributes=attributes, activate=False,
+        )
+        return tt.phase
+
+    def _record(self, type: EventType, tt: _TaskTrace, task_id: str, site=None, **attrs) -> None:
+        span = tt.phase if tt.phase is not None else tt.root
+        self.journal.record(
+            type, task_id, job_id=tt.job_id, site=site,
+            trace_id=tt.trace_id, span_id=span.span_id, **attrs,
+        )
+
+    def _on_state(self, site: str, ad) -> None:
+        tt = self._tasks.get(ad.task_id)
+        if tt is None:
+            return  # submitted around the scheduler; not ours to trace
+        state = ad.state
+        if state is tt.last_state and site == tt.site:
+            if ad.priority != tt.last_priority:
+                self._record(
+                    EventType.PRIORITY_CHANGED, tt, ad.task_id, site=site,
+                    old=tt.last_priority, new=ad.priority,
+                )
+                tt.last_priority = ad.priority
+            return
+        queue_name, run_name, paused_name = self._site_handles(site)
+        if state is JobState.QUEUED:
+            self._close_phase(tt)
+            self._open_phase(tt, queue_name, site=site)
+            tt.queued_at = self.sim.now
+            if tt.flock_span is not None:
+                tt.flock_span.set_attribute("to", site)
+                tt.flock_span = None
+            self._record(EventType.DISPATCHED, tt, ad.task_id, site=site)
+        elif state is JobState.RUNNING:
+            resumed = tt.last_state is JobState.PAUSED
+            if not resumed and tt.queued_at is not None:
+                self._queue_wait_by_site[site].observe(self.sim.now - tt.queued_at)
+                tt.queued_at = None
+            self._close_phase(tt)
+            self._open_phase(tt, run_name, site=site)
+            self._record(
+                EventType.RESUMED if resumed else EventType.STARTED,
+                tt, ad.task_id, site=site,
+            )
+        elif state is JobState.PAUSED:
+            self._close_phase(tt)
+            self._open_phase(tt, paused_name, site=site)
+            self._record(EventType.PAUSED, tt, ad.task_id, site=site)
+        elif state is JobState.MOVED:
+            self._record(EventType.MOVED, tt, ad.task_id, site=site)
+            self._close_phase(tt)
+        elif state is JobState.KILLED:
+            self._record(EventType.KILLED, tt, ad.task_id, site=site)
+            self._close_phase(tt, status="killed")
+            self.tracer.end_span(tt.root, status="killed")
+            self._finish_job_task(tt, ad.task_id)
+        elif state is JobState.FAILED:
+            self._record(EventType.FAILED, tt, ad.task_id, site=site)
+            self._close_phase(tt, status="failed")
+            # The root stays open: Backup & Recovery may resubmit.
+        elif state is JobState.COMPLETED:
+            if tt.phase is not None:
+                self._run_time_by_site[site].observe(self.sim.now - tt.phase.start)
+            self._record(EventType.COMPLETED, tt, ad.task_id, site=site)
+            self._close_phase(tt)
+            self.tracer.end_span(tt.root, status="ok")
+            self._finish_job_task(tt, ad.task_id)
+        tt.last_state = state
+        tt.last_priority = ad.priority
+        if state in (JobState.QUEUED, JobState.RUNNING, JobState.PAUSED):
+            tt.site = site
+
+    def _finish_job_task(self, tt: _TaskTrace, task_id: str) -> None:
+        jt = self._jobs.get(tt.job_id)
+        if jt is None:
+            return
+        jt.pending.discard(task_id)
+        if not jt.pending:
+            status = "ok" if tt.root.status == "ok" else "error"
+            all_ok = all(
+                self._tasks[tid].root.status == "ok"
+                for tid in jt.task_ids
+                if tid in self._tasks
+            )
+            self.tracer.end_span(jt.span, status="ok" if all_ok else status)
+
+    def _on_forwarded(self, site: str, ad) -> None:
+        tt = self._tasks.get(ad.task_id)
+        if tt is None:
+            return
+        self._close_phase(tt)
+        tt.flock_span = self.tracer.instant(
+            "flock", trace_id=tt.trace_id, parent=tt.root_ctx,
+            attributes={"from": site},
+        )
+        self._record(EventType.FLOCK_FORWARDED, tt, ad.task_id, site=site)
+        self._site_handles(site)
+        self._flocks_by_site[site].inc()
+        # Force the follow-up QUEUED at the target pool to register as a
+        # fresh dispatch even though the ad state never left QUEUED.
+        tt.last_state = None
+
+    # ------------------------------------------------------------------
+    # steering hooks
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def command_span(self, command: str, task_id: str) -> Iterator[None]:
+        """Span factory installed on the steering ``CommandProcessor``.
+
+        Re-homes any open RPC spans onto the task's job trace (the join
+        between a Clarens call trace and the job lifecycle trace), then
+        runs the verb inside a ``steer:<verb>`` span.
+        """
+        tt = self._tasks.get(task_id)
+        if tt is None:
+            with self.tracer.span(
+                f"steer:{command}", attributes={"command": command, "task_id": task_id}
+            ):
+                yield
+            return
+        self.tracer.adopt_current_trace(tt.trace_id)
+        current = self.tracer.current_span()
+        if current is not None and current.trace_id == tt.trace_id:
+            if current.parent_id is None and current is not tt.root:
+                # An adopted RPC span: hang it under the task so the
+                # rendered tree shows rpc -> steer -> pool events.
+                current.parent_id = tt.root.span_id
+            parent = current.context
+        else:
+            parent = tt.root_ctx
+        with self.tracer.span(
+            f"steer:{command}",
+            trace_id=tt.trace_id,
+            parent=parent,
+            attributes={"command": command, "task_id": task_id},
+        ):
+            yield
+
+    def _on_command(self, result) -> None:
+        self._commands_total.inc(
+            command=result.command, outcome="ok" if result.ok else "error"
+        )
+        if (
+            result.ok
+            and result.command == "kill"
+            and "staging" in result.detail
+        ):
+            # Killed while staging in: no pool event ever fires, so the
+            # journal would otherwise miss the terminal transition.
+            tt = self._tasks.get(result.task_id)
+            if tt is not None and tt.last_state is not JobState.KILLED:
+                self._record(EventType.KILLED, tt, result.task_id, detail=result.detail)
+                self._close_phase(tt, status="killed")
+                self.tracer.end_span(tt.root, status="killed")
+                self._finish_job_task(tt, result.task_id)
+                tt.last_state = JobState.KILLED
+
+    # ------------------------------------------------------------------
+    # backup & recovery / monalisa hooks
+    # ------------------------------------------------------------------
+    def _on_recovery_note(self, note) -> None:
+        self._recovery_total.inc(kind=note.kind)
+        if note.kind == "resubmission" and "resubmitted to" in note.detail:
+            tt = self._tasks.get(note.task_id)
+            if tt is None:
+                return
+            self._record(
+                EventType.RECOVERED, tt, note.task_id, site=note.site,
+                detail=note.detail,
+            )
+
+    def _on_output_retrieved(self, task_id: str, source: str, file_count: int) -> None:
+        tt = self._tasks.get(task_id)
+        if tt is None:
+            return
+        self._record(
+            EventType.OUTPUT_RETRIEVED, tt, task_id, site=tt.site,
+            source=source, files=file_count,
+        )
+
+    def _on_monalisa_publish(self, event) -> None:
+        self._monalisa_publish_b.inc()
+        tt = self._tasks.get(event.task_id)
+        if tt is None:
+            return
+        if event.state in tt.published_states:
+            return  # one span per new state keeps the store bounded
+        tt.published_states.add(event.state)
+        self.tracer.instant(
+            "monalisa:publish",
+            trace_id=tt.trace_id,
+            parent=tt.root_ctx,
+            attributes={"farm": event.site, "state": event.state},
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def trace_id_of(self, task_id: str) -> Optional[str]:
+        tt = self._tasks.get(task_id)
+        return tt.trace_id if tt is not None else None
+
+    def render_trace(self, task_id: str) -> Optional[str]:
+        """ASCII span tree for the trace the task belongs to."""
+        trace_id = self.trace_id_of(task_id)
+        if trace_id is None:
+            return None
+        return self.tracer.render(trace_id)
+
+    def timeline_wire(self, task_id: str) -> List[Dict[str, Any]]:
+        return [e.to_wire() for e in self.journal.timeline(task_id)]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Wire-safe summary for the ``system.observability`` method."""
+        return {
+            "enabled": True,
+            "spans": len(self.tracer),
+            "span_capacity": self.tracer.capacity,
+            "events": len(self.journal),
+            "event_capacity": self.journal.capacity,
+            "tasks_traced": len(self._tasks),
+            "jobs_traced": len(self._jobs),
+            "metrics": self.metrics.snapshot(),
+        }

@@ -1,0 +1,165 @@
+"""Append-only structured journal of job lifecycle events.
+
+Every interesting transition in a job's life — from submission through
+scheduling, dispatch, steering verbs, faults, recovery, and output
+retrieval — is recorded as a typed :class:`JournalEvent` stamped with
+simulation time and the job's trace context.  ``timeline(task_id)``
+reconstructs the per-task story in order; the JSONL export (see
+:mod:`repro.observability.export`) serialises the same rows.
+
+The event taxonomy lives in :class:`EventType`; ``tools/check_docs.py``
+verifies that ``docs/ARCHITECTURE.md`` documents every member, so the
+enum and the docs cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["EventJournal", "EventType", "JournalEvent"]
+
+
+class EventType(str, enum.Enum):
+    """Typed lifecycle events a job can emit."""
+
+    SUBMITTED = "submitted"
+    SCHEDULED = "scheduled"
+    DISPATCHED = "dispatched"
+    STARTED = "started"
+    PAUSED = "paused"
+    RESUMED = "resumed"
+    PRIORITY_CHANGED = "priority-changed"
+    MOVED = "moved"
+    FLOCK_FORWARDED = "flock-forwarded"
+    FAILED = "failed"
+    RECOVERED = "recovered"
+    KILLED = "killed"
+    COMPLETED = "completed"
+    OUTPUT_RETRIEVED = "output-retrieved"
+
+
+#: Shared empty mapping for the (very common) attribute-less event, so a
+#: journal at capacity does not hold one throwaway dict per row.
+_NO_ATTRIBUTES: Dict[str, Any] = MappingProxyType({})  # type: ignore[assignment]
+
+
+@dataclass(frozen=True, slots=True)
+class JournalEvent:
+    """One immutable journal row."""
+
+    seq: int
+    time: float
+    type: EventType
+    task_id: str
+    job_id: Optional[str] = None
+    site: Optional[str] = None
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "time": self.time,
+            "type": self.type.value,
+            "task_id": self.task_id,
+            "job_id": self.job_id,
+            "site": self.site,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "attributes": dict(self.attributes),
+        }
+
+
+class EventJournal:
+    """Thread-safe, bounded, append-only event store.
+
+    ``capacity`` bounds memory like the tracer's span store; ``seq`` is a
+    monotonically increasing tie-breaker so events recorded at the same
+    simulation instant keep their causal recording order.
+    """
+
+    def __init__(self, clock: Callable[[], float], capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._clock = clock
+        self._events: deque = deque(maxlen=capacity)
+        self._seq = itertools.count()
+        self.capacity = capacity
+        self.listeners: List[Callable[[JournalEvent], None]] = []
+
+    def record(
+        self,
+        type: EventType,
+        task_id: str,
+        *,
+        job_id: Optional[str] = None,
+        site: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        time: Optional[float] = None,
+        **attributes: Any,
+    ) -> JournalEvent:
+        event = JournalEvent(
+            seq=next(self._seq),
+            time=self._clock() if time is None else time,
+            type=type if type.__class__ is EventType else EventType(type),
+            task_id=task_id,
+            job_id=job_id,
+            site=site,
+            trace_id=trace_id,
+            span_id=span_id,
+            attributes=attributes if attributes else _NO_ATTRIBUTES,
+        )
+        # deque.append is atomic under the GIL; readers use _snapshot().
+        self._events.append(event)
+        for listener in self.listeners:
+            listener(event)
+        return event
+
+    def _snapshot(self) -> List[JournalEvent]:
+        while True:
+            try:
+                return list(self._events)
+            except RuntimeError:  # a concurrent append moved the deque under us
+                continue
+
+    # -- queries -------------------------------------------------------
+
+    def events(
+        self,
+        *,
+        type: Optional[EventType] = None,
+        task_id: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[JournalEvent]:
+        snapshot = self._snapshot()
+        if type is not None:
+            snapshot = [e for e in snapshot if e.type is EventType(type)]
+        if task_id is not None:
+            snapshot = [e for e in snapshot if e.task_id == task_id]
+        if limit is not None:
+            snapshot = snapshot[-limit:]
+        return snapshot
+
+    def timeline(self, task_id: str) -> List[JournalEvent]:
+        """Every event for one task, in (time, seq) order."""
+        return sorted(self.events(task_id=task_id), key=lambda e: (e.time, e.seq))
+
+    def task_ids(self) -> List[str]:
+        snapshot = self._snapshot()
+        seen: List[str] = []
+        known = set()
+        for e in snapshot:
+            if e.task_id not in known:
+                known.add(e.task_id)
+                seen.append(e.task_id)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self._events)  # len() is atomic under the GIL

@@ -1,0 +1,349 @@
+"""Spans and a simulation-clock-aware tracer.
+
+Extends the ``new_trace_id`` scheme from :mod:`repro.clarens.telemetry`
+with real spans: a :class:`Span` carries (trace_id, span_id, parent_id,
+sim-time start/end, attributes, status), and a thread-safe
+:class:`Tracer` keeps a bounded in-memory store of them plus a
+per-thread stack of *active* spans so nested instrumentation points can
+parent themselves correctly without threading a context object through
+every call signature.
+
+Timestamps come from an injected ``clock`` callable — in the GAE this is
+``sim.clock`` (simulation seconds), so span durations line up with the
+journal and with every queue/run time the estimators see.
+
+The one unusual verb is :meth:`Tracer.adopt_current_trace`: a Clarens
+RPC opens its spans under the *call's* trace id before anyone knows
+which job it concerns; once the steering command processor resolves the
+task, it re-homes the open span stack onto the job's trace so the RPC,
+the steering verb, and the resulting pool events share one trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+from collections import deque
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.clarens.telemetry import new_trace_id
+
+__all__ = ["Span", "SpanContext", "Tracer", "render_span_tree"]
+
+_SPAN_PREFIX = f"{random.getrandbits(24):06x}"
+_SPAN_COUNTER = itertools.count(1)
+
+
+def new_span_id() -> str:
+    """Process-unique span id, same flavour as ``new_trace_id``."""
+    return f"{_SPAN_PREFIX}-s{next(_SPAN_COUNTER):x}"
+
+
+class SpanContext(Tuple[str, str, Optional[str]]):
+    """Immutable (trace_id, span_id, parent_id) triple for propagation."""
+
+    __slots__ = ()
+
+    def __new__(cls, trace_id: str, span_id: str, parent_id: Optional[str] = None):
+        return tuple.__new__(cls, (trace_id, span_id, parent_id))
+
+    @property
+    def trace_id(self) -> str:
+        return self[0]
+
+    @property
+    def span_id(self) -> str:
+        return self[1]
+
+    @property
+    def parent_id(self) -> Optional[str]:
+        return self[2]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanContext(trace_id={self[0]!r}, span_id={self[1]!r}, parent_id={self[2]!r})"
+
+
+class Span:
+    """One timed operation within a trace.
+
+    ``trace_id`` is deliberately mutable: :meth:`Tracer.adopt_current_trace`
+    re-homes open RPC spans onto a job trace once the target task is known.
+    """
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start", "end", "status", "attributes")
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start: float,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.status = "open"
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id, self.parent_id)
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def finish(self, end: float, status: str = "ok") -> None:
+        if self.end is None:
+            self.end = end
+            self.status = status
+
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-safe dict, the shape used by the JSONL export."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, trace={self.trace_id}, span={self.span_id}, status={self.status})"
+
+
+class _ActiveStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[Span] = []
+
+
+class Tracer:
+    """Thread-safe bounded span store with a per-thread active-span stack."""
+
+    def __init__(self, clock: Callable[[], float], capacity: int = 8192) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._clock = clock
+        self._spans: deque = deque(maxlen=capacity)
+        self._active = _ActiveStack()
+        self.capacity = capacity
+
+    # -- span lifecycle ------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        *,
+        trace_id: Optional[str] = None,
+        parent: Optional[SpanContext] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+        start: Optional[float] = None,
+        activate: bool = True,
+    ) -> Span:
+        """Open a span.
+
+        Parentage, in priority order: explicit ``parent`` context, else
+        the current thread's active span *if it belongs to the same
+        trace*, else root.  ``trace_id`` defaults to the parent's, or a
+        fresh ``new_trace_id()`` for a brand-new trace.
+        """
+        if parent is None:
+            current = self.current_span()
+            if current is not None and (trace_id is None or current.trace_id == trace_id):
+                parent = current.context
+        if trace_id is None:
+            trace_id = parent.trace_id if parent is not None else new_trace_id()
+        parent_id = parent.span_id if parent is not None and parent.trace_id == trace_id else None
+        span = Span(
+            name,
+            trace_id=trace_id,
+            span_id=new_span_id(),
+            parent_id=parent_id,
+            start=self._clock() if start is None else start,
+            attributes=attributes,
+        )
+        # deque.append is atomic under the GIL; readers use _snapshot().
+        self._spans.append(span)
+        if activate:
+            self._active.stack.append(span)
+        return span
+
+    def end_span(self, span: Span, status: str = "ok", end: Optional[float] = None) -> None:
+        span.finish(self._clock() if end is None else end, status)
+        stack = self._active.stack
+        if span in stack:
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+
+    def span(
+        self,
+        name: str,
+        *,
+        trace_id: Optional[str] = None,
+        parent: Optional[SpanContext] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> "_SpanHandle":
+        """Context manager: opens on ``__enter__``, closes on ``__exit__``
+        with status ``error`` if an exception escaped."""
+        return _SpanHandle(self, name, trace_id, parent, attributes)
+
+    def instant(
+        self,
+        name: str,
+        *,
+        trace_id: str,
+        parent: Optional[SpanContext] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        status: str = "ok",
+    ) -> Span:
+        """Record an already-finished (possibly zero-length) span."""
+        span = self.start_span(
+            name, trace_id=trace_id, parent=parent, attributes=attributes, start=start, activate=False
+        )
+        span.finish(span.start if end is None else end, status)
+        return span
+
+    # -- ambient context -----------------------------------------------
+
+    def current_span(self) -> Optional[Span]:
+        stack = self._active.stack
+        return stack[-1] if stack else None
+
+    def adopt_current_trace(self, trace_id: str) -> List[str]:
+        """Re-home every open span on this thread's stack onto ``trace_id``.
+
+        Returns the original trace ids that were replaced (deduplicated,
+        outermost first) so callers can record the join in attributes.
+        """
+        replaced: List[str] = []
+        for span in self._active.stack:
+            if span.trace_id != trace_id:
+                if span.trace_id not in replaced:
+                    replaced.append(span.trace_id)
+                span.attributes.setdefault("adopted_from", span.trace_id)
+                span.trace_id = trace_id
+        return replaced
+
+    # -- queries -------------------------------------------------------
+
+    def spans(self, trace_id: Optional[str] = None) -> List[Span]:
+        snapshot = self._snapshot()
+        if trace_id is None:
+            return snapshot
+        return [s for s in snapshot if s.trace_id == trace_id]
+
+    def _snapshot(self) -> List[Span]:
+        while True:
+            try:
+                return list(self._spans)
+            except RuntimeError:  # a concurrent append moved the deque under us
+                continue
+
+    def __len__(self) -> int:
+        return len(self._spans)  # len() is atomic under the GIL
+
+    def render(self, trace_id: str) -> str:
+        """ASCII span tree for one trace (see :func:`render_span_tree`)."""
+        return render_span_tree([s.to_wire() for s in self.spans(trace_id)])
+
+
+class _SpanHandle:
+    __slots__ = ("_tracer", "_name", "_trace_id", "_parent", "_attributes", "span")
+
+    def __init__(self, tracer, name, trace_id, parent, attributes) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._trace_id = trace_id
+        self._parent = parent
+        self._attributes = attributes
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer.start_span(
+            self._name, trace_id=self._trace_id, parent=self._parent, attributes=self._attributes
+        )
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.span is not None:
+            self._tracer.end_span(self.span, status="error" if exc_type else "ok")
+
+
+def render_span_tree(spans: List[Dict[str, Any]]) -> str:
+    """Render wire-format spans (``Span.to_wire`` dicts) as an ASCII tree.
+
+    Works on exported JSONL rows as well as live tracer output, so the
+    CLI ``trace`` subcommand and the webui share one renderer.  Children
+    are ordered by start time; orphans (parent outside the slice, e.g.
+    evicted from the bounded store) are promoted to roots.
+    """
+    if not spans:
+        return "(no spans)"
+    by_id = {s["span_id"]: s for s in spans}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent is not None and parent not in by_id:
+            parent = None
+        children.setdefault(parent, []).append(s)
+    for kids in children.values():
+        kids.sort(key=lambda s: (s["start"], s["span_id"]))
+
+    lines: List[str] = []
+
+    def fmt(s: Dict[str, Any]) -> str:
+        end = s.get("end")
+        if end is None:
+            timing = f"t={s['start']:.1f}s .. open"
+        elif end == s["start"]:
+            timing = f"t={s['start']:.1f}s"
+        else:
+            timing = f"t={s['start']:.1f}s +{end - s['start']:.1f}s"
+        status = s.get("status", "open")
+        extra = ""
+        attrs = s.get("attributes") or {}
+        keys = [k for k in ("site", "from", "to", "command", "method", "farm") if k in attrs]
+        if keys:
+            extra = " " + " ".join(f"{k}={attrs[k]}" for k in keys)
+        return f"{s['name']}  [{timing}] {status}{extra}"
+
+    def walk(parent_id: Optional[str], prefix: str) -> None:
+        kids = children.get(parent_id, [])
+        for i, s in enumerate(kids):
+            last = i == len(kids) - 1
+            if prefix == "" and parent_id is None:
+                lines.append(fmt(s))
+                walk(s["span_id"], "  ")
+            else:
+                branch = "`-" if last else "|-"
+                lines.append(f"{prefix}{branch} {fmt(s)}")
+                walk(s["span_id"], prefix + ("   " if last else "|  "))
+
+    walk(None, "")
+    return "\n".join(lines)
+
+
+def _iter_traces(spans: List[Span]) -> Iterator[str]:  # pragma: no cover - helper
+    seen = set()
+    for s in spans:
+        if s.trace_id not in seen:
+            seen.add(s.trace_id)
+            yield s.trace_id

@@ -10,13 +10,18 @@ downloads:
 - ``/jobs``             — every monitored task
 - ``/job/<task_id>``    — one task's full monitoring record
 - ``/state/<task_id>``  — the archived execution state (JSON download)
+- ``/trace/<task_id>``  — the task's rendered span tree (observability)
+- ``/timeline/<task_id>`` — the task's journal timeline (JSON)
 - ``/notifications``    — Backup & Recovery's client notifications
 - ``/weather``          — the MonALISA grid-weather snapshot (JSON)
-- ``/metrics``          — the Clarens host's call-pipeline telemetry in
-  Prometheus-style text exposition (counts plus p50/p95/p99 latency)
+- ``/metrics``          — the Clarens host's call-pipeline telemetry plus
+  every metric in the unified observability registry, in Prometheus-style
+  text exposition
 
-Read-only by design: steering *commands* go through the authenticated
-Clarens API, never through a browser GET.
+Unknown task ids get a structured JSON 404 body (machine-readable, like
+the Clarens fault shape) rather than bare text.  Read-only by design:
+steering *commands* go through the authenticated Clarens API, never
+through a browser GET.
 """
 
 from __future__ import annotations
@@ -26,7 +31,8 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from socketserver import ThreadingMixIn
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import unquote
 
 from repro.gae import GAE
 
@@ -71,15 +77,24 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         try:
-            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            path = unquote(self.path.split("?", 1)[0]).rstrip("/") or "/"
             if path == "/":
                 self._send_html("Overview", self._overview())
             elif path == "/jobs":
                 self._send_html("Jobs", self._jobs())
             elif path.startswith("/job/"):
-                self._send_html("Job detail", self._job_detail(path[len("/job/"):]))
+                task_id = path[len("/job/"):]
+                body = self._job_detail(task_id)
+                if body is None:
+                    self._send_not_found("task", task_id)
+                else:
+                    self._send_html("Job detail", body)
             elif path.startswith("/state/"):
                 self._send_state(path[len("/state/"):])
+            elif path.startswith("/trace/"):
+                self._send_trace(path[len("/trace/"):])
+            elif path.startswith("/timeline/"):
+                self._send_timeline(path[len("/timeline/"):])
             elif path == "/notifications":
                 self._send_html("Notifications", self._notifications())
             elif path == "/weather":
@@ -136,16 +151,22 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
             rows,
         )
 
-    def _job_detail(self, task_id: str) -> str:
+    def _job_detail(self, task_id: str) -> Optional[str]:
         record = self.gae.monitoring.manager.get_info(task_id)
         if record is None:
-            return f"<p>unknown task {_esc(task_id)}</p>"
+            return None
         rows = [[_esc(k), _esc(v)] for k, v in sorted(vars(record).items())]
         extra = ""
         if task_id in self.gae.steering.backup_recovery.execution_states:
             extra = (
                 f'<p><a href="/state/{_esc(task_id)}">download execution state'
                 "</a> (JSON)</p>"
+            )
+        obs = self.gae.observability
+        if obs is not None and obs.trace_id_of(task_id) is not None:
+            extra += (
+                f'<p><a href="/trace/{_esc(task_id)}">span tree</a> · '
+                f'<a href="/timeline/{_esc(task_id)}">timeline (JSON)</a></p>'
             )
         # With continuous monitoring enabled, render the Figure 7-style
         # progress curve straight from the DB's snapshot history.
@@ -177,6 +198,35 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
             for farm in self.gae.monalisa.farms()
             if self.gae.monalisa.has_series(farm, "load")
         }
+
+    def _send_trace(self, task_id: str) -> None:
+        obs = self.gae.observability
+        if obs is None:
+            self._send_json({"error": "observability-disabled", "status": 503}, code=503)
+            return
+        rendered = obs.render_trace(task_id)
+        if rendered is None:
+            self._send_not_found("trace", task_id)
+            return
+        trace_id = obs.trace_id_of(task_id)
+        body = (
+            f"<p>trace <code>{_esc(trace_id)}</code> for task "
+            f"<code>{_esc(task_id)}</code></p>"
+            f"<pre>{html.escape(rendered)}</pre>"
+            f'<p><a href="/timeline/{_esc(task_id)}">timeline (JSON)</a></p>'
+        )
+        self._send_html(f"Trace {task_id}", body)
+
+    def _send_timeline(self, task_id: str) -> None:
+        obs = self.gae.observability
+        if obs is None:
+            self._send_json({"error": "observability-disabled", "status": 503}, code=503)
+            return
+        timeline = obs.timeline_wire(task_id)
+        if not timeline:
+            self._send_not_found("timeline", task_id)
+            return
+        self._send_json({"task_id": task_id, "events": timeline})
 
     def _metrics(self) -> str:
         """Prometheus-style text exposition of the host's call telemetry."""
@@ -215,6 +265,8 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
         ]
         for farm, load in sorted(self._weather().items()):
             lines.append(f'gae_site_load{{site="{farm}"}} {load:.6f}')
+        if self.gae.observability is not None:
+            lines.extend(self.gae.observability.metrics.prometheus_lines())
         return "\n".join(lines) + "\n"
 
     # ------------------------------------------------------------------
@@ -237,18 +289,26 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
-    def _send_json(self, value: Any) -> None:
+    def _send_json(self, value: Any, code: int = 200) -> None:
         payload = json.dumps(value, indent=2).encode("utf-8")
-        self.send_response(200)
+        self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
 
+    def _send_not_found(self, resource: str, identifier: str) -> None:
+        """Structured 404: machine-readable JSON, not bare text."""
+        self._send_json(
+            {"error": "not-found", "resource": resource, "id": identifier,
+             "status": 404},
+            code=404,
+        )
+
     def _send_state(self, task_id: str) -> None:
         states = self.gae.steering.backup_recovery.execution_states
         if task_id not in states:
-            self._send_error(404, f"no execution state archived for {task_id}")
+            self._send_not_found("execution-state", task_id)
             return
         payload = json.dumps(states[task_id], indent=2).encode("utf-8")
         self.send_response(200)

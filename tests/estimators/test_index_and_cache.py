@@ -242,6 +242,14 @@ class TestBenchHarness:
                     "queries": 1, "queued_per_site": 1,
                     "mean_ms": 1.0, "p50_ms": 1.0, "p95_ms": 1.0,
                 },
+                "observability": {
+                    "n_tasks": 10, "commands": 2, "rounds": 1,
+                    "baseline_s": 1.0, "instrumented_s": 1.0,
+                    "baseline_per_command_ms": 500.0,
+                    "instrumented_per_command_ms": 500.0,
+                    "overhead_pct": 0.0, "identical": True,
+                    "spans": 1, "events": 1,
+                },
             },
         }
         validate_report(report)  # must not raise
@@ -253,5 +261,9 @@ class TestBenchHarness:
             validate_report(broken)
         broken = {**report, "sections": {**report["sections"], "steering": {
             **report["sections"]["steering"], "mean_ms": "fast"}}}
+        with pytest.raises(BenchSchemaError):
+            validate_report(broken)
+        broken = {**report, "sections": {**report["sections"], "observability": {
+            **report["sections"]["observability"], "overhead_pct": "low"}}}
         with pytest.raises(BenchSchemaError):
             validate_report(broken)

@@ -147,6 +147,60 @@ class TestJobSubmission:
             scheduler.job("ghost")
 
 
+class TestFlockFollowsPlan:
+    def make_flocking_env(self):
+        sim = Simulator()
+        scheduler = SphinxScheduler(sim)
+        services = {}
+        for name in ("src", "dst"):
+            site = Site.simple(sim, name)
+            es = ExecutionService(site)
+            es.runtime_estimator = lambda spec: spec.requested_cpu_hours * 3600.0
+            scheduler.register_site(es)
+            services[name] = es
+        services["src"].pool.enable_flocking(services["dst"].pool)
+        return sim, scheduler, services
+
+    def test_plan_rebinds_when_a_task_flocks(self):
+        _, scheduler, services = self.make_flocking_env()
+        services["src"].submit_task(make_task(work=500.0))  # occupy src's slot
+        t = make_task(work=50.0)
+        job = Job(tasks=[t], owner="u")
+        original = scheduler.select_site
+        scheduler.select_site = lambda task, exclude=(): "src"
+        scheduler.submit_job(job)
+        scheduler.select_site = original
+        # The pool forwarded the idle task to dst; the plan must follow.
+        assert services["dst"].pool.has_task(t.task_id)
+        assert scheduler.site_of_task(t.task_id) == "dst"
+
+    def test_rebound_plan_emitted_to_listeners(self):
+        _, scheduler, services = self.make_flocking_env()
+        services["src"].submit_task(make_task(work=500.0))
+        plans = []
+        scheduler.plan_listeners.append(lambda plan, job: plans.append(plan))
+        t = make_task(work=50.0)
+        original = scheduler.select_site
+        scheduler.select_site = lambda task, exclude=(): "src"
+        scheduler.submit_job(Job(tasks=[t], owner="u"))
+        scheduler.select_site = original
+        assert plans[0].site_for(t.task_id) == "src"
+        assert plans[-1].site_for(t.task_id) == "dst"
+
+    def test_no_rebind_when_task_queues_where_planned(self):
+        _, scheduler, _ = make_env()
+        plans = []
+        scheduler.plan_listeners.append(lambda plan, job: plans.append(plan))
+        scheduler.submit_job(Job(tasks=[make_task()], owner="u"))
+        assert len(plans) == 1  # the original plan only
+
+    def test_foreign_pool_arrivals_ignored(self):
+        _, scheduler, services = self.make_flocking_env()
+        # A task submitted around the scheduler must not confuse it.
+        services["src"].submit_task(make_task(work=10.0))
+        assert scheduler.jobs() == []
+
+
 class TestRedirection:
     def test_redirect_moves_task_and_updates_plan(self):
         sim, scheduler, services = make_env()

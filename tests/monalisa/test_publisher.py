@@ -47,11 +47,30 @@ class TestSiteLoadPublisher:
         sim.run_until(100.0)
         assert len(repo.series("siteX", "load")) == 2  # t=0 and t=10
 
-    def test_double_start_rejected(self, env):
+    def test_double_start_is_idempotent(self, env):
         sim, site, repo = env
-        pub = SiteLoadPublisher(sim, repo, [site]).start()
-        with pytest.raises(RuntimeError):
-            pub.start()
+        pub = SiteLoadPublisher(sim, repo, [site], period_s=30.0).start()
+        assert pub.start() is pub  # no error, no second periodic schedule
+        sim.run_until(35.0)
+        pub.stop()
+        times, _ = repo.series("siteX", "load").as_arrays()
+        assert list(times) == [0.0, 30.0]  # one immediate sample, one period
+
+    def test_publish_after_stop_is_noop(self, env):
+        sim, site, repo = env
+        pub = SiteLoadPublisher(sim, repo, [site], period_s=30.0).start()
+        pub.stop()
+        pub.publish_now()
+        assert len(repo.series("siteX", "load")) == 1  # only the start sample
+
+    def test_context_manager_lifecycle(self, env):
+        sim, site, repo = env
+        with SiteLoadPublisher(sim, repo, [site], period_s=10.0) as pub:
+            sim.run_until(10.0)
+        sim.run_until(100.0)
+        assert len(repo.series("siteX", "load")) == 2  # t=0 and t=10
+        pub.publish_now()  # guarded after __exit__
+        assert len(repo.series("siteX", "load")) == 2
 
     def test_invalid_period_rejected(self, env):
         sim, site, repo = env
@@ -117,6 +136,27 @@ class TestServiceMetricsPublisher:
         sim, repo, host, _ = host_env
         with pytest.raises(ValueError):
             ServiceMetricsPublisher(sim, repo, host, period_s=0.0)
+
+    def test_idempotent_lifecycle_and_stop_guard(self, host_env):
+        sim, repo, host, pub = host_env
+        host.dispatch("system.ping", [], "")
+        assert pub.start() is pub.start()  # double start is a no-op
+        sim.run_until(65.0)
+        pub.stop()
+        pub.stop()  # idempotent
+        pub.publish_now()  # guarded after stop
+        times, _ = repo.series("svc-host", "rpc.calls").as_arrays()
+        assert list(times) == [0.0, 60.0]
+
+    def test_context_manager(self, host_env):
+        sim, repo, host, pub = host_env
+        host.dispatch("system.ping", [], "")
+        with pub as entered:
+            assert entered is pub
+            sim.run_until(65.0)
+        sim.run_until(300.0)
+        times, _ = repo.series("svc-host", "rpc.calls").as_arrays()
+        assert list(times) == [0.0, 60.0]
 
     def test_service_health_query_reports_it(self, host_env):
         from repro.monalisa.service import MonALISAQueryService

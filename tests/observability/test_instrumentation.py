@@ -1,0 +1,197 @@
+"""End-to-end instrumentation tests over an assembled GAE.
+
+The headline property (the tentpole's acceptance): one trace id follows a
+job from submission through steering RPCs, Condor flocking, migration and
+MonALISA publication.
+"""
+
+import pytest
+
+from repro.core.steering.optimizer import SteeringPolicy
+from repro.gae import build_gae
+from repro.gridsim import GridBuilder, Job
+from repro.observability.journal import EventType
+from repro.workloads.generators import make_prime_count_task
+
+
+def two_site_gae(seed=11, flock=False, site_a_nodes=2):
+    builder = (
+        GridBuilder(seed=seed)
+        .site("siteA", nodes=site_a_nodes, background_load=0.0)
+        .site("siteB", nodes=2, background_load=0.0)
+        .link("siteA", "siteB", capacity_mbps=622.0, latency_s=0.05)
+        .probe_noise(0.0)
+    )
+    if flock:
+        builder = builder.flock("siteA", "siteB")
+    gae = build_gae(builder.build(), policy=SteeringPolicy(auto_move=False))
+    gae.add_user("u", "pw")
+    return gae
+
+
+def submit_to(gae, task, site):
+    original = gae.scheduler.select_site
+    gae.scheduler.select_site = lambda t, exclude=(): site
+    try:
+        gae.scheduler.submit_job(Job(tasks=[task], owner=task.spec.owner))
+    finally:
+        gae.scheduler.select_site = original
+
+
+class TestSteeredMoveKeepsTrace:
+    def test_move_keeps_same_trace_id_across_sites(self):
+        gae = two_site_gae()
+        gae.start()
+        task = make_prime_count_task(owner="u", checkpointable=True)
+        submit_to(gae, task, "siteA")
+        obs = gae.observability
+        trace_id = obs.trace_id_of(task.task_id)
+        assert trace_id is not None
+
+        gae.grid.run_until(50.0)
+        client = gae.client("u", "pw")
+        result = client.service("steering").move(task.task_id, "siteB")
+        assert result["ok"], result
+        gae.grid.run_until(4000.0)
+        gae.stop()
+
+        assert obs.trace_id_of(task.task_id) == trace_id
+        names = [s.name for s in obs.tracer.spans(trace_id)]
+        assert "run@siteA" in names and "run@siteB" in names
+        timeline = obs.journal.timeline(task.task_id)
+        assert {e.trace_id for e in timeline} == {trace_id}
+        types = [e.type for e in timeline]
+        assert EventType.MOVED in types
+        assert types[-1] is EventType.COMPLETED
+        # Both incarnations hang off the single task root span.
+        roots = [s for s in obs.tracer.spans(trace_id)
+                 if s.name == f"task:{task.task_id}"]
+        assert len(roots) == 1
+        assert roots[0].status == "ok"
+
+    def test_steering_rpc_is_adopted_into_the_job_trace(self):
+        gae = two_site_gae()
+        gae.start()
+        task = make_prime_count_task(owner="u")
+        submit_to(gae, task, "siteA")
+        gae.grid.run_until(30.0)
+        gae.client("u", "pw").service("steering").pause(task.task_id)
+        gae.stop()
+
+        obs = gae.observability
+        trace_id = obs.trace_id_of(task.task_id)
+        spans = obs.tracer.spans(trace_id)
+        rpc = next(s for s in spans if s.name == "rpc:steering.pause")
+        steer = next(s for s in spans if s.name == "steer:pause")
+        assert "adopted_from" in rpc.attributes  # born on the call trace
+        root = next(s for s in spans if s.name == f"task:{task.task_id}")
+        assert rpc.parent_id == root.span_id
+        assert steer.parent_id == rpc.span_id
+
+
+class TestFlockTracing:
+    def test_flock_forward_spans_and_events(self):
+        gae = two_site_gae(flock=True, site_a_nodes=1)
+        gae.start()
+        filler = make_prime_count_task(owner="u", work_seconds=500.0)
+        gae.grid.execution_services["siteA"].submit_task(filler)
+        task = make_prime_count_task(owner="u")
+        submit_to(gae, task, "siteA")
+        gae.grid.run_until(4000.0)
+        gae.stop()
+
+        obs = gae.observability
+        trace_id = obs.trace_id_of(task.task_id)
+        spans = obs.tracer.spans(trace_id)
+        flock = next(s for s in spans if s.name == "flock")
+        assert flock.attributes["from"] == "siteA"
+        assert flock.attributes["to"] == "siteB"
+        types = [e.type for e in obs.journal.timeline(task.task_id)]
+        assert EventType.FLOCK_FORWARDED in types
+        assert types[-1] is EventType.COMPLETED
+        assert obs.metrics.get(
+            "gae_condor_flock_forwards_total"
+        ).value(**{"from": "siteA"}) == 1.0
+
+    def test_steering_verb_reaches_a_flocked_task(self):
+        # The plan follows the flock (scheduler rebinding), so pause lands
+        # on siteB where the job actually runs.
+        gae = two_site_gae(flock=True, site_a_nodes=1)
+        gae.start()
+        filler = make_prime_count_task(owner="u", work_seconds=500.0)
+        gae.grid.execution_services["siteA"].submit_task(filler)
+        task = make_prime_count_task(owner="u")
+        submit_to(gae, task, "siteA")
+        gae.grid.run_until(10.0)
+        assert gae.scheduler.site_of_task(task.task_id) == "siteB"
+        result = gae.client("u", "pw").service("steering").pause(task.task_id)
+        assert result["ok"], result
+        assert gae.grid.execution_services["siteB"].pool.status(
+            task.task_id
+        ).state.value == "paused"
+        gae.stop()
+
+
+class TestJournalAndMetricsWiring:
+    @pytest.fixture
+    def completed(self):
+        gae = two_site_gae()
+        gae.start()
+        task = make_prime_count_task(owner="u")
+        submit_to(gae, task, "siteA")
+        gae.grid.run_until(4000.0)
+        gae.stop()
+        return gae, task
+
+    def test_lifecycle_timeline(self, completed):
+        gae, task = completed
+        types = [e.type for e in gae.observability.journal.timeline(task.task_id)]
+        assert types[0] is EventType.SUBMITTED
+        assert EventType.SCHEDULED in types
+        assert EventType.DISPATCHED in types
+        assert EventType.STARTED in types
+        assert types[-1] is EventType.COMPLETED
+
+    def test_task_metrics_observed(self, completed):
+        gae, _ = completed
+        m = gae.observability.metrics
+        assert m.get("gae_scheduler_jobs_planned_total").total() == 1.0
+        assert m.get("gae_task_events_total").value(type="completed") == 1.0
+        assert m.get("gae_task_run_seconds").summary(site="siteA")["count"] == 1.0
+        assert m.get("gae_monalisa_job_state_publish_total").total() > 0
+        assert m.get("gae_execution_service_up").value(site="siteA") == 1.0
+
+    def test_monalisa_publish_spans_deduped_per_state(self, completed):
+        gae, task = completed
+        trace_id = gae.observability.trace_id_of(task.task_id)
+        publishes = [
+            s for s in gae.observability.tracer.spans(trace_id)
+            if s.name == "monalisa:publish"
+        ]
+        states = [s.attributes["state"] for s in publishes]
+        assert len(states) == len(set(states))
+
+    def test_system_observability_method(self, completed):
+        gae, _ = completed
+        snap = gae.client("u", "pw").call("system.observability")
+        assert snap["enabled"] is True
+        assert snap["tasks_traced"] == 1
+        assert snap["spans"] > 0
+        assert "gae_task_events_total" in snap["metrics"]
+
+    def test_disabled_gae_reports_disabled(self):
+        grid = GridBuilder(seed=5).site("s").probe_noise(0.0).build()
+        gae = build_gae(grid, observability=False)
+        assert gae.observability is None
+        snap = gae.client().call("system.observability")
+        assert snap == {"enabled": False}
+
+    def test_service_failure_drives_the_up_gauge(self):
+        gae = two_site_gae()
+        gae.start()
+        m = gae.observability.metrics.get("gae_execution_service_up")
+        gae.grid.execution_services["siteA"].fail(crash_pool=False)
+        assert m.value(site="siteA") == 0.0
+        gae.grid.execution_services["siteA"].recover()
+        assert m.value(site="siteA") == 1.0
+        gae.stop()

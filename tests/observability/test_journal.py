@@ -1,0 +1,98 @@
+"""Unit tests for the append-only lifecycle event journal."""
+
+import pytest
+
+from repro.observability.journal import EventJournal, EventType
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def journal(clock):
+    return EventJournal(clock)
+
+
+class TestRecord:
+    def test_stamps_clock_and_sequence(self, journal, clock):
+        clock.now = 5.0
+        a = journal.record(EventType.SUBMITTED, "t1")
+        b = journal.record(EventType.SCHEDULED, "t1", site="siteA")
+        assert a.time == b.time == 5.0
+        assert b.seq == a.seq + 1
+        assert b.site == "siteA"
+
+    def test_accepts_string_event_type(self, journal):
+        event = journal.record("paused", "t1")
+        assert event.type is EventType.PAUSED
+
+    def test_rejects_unknown_event_type(self, journal):
+        with pytest.raises(ValueError):
+            journal.record("teleported", "t1")
+
+    def test_extra_kwargs_become_attributes(self, journal):
+        event = journal.record(EventType.MOVED, "t1", old="a", new="b")
+        assert event.attributes == {"old": "a", "new": "b"}
+
+    def test_listeners_notified(self, journal):
+        seen = []
+        journal.listeners.append(seen.append)
+        journal.record(EventType.KILLED, "t1")
+        assert [e.type for e in seen] == [EventType.KILLED]
+
+    def test_to_wire_uses_enum_value(self, journal):
+        wire = journal.record(EventType.FLOCK_FORWARDED, "t1", site="a").to_wire()
+        assert wire["type"] == "flock-forwarded"
+        assert wire["task_id"] == "t1"
+
+
+class TestQueries:
+    def test_filter_by_type_and_task(self, journal):
+        journal.record(EventType.SUBMITTED, "t1")
+        journal.record(EventType.SUBMITTED, "t2")
+        journal.record(EventType.COMPLETED, "t1")
+        assert len(journal.events(type=EventType.SUBMITTED)) == 2
+        assert len(journal.events(task_id="t1")) == 2
+        assert len(journal.events(type=EventType.COMPLETED, task_id="t2")) == 0
+
+    def test_limit_returns_most_recent(self, journal):
+        for i in range(5):
+            journal.record(EventType.STARTED, f"t{i}")
+        assert [e.task_id for e in journal.events(limit=2)] == ["t3", "t4"]
+
+    def test_timeline_sorted_by_time_then_seq(self, journal, clock):
+        clock.now = 10.0
+        journal.record(EventType.COMPLETED, "t1")
+        clock.now = 0.0
+        journal.record(EventType.SUBMITTED, "t1", time=0.0)
+        journal.record(EventType.STARTED, "t1", time=10.0)
+        timeline = journal.timeline("t1")
+        assert [e.type for e in timeline] == [
+            EventType.SUBMITTED, EventType.COMPLETED, EventType.STARTED,
+        ]  # same-time events keep recording (seq) order
+
+    def test_task_ids_in_first_seen_order(self, journal):
+        for task in ("b", "a", "b", "c"):
+            journal.record(EventType.STARTED, task)
+        assert journal.task_ids() == ["b", "a", "c"]
+
+    def test_bounded_capacity(self, clock):
+        journal = EventJournal(clock, capacity=3)
+        for i in range(5):
+            journal.record(EventType.STARTED, f"t{i}")
+        assert len(journal) == 3
+        assert [e.task_id for e in journal.events()] == ["t2", "t3", "t4"]
+
+    def test_capacity_must_be_positive(self, clock):
+        with pytest.raises(ValueError):
+            EventJournal(clock, capacity=0)

@@ -1,0 +1,140 @@
+"""Unit tests for spans, the tracer, and the ASCII tree renderer."""
+
+import pytest
+
+from repro.observability.tracing import Span, Tracer, render_span_tree
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock)
+
+
+class TestSpan:
+    def test_finish_is_idempotent(self):
+        span = Span("s", trace_id="t-1", span_id="s-1", parent_id=None, start=1.0)
+        span.finish(5.0, "ok")
+        span.finish(9.0, "error")  # second finish must not overwrite
+        assert span.end == 5.0
+        assert span.status == "ok"
+        assert span.duration_s == 4.0
+
+    def test_to_wire_shape(self):
+        span = Span("rpc:x", trace_id="t-1", span_id="s-1", parent_id="s-0",
+                    start=0.0, attributes={"method": "x"})
+        wire = span.to_wire()
+        assert wire["name"] == "rpc:x"
+        assert wire["parent_id"] == "s-0"
+        assert wire["status"] == "open"
+        assert wire["end"] is None
+        assert wire["attributes"] == {"method": "x"}
+
+
+class TestTracer:
+    def test_sim_clock_timestamps(self, tracer, clock):
+        span = tracer.start_span("a")
+        clock.now = 42.0
+        tracer.end_span(span)
+        assert span.start == 0.0
+        assert span.end == 42.0
+        assert span.status == "ok"
+
+    def test_ambient_parenting_same_trace(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+
+    def test_explicit_trace_id_breaks_ambient_parenting(self, tracer):
+        with tracer.span("outer"):
+            other = tracer.start_span("other", trace_id="different-1", activate=False)
+        assert other.parent_id is None
+        assert other.trace_id == "different-1"
+
+    def test_context_manager_marks_errors(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (span,) = tracer.spans()
+        assert span.status == "error"
+
+    def test_bounded_store_evicts_oldest(self, clock):
+        tracer = Tracer(clock, capacity=3)
+        for i in range(5):
+            tracer.instant(f"s{i}", trace_id="t-1")
+        assert len(tracer) == 3
+        assert [s.name for s in tracer.spans()] == ["s2", "s3", "s4"]
+
+    def test_capacity_must_be_positive(self, clock):
+        with pytest.raises(ValueError):
+            Tracer(clock, capacity=0)
+
+    def test_instant_is_finished_and_not_activated(self, tracer, clock):
+        clock.now = 7.0
+        span = tracer.instant("flash", trace_id="t-1")
+        assert span.end == span.start == 7.0
+        assert tracer.current_span() is None
+
+    def test_adopt_current_trace_rehomes_open_spans(self, tracer):
+        span = tracer.start_span("rpc:steering.move", trace_id="call-1")
+        replaced = tracer.adopt_current_trace("job-trace-9")
+        assert replaced == ["call-1"]
+        assert span.trace_id == "job-trace-9"
+        assert span.attributes["adopted_from"] == "call-1"
+        # Adopting again is a no-op.
+        assert tracer.adopt_current_trace("job-trace-9") == []
+        tracer.end_span(span)
+
+    def test_spans_filtered_by_trace(self, tracer):
+        tracer.instant("a", trace_id="t-1")
+        tracer.instant("b", trace_id="t-2")
+        assert [s.name for s in tracer.spans("t-2")] == ["b"]
+
+
+class TestRenderSpanTree:
+    def test_empty(self):
+        assert render_span_tree([]) == "(no spans)"
+
+    def test_tree_structure_and_timing(self, tracer, clock):
+        root = tracer.start_span("task:t1", trace_id="t-1", activate=False)
+        clock.now = 1.0
+        child = tracer.start_span(
+            "run@siteA", trace_id="t-1", parent=root.context,
+            attributes={"site": "siteA"}, activate=False,
+        )
+        clock.now = 5.0
+        tracer.end_span(child)
+        tracer.end_span(root)
+        text = tracer.render("t-1")
+        assert "task:t1  [t=0.0s +5.0s] ok" in text
+        assert "`- run@siteA  [t=1.0s +4.0s] ok site=siteA" in text
+
+    def test_orphans_promoted_to_roots(self):
+        spans = [{
+            "name": "child", "trace_id": "t", "span_id": "s9",
+            "parent_id": "evicted", "start": 3.0, "end": None,
+            "status": "open", "attributes": {},
+        }]
+        text = render_span_tree(spans)
+        assert text == "child  [t=3.0s .. open] open"
+
+    def test_children_sorted_by_start(self, tracer, clock):
+        root = tracer.start_span("root", trace_id="t-1", activate=False)
+        tracer.instant("late", trace_id="t-1", parent=root.context, start=9.0)
+        tracer.instant("early", trace_id="t-1", parent=root.context, start=1.0)
+        lines = tracer.render("t-1").splitlines()
+        assert lines[1].lstrip("|`- ").startswith("early")
+        assert lines[2].lstrip("|`- ").startswith("late")

@@ -21,9 +21,11 @@ class TestParser:
         assert args.poll == 10.0
         assert args.checkpoint is True
 
-    def test_trace_requires_n(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["trace"])
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.task_id is None
+        assert args.n is None
+        assert args.export == "gae_trace_export.jsonl"
 
 
 class TestCommands:
@@ -63,11 +65,58 @@ class TestCommands:
         second = capsys.readouterr().out
         assert first == second
 
-    def test_demo_runs_to_completion(self, capsys):
+    def test_trace_without_args_errors(self, capsys):
+        assert main(["trace"]) == 2
+        assert "task id" in capsys.readouterr().err
+
+    def test_trace_missing_export_errors(self, tmp_path, capsys):
+        assert main(["trace", "task-000001",
+                     "--export", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no trace export" in capsys.readouterr().err
+
+    def test_demo_runs_to_completion(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
         assert main(["demo"]) == 0
         out = capsys.readouterr().out
         assert "scheduled" in out
         assert "completed" in out
+        assert (tmp_path / "gae_trace_export.jsonl").exists()
+
+    def test_demo_then_trace_prints_steered_span_tree(self, tmp_path, capsys):
+        export = tmp_path / "demo.jsonl"
+        assert main(["demo", "--trace-export", str(export)]) == 0
+        out = capsys.readouterr().out
+        task_id = next(
+            line.split()[1] for line in out.splitlines()
+            if line.startswith("scheduled ")
+        )
+        assert main(["trace", task_id, "--export", str(export)]) == 0
+        tree = capsys.readouterr().out
+        # One trace covers the whole steered life of the job.
+        assert f"task:{task_id}" in tree
+        assert "flock" in tree and "to=siteB" in tree
+        assert "steer:pause" in tree and "steer:move" in tree
+        assert "rpc:steering.move" in tree
+        assert "monalisa:publish" in tree
+        assert "run@siteA" in tree and "run@siteB" in tree
+        assert "| completed |" in tree  # timeline table reaches the end
+
+    def test_trace_unknown_task_errors(self, tmp_path, capsys):
+        export = tmp_path / "demo.jsonl"
+        assert main(["demo", "--trace-export", str(export)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "task-999999", "--export", str(export)]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_demo_export_validates_against_schema(self, tmp_path, capsys):
+        from repro.observability import validate_export_file
+
+        export = tmp_path / "demo.jsonl"
+        assert main(["demo", "--trace-export", str(export)]) == 0
+        rows = validate_export_file(
+            export, "docs/schemas/trace_export.schema.json"
+        )
+        assert rows > 20
 
     def test_figure6_small_sweep(self, capsys):
         assert main(["figure6", "--clients", "1", "2", "--calls", "3"]) == 0

@@ -67,10 +67,25 @@ class TestPages:
         assert "completed" in body
         assert f"/state/{done.task_id}" in body  # the download link
 
-    def test_job_detail_unknown(self, served):
+    def test_job_detail_unknown_is_structured_404(self, served):
         _, ui, *_ = served
-        _, body, _ = fetch(ui.url + "job/ghost")
-        assert "unknown task" in body
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            fetch(ui.url + "job/ghost")
+        assert exc.value.code == 404
+        error = json.loads(exc.value.read().decode("utf-8"))
+        assert error == {
+            "error": "not-found", "resource": "task", "id": "ghost", "status": 404,
+        }
+        assert exc.value.headers["Content-Type"] == "application/json"
+
+    def test_job_detail_escapes_task_id(self, served):
+        _, ui, *_ = served
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            fetch(ui.url + "job/%3Cscript%3Ealert(1)%3C/script%3E")
+        error = json.loads(exc.value.read().decode("utf-8"))
+        # The JSON body carries the raw id; nothing is reflected as HTML.
+        assert error["id"] == "<script>alert(1)</script>"
+        assert exc.value.headers["Content-Type"] == "application/json"
 
     def test_state_download(self, served):
         gae, ui, done, _ = served
@@ -85,6 +100,10 @@ class TestPages:
         with pytest.raises(urllib.error.HTTPError) as exc:
             fetch(ui.url + f"state/{running.task_id}")
         assert exc.value.code == 404
+        error = json.loads(exc.value.read().decode("utf-8"))
+        assert error["error"] == "not-found"
+        assert error["resource"] == "execution-state"
+        assert error["id"] == running.task_id
 
     def test_notifications_page(self, served):
         gae, ui, done, _ = served
@@ -153,3 +172,56 @@ class TestMetricsPage:
         gae, ui, *_ = served
         _, body, _ = fetch(ui.url)
         assert '<a href="/metrics">metrics</a>' in body
+
+    def test_metrics_include_observability_registry(self, served):
+        gae, ui, *_ = served
+        _, body, _ = fetch(ui.url + "metrics")
+        assert "gae_scheduler_jobs_planned_total" in body
+        assert "gae_task_events_total" in body
+        assert 'gae_execution_service_up{site="siteA"}' in body
+
+
+class TestTracePages:
+    def test_trace_page_renders_span_tree(self, served):
+        gae, ui, done, _ = served
+        status, body, _ = fetch(ui.url + f"trace/{done.task_id}")
+        assert status == 200
+        assert f"task:{done.task_id}" in body
+        assert "run@" in body
+        assert gae.observability.trace_id_of(done.task_id) in body
+
+    def test_timeline_json(self, served):
+        gae, ui, done, _ = served
+        status, body, _ = fetch(ui.url + f"timeline/{done.task_id}")
+        assert status == 200
+        timeline = json.loads(body)
+        assert timeline["task_id"] == done.task_id
+        types = [e["type"] for e in timeline["events"]]
+        assert types[0] == "submitted"
+        assert "completed" in types
+        trace_ids = {e["trace_id"] for e in timeline["events"]}
+        assert trace_ids == {gae.observability.trace_id_of(done.task_id)}
+
+    def test_trace_unknown_task_404(self, served):
+        _, ui, *_ = served
+        for page in ("trace", "timeline"):
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                fetch(ui.url + f"{page}/ghost")
+            assert exc.value.code == 404
+            error = json.loads(exc.value.read().decode("utf-8"))
+            assert error["error"] == "not-found"
+
+    def test_trace_disabled_503(self):
+        grid = GridBuilder(seed=93).site("s").probe_noise(0.0).build()
+        gae = build_gae(grid, observability=False)
+        assert gae.observability is None
+        with GAEWebUI(gae) as ui:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                fetch(ui.url + "trace/task-000001")
+            assert exc.value.code == 503
+
+    def test_job_detail_links_to_trace(self, served):
+        gae, ui, done, _ = served
+        _, body, _ = fetch(ui.url + f"job/{done.task_id}")
+        assert f"/trace/{done.task_id}" in body
+        assert f"/timeline/{done.task_id}" in body

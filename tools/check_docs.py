@@ -1,24 +1,30 @@
 #!/usr/bin/env python
-"""Check that docs/ARCHITECTURE.md covers every package under src/repro.
+"""Check that docs/ARCHITECTURE.md matches the source tree.
 
-Walks the source tree for packages (directories with ``__init__.py``),
-builds their dotted names, and fails — listing the gaps — if any dotted
-name is missing from docs/ARCHITECTURE.md.  Run from anywhere:
+Two checks, both run by CI's docs job:
+
+1. every package under src/ (directory with ``__init__.py``) appears by
+   dotted name in docs/ARCHITECTURE.md;
+2. the "Event taxonomy" section documents exactly the members of
+   ``repro.observability.journal.EventType`` — no missing events, no
+   stale ones.
+
+Run from anywhere::
 
     python tools/check_docs.py
-
-CI runs this in the docs job so the architecture map cannot silently rot
-as packages are added or renamed.
 """
 
 from __future__ import annotations
 
+import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src"
 ARCHITECTURE_MD = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+
+sys.path.insert(0, str(SRC_ROOT))
 
 
 def source_packages() -> list[str]:
@@ -28,6 +34,33 @@ def source_packages() -> list[str]:
         relative = init.parent.relative_to(SRC_ROOT)
         packages.append(".".join(relative.parts))
     return packages
+
+
+def documented_event_types(text: str) -> set[str]:
+    """Backticked tokens in the table rows of the "Event taxonomy" section."""
+    match = re.search(r"### Event taxonomy\n(.*?)(?:\n#|\Z)", text, re.DOTALL)
+    if match is None:
+        return set()
+    tokens: set[str] = set()
+    for line in match.group(1).splitlines():
+        if line.startswith("|"):
+            first_cell = line.split("|")[1]
+            tokens.update(re.findall(r"`([a-z-]+)`", first_cell))
+    tokens.discard("event")  # the table header
+    return tokens
+
+
+def check_event_taxonomy(text: str) -> list[str]:
+    from repro.observability.journal import EventType
+
+    documented = documented_event_types(text)
+    actual = {member.value for member in EventType}
+    problems = []
+    for value in sorted(actual - documented):
+        problems.append(f"EventType {value!r} is not documented in the event taxonomy")
+    for value in sorted(documented - actual):
+        problems.append(f"documented event {value!r} is not an EventType member")
+    return problems
 
 
 def main() -> int:
@@ -47,7 +80,14 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+    taxonomy_problems = check_event_taxonomy(text)
+    if taxonomy_problems:
+        print("docs/ARCHITECTURE.md event taxonomy is out of date:", file=sys.stderr)
+        for problem in taxonomy_problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
     print(f"docs/ARCHITECTURE.md covers all {len(packages)} packages")
+    print("docs/ARCHITECTURE.md event taxonomy matches EventType")
     return 0
 
 
