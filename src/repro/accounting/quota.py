@@ -8,7 +8,6 @@ estimated cost (so concurrent submissions cannot overdraw); completion
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -48,8 +47,13 @@ class QuotaManager:
     def __init__(self) -> None:
         self._quotas: Dict[str, UserQuota] = {}
         self._reservations: Dict[int, Reservation] = {}
-        self._ids = itertools.count(1)
+        self._next_id = 1
         self.ledger: List[Tuple[str, float, str]] = []  # (user, amount, note)
+
+    def _allocate_id(self) -> int:
+        value = self._next_id
+        self._next_id += 1
+        return value
 
     # ------------------------------------------------------------------
     def set_quota(self, user: str, limit: float) -> None:
@@ -89,7 +93,7 @@ class QuotaManager:
                 f"available {q.available:.2f}"
             )
         q.reserved += amount
-        res = Reservation(reservation_id=next(self._ids), user=user, amount=amount, note=note)
+        res = Reservation(reservation_id=self._allocate_id(), user=user, amount=amount, note=note)
         self._reservations[res.reservation_id] = res
         return res
 
@@ -123,3 +127,42 @@ class QuotaManager:
     def spent(self, user: str) -> float:
         """Total committed charges for a user."""
         return self.quota(user).spent
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Quotas, live reservations, id allocator, and ledger as JSON-safe data."""
+        return {
+            "quotas": [
+                [q.user, q.limit, q.spent, q.reserved]
+                for q in self._quotas.values()
+            ],
+            "reservations": [
+                [r.reservation_id, r.user, r.amount, r.note]
+                for r in self._reservations.values()
+            ],
+            "next_reservation_id": self._next_id,
+            "ledger": [[user, amount, note] for user, amount, note in self.ledger],
+        }
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        """Replace all quota state from :meth:`export_state` output.
+
+        The id allocator continues from the exported value so restored
+        reservations never collide with new ones.
+        """
+        self._quotas = {
+            user: UserQuota(user=user, limit=limit, spent=spent, reserved=reserved)
+            for user, limit, spent, reserved in state["quotas"]  # type: ignore[union-attr]
+        }
+        self._reservations = {
+            int(rid): Reservation(
+                reservation_id=int(rid), user=user, amount=amount, note=note
+            )
+            for rid, user, amount, note in state["reservations"]  # type: ignore[union-attr]
+        }
+        self._next_id = int(state["next_reservation_id"])  # type: ignore[arg-type]
+        self.ledger = [
+            (user, amount, note) for user, amount, note in state["ledger"]  # type: ignore[union-attr]
+        ]

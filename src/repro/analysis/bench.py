@@ -22,7 +22,11 @@ field glossary):
   through the middleware pipeline;
 - ``observability``    — end-to-end steering-verb latency with the PR-3
   tracing/journal layer on vs off at the 10k-job scale (the <10%
-  overhead acceptance gate).
+  overhead acceptance gate);
+- ``persistence``      — monitoring snapshot-write throughput: a loop of
+  per-record ``DBManager.update`` commits vs one batched
+  ``update_many`` transaction at the 10k-task scale, plus store
+  backend round-trip identity (MemoryStore vs SqliteStore).
 
 Everything is seeded and uses ``time.perf_counter`` around fixed
 workloads (best-of-N repeats), so runs are comparable on one machine.
@@ -502,6 +506,97 @@ def bench_observability_overhead(
 
 
 # ----------------------------------------------------------------------
+# section 7: persistence (batched snapshot writes, backend identity)
+# ----------------------------------------------------------------------
+def _monitoring_records(n: int, seed: int):
+    from repro.core.monitoring.records import MonitoringRecord
+
+    rng = np.random.default_rng(seed)
+    records = []
+    for i in range(n):
+        work = float(rng.uniform(100.0, 10_000.0))
+        elapsed = float(rng.uniform(0.0, work))
+        records.append(MonitoringRecord(
+            task_id=f"task-{i:06d}", job_id=f"job-{i // 10:05d}",
+            site=("siteA", "siteB")[i % 2], status="running",
+            elapsed_time_s=elapsed, estimated_run_time_s=work,
+            remaining_time_s=max(0.0, work - elapsed), progress=elapsed / work,
+            queue_position=-1, priority=int(rng.integers(0, 5)),
+            submission_time=float(i), execution_time=float(i) + 1.0,
+            completion_time=None, cpu_time_used_s=elapsed,
+            input_io_mb=50.0, output_io_mb=10.0, owner=f"user{i % 17:03d}",
+            snapshot_time=float(rng.uniform(0.0, 1_000.0)),
+        ))
+    return records
+
+
+def bench_persistence(n_records: int, repeats: int, seed: int) -> Dict[str, object]:
+    """Snapshot-write throughput: per-record commits vs one batched upsert.
+
+    The periodic monitoring snapshot persists every running task; this
+    times writing ``n_records`` records into a fresh ``DBManager`` as a
+    loop of :meth:`~repro.core.monitoring.db_manager.DBManager.update`
+    calls (one transaction each) and as a single
+    :meth:`~repro.core.monitoring.db_manager.DBManager.update_many`
+    batch, then asserts the two leave bit-identical rows behind.  A
+    second identity check round-trips the rows through ``MemoryStore``
+    and ``SqliteStore`` export/import.
+    """
+    import tempfile
+
+    from repro.core.monitoring.db_manager import DBManager
+    from repro.store import MemoryStore, SqliteStore
+    from repro.store.registry import MONITORING_JOBS, register_all
+
+    records = _monitoring_records(n_records, seed)
+
+    def write_loop():
+        with DBManager() as db:
+            for record in records:
+                db.update(record)
+            return db.export_state()
+
+    def write_batched():
+        with DBManager() as db:
+            db.update_many(records)
+            return db.export_state()
+
+    loop_state = write_loop()
+    batched_state = write_batched()
+    identical = loop_state == batched_state
+
+    loop_s = _best_time_s(write_loop, repeats)
+    batched_s = _best_time_s(write_batched, repeats)
+
+    # Backend identity: the same exported rows, pushed through both store
+    # backends, must read back bit-identical.
+    memory = MemoryStore()
+    register_all(memory)
+    memory.put(MONITORING_JOBS, "state", batched_state)
+    with tempfile.TemporaryDirectory() as tmp:
+        with SqliteStore(f"{tmp}/bench_store.sqlite") as sqlite_store:
+            register_all(sqlite_store)
+            sqlite_store.put(MONITORING_JOBS, "state", batched_state)
+            backends_identical = (
+                memory.get(MONITORING_JOBS, "state")
+                == sqlite_store.get(MONITORING_JOBS, "state")
+                == batched_state
+            )
+    return {
+        "records": n_records,
+        "loop_s": loop_s,
+        "batched_s": batched_s,
+        "loop_per_record_ms": loop_s / n_records * 1e3,
+        "batched_per_record_ms": batched_s / n_records * 1e3,
+        "loop_throughput_per_s": n_records / loop_s,
+        "batched_throughput_per_s": n_records / batched_s,
+        "speedup": loop_s / batched_s,
+        "identical": identical,
+        "backends_identical": backends_identical,
+    }
+
+
+# ----------------------------------------------------------------------
 # the harness
 # ----------------------------------------------------------------------
 def run_bench(
@@ -555,6 +650,10 @@ def run_bench(
         rounds=3 if quick else 5,
         seed=seed,
     )
+    echo("  persistence: batched snapshot writes")
+    persistence = bench_persistence(
+        n_records=2_000 if quick else 10_000, repeats=repeats, seed=seed
+    )
 
     report: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
@@ -569,6 +668,7 @@ def run_bench(
             "steering": steering,
             "monitoring": monitoring,
             "observability": observability,
+            "persistence": persistence,
         },
     }
 
@@ -618,6 +718,17 @@ def _assert_invariants(report: Dict[str, object]) -> None:
             f"tracing+journal adds {obs['overhead_pct']:.1f}% to steering "
             f"latency at {obs['n_tasks']} jobs, above the "
             f"{OVERHEAD_CEILING_PCT:.0f}% ceiling"
+        )
+    persistence = sections["persistence"]  # type: ignore[index]
+    if not persistence["identical"]:
+        raise BenchError(
+            "batched update_many left different monitoring rows than a "
+            "loop of update calls"
+        )
+    if not persistence["backends_identical"]:
+        raise BenchError(
+            "monitoring state did not round-trip bit-identically through "
+            "MemoryStore and SqliteStore"
         )
 
 
@@ -686,6 +797,18 @@ def _print_summary(report: Dict[str, object], echo: Callable[[str], None]) -> No
             f"{o['overhead_pct']:+.1f}%", o["identical"],
         ]],
     ))
+    p = sections["persistence"]
+    echo("persistence (monitoring snapshot writes, per-record vs batched)")
+    echo(markdown_table(
+        ["records", "loop rec/s", "batched rec/s", "speedup", "identical",
+         "backends identical"],
+        [[
+            p["records"],
+            round(p["loop_throughput_per_s"], 1),
+            round(p["batched_throughput_per_s"], 1),
+            f"{p['speedup']:.1f}x", p["identical"], p["backends_identical"],
+        ]],
+    ))
 
 
 # ----------------------------------------------------------------------
@@ -715,7 +838,7 @@ def validate_report(report: Dict[str, object]) -> None:
              f"schema_version must be {SCHEMA_VERSION}")
     sections = report["sections"]
     for name in ("runtime_estimator", "queue_time", "transfer_time",
-                 "steering", "monitoring", "observability"):
+                 "steering", "monitoring", "observability", "persistence"):
         _require(name in sections, f"missing section {name!r}")
 
     def check_row(row, fields, where):
@@ -776,6 +899,12 @@ def validate_report(report: Dict[str, object]) -> None:
         ("overhead_pct", float), ("identical", bool),
         ("spans", int), ("events", int),
     ], "observability")
+    check_row(sections["persistence"], [
+        ("records", int), ("loop_s", float), ("batched_s", float),
+        ("loop_per_record_ms", float), ("batched_per_record_ms", float),
+        ("loop_throughput_per_s", float), ("batched_throughput_per_s", float),
+        ("speedup", float), ("identical", bool), ("backends_identical", bool),
+    ], "persistence")
 
 
 def validate_report_file(path: str) -> None:

@@ -95,6 +95,33 @@ class UserDatabase:
         """All user names, sorted."""
         return tuple(sorted(self._users))
 
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def export_state(self) -> list:
+        """Salted password hashes and groups, JSON-safe.
+
+        Only hashes travel (never plaintext); session tokens are not
+        exported — they are stateless and signed with a per-host secret,
+        so clients simply log in again after a restore.
+        """
+        return [
+            [r.name, r.password_hash, r.salt, sorted(r.groups)]
+            for r in self._users.values()
+        ]
+
+    def import_state(self, state: list) -> None:
+        """Replace the user table from :meth:`export_state` output."""
+        self._users = {
+            name: _UserRecord(
+                name=name,
+                password_hash=password_hash,
+                salt=salt,
+                groups=frozenset(groups),
+            )
+            for name, password_hash, salt, groups in state
+        }
+
 
 class AuthService:
     """Issues and validates session tokens for one Clarens host.

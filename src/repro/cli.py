@@ -10,6 +10,8 @@ Installed as ``gae-repro`` (or run as ``python -m repro.cli``)::
     gae-repro stats [--calls 5]
     gae-repro bench [--quick] [--out BENCH_estimators.json]
     gae-repro demo [--trace-export gae_trace_export.jsonl]
+    gae-repro checkpoint [--out gae_checkpoint.sqlite] [--at 205]
+    gae-repro restore gae_checkpoint.sqlite [--inspect]
 
 Each figure command prints the same series, chart and paper-vs-measured
 summary as the corresponding ``benchmarks/bench_fig*.py`` module.
@@ -356,6 +358,82 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def checkpoint_demo_workload(seed: int = 11, tasks: int = 6):
+    """A deterministic two-site GAE with an in-flight bag-of-tasks job.
+
+    Shared by ``gae-repro checkpoint``/``restore`` and the recovery smoke
+    test: a mixed-length workload that is part-completed, part-running,
+    part-queued around t≈200 s, so a checkpoint taken there captures every
+    interesting task state.  Returns ``(gae, job)``.
+    """
+    from repro.gae import build_gae
+    from repro.gridsim import GridBuilder
+    from repro.gridsim.job import TaskSpec, bag_of_tasks
+
+    grid = (
+        GridBuilder(seed=seed)
+        .site("siteA", nodes=2, background_load=0.3)
+        .site("siteB", nodes=2, background_load=1.0)
+        .link("siteA", "siteB", capacity_mbps=100.0, latency_s=0.05)
+        .file("input.dat", size_mb=50.0, at="siteA")
+        .build()
+    )
+    gae = build_gae(grid, monitor_snapshot_period_s=20.0).start()
+    gae.add_user("demo", "demo")
+    works = [120.0 + 60.0 * (i % 7) for i in range(tasks)]
+    specs = [TaskSpec(owner="demo", input_files=("input.dat",)) for _ in works]
+    job = bag_of_tasks(specs, works, owner="demo")
+    gae.scheduler.submit_job(job)
+    return gae, job
+
+
+def _task_state_rows(job) -> List[List[str]]:
+    return [[t.task_id, t.state.value] for t in job.tasks]
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Run the demo workload and checkpoint it mid-flight."""
+    from repro.store.checkpoint import Checkpointer
+
+    gae, job = checkpoint_demo_workload(seed=args.seed, tasks=args.tasks)
+    ckpt = Checkpointer(gae)
+    ckpt.checkpoint_at(args.at, args.out)
+    gae.sim.run_until(args.at)
+    info = ckpt.last_info
+    if info is None:
+        print("error: checkpoint event never fired", file=sys.stderr)
+        return 1
+    print(f"checkpointed {info.jobs} job(s) / {info.tasks} task(s) "
+          f"at t={info.time:.1f}s -> {info.path}")
+    print(markdown_table(["task", "state"], _task_state_rows(job)))
+    print(f"resume with: gae-repro restore {info.path}")
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    """Restore a checkpoint and (unless --inspect) resume to completion."""
+    from repro.store import CheckpointError, restore_gae
+
+    try:
+        gae = restore_gae(args.path)
+    except (CheckpointError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    jobs = gae.scheduler.jobs()
+    print(f"restored {len(jobs)} job(s) at t={gae.sim.now:.1f}s from {args.path}")
+    for job in jobs:
+        print(markdown_table(["task", "state"], _task_state_rows(job)))
+    if args.inspect:
+        return 0
+    gae.sim.run_until(gae.sim.now + args.horizon)
+    gae.stop()
+    gae.sim.run()
+    print(f"resumed to t={gae.sim.now:.1f}s")
+    for job in jobs:
+        print(markdown_table(["task", "state"], _task_state_rows(job)))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import write_report
 
@@ -472,6 +550,28 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--trace-export", type=str, default="gae_trace_export.jsonl",
                     metavar="PATH", help="where to write the JSONL trace export")
     pd.set_defaults(func=_cmd_demo)
+
+    pc = sub.add_parser(
+        "checkpoint",
+        help="run the demo workload and write a mid-flight checkpoint file",
+    )
+    pc.add_argument("--out", type=str, default="gae_checkpoint.sqlite",
+                    metavar="PATH", help="checkpoint file to write")
+    pc.add_argument("--seed", type=int, default=11)
+    pc.add_argument("--tasks", type=int, default=6)
+    pc.add_argument("--at", type=float, default=205.0,
+                    help="simulated time of the checkpoint barrier (s)")
+    pc.set_defaults(func=_cmd_checkpoint)
+
+    pre = sub.add_parser(
+        "restore", help="restore a checkpoint and resume the workload"
+    )
+    pre.add_argument("path", type=str, help="checkpoint file written by `checkpoint`")
+    pre.add_argument("--horizon", type=float, default=20000.0,
+                     help="how much further simulated time to run (s)")
+    pre.add_argument("--inspect", action="store_true",
+                     help="print the restored state without resuming")
+    pre.set_defaults(func=_cmd_restore)
 
     ps = sub.add_parser("scenario", help="run a JSON scenario file end to end")
     ps.add_argument("file", type=str, help="path to the scenario JSON")

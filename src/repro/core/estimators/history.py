@@ -31,6 +31,8 @@ from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 from repro.gridsim.condor import CondorJobAd
 from repro.gridsim.job import TaskSpec
 from repro.gridsim.site import Site
+from repro.store.base import StateStore
+from repro.store.registry import ESTIMATOR_HISTORY, namespace_record
 
 
 @dataclass(frozen=True)
@@ -228,6 +230,34 @@ class HistoryRepository:
                 kwargs[name] = conv(float(raw)) if conv is int else (conv(raw) if conv else raw)
             records.append(TaskRecord(**kwargs))  # type: ignore[arg-type]
         return cls(records)
+
+    # ------------------------------------------------------------------
+    # persistence (state-store backend)
+    # ------------------------------------------------------------------
+    def save_to(self, store: "StateStore") -> int:
+        """Write every record into the ``estimator.history`` namespace.
+
+        Keys are zero-padded insertion indexes so iteration order is the
+        repository's insertion order on any backend.
+        """
+        store.register_namespace(namespace_record(ESTIMATOR_HISTORY))
+        store.clear(ESTIMATOR_HISTORY)
+        return store.put_many(
+            ESTIMATOR_HISTORY,
+            (
+                (f"{i:08d}", {name: getattr(r, name) for name in _CSV_FIELDS})
+                for i, r in enumerate(self._records)
+            ),
+        )
+
+    @classmethod
+    def load_from(cls, store: "StateStore", indexed: bool = True) -> "HistoryRepository":
+        """Rebuild a repository from the ``estimator.history`` namespace."""
+        records = [
+            TaskRecord(**row)  # type: ignore[arg-type]
+            for _, row in store.items(ESTIMATOR_HISTORY)
+        ]
+        return cls(records, indexed=indexed)
 
 
 class HistoryRecorder:

@@ -40,6 +40,8 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.gridsim.condor import CondorJobAd
 from repro.gridsim.execution import ExecutionService
 from repro.gridsim.job import JobState
+from repro.store.base import StateStore
+from repro.store.registry import ESTIMATOR_RUNTIME, namespace_record
 
 
 class QueueEstimationError(RuntimeError):
@@ -89,6 +91,25 @@ class RuntimeEstimateDB:
         return task_id in self._estimates
 
     def __len__(self) -> int:
+        return len(self._estimates)
+
+    # -- persistence (state-store backend) ------------------------------
+    def save_to(self, store: "StateStore") -> int:
+        """Write every estimate into the ``estimator.runtime`` namespace."""
+        store.register_namespace(namespace_record(ESTIMATOR_RUNTIME))
+        store.clear(ESTIMATOR_RUNTIME)
+        return store.put_many(ESTIMATOR_RUNTIME, list(self._estimates.items()))
+
+    def load_from(self, store: "StateStore") -> int:
+        """Replace contents from the ``estimator.runtime`` namespace.
+
+        Loads *directly* — listeners are deliberately not notified, so a
+        restore cannot double-count contributions in attached
+        :class:`QueueAccounting` instances (they re-seed afterwards, see
+        :meth:`QueueAccounting.reseed`).
+        """
+        items = store.items(ESTIMATOR_RUNTIME)
+        self._estimates = {task_id: float(value) for task_id, value in items}
         return len(self._estimates)
 
 
@@ -195,6 +216,24 @@ class QueueAccounting:
             self._missing.pop(band, None)
             self._totals.pop(band, None)
             self._dirty.discard(band)
+
+    def reseed(self) -> None:
+        """Rebuild the accounting from the pool's current queue.
+
+        Used after a checkpoint restore: pool state is rehydrated without
+        firing state-change callbacks, so the event-sourced books are
+        reloaded wholesale.  Contributions are recomputed from the same
+        (estimate, elapsed) inputs the original events saw — elapsed
+        runtime is frozen while queued — so the rebuilt totals are
+        bit-identical to the pre-snapshot ones.
+        """
+        self._band_of.clear()
+        self._bands.clear()
+        self._missing.clear()
+        self._totals.clear()
+        self._dirty.clear()
+        for ad in self.service.pool.queue_snapshot():
+            self._upsert(ad)
 
     # -- queries --------------------------------------------------------
     def queued_depth(self) -> int:

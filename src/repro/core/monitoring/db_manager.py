@@ -6,6 +6,12 @@ publishes the job monitoring information to MonALISA."
 
 Backed by SQLite (stdlib), in-memory by default, file-backed on request —
 a real queryable repository, as in the deployed system, not a dict.
+
+Since the state-store refactor the relational tables can also live
+*inside* a :class:`~repro.store.base.StateStore` (pass ``store=``): the
+schema stays SQL-queryable and every read is bit-identical to the
+stand-alone layout, but the rows share the store's file (or memory)
+lifetime, which is how a GAE checkpoint carries its monitoring answers.
 """
 
 from __future__ import annotations
@@ -13,10 +19,12 @@ from __future__ import annotations
 import json
 import sqlite3
 import threading
-from typing import List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.core.monitoring.records import MonitoringRecord
 from repro.monalisa.repository import JobStateEvent, MonALISARepository
+from repro.store.base import StateStore
+from repro.store.registry import MONITORING_JOBS, namespace_record
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS monitoring (
@@ -62,68 +70,136 @@ _COLUMNS = (
     "snapshot_time",
 )
 
+_HISTORY_COLUMNS = (
+    "task_id", "snapshot_time", "status", "progress", "elapsed_time_s", "site",
+)
+
+
+def _record_values(record: MonitoringRecord) -> tuple:
+    return (
+        record.task_id, record.job_id, record.site, record.status,
+        record.elapsed_time_s, record.estimated_run_time_s,
+        record.remaining_time_s, record.progress, record.queue_position,
+        record.priority, record.submission_time, record.execution_time,
+        record.completion_time, record.cpu_time_used_s,
+        record.input_io_mb, record.output_io_mb, record.owner,
+        json.dumps(dict(record.environment)), record.snapshot_time,
+    )
+
+
+def _history_values(record: MonitoringRecord) -> tuple:
+    return (
+        record.task_id, record.snapshot_time, record.status,
+        record.progress, record.elapsed_time_s, record.site,
+    )
+
+
+_UPSERT_SQL = (
+    f"INSERT OR REPLACE INTO monitoring ({', '.join(_COLUMNS)}) "
+    f"VALUES ({', '.join('?' for _ in _COLUMNS)})"
+)
+_HISTORY_SQL = (
+    f"INSERT INTO monitoring_history ({', '.join(_HISTORY_COLUMNS)}) "
+    f"VALUES ({', '.join('?' for _ in _HISTORY_COLUMNS)})"
+)
+
 
 class DBManager:
-    """SQLite-backed store of the latest monitoring record per task."""
+    """SQLite-backed store of the latest monitoring record per task.
+
+    Usable as a context manager; :meth:`close` is idempotent and safe
+    against a concurrent :meth:`update`.  When ``store`` is given, the
+    tables live on the store's SQL connection (and the connection's
+    lifetime belongs to the store, so ``close()`` becomes a no-op for
+    the shared connection).
+    """
 
     def __init__(
         self,
         path: str = ":memory:",
         monalisa: Optional[MonALISARepository] = None,
+        store: Optional[StateStore] = None,
     ) -> None:
         # The threaded XML-RPC front end serves monitoring queries from
         # worker threads; one connection guarded by a lock keeps SQLite
         # happy without a connection pool.
-        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self.store = store
+        if store is not None:
+            store.register_namespace(namespace_record(MONITORING_JOBS))
+            self._conn = store.sql_connection()
+            self._owns_conn = False
+        else:
+            self._conn = sqlite3.connect(path, check_same_thread=False)
+            self._owns_conn = True
         self._lock = threading.Lock()
+        self._closed = False
         with self._lock:
             self._conn.executescript(_SCHEMA)
         self.monalisa = monalisa
 
     def close(self) -> None:
-        """Close the underlying database connection."""
-        self._conn.close()
+        """Idempotently close the underlying database connection.
+
+        Taken under the same lock as :meth:`update`, so a concurrent
+        writer can never race the closing connection.  A store-owned
+        connection is left open (the store manages its lifetime).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._owns_conn:
+                self._conn.close()
+
+    def __enter__(self) -> "DBManager":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def update(self, record: MonitoringRecord) -> None:
         """Upsert a task's latest record; publish the update to MonALISA."""
-        values = (
-            record.task_id, record.job_id, record.site, record.status,
-            record.elapsed_time_s, record.estimated_run_time_s,
-            record.remaining_time_s, record.progress, record.queue_position,
-            record.priority, record.submission_time, record.execution_time,
-            record.completion_time, record.cpu_time_used_s,
-            record.input_io_mb, record.output_io_mb, record.owner,
-            json.dumps(dict(record.environment)), record.snapshot_time,
-        )
-        placeholders = ", ".join("?" for _ in _COLUMNS)
         with self._lock:
-            self._conn.execute(
-                f"INSERT OR REPLACE INTO monitoring ({', '.join(_COLUMNS)}) "
-                f"VALUES ({placeholders})",
-                values,
-            )
+            self._conn.execute(_UPSERT_SQL, _record_values(record))
             # Append-only history row: the raw material of progress-vs-time
             # charts like Figure 7, queryable long after the task is gone.
-            self._conn.execute(
-                "INSERT INTO monitoring_history "
-                "(task_id, snapshot_time, status, progress, elapsed_time_s, site) "
-                "VALUES (?, ?, ?, ?, ?, ?)",
-                (record.task_id, record.snapshot_time, record.status,
-                 record.progress, record.elapsed_time_s, record.site),
-            )
+            self._conn.execute(_HISTORY_SQL, _history_values(record))
             self._conn.commit()
         if self.monalisa is not None:
-            self.monalisa.publish_job_state(
-                JobStateEvent(
-                    time=record.snapshot_time,
-                    task_id=record.task_id,
-                    job_id=record.job_id,
-                    site=record.site,
-                    state=record.status,
-                    progress=record.progress,
-                )
-            )
+            self.monalisa.publish_job_state(self._job_state_event(record))
+
+    def update_many(self, records: Iterable[MonitoringRecord]) -> int:
+        """Batched upsert: one ``executemany`` pair in one transaction.
+
+        The periodic monitoring snapshot writes every running task at
+        once; batching amortises the per-statement and per-commit cost
+        (see the ``persistence`` benchmark section).  MonALISA publishes
+        happen after the transaction, in record order, exactly as a loop
+        of :meth:`update` calls would have done.
+        """
+        records = list(records)
+        if not records:
+            return 0
+        with self._lock:
+            self._conn.executemany(_UPSERT_SQL, [_record_values(r) for r in records])
+            self._conn.executemany(_HISTORY_SQL, [_history_values(r) for r in records])
+            self._conn.commit()
+        if self.monalisa is not None:
+            for record in records:
+                self.monalisa.publish_job_state(self._job_state_event(record))
+        return len(records)
+
+    @staticmethod
+    def _job_state_event(record: MonitoringRecord) -> JobStateEvent:
+        return JobStateEvent(
+            time=record.snapshot_time,
+            task_id=record.task_id,
+            job_id=record.job_id,
+            site=record.site,
+            state=record.status,
+            progress=record.progress,
+        )
 
     # ------------------------------------------------------------------
     def _row_to_record(self, row: tuple) -> MonitoringRecord:
@@ -185,3 +261,42 @@ class DBManager:
         with self._lock:
             cur = self._conn.execute("SELECT COUNT(*) FROM monitoring")
             return int(cur.fetchone()[0])
+
+    # ------------------------------------------------------------------
+    # persistence (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        """Both tables as plain rows (history keeps explicit ``seq``)."""
+        with self._lock:
+            monitoring = self._conn.execute(
+                f"SELECT {', '.join(_COLUMNS)} FROM monitoring ORDER BY rowid"
+            ).fetchall()
+            history = self._conn.execute(
+                f"SELECT seq, {', '.join(_HISTORY_COLUMNS)} "
+                "FROM monitoring_history ORDER BY seq"
+            ).fetchall()
+        return {
+            "monitoring": [list(row) for row in monitoring],
+            "history": [list(row) for row in history],
+        }
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        """Replace both tables from :meth:`export_state` output.
+
+        ``seq`` values are inserted explicitly so ``progress_history``
+        order — and the AUTOINCREMENT continuation point — match the
+        exporting manager exactly.  MonALISA is *not* notified: a
+        restore replays state, not events.
+        """
+        with self._lock:
+            self._conn.execute("DELETE FROM monitoring")
+            self._conn.execute("DELETE FROM monitoring_history")
+            self._conn.executemany(
+                _UPSERT_SQL, [tuple(row) for row in state["monitoring"]]
+            )
+            self._conn.executemany(
+                f"INSERT INTO monitoring_history (seq, {', '.join(_HISTORY_COLUMNS)}) "
+                f"VALUES ({', '.join('?' for _ in range(len(_HISTORY_COLUMNS) + 1))})",
+                [tuple(row) for row in state["history"]],
+            )
+            self._conn.commit()

@@ -21,7 +21,7 @@ archive the execution state for download).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.core.steering.subscriber import Subscriber
@@ -210,6 +210,49 @@ class BackupRecovery:
                     detail=f"execution service {site_name} unreachable",
                 )
                 self._resubmit(fake_ad, site_name, reason="execution service failure")
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Every accumulated recovery artefact as JSON-safe data."""
+        return {
+            "notifications": [asdict(n) for n in self.notifications],
+            "recovered_files": {
+                task_id: list(files)
+                for task_id, files in self.recovered_files.items()
+            },
+            "execution_states": {
+                task_id: dict(state)
+                for task_id, state in self.execution_states.items()
+            },
+            "failed_sites": sorted(self.failed_sites),
+            "resubmitted": sorted(
+                [task_id, site] for task_id, site in self._resubmitted
+            ),
+        }
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        """Replace the accumulated artefacts from :meth:`export_state`.
+
+        Notification listeners do not re-fire — the client was already
+        told; a restore must not tell them twice.
+        """
+        self.notifications = [
+            ClientNotification(**n) for n in state["notifications"]  # type: ignore[union-attr]
+        ]
+        self.recovered_files = {
+            task_id: list(files)
+            for task_id, files in state["recovered_files"].items()  # type: ignore[union-attr]
+        }
+        self.execution_states = {
+            task_id: dict(s)
+            for task_id, s in state["execution_states"].items()  # type: ignore[union-attr]
+        }
+        self.failed_sites = set(state["failed_sites"])  # type: ignore[arg-type]
+        self._resubmitted = {
+            (task_id, site) for task_id, site in state["resubmitted"]  # type: ignore[union-attr]
+        }
 
     def start(self) -> "BackupRecovery":
         """Begin the periodic ping sweep under the simulation clock."""

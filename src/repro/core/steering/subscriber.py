@@ -14,9 +14,9 @@ earlier ones for the same job.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Callable, Dict, List, Set
 
-from repro.gridsim.job import ConcreteJobPlan, Job, Task
+from repro.gridsim.job import ConcreteJobPlan, Job, Task, plan_from_wire, plan_to_wire
 
 
 @dataclass
@@ -96,6 +96,43 @@ class Subscriber:
                 if not task.state.is_terminal or task.state.value == "moved":
                     out.append(task)
         return out
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def export_state(self) -> List[Dict[str, object]]:
+        """Subscriptions in subscription order, plans as wire dicts.
+
+        Only the plan history travels: the current plan is always the
+        newest history entry, and the job objects themselves belong to
+        the scheduler checkpoint (resolved by id on import).
+        """
+        return [
+            {
+                "job_id": sub.job.job_id,
+                "plan_history": [plan_to_wire(p) for p in sub.plan_history],
+            }
+            for sub in self._subscriptions.values()
+        ]
+
+    def import_state(
+        self, state: List[Dict[str, object]], job_resolver: Callable[[str], Job]
+    ) -> None:
+        """Rebuild subscriptions from :meth:`export_state` output.
+
+        *job_resolver* must return the restored scheduler's job objects,
+        so steering and scheduling keep sharing one set of live tasks.
+        """
+        self._subscriptions = {}
+        self._task_index = {}
+        for wire in state:
+            job = job_resolver(wire["job_id"])  # type: ignore[arg-type]
+            history = [plan_from_wire(p) for p in wire["plan_history"]]  # type: ignore[union-attr]
+            self._subscriptions[job.job_id] = Subscription(
+                job=job, plan=history[-1], plan_history=history
+            )
+            for task in job.tasks:
+                self._task_index[task.task_id] = job.job_id
 
     def execution_sites_in_use(self) -> Set[str]:
         """Every site any current plan binds at least one task to.

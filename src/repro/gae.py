@@ -24,8 +24,8 @@ over a simulated grid:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 from repro.accounting.service import QuotaAccountingService
 from repro.clarens.acl import AccessControlList
@@ -42,6 +42,8 @@ from repro.monalisa.publisher import ServiceMetricsPublisher, SiteLoadPublisher
 from repro.monalisa.repository import MonALISARepository
 from repro.monalisa.service import MonALISAQueryService
 from repro.observability.instrument import GAEInstrumentation
+from repro.store.base import StateStore
+from repro.store.memory import MemoryStore
 
 
 @dataclass
@@ -63,6 +65,12 @@ class GAE:
     observability: Optional[GAEInstrumentation] = None
     #: Period (simulated s) for continuous job snapshots; None disables.
     monitor_snapshot_period_s: Optional[float] = None
+    #: The unified state store every persistent layer writes through.
+    store: Optional[StateStore] = None
+    #: The keyword arguments this GAE was built with (minus objects a
+    #: checkpoint captures separately), so a restore can rebuild the same
+    #: wiring via :func:`build_gae`.
+    build_params: Dict[str, object] = field(default_factory=dict)
 
     @property
     def sim(self):
@@ -105,6 +113,16 @@ class GAE:
         self.service_metrics_publisher.stop()
         self.monitoring.stop_periodic_snapshots()
 
+    def checkpoint(self, path: str) -> "object":
+        """Write a full-system checkpoint to *path* (a SQLite file).
+
+        Convenience for :class:`repro.store.checkpoint.Checkpointer`;
+        returns its :class:`~repro.store.checkpoint.CheckpointInfo`.
+        """
+        from repro.store.checkpoint import Checkpointer
+
+        return Checkpointer(self).checkpoint(path)
+
 
 def default_acl() -> AccessControlList:
     """The GAE's shipped access policy.
@@ -132,6 +150,7 @@ def build_gae(
     service_metrics_period_s: float = 60.0,
     transfer_cache_ttl_s: Optional[float] = 300.0,
     observability: bool = True,
+    store: Optional[StateStore] = None,
 ) -> GAE:
     """Wire the full GAE over an assembled grid.
 
@@ -146,6 +165,12 @@ def build_gae(
         workload's completed jobs); empty when omitted.
     record_history:
         When true, completed tasks keep feeding the history live.
+    store:
+        The :class:`~repro.store.base.StateStore` threaded through every
+        persistent layer (an in-memory store when omitted).  The
+        monitoring DB's relational tables live on this store's SQL
+        connection, and :meth:`GAE.checkpoint` snapshots the whole
+        system through the same namespace registry.
     transfer_cache_ttl_s:
         Memoize iperf bandwidth probes for this many simulated seconds
         (matches the default network-weather period, so cached bandwidths
@@ -159,6 +184,7 @@ def build_gae(
         and an ``rpc:*`` span per dispatched call.
     """
     sim = grid.sim
+    store = store if store is not None else MemoryStore()
     monalisa = MonALISARepository()
     history = history if history is not None else HistoryRepository()
 
@@ -177,6 +203,7 @@ def build_gae(
         sim,
         monalisa=monalisa,
         estimate_lookup=lambda task_id: estimators.estimate_db.lookup(task_id),
+        store=store,
     )
     accounting = QuotaAccountingService()
     for name in sorted(grid.sites):
@@ -245,4 +272,16 @@ def build_gae(
         service_metrics_publisher=service_metrics_publisher,
         observability=instrumentation,
         monitor_snapshot_period_s=monitor_snapshot_period_s,
+        store=store,
+        # Everything a restore must replay through build_gae; the policy
+        # and history are checkpointed separately (they evolve at runtime).
+        build_params={
+            "load_publish_period_s": load_publish_period_s,
+            "record_history": record_history,
+            "host_name": host_name,
+            "monitor_snapshot_period_s": monitor_snapshot_period_s,
+            "service_metrics_period_s": service_metrics_period_s,
+            "transfer_cache_ttl_s": transfer_cache_ttl_s,
+            "observability": observability,
+        },
     )

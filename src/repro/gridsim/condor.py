@@ -488,6 +488,103 @@ class CondorPool:
             self._idle.sort(key=CondorJobAd.sort_key)
         self._notify_state(ad)
 
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def _ad_to_wire(self, ad: CondorJobAd) -> Dict[str, object]:
+        return {
+            "task_id": ad.task_id,
+            "condor_id": ad.condor_id,
+            "priority": ad.priority,
+            "submit_time": ad.submit_time,
+            "state": ad.state.value,
+            "start_time": ad.start_time,
+            "end_time": ad.end_time,
+            "accrued_work": ad.accrued_work,
+            "last_sync": ad.last_sync,
+            # Slot allocation survives by (node name, slot count); the
+            # effective profile is recomputed on restore.
+            "allocated": [
+                [node.name, node.running_task_ids.count(ad.task_id)]
+                for node in ad.allocated
+            ],
+            "input_io_mb": ad.input_io_mb,
+            "output_io_mb": ad.output_io_mb,
+            "local_output_files": list(ad.local_output_files),
+        }
+
+    @staticmethod
+    def _ad_from_wire(
+        data: Dict[str, object], task_resolver: Callable[[str], Task]
+    ) -> CondorJobAd:
+        return CondorJobAd(
+            task=task_resolver(data["task_id"]),  # type: ignore[arg-type]
+            condor_id=int(data["condor_id"]),  # type: ignore[arg-type]
+            priority=int(data["priority"]),  # type: ignore[arg-type]
+            submit_time=data["submit_time"],  # type: ignore[assignment]
+            state=JobState(data["state"]),
+            start_time=data["start_time"],  # type: ignore[assignment]
+            end_time=data["end_time"],  # type: ignore[assignment]
+            accrued_work=data["accrued_work"],  # type: ignore[assignment]
+            last_sync=data["last_sync"],  # type: ignore[assignment]
+            input_io_mb=data["input_io_mb"],  # type: ignore[assignment]
+            output_io_mb=data["output_io_mb"],  # type: ignore[assignment]
+            local_output_files=list(data["local_output_files"]),  # type: ignore[arg-type]
+        )
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-safe snapshot of all pool bookkeeping.
+
+        Running accruals are synced to *now* first, so the snapshot is
+        exact at the checkpoint instant.  Tasks are referenced by id —
+        the scheduler checkpoint owns the task objects themselves.
+        """
+        for ad in self._ads.values():
+            self._sync(ad)
+        return {
+            "next_condor_id": self._next_condor_id,
+            "ads": [self._ad_to_wire(ad) for ad in self._ads.values()],
+            "idle": [ad.task_id for ad in self._idle],
+            "archive": [self._ad_to_wire(ad) for ad in self.archive],
+        }
+
+    def restore_state(
+        self, state: Dict[str, object], task_resolver: Callable[[str], Task]
+    ) -> None:
+        """Rebuild the pool from :meth:`snapshot_state` output.
+
+        A restore replays *state*, not events: no callbacks fire and no
+        dispatch pass runs.  RUNNING ads re-occupy their recorded slots
+        and re-arm their analytic finish events from the remaining work;
+        PAUSED ads keep their slots with the finish event disarmed, as
+        a live suspend leaves them.
+        """
+        by_name = {node.name: node for node in self.nodes}
+        self._next_condor_id = int(state["next_condor_id"])  # type: ignore[arg-type]
+        self._ads = {}
+        self._by_condor_id = {}
+        self._idle = []
+        self.archive = [
+            self._ad_from_wire(wire, task_resolver)
+            for wire in state["archive"]  # type: ignore[union-attr]
+        ]
+        for wire in state["ads"]:  # type: ignore[union-attr]
+            ad = self._ad_from_wire(wire, task_resolver)
+            self._ads[ad.task_id] = ad
+            self._by_condor_id[ad.condor_id] = ad
+            if ad.state in (JobState.RUNNING, JobState.PAUSED):
+                for node_name, slots in wire["allocated"]:
+                    node = by_name[node_name]
+                    node.occupy(ad.task_id, slots=int(slots))
+                    ad.allocated.append(node)
+                ad.effective_profile = LoadProfile.combine_max(
+                    [n.load_profile for n in ad.allocated]
+                )
+            if ad.state is JobState.RUNNING:
+                ad.last_sync = self.sim.now
+                self._arm_finish(ad)
+        self._idle = [self._ads[task_id] for task_id in state["idle"]]  # type: ignore[union-attr]
+
     def enable_flocking(self, *pools: "CondorPool") -> None:
         """Allow idle jobs to flock to the given pools when this one is full."""
         for pool in pools:

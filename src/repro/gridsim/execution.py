@@ -114,6 +114,19 @@ class ExecutionService:
         self._failed = False
         self._notify_lifecycle(True)
 
+    @property
+    def failed(self) -> bool:
+        """Whether the service is currently down (checkpoint-visible)."""
+        return self._failed
+
+    def restore_availability(self, failed: bool) -> None:
+        """Set the up/down flag without firing lifecycle listeners.
+
+        Used on restore: the original transition already fired (and was
+        journalled); replaying state must not re-announce it.
+        """
+        self._failed = bool(failed)
+
     # ------------------------------------------------------------------
     # scheduling interface
     # ------------------------------------------------------------------

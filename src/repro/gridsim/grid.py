@@ -22,7 +22,7 @@ in :mod:`repro.gae`; this module is pure substrate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.gridsim.clock import Simulator
@@ -47,6 +47,10 @@ class Grid:
     execution_services: Dict[str, ExecutionService]
     scheduler: SphinxScheduler
     probe: IperfProbe
+    #: The declarative recipe this grid was built from (JSON-safe).  A
+    #: checkpoint stores it so :meth:`GridBuilder.from_spec` can rebuild
+    #: an identical testbed before state is rehydrated into it.
+    spec: Dict[str, object] = field(default_factory=dict)
 
     def site(self, name: str) -> Site:
         """Look up a site by name."""
@@ -149,6 +153,101 @@ class GridBuilder:
         self._output_file_size_mb = size_mb
         return self
 
+    def spec(self) -> Dict[str, object]:
+        """The builder's declarations as a JSON-safe recipe.
+
+        ``GridBuilder.from_spec(builder.spec()).build()`` produces a
+        structurally identical grid — the mechanism checkpoints use to
+        rebuild the testbed before rehydrating state into it.
+        """
+        return {
+            "seed": self._seed,
+            "start_time": self._start,
+            "trace": self._trace,
+            "probe_noise": self._probe_noise,
+            "output_file_size_mb": self._output_file_size_mb,
+            "sites": [
+                {
+                    "name": decl.name,
+                    "nodes": decl.nodes,
+                    "cpus_per_node": decl.cpus_per_node,
+                    "background_load": decl.background_load,
+                    "load_profile": (
+                        None
+                        if decl.load_profile is None
+                        else [list(seg) for seg in decl.load_profile.segments()]
+                    ),
+                    "cpu_hour_rate": decl.charge_rates.cpu_hour,
+                    "idle_hour_rate": decl.charge_rates.idle_hour,
+                }
+                for decl in self._sites
+            ],
+            "links": [
+                {
+                    "a": link.a,
+                    "b": link.b,
+                    "capacity_mbps": link.capacity_mbps,
+                    "latency_s": link.latency_s,
+                    "utilization": link.utilization,
+                }
+                for link in self._links
+            ],
+            "files": [
+                {"name": file.name, "size_mb": file.size_mb, "at": at}
+                for file, at in self._files
+            ],
+            "flocking": [[src, dst] for src, dst in self._flocking],
+        }
+
+    @classmethod
+    def from_spec(
+        cls, spec: Dict[str, object], start_time: Optional[float] = None
+    ) -> "GridBuilder":
+        """Reconstruct a builder from :meth:`spec` output.
+
+        ``start_time`` overrides the recorded start — a restore passes
+        the checkpoint instant so the rebuilt simulator's clock begins
+        where the snapshot was taken.
+        """
+        builder = cls(
+            seed=spec["seed"],  # type: ignore[arg-type]
+            start_time=(
+                spec["start_time"] if start_time is None else start_time  # type: ignore[arg-type]
+            ),
+            trace=spec["trace"],  # type: ignore[arg-type]
+        )
+        builder._probe_noise = spec["probe_noise"]  # type: ignore[assignment]
+        builder._output_file_size_mb = spec["output_file_size_mb"]  # type: ignore[assignment]
+        for site in spec["sites"]:  # type: ignore[union-attr]
+            builder.site(
+                site["name"],
+                nodes=site["nodes"],
+                cpus_per_node=site["cpus_per_node"],
+                background_load=site["background_load"],
+                load_profile=(
+                    None
+                    if site["load_profile"] is None
+                    else LoadProfile(
+                        [(t, v) for t, v in site["load_profile"]]
+                    )
+                ),
+                cpu_hour_rate=site["cpu_hour_rate"],
+                idle_hour_rate=site["idle_hour_rate"],
+            )
+        for link in spec["links"]:  # type: ignore[union-attr]
+            builder.link(
+                link["a"],
+                link["b"],
+                capacity_mbps=link["capacity_mbps"],
+                latency_s=link["latency_s"],
+                utilization=link["utilization"],
+            )
+        for file in spec["files"]:  # type: ignore[union-attr]
+            builder.file(file["name"], size_mb=file["size_mb"], at=file["at"])
+        for src, dst in spec["flocking"]:  # type: ignore[union-attr]
+            builder.flock(src, dst)
+        return builder
+
     def build(self) -> Grid:
         """Assemble the grid."""
         if not self._sites:
@@ -221,4 +320,5 @@ class GridBuilder:
             execution_services=services,
             scheduler=scheduler,
             probe=probe,
+            spec=self.spec(),
         )

@@ -21,7 +21,6 @@ estimator's similarity templates match on.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -54,8 +53,22 @@ class JobState(enum.Enum):
         return self in (JobState.QUEUED, JobState.RUNNING, JobState.PAUSED)
 
 
-_task_counter = itertools.count(1)
-_job_counter = itertools.count(1)
+class _IdCounter:
+    """``itertools.count`` with an inspectable next value (checkpointable)."""
+
+    __slots__ = ("next_value",)
+
+    def __init__(self, start: int = 1) -> None:
+        self.next_value = start
+
+    def __next__(self) -> int:
+        value = self.next_value
+        self.next_value = value + 1
+        return value
+
+
+_task_counter = _IdCounter(1)
+_job_counter = _IdCounter(1)
 
 
 def _next_task_id() -> str:
@@ -68,9 +81,19 @@ def _next_job_id() -> str:
 
 def reset_id_counters() -> None:
     """Reset the module-level id allocators (test isolation helper)."""
-    global _task_counter, _job_counter
-    _task_counter = itertools.count(1)
-    _job_counter = itertools.count(1)
+    _task_counter.next_value = 1
+    _job_counter.next_value = 1
+
+
+def snapshot_id_counters() -> Tuple[int, int]:
+    """The next (task, job) id numbers the allocators would hand out."""
+    return (_task_counter.next_value, _job_counter.next_value)
+
+
+def restore_id_counters(task_next: int, job_next: int) -> None:
+    """Re-seed the allocators so restored ids never collide with new ones."""
+    _task_counter.next_value = int(task_next)
+    _job_counter.next_value = int(job_next)
 
 
 @dataclass(frozen=True)
@@ -338,3 +361,115 @@ def bag_of_tasks(specs: Sequence[TaskSpec], works: Sequence[float], owner: str =
         raise ValueError("specs and works must have equal length")
     tasks = [Task(spec=s, work_seconds=w) for s, w in zip(specs, works)]
     return Job(tasks=tasks, owner=owner)
+
+
+# ----------------------------------------------------------------------
+# wire codecs (checkpoint/restore)
+# ----------------------------------------------------------------------
+def spec_to_wire(spec: TaskSpec) -> Dict[str, object]:
+    """JSON-safe dict capturing every :class:`TaskSpec` field."""
+    return {
+        "owner": spec.owner,
+        "account": spec.account,
+        "partition": spec.partition,
+        "queue": spec.queue,
+        "nodes": spec.nodes,
+        "task_type": spec.task_type,
+        "requested_cpu_hours": spec.requested_cpu_hours,
+        "executable": spec.executable,
+        "arguments": list(spec.arguments),
+        "input_files": list(spec.input_files),
+        "output_files": list(spec.output_files),
+        "priority": spec.priority,
+        "environment": dict(spec.environment),
+    }
+
+
+def spec_from_wire(data: Mapping[str, object]) -> TaskSpec:
+    """Inverse of :func:`spec_to_wire`."""
+    fields_ = dict(data)
+    for tuple_field in ("arguments", "input_files", "output_files"):
+        fields_[tuple_field] = tuple(fields_.get(tuple_field, ()))  # type: ignore[arg-type]
+    return TaskSpec(**fields_)  # type: ignore[arg-type]
+
+
+def task_to_wire(task: Task) -> Dict[str, object]:
+    """JSON-safe dict capturing one task, including hidden ground truth.
+
+    Checkpoints are trusted system state, so ``work_seconds`` (the
+    estimator-invisible truth) travels too — a restored grid must run
+    the task for exactly the remaining time the original would have.
+    """
+    return {
+        "spec": spec_to_wire(task.spec),
+        "work_seconds": task.work_seconds,
+        "task_id": task.task_id,
+        "job_id": task.job_id,
+        "state": task.state.value,
+        "checkpointable": task.checkpointable,
+        "checkpoint_image_mb": task.checkpoint_image_mb,
+    }
+
+
+def task_from_wire(data: Mapping[str, object]) -> Task:
+    """Inverse of :func:`task_to_wire` (explicit id, no allocator draw)."""
+    return Task(
+        spec=spec_from_wire(data["spec"]),  # type: ignore[arg-type]
+        work_seconds=data["work_seconds"],  # type: ignore[arg-type]
+        task_id=data["task_id"],  # type: ignore[arg-type]
+        job_id=data["job_id"],  # type: ignore[arg-type]
+        state=JobState(data["state"]),
+        checkpointable=bool(data["checkpointable"]),
+        checkpoint_image_mb=data["checkpoint_image_mb"],  # type: ignore[arg-type]
+    )
+
+
+def plan_to_wire(plan: ConcreteJobPlan) -> Dict[str, object]:
+    """JSON-safe dict capturing one concrete job plan."""
+    return {
+        "job_id": plan.job_id,
+        "created_at": plan.created_at,
+        "bindings": [[b.task_id, b.site_name] for b in plan.bindings],
+    }
+
+
+def plan_from_wire(data: Mapping[str, object]) -> ConcreteJobPlan:
+    """Inverse of :func:`plan_to_wire`."""
+    return ConcreteJobPlan(
+        job_id=data["job_id"],  # type: ignore[arg-type]
+        bindings=tuple(
+            TaskBinding(task_id=task_id, site_name=site)
+            for task_id, site in data["bindings"]  # type: ignore[union-attr]
+        ),
+        created_at=data["created_at"],  # type: ignore[arg-type]
+    )
+
+
+def job_to_wire(job: Job) -> Dict[str, object]:
+    """JSON-safe dict capturing one job and all its tasks."""
+    return {
+        "job_id": job.job_id,
+        "owner": job.owner,
+        "description": job.description,
+        "dependencies": {tid: list(parents) for tid, parents in job.dependencies.items()},
+        "tasks": [task_to_wire(t) for t in job.tasks],
+    }
+
+
+def job_from_wire(data: Mapping[str, object]) -> Job:
+    """Inverse of :func:`job_to_wire`.
+
+    ``Job.__post_init__`` re-validates the DAG and re-stamps each task's
+    ``job_id``; task states survive because they are set on the Task
+    objects themselves.
+    """
+    return Job(
+        tasks=[task_from_wire(t) for t in data["tasks"]],  # type: ignore[union-attr]
+        owner=data["owner"],  # type: ignore[arg-type]
+        job_id=data["job_id"],  # type: ignore[arg-type]
+        dependencies={
+            tid: tuple(parents)
+            for tid, parents in data["dependencies"].items()  # type: ignore[union-attr]
+        },
+        description=data["description"],  # type: ignore[arg-type]
+    )

@@ -107,6 +107,15 @@ class LoadProfile:
         return cls(pairs)
 
     # ------------------------------------------------------------------
+    def segments(self) -> List[Tuple[float, float]]:
+        """The ``(start_time, load)`` steps defining this profile.
+
+        The exact constructor input: ``LoadProfile(p.segments())`` is an
+        identical profile — the serialization used by grid-spec capture
+        and checkpointing.
+        """
+        return list(zip(self._times, self._loads))
+
     def load_at(self, t: float) -> float:
         """Background load at simulated time *t*."""
         i = bisect.bisect_right(self._times, t) - 1

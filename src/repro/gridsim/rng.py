@@ -52,5 +52,28 @@ class RngStreams:
         """Return an indexed sub-stream, e.g. one per site or per client."""
         return self.stream(f"{name}#{index}")
 
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def export_states(self) -> Dict[str, dict]:
+        """The bit-generator state of every materialised stream, by name.
+
+        JSON-safe (ints and strings only), so a checkpoint can persist
+        it; a restored stream continues the exact draw sequence.
+        """
+        return {
+            name: gen.bit_generator.state
+            for name, gen in sorted(self._streams.items())
+        }
+
+    def restore_states(self, states: Dict[str, dict]) -> None:
+        """Fast-forward streams to :meth:`export_states` output.
+
+        Streams absent from *states* are untouched; named streams are
+        (re)created first, so restore works on a fresh instance.
+        """
+        for name, state in states.items():
+            self.stream(name).bit_generator.state = dict(state)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RngStreams(seed={self.seed}, streams={sorted(self._streams)})"

@@ -31,7 +31,17 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 from repro.gridsim.clock import Simulator
 from repro.gridsim.condor import CondorJobAd
 from repro.gridsim.execution import ExecutionService, ExecutionServiceDown
-from repro.gridsim.job import ConcreteJobPlan, Job, JobState, Task, TaskBinding
+from repro.gridsim.job import (
+    ConcreteJobPlan,
+    Job,
+    JobState,
+    Task,
+    TaskBinding,
+    job_from_wire,
+    job_to_wire,
+    plan_from_wire,
+    plan_to_wire,
+)
 from repro.gridsim.storage import ReplicaCatalog
 
 
@@ -110,6 +120,10 @@ class SphinxScheduler:
         self.simulate_stage_in = simulate_stage_in
         #: task_id -> (site, stage-in finish time) for in-flight transfers.
         self.staging: Dict[str, Tuple[str, float]] = {}
+        #: task_id -> accrued work the in-flight task carries to its site.
+        #: Parallel to :attr:`staging`; a checkpoint needs it to re-arm the
+        #: delivery with the same seed work the interrupted transfer held.
+        self._staging_work: Dict[str, float] = {}
         #: Commitment tracking: task_id -> site it is currently counted
         #: against.  The load oracle (MonALISA) is only as fresh as its
         #: publish period, and zero-age when a whole job is planned in one
@@ -278,10 +292,12 @@ class SphinxScheduler:
         # The input data is in flight; the task reaches the queue when the
         # last file lands.
         self.staging[task.task_id] = (site_name, self.sim.now + delay)
+        self._staging_work[task.task_id] = initial_work
         self._emit_staging(task, site_name, delay, "input")
 
         def deliver() -> None:
             self.staging.pop(task.task_id, None)
+            self._staging_work.pop(task.task_id, None)
             # The task may have been killed (or re-routed) while its data
             # was in flight; a terminal task must not rise from the dead.
             if task.state.is_terminal:
@@ -371,10 +387,12 @@ class SphinxScheduler:
         image_delay = self._image_transfer_delay(old_site, new_site, image_size_mb)
         if image_delay > 0.0:
             self.staging[task.task_id] = (new_site, self.sim.now + image_delay)
+            self._staging_work[task.task_id] = carry_work
             self._emit_staging(task, new_site, image_delay, "ckpt-image")
 
             def deliver() -> None:
                 self.staging.pop(task.task_id, None)
+                self._staging_work.pop(task.task_id, None)
                 if task.state.is_terminal:
                     return  # killed while the checkpoint image was in flight
                 entry.submitted.add(task.task_id)
@@ -452,6 +470,91 @@ class SphinxScheduler:
         """The site a task is currently bound to."""
         return self._entry_for_task(task_id).plan.site_for(task_id)
 
+    def task(self, task_id: str) -> Task:
+        """The task object for an id (SchedulingError if unknown)."""
+        return self._entry_for_task(task_id).job.task(task_id)
+
     def jobs(self) -> List[Job]:
         """All submitted jobs."""
         return [e.job for e in self._jobs.values()]
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-safe snapshot of every job entry and in-flight transfer.
+
+        The scheduler checkpoint is the system of record for task/job
+        objects; pool snapshots reference them by id and are resolved
+        against the restored entries via :meth:`task`.
+        """
+        return {
+            "jobs": [
+                {
+                    "job": job_to_wire(entry.job),
+                    "plan": plan_to_wire(entry.plan),
+                    "completed": sorted(entry.completed),
+                    "submitted": sorted(entry.submitted),
+                }
+                for entry in self._jobs.values()
+            ],
+            "commitments": [
+                [task_id, site] for task_id, site in self._commitments.items()
+            ],
+            "staging": [
+                [task_id, site, finish_time, self._staging_work.get(task_id, 0.0)]
+                for task_id, (site, finish_time) in self.staging.items()
+            ],
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Rebuild job entries from :meth:`snapshot_state` output.
+
+        No plan/staging listeners fire — a restore replays state, not
+        events (the original plan announcements and transfer spans live
+        in the restored steering/observability state).  In-flight
+        stage-in transfers are re-armed to land at their original finish
+        times with the work they were carrying.
+        """
+        self._jobs = {}
+        self._task_index = {}
+        for wire in state["jobs"]:  # type: ignore[union-attr]
+            job = job_from_wire(wire["job"])
+            plan = plan_from_wire(wire["plan"])
+            entry = _JobEntry(
+                job=job,
+                plan=plan,
+                completed=set(wire["completed"]),
+                submitted=set(wire["submitted"]),
+            )
+            self._jobs[job.job_id] = entry
+            for t in job.tasks:
+                self._task_index[t.task_id] = job.job_id
+        self._commitments = {
+            task_id: site for task_id, site in state["commitments"]  # type: ignore[union-attr]
+        }
+        self.staging = {}
+        self._staging_work = {}
+        for task_id, site, finish_time, initial_work in state["staging"]:  # type: ignore[union-attr]
+            entry = self._entry_for_task(task_id)
+            task = entry.job.task(task_id)
+            self.staging[task_id] = (site, finish_time)
+            self._staging_work[task_id] = initial_work
+            self.sim.schedule(
+                max(0.0, finish_time - self.sim.now),
+                self._restored_delivery(entry, task, site, initial_work),
+                label=f"stage-in:{task_id}->{site}",
+            )
+
+    def _restored_delivery(
+        self, entry: _JobEntry, task: Task, site_name: str, initial_work: float
+    ) -> Callable[[], None]:
+        def deliver() -> None:
+            self.staging.pop(task.task_id, None)
+            self._staging_work.pop(task.task_id, None)
+            if task.state.is_terminal:
+                return
+            entry.submitted.add(task.task_id)
+            self._deliver(task, site_name, initial_work)
+
+        return deliver

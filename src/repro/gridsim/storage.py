@@ -87,6 +87,16 @@ class StorageElement:
         """All stored files, sorted by name."""
         return [self._files[k] for k in sorted(self._files)]
 
+    def snapshot_state(self) -> List[List[object]]:
+        """Stored files as ``[name, size_mb]`` pairs in insertion order."""
+        return [[f.name, f.size_mb] for f in self._files.values()]
+
+    def restore_state(self, files: List[List[object]]) -> None:
+        """Replace the stored files from :meth:`snapshot_state` output."""
+        self._files = {}
+        for name, size_mb in files:
+            self.store(GridFile(name=name, size_mb=size_mb))
+
 
 class ReplicaCatalog:
     """Grid-wide map of logical file name → replica sites."""
@@ -109,6 +119,15 @@ class ReplicaCatalog:
     def publish(self, site_name: str, file: GridFile) -> None:
         """Store a file at a site and record the replica."""
         self.element(site_name).store(file)
+
+    def snapshot_files(self) -> Dict[str, List[List[object]]]:
+        """Every site's stored files — replicas published mid-run included."""
+        return {site: el.snapshot_state() for site, el in self._elements.items()}
+
+    def restore_files(self, state: Dict[str, List[List[object]]]) -> None:
+        """Replace every site's files from :meth:`snapshot_files` output."""
+        for site, files in state.items():
+            self.element(site).restore_state(files)
 
     def replicas(self, name: str) -> Set[str]:
         """Sites currently holding a replica of logical file *name*."""

@@ -19,6 +19,40 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.monalisa.timeseries import TimeSeries
+from repro.store.base import StateStore
+from repro.store.registry import (
+    MONALISA_EVENTS,
+    MONALISA_TIMESERIES,
+    namespace_record,
+)
+
+
+class UnknownMetricError(KeyError):
+    """Structured "no such farm/metric" error.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` callers
+    keep working, but carries the farm and metric names plus a
+    ``to_wire()`` shape matching the webui's structured 404 bodies.
+    """
+
+    def __init__(self, farm: str, metric: str, reason: str = "never published") -> None:
+        super().__init__(f"no samples for {farm}/{metric} ({reason})")
+        self.farm = farm
+        self.metric = metric
+        self.reason = reason
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+    def to_wire(self) -> Dict[str, object]:
+        """The webui-style structured error body."""
+        return {
+            "error": "not-found",
+            "resource": "metric",
+            "id": f"{self.farm}/{self.metric}",
+            "reason": self.reason,
+            "status": 404,
+        }
 
 
 @dataclass(frozen=True)
@@ -66,8 +100,15 @@ class MonALISARepository:
             cb(update)
 
     def series(self, farm: str, metric: str) -> TimeSeries:
-        """The full series for (farm, metric); KeyError when never published."""
-        return self._series[(farm, metric)]
+        """The full series for (farm, metric).
+
+        Raises :class:`UnknownMetricError` (a KeyError subclass) when the
+        pair never published.
+        """
+        try:
+            return self._series[(farm, metric)]
+        except KeyError:
+            raise UnknownMetricError(farm, metric) from None
 
     def has_series(self, farm: str, metric: str) -> bool:
         """Whether any sample exists for (farm, metric)."""
@@ -78,7 +119,7 @@ class MonALISARepository:
         key = (farm, metric)
         if key not in self._series or len(self._series[key]) == 0:
             if default is None:
-                raise KeyError(f"no samples for {farm}/{metric}")
+                raise UnknownMetricError(farm, metric)
             return default
         return self._series[key].latest()[1]
 
@@ -132,3 +173,58 @@ class MonALISARepository:
     def subscribe_job_states(self, callback: Callable[[JobStateEvent], None]) -> None:
         """Receive every future job-state event."""
         self._job_subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # persistence (state-store backend)
+    # ------------------------------------------------------------------
+    def save_to(self, store: StateStore) -> int:
+        """Write series + job events into their store namespaces.
+
+        Series keys are ``farm\\x1fmetric`` (unit-separator joined, both
+        halves may contain ``/``) in registration order; events are one
+        zero-padded key per event in publish order.
+        """
+        store.register_namespace(namespace_record(MONALISA_TIMESERIES))
+        store.register_namespace(namespace_record(MONALISA_EVENTS))
+        store.clear(MONALISA_TIMESERIES)
+        store.clear(MONALISA_EVENTS)
+        n = store.put_many(
+            MONALISA_TIMESERIES,
+            (
+                (f"{farm}\x1f{metric}", ts.samples())
+                for (farm, metric), ts in self._series.items()
+            ),
+        )
+        n += store.put_many(
+            MONALISA_EVENTS,
+            (
+                (
+                    f"{i:08d}",
+                    {
+                        "time": e.time,
+                        "task_id": e.task_id,
+                        "job_id": e.job_id,
+                        "site": e.site,
+                        "state": e.state,
+                        "progress": e.progress,
+                    },
+                )
+                for i, e in enumerate(self._job_events)
+            ),
+        )
+        return n
+
+    def load_from(self, store: StateStore) -> int:
+        """Replace contents from the store namespaces.
+
+        Subscribers are deliberately *not* notified — a restore replays
+        state, not events.
+        """
+        self._series = {}
+        for key, samples in store.items(MONALISA_TIMESERIES):
+            farm, _, metric = key.partition("\x1f")
+            self._series[(farm, metric)] = TimeSeries.from_samples(samples)
+        self._job_events = [
+            JobStateEvent(**row) for _, row in store.items(MONALISA_EVENTS)
+        ]
+        return len(self._series) + len(self._job_events)

@@ -90,3 +90,15 @@ class TimeSeries:
             np.asarray(self._times, dtype=float),
             np.asarray(self._values, dtype=float),
         )
+
+    def samples(self) -> List[Tuple[float, float]]:
+        """The full series as plain ``(time, value)`` pairs (copies)."""
+        return list(zip(self._times, self._values))
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[Tuple[float, float]]) -> "TimeSeries":
+        """Rebuild a series from :meth:`samples` output."""
+        ts = cls()
+        for time, value in samples:
+            ts.append(time, value)
+        return ts

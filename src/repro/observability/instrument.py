@@ -553,3 +553,87 @@ class GAEInstrumentation:
             "jobs_traced": len(self._jobs),
             "metrics": self.metrics.snapshot(),
         }
+
+    # ------------------------------------------------------------------
+    # persistence (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def save_to(self, store) -> None:
+        """Persist journal, spans, and metric values into their namespaces."""
+        self.journal.save_to(store)
+        self.tracer.save_to(store)
+        self.metrics.save_to(store)
+
+    def export_tracking(self) -> Dict[str, Any]:
+        """Serializable live task/job trace-tracking state.
+
+        Spans are referenced by id; :meth:`import_tracking` re-links them
+        against the restored span store.
+        """
+
+        def span_id(span: Optional[Span]) -> Optional[str]:
+            return span.span_id if span is not None else None
+
+        tasks = []
+        for task_id, tt in self._tasks.items():
+            tasks.append([task_id, {
+                "trace_id": tt.trace_id,
+                "job_id": tt.job_id,
+                "root": tt.root.span_id,
+                "phase": span_id(tt.phase),
+                "last_state": tt.last_state.value if tt.last_state is not None else None,
+                "last_priority": tt.last_priority,
+                "site": tt.site,
+                "queued_at": tt.queued_at,
+                "flock_span": span_id(tt.flock_span),
+                "published_states": sorted(tt.published_states),
+            }])
+        jobs = []
+        for job_id, jt in self._jobs.items():
+            jobs.append([job_id, {
+                "trace_id": jt.trace_id,
+                "span": jt.span.span_id,
+                "pending": sorted(jt.pending),
+                "task_ids": sorted(jt.task_ids),
+            }])
+        return {"tasks": tasks, "jobs": jobs}
+
+    def import_tracking(self, state: Dict[str, Any], spans_by_id: Dict[str, Span]) -> None:
+        """Rebuild ``_tasks``/``_jobs`` from :meth:`export_tracking` output."""
+
+        def resolve(sid: Optional[str], name: str, trace_id: str) -> Optional[Span]:
+            if sid is None:
+                return None
+            span = spans_by_id.get(sid)
+            if span is None:
+                # Evicted from the bounded span store before the
+                # checkpoint: keep tracking alive with a detached stub.
+                span = Span(name, trace_id=trace_id, span_id=sid, parent_id=None, start=0.0)
+            return span
+
+        self._tasks = {}
+        for task_id, w in state["tasks"]:
+            root = resolve(w["root"], f"task:{task_id}", w["trace_id"])
+            tt = _TaskTrace(w["trace_id"], w["job_id"], root, w["last_priority"])
+            tt.phase = resolve(w["phase"], "phase", w["trace_id"])
+            tt.last_state = (
+                JobState(w["last_state"]) if w["last_state"] is not None else None
+            )
+            tt.site = w["site"]
+            tt.queued_at = w["queued_at"]
+            tt.flock_span = resolve(w["flock_span"], "flock", w["trace_id"])
+            tt.published_states = set(w["published_states"])
+            self._tasks[task_id] = tt
+        self._jobs = {}
+        for job_id, w in state["jobs"]:
+            span = resolve(w["span"], f"job:{job_id}", w["trace_id"])
+            jt = _JobTrace(w["trace_id"], span, set(w["task_ids"]))
+            jt.pending = set(w["pending"])
+            self._jobs[job_id] = jt
+
+    def load_from(self, store, tracking: Optional[Dict[str, Any]] = None) -> None:
+        """Restore journal, spans, metric values, and (optionally) tracking."""
+        self.journal.load_from(store)
+        spans_by_id = self.tracer.load_from(store)
+        self.metrics.load_from(store)
+        if tracking is not None:
+            self.import_tracking(tracking, spans_by_id)

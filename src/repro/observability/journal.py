@@ -21,6 +21,9 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.store.base import StateStore
+from repro.store.registry import OBSERVABILITY_JOURNAL, namespace_record
+
 __all__ = ["EventJournal", "EventType", "JournalEvent"]
 
 
@@ -163,3 +166,42 @@ class EventJournal:
 
     def __len__(self) -> int:
         return len(self._events)  # len() is atomic under the GIL
+
+    # -- persistence (state-store backend) ------------------------------
+
+    def save_to(self, store: StateStore) -> int:
+        """Write every retained event into ``observability.journal``."""
+        store.register_namespace(namespace_record(OBSERVABILITY_JOURNAL))
+        store.clear(OBSERVABILITY_JOURNAL)
+        return store.put_many(
+            OBSERVABILITY_JOURNAL,
+            ((f"{e.seq:012d}", e.to_wire()) for e in self._snapshot()),
+        )
+
+    def load_from(self, store: StateStore) -> int:
+        """Replace contents from ``observability.journal``.
+
+        Events are appended directly (listeners do **not** fire — a
+        restore replays state, not events) and the sequence counter is
+        re-seeded past the highest restored ``seq`` so new events keep
+        the monotonic order.
+        """
+        self._events.clear()
+        max_seq = -1
+        for _, row in store.items(OBSERVABILITY_JOURNAL):
+            attributes = row["attributes"] or _NO_ATTRIBUTES
+            event = JournalEvent(
+                seq=row["seq"],
+                time=row["time"],
+                type=EventType(row["type"]),
+                task_id=row["task_id"],
+                job_id=row["job_id"],
+                site=row["site"],
+                trace_id=row["trace_id"],
+                span_id=row["span_id"],
+                attributes=attributes,
+            )
+            self._events.append(event)
+            max_seq = max(max_seq, event.seq)
+        self._seq = itertools.count(max_seq + 1)
+        return len(self._events)

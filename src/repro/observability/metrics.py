@@ -95,6 +95,22 @@ class Counter(_Instrument):
         """A handle with the labelset resolved once, for per-event call sites."""
         return _BoundCounter(self, _label_key(labels))
 
+    def export_state(self) -> Dict[str, Any]:
+        with self._lock:
+            values = dict(self._values)
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "values": [[[list(pair) for pair in k], v] for k, v in values.items()],
+        }
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        with self._lock:
+            self._values = {
+                tuple((k, v) for k, v in pairs): float(value)
+                for pairs, value in state["values"]
+            }
+
     def value(self, **labels: Any) -> float:
         with self._lock:
             return self._values.get(_label_key(labels), 0.0)
@@ -149,6 +165,24 @@ class Gauge(_Instrument):
         with self._lock:
             return self._values.get(_label_key(labels), 0.0)
 
+    def export_state(self) -> Dict[str, Any]:
+        # Only explicitly-set values travel; fn-backed values recompute
+        # from whatever live object the gauge observes after a restore.
+        with self._lock:
+            values = dict(self._values)
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "values": [[[list(pair) for pair in k], v] for k, v in values.items()],
+        }
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        with self._lock:
+            self._values = {
+                tuple((k, v) for k, v in pairs): float(value)
+                for pairs, value in state["values"]
+            }
+
     def _current(self) -> Dict[LabelKey, float]:
         with self._lock:
             values = dict(self._values)
@@ -196,6 +230,25 @@ class _HistogramSeries:
             out["p99"] = percentile(ordered, 99)
         return out
 
+    def export_state(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "max": self.max,
+            "samples": list(self.reservoir.samples),
+            "next": self.reservoir._next,
+        }
+
+    @classmethod
+    def from_state(cls, cap: int, state: Dict[str, Any]) -> "_HistogramSeries":
+        series = cls(cap)
+        series.count = int(state["count"])
+        series.sum = float(state["sum"])
+        series.max = float(state["max"])
+        series.reservoir.samples = [float(v) for v in state["samples"]]
+        series.reservoir._next = int(state["next"])
+        return series
+
 
 class _BoundHistogram:
     """A histogram pre-bound to one labelset — the allocation-free hot path."""
@@ -236,6 +289,24 @@ class Histogram(_Instrument):
     def bind(self, **labels: Any) -> "_BoundHistogram":
         """A handle with the labelset resolved once, for per-event call sites."""
         return _BoundHistogram(self, _label_key(labels))
+
+    def export_state(self) -> Dict[str, Any]:
+        with self._lock:
+            series = {k: s.export_state() for k, s in self._series.items()}
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "cap": self._cap,
+            "series": [[[list(pair) for pair in k], s] for k, s in series.items()],
+        }
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        with self._lock:
+            self._cap = int(state.get("cap", self._cap))
+            self._series = {
+                tuple((k, v) for k, v in pairs): _HistogramSeries.from_state(self._cap, s)
+                for pairs, s in state["series"]
+            }
 
     def summary(self, **labels: Any) -> Dict[str, float]:
         with self._lock:
@@ -323,3 +394,37 @@ class MetricsRegistry:
         for inst in instruments:
             lines.extend(inst.prometheus_lines())
         return lines
+
+    # -- persistence (state-store backend) ------------------------------
+
+    def save_to(self, store: "StateStore") -> int:
+        """Write every instrument's state into ``observability.metrics``."""
+        from repro.store.registry import OBSERVABILITY_METRICS, namespace_record
+
+        store.register_namespace(namespace_record(OBSERVABILITY_METRICS))
+        store.clear(OBSERVABILITY_METRICS)
+        with self._lock:
+            instruments = dict(self._instruments)
+        return store.put_many(
+            OBSERVABILITY_METRICS,
+            ((name, inst.export_state()) for name, inst in instruments.items()),
+        )
+
+    def load_from(self, store: "StateStore") -> int:
+        """Restore instrument values from ``observability.metrics``.
+
+        Instruments already registered (the normal case after rebuilding
+        a GAE) get their values replaced in place, preserving any bound
+        handles and gauge callables; unknown names are re-created from
+        the stored kind/help.
+        """
+        from repro.store.registry import OBSERVABILITY_METRICS
+
+        classes = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+        n = 0
+        for name, state in store.items(OBSERVABILITY_METRICS):
+            cls = classes[state["kind"]]
+            inst = self._get_or_create(cls, name, state.get("help", ""))
+            inst.import_state(state)
+            n += 1
+        return n

@@ -264,6 +264,45 @@ class Tracer:
         """ASCII span tree for one trace (see :func:`render_span_tree`)."""
         return render_span_tree([s.to_wire() for s in self.spans(trace_id)])
 
+    # -- persistence (state-store backend) ------------------------------
+
+    def save_to(self, store: "StateStore") -> int:
+        """Write every retained span into ``observability.tracing``."""
+        from repro.store.registry import OBSERVABILITY_TRACING, namespace_record
+
+        store.register_namespace(namespace_record(OBSERVABILITY_TRACING))
+        store.clear(OBSERVABILITY_TRACING)
+        return store.put_many(
+            OBSERVABILITY_TRACING,
+            ((f"{i:012d}", s.to_wire()) for i, s in enumerate(self._snapshot())),
+        )
+
+    def load_from(self, store: "StateStore") -> Dict[str, Span]:
+        """Replace the span store from ``observability.tracing``.
+
+        Returns restored spans by span id so instrumentation can re-link
+        its live task/job traces.  Nothing lands on any active stack —
+        restored spans are data, not open work on this thread.
+        """
+        from repro.store.registry import OBSERVABILITY_TRACING
+
+        self._spans.clear()
+        by_id: Dict[str, Span] = {}
+        for _, row in store.items(OBSERVABILITY_TRACING):
+            span = Span(
+                row["name"],
+                trace_id=row["trace_id"],
+                span_id=row["span_id"],
+                parent_id=row["parent_id"],
+                start=row["start"],
+                attributes=row["attributes"],
+            )
+            span.end = row["end"]
+            span.status = row["status"]
+            self._spans.append(span)
+            by_id[span.span_id] = span
+        return by_id
+
 
 class _SpanHandle:
     __slots__ = ("_tracer", "_name", "_trace_id", "_parent", "_attributes", "span")

@@ -1,0 +1,216 @@
+"""The pluggable state-store protocol every GAE service persists through.
+
+The paper's services are explicitly stateful and recoverable: the Job
+Monitoring Service owns "a database repository" behind a DBManager
+(§5.4) and Backup & Recovery (§4.2.4) must outlive any single Execution
+Service.  This module gives all of that state one home: a
+:class:`StateStore` is a namespaced key/value store with *typed,
+versioned namespaces* and an escape hatch (:meth:`StateStore.sql_connection`)
+for the one service whose public API is genuinely relational.
+
+Two backends implement the protocol (see :mod:`repro.store.memory` and
+:mod:`repro.store.sqlite`).  Both run every value through the same JSON
+codec, so a value read back from a ``SqliteStore`` is *bit-identical* to
+the same value read back from a ``MemoryStore`` — tuples become lists,
+floats round-trip exactly (``repr``-based JSON float encoding is
+lossless for IEEE doubles), dict key order is preserved.  That property
+is what lets checkpoint/restore promise bit-identical estimator and
+monitoring answers.
+
+Namespaces are registered before use (:meth:`StateStore.register_namespace`)
+with an integer schema version; reading or writing an unregistered
+namespace raises :class:`UnknownNamespaceError`, and re-registering a
+namespace at a different version raises :class:`NamespaceVersionError` —
+the guard that future schema migrations hang off.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import sqlite3
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Namespace",
+    "NamespaceVersionError",
+    "StateStore",
+    "StoreError",
+    "UnknownNamespaceError",
+    "decode_value",
+    "encode_value",
+]
+
+
+class StoreError(RuntimeError):
+    """Base class for state-store failures."""
+
+
+class UnknownNamespaceError(StoreError, KeyError):
+    """A namespace was used before being registered.
+
+    Subclasses :class:`KeyError` so callers treating namespaces as a
+    mapping keep working.
+    """
+
+    def __init__(self, namespace: str) -> None:
+        super().__init__(f"namespace {namespace!r} is not registered")
+        self.namespace = namespace
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+
+class NamespaceVersionError(StoreError):
+    """A namespace was re-registered at an incompatible schema version."""
+
+    def __init__(self, namespace: str, registered: int, requested: int) -> None:
+        super().__init__(
+            f"namespace {namespace!r} is at schema version {registered}, "
+            f"cannot open as version {requested}"
+        )
+        self.namespace = namespace
+        self.registered = registered
+        self.requested = requested
+
+
+@dataclass(frozen=True)
+class Namespace:
+    """A typed, versioned bucket of keys inside a :class:`StateStore`."""
+
+    name: str
+    version: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("namespace name must be non-empty")
+        if self.version < 1:
+            raise ValueError(f"namespace version must be >= 1, got {self.version}")
+
+
+def encode_value(value: Any) -> str:
+    """Canonical JSON encoding shared by every backend.
+
+    ``sort_keys`` is deliberately off: dict insertion order is part of
+    several stores' semantics (e.g. MonALISA series registration order).
+    """
+    return json.dumps(value, separators=(",", ":"), allow_nan=True)
+
+
+def decode_value(raw: str) -> Any:
+    """Inverse of :func:`encode_value`."""
+    return json.loads(raw)
+
+
+_MISSING = object()
+
+
+class StateStore(abc.ABC):
+    """Namespaced key/value persistence with versioned schemas.
+
+    Keys within a namespace preserve **first-insertion order** — an
+    overwrite keeps the key's original position.  This mirrors Python
+    dict semantics so in-memory and SQLite backends iterate identically.
+    """
+
+    # -- namespace management ------------------------------------------
+
+    @abc.abstractmethod
+    def register_namespace(self, namespace: Namespace) -> Namespace:
+        """Idempotently register a namespace; version mismatch raises."""
+
+    @abc.abstractmethod
+    def namespaces(self) -> List[Namespace]:
+        """All registered namespaces, in registration order."""
+
+    def namespace(self, name: str) -> Namespace:
+        """One registered namespace by name."""
+        for ns in self.namespaces():
+            if ns.name == name:
+                return ns
+        raise UnknownNamespaceError(name)
+
+    # -- key/value ------------------------------------------------------
+
+    @abc.abstractmethod
+    def put(self, namespace: str, key: str, value: Any) -> None:
+        """Insert or overwrite one value."""
+
+    @abc.abstractmethod
+    def put_many(self, namespace: str, items: Iterable[Tuple[str, Any]]) -> int:
+        """Batched upsert in one transaction; returns the item count."""
+
+    @abc.abstractmethod
+    def get(self, namespace: str, key: str, default: Any = _MISSING) -> Any:
+        """One value; *default* when the key is absent, else KeyError."""
+
+    @abc.abstractmethod
+    def keys(self, namespace: str) -> List[str]:
+        """Keys in first-insertion order."""
+
+    @abc.abstractmethod
+    def items(self, namespace: str) -> List[Tuple[str, Any]]:
+        """(key, value) pairs in first-insertion order."""
+
+    @abc.abstractmethod
+    def delete(self, namespace: str, key: str) -> bool:
+        """Remove one key; True when it existed."""
+
+    @abc.abstractmethod
+    def clear(self, namespace: str) -> int:
+        """Remove every key in the namespace; returns how many."""
+
+    @abc.abstractmethod
+    def count(self, namespace: str) -> int:
+        """Number of keys in the namespace."""
+
+    def values(self, namespace: str) -> List[Any]:
+        return [v for _, v in self.items(namespace)]
+
+    # -- relational escape hatch ---------------------------------------
+
+    @abc.abstractmethod
+    def sql_connection(self) -> sqlite3.Connection:
+        """A SQLite connection living in the same storage as the store.
+
+        This is how the monitoring :class:`~repro.core.monitoring.db_manager.DBManager`
+        keeps its SQL-queryable schema while sharing the store's file (or
+        memory) lifetime.
+        """
+
+    # -- lifecycle ------------------------------------------------------
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Idempotently release resources."""
+
+    def __enter__(self) -> "StateStore":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+    # -- shared helpers for backends -----------------------------------
+
+    @staticmethod
+    def _missing() -> Any:
+        return _MISSING
+
+    @staticmethod
+    def _resolve_default(key: str, default: Any) -> Any:
+        if default is _MISSING:
+            raise KeyError(key)
+        return default
+
+
+def check_registration(
+    registered: Optional[Namespace], requested: Namespace
+) -> Optional[Namespace]:
+    """Shared register_namespace version check; returns the surviving record."""
+    if registered is None:
+        return requested
+    if registered.version != requested.version:
+        raise NamespaceVersionError(requested.name, registered.version, requested.version)
+    return registered

@@ -1,0 +1,253 @@
+"""GAE-wide checkpoint/restore.
+
+A checkpoint is one SQLite file (a :class:`~repro.store.sqlite.SqliteStore`)
+holding every canonical namespace: the five migrated service stores
+(estimator history, runtime estimates, monitoring DB, MonALISA, event
+journal), the observability layer, and the live gridsim/steering/accounting
+state captured at a *barrier event* — a scheduled simulation instant, so
+the snapshot is taken between events while the system is quiescent.
+
+:func:`restore_gae` rebuilds the grid from its declarative spec, rewires a
+fresh GAE through :func:`repro.gae.build_gae`, and rehydrates every layer
+*without firing listeners*: a restore replays state, not events.  The
+restored system's estimator answers, monitoring answers, MonALISA series,
+Backup & Recovery failed-set, and ``system.observability`` report are
+identical to the pre-snapshot system at the checkpoint instant, and running
+it to completion finishes every in-flight job.
+
+Restore ordering matters and is documented inline; the broad strokes:
+
+1. id counters and RNG streams first (nothing may draw before they are
+   re-seeded),
+2. the grid substrate from its spec, clock started at the checkpoint time,
+3. ``build_gae`` with the saved build parameters, policy, and history,
+4. store-backed layers (estimates, monitoring rows, MonALISA, journal),
+5. scheduler entries, then pools (ads resolve task ids against the
+   restored jobs), then incremental queue accounting reseeded from the
+   restored queues,
+6. steering/accounting/observability state,
+7. the periodic activities re-armed via :meth:`repro.gae.GAE.start`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.store.base import StateStore, StoreError, UnknownNamespaceError
+from repro.store.registry import (
+    ACCOUNTING_STATE,
+    CHECKPOINT_GRIDSIM,
+    CHECKPOINT_META,
+    MONITORING_JOBS,
+    STEERING_STATE,
+    register_all,
+)
+from repro.store.sqlite import SqliteStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gae import GAE
+    from repro.gridsim.events import EventHandle
+
+#: Bump when the overall checkpoint layout (not an individual namespace)
+#: changes incompatibly.
+CHECKPOINT_FORMAT = 1
+
+
+class CheckpointError(StoreError):
+    """Raised for unreadable, incomplete, or incompatible checkpoints."""
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Summary of a written checkpoint."""
+
+    path: str
+    time: float
+    jobs: int
+    tasks: int
+
+
+class Checkpointer:
+    """Snapshots a running :class:`~repro.gae.GAE` into a state store."""
+
+    def __init__(self, gae: "GAE") -> None:
+        self.gae = gae
+        #: The most recent :meth:`checkpoint` result; lets callers of
+        #: :meth:`checkpoint_at` read the outcome after the event fires.
+        self.last_info: Optional[CheckpointInfo] = None
+
+    def checkpoint(self, path: str) -> CheckpointInfo:
+        """Write a full checkpoint to the SQLite file at *path*."""
+        with SqliteStore(path) as store:
+            self.write_state(store)
+        jobs = self.gae.scheduler.jobs()
+        self.last_info = CheckpointInfo(
+            path=str(path),
+            time=self.gae.sim.now,
+            jobs=len(jobs),
+            tasks=sum(len(j.tasks) for j in jobs),
+        )
+        return self.last_info
+
+    def checkpoint_at(self, time: float, path: str) -> "EventHandle":
+        """Schedule a checkpoint as a barrier event at simulated *time*.
+
+        The snapshot runs between other events at that instant, so it
+        observes a quiescent system — exactly what a kill-and-restore
+        test interrupts.
+        """
+        return self.gae.sim.at(
+            time, lambda: self.checkpoint(path), label=f"gae.checkpoint:{path}"
+        )
+
+    def write_state(self, store: StateStore) -> None:
+        """Write every layer's state into *store* (any backend)."""
+        from repro.gridsim.job import snapshot_id_counters
+
+        gae = self.gae
+        grid = gae.grid
+        register_all(store)
+
+        tracking = (
+            gae.observability.export_tracking()
+            if gae.observability is not None
+            else None
+        )
+        store.put(
+            CHECKPOINT_META,
+            "meta",
+            {
+                "format": CHECKPOINT_FORMAT,
+                "time": gae.sim.now,
+                "grid_spec": grid.spec,
+                "id_counters": list(snapshot_id_counters()),
+                "policy": asdict(gae.steering.policy),
+                "build_params": dict(gae.build_params),
+                "observability_tracking": tracking,
+                "users": gae.host.users.export_state(),
+            },
+        )
+
+        # The five migrated service stores.
+        gae.history.save_to(store)
+        gae.estimators.estimate_db.save_to(store)
+        store.put(MONITORING_JOBS, "state", gae.monitoring.db_manager.export_state())
+        gae.monalisa.save_to(store)
+        if gae.observability is not None:
+            gae.observability.save_to(store)
+
+        # The gridsim substrate.  Pool snapshots sync running accruals to
+        # the barrier instant themselves.
+        store.put(CHECKPOINT_GRIDSIM, "scheduler", gae.scheduler.snapshot_state())
+        for name in sorted(grid.sites):
+            store.put(
+                CHECKPOINT_GRIDSIM,
+                f"pool:{name}",
+                grid.sites[name].pool.snapshot_state(),
+            )
+        store.put(CHECKPOINT_GRIDSIM, "catalog", grid.catalog.snapshot_files())
+        store.put(CHECKPOINT_GRIDSIM, "rng", grid.rngs.export_states())
+        store.put(
+            CHECKPOINT_GRIDSIM,
+            "services",
+            {
+                name: grid.execution_services[name].failed
+                for name in sorted(grid.execution_services)
+            },
+        )
+
+        # Steering and accounting.
+        store.put(STEERING_STATE, "subscriber", gae.steering.subscriber.export_state())
+        store.put(
+            STEERING_STATE,
+            "backup_recovery",
+            gae.steering.backup_recovery.export_state(),
+        )
+        store.put(ACCOUNTING_STATE, "quotas", gae.accounting.quotas.export_state())
+
+
+def restore_gae(path: str, store: Optional[StateStore] = None) -> "GAE":
+    """Rehydrate a runnable :class:`~repro.gae.GAE` from a checkpoint file.
+
+    *store* becomes the restored system's live state store (a fresh
+    in-memory store when omitted, so the checkpoint file itself is never
+    mutated and can be restored from repeatedly).  The returned GAE's
+    periodic activities are armed; ``gae.sim.run()`` resumes the workload.
+    """
+    from repro.core.estimators.history import HistoryRepository
+    from repro.core.steering.optimizer import SteeringPolicy
+    from repro.gae import build_gae
+    from repro.gridsim.grid import GridBuilder
+    from repro.gridsim.job import restore_id_counters
+
+    source = SqliteStore(path)
+    try:
+        try:
+            meta = source.get(CHECKPOINT_META, "meta", default=None)
+        except UnknownNamespaceError:
+            meta = None
+        if meta is None:
+            raise CheckpointError(f"{path!r} holds no checkpoint metadata")
+        if meta["format"] != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"checkpoint format {meta['format']} unsupported "
+                f"(this build reads format {CHECKPOINT_FORMAT})"
+            )
+
+        # 1. Allocators and streams before anything may draw from them.
+        restore_id_counters(*meta["id_counters"])
+
+        # 2. The substrate, clock starting at the barrier instant.
+        grid = GridBuilder.from_spec(meta["grid_spec"], start_time=meta["time"]).build()
+        grid.rngs.restore_states(source.get(CHECKPOINT_GRIDSIM, "rng"))
+
+        # 3. The same wiring the original had.
+        history = HistoryRepository.load_from(source)
+        gae = build_gae(
+            grid,
+            policy=SteeringPolicy(**meta["policy"]),
+            history=history,
+            store=store,
+            **meta["build_params"],
+        )
+
+        # 4. Store-backed layers: direct loads, no listener traffic.
+        gae.estimators.estimate_db.load_from(source)
+        gae.monitoring.db_manager.import_state(source.get(MONITORING_JOBS, "state"))
+        gae.monalisa.load_from(source)
+
+        # 5. Scheduler before pools: pool ads resolve task ids against the
+        # restored job entries.  Queue accounting reseeds from the restored
+        # queues afterwards (its incremental sums saw none of the restores).
+        gae.scheduler.restore_state(source.get(CHECKPOINT_GRIDSIM, "scheduler"))
+        for name in sorted(grid.sites):
+            grid.sites[name].pool.restore_state(
+                source.get(CHECKPOINT_GRIDSIM, f"pool:{name}"), gae.scheduler.task
+            )
+        for name in sorted(grid.execution_services):
+            accounting = grid.execution_services[name].queue_accounting
+            if accounting is not None:
+                accounting.reseed()
+        for name, failed in source.get(CHECKPOINT_GRIDSIM, "services").items():
+            grid.execution_services[name].restore_availability(failed)
+        grid.catalog.restore_files(source.get(CHECKPOINT_GRIDSIM, "catalog"))
+
+        # 6. Steering, accounting, observability.
+        gae.steering.subscriber.import_state(
+            source.get(STEERING_STATE, "subscriber"), gae.scheduler.job
+        )
+        gae.steering.backup_recovery.import_state(
+            source.get(STEERING_STATE, "backup_recovery")
+        )
+        gae.accounting.quotas.import_state(source.get(ACCOUNTING_STATE, "quotas"))
+        gae.host.users.import_state(meta["users"])
+        if gae.observability is not None:
+            gae.observability.load_from(
+                source, tracking=meta["observability_tracking"]
+            )
+
+        # 7. Re-arm the periodic activities; the caller just runs.
+        return gae.start()
+    finally:
+        source.close()

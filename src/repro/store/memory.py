@@ -1,0 +1,127 @@
+"""In-memory :class:`StateStore` backend.
+
+The default store behind ``build_gae()`` — everything lives in Python
+dicts, but values still round-trip through the shared JSON codec so
+reads are bit-identical to what a :class:`~repro.store.sqlite.SqliteStore`
+would return for the same writes.  ``sql_connection()`` lazily opens an
+in-memory SQLite database, which is exactly the pre-refactor behaviour
+of the monitoring DBManager's ``":memory:"`` default.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.store.base import (
+    Namespace,
+    StateStore,
+    UnknownNamespaceError,
+    check_registration,
+    decode_value,
+    encode_value,
+)
+
+__all__ = ["MemoryStore"]
+
+
+class MemoryStore(StateStore):
+    """Dict-backed store; thread-safe, value-encoded, namespace-checked."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._namespaces: Dict[str, Namespace] = {}
+        self._data: Dict[str, Dict[str, str]] = {}
+        self._conn: Optional[sqlite3.Connection] = None
+        self._closed = False
+
+    # -- namespace management ------------------------------------------
+
+    def register_namespace(self, namespace: Namespace) -> Namespace:
+        with self._lock:
+            surviving = check_registration(self._namespaces.get(namespace.name), namespace)
+            self._namespaces[namespace.name] = surviving
+            self._data.setdefault(namespace.name, {})
+            return surviving
+
+    def namespaces(self) -> List[Namespace]:
+        with self._lock:
+            return list(self._namespaces.values())
+
+    def _bucket(self, namespace: str) -> Dict[str, str]:
+        try:
+            return self._data[namespace]
+        except KeyError:
+            raise UnknownNamespaceError(namespace) from None
+
+    # -- key/value ------------------------------------------------------
+
+    def put(self, namespace: str, key: str, value: Any) -> None:
+        encoded = encode_value(value)
+        with self._lock:
+            self._bucket(namespace)[key] = encoded
+
+    def put_many(self, namespace: str, items: Iterable[Tuple[str, Any]]) -> int:
+        encoded = [(key, encode_value(value)) for key, value in items]
+        with self._lock:
+            bucket = self._bucket(namespace)
+            for key, raw in encoded:
+                bucket[key] = raw
+        return len(encoded)
+
+    def get(self, namespace: str, key: str, default: Any = StateStore._missing()) -> Any:
+        with self._lock:
+            bucket = self._bucket(namespace)
+            if key not in bucket:
+                return self._resolve_default(key, default)
+            raw = bucket[key]
+        return decode_value(raw)
+
+    def keys(self, namespace: str) -> List[str]:
+        with self._lock:
+            return list(self._bucket(namespace))
+
+    def items(self, namespace: str) -> List[Tuple[str, Any]]:
+        with self._lock:
+            pairs = list(self._bucket(namespace).items())
+        return [(key, decode_value(raw)) for key, raw in pairs]
+
+    def delete(self, namespace: str, key: str) -> bool:
+        with self._lock:
+            return self._bucket(namespace).pop(key, None) is not None
+
+    def clear(self, namespace: str) -> int:
+        with self._lock:
+            bucket = self._bucket(namespace)
+            n = len(bucket)
+            bucket.clear()
+            return n
+
+    def count(self, namespace: str) -> int:
+        with self._lock:
+            return len(self._bucket(namespace))
+
+    # -- relational escape hatch ---------------------------------------
+
+    def sql_connection(self) -> sqlite3.Connection:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("store is closed")
+            if self._conn is None:
+                self._conn = sqlite3.connect(":memory:", check_same_thread=False)
+            return self._conn
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryStore(namespaces={len(self._namespaces)})"

@@ -14,6 +14,8 @@ downloads:
 - ``/timeline/<task_id>`` — the task's journal timeline (JSON)
 - ``/notifications``    — Backup & Recovery's client notifications
 - ``/weather``          — the MonALISA grid-weather snapshot (JSON)
+- ``/store``            — the GAE's state-store namespaces and key counts
+  (JSON; the persistence layer behind checkpoint/restore)
 - ``/metrics``          — the Clarens host's call-pipeline telemetry plus
   every metric in the unified observability registry, in Prometheus-style
   text exposition
@@ -48,7 +50,7 @@ _PAGE = """<!DOCTYPE html>
 <body>
 <nav><a href="/">overview</a><a href="/jobs">jobs</a>
 <a href="/notifications">notifications</a><a href="/weather">grid weather</a>
-<a href="/metrics">metrics</a></nav>
+<a href="/store">store</a><a href="/metrics">metrics</a></nav>
 <h1>{title}</h1>
 {body}
 <p><small>Grid Analysis Environment — simulated time t={now:.1f}s</small></p>
@@ -99,6 +101,8 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
                 self._send_html("Notifications", self._notifications())
             elif path == "/weather":
                 self._send_json(self._weather())
+            elif path == "/store":
+                self._send_store()
             elif path == "/metrics":
                 self._send_text(self._metrics())
             else:
@@ -198,6 +202,35 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
             for farm in self.gae.monalisa.farms()
             if self.gae.monalisa.has_series(farm, "load")
         }
+
+    def _send_store(self) -> None:
+        """The persistence layer's namespaces and key counts (JSON).
+
+        Lists the canonical registry (everything a checkpoint file holds)
+        and, for each namespace, whether this GAE's live store has it
+        registered and how many keys it currently carries.
+        """
+        from repro.store.registry import NAMESPACES
+
+        store = self.gae.store
+        if store is None:
+            self._send_json({"error": "store-disabled", "status": 503}, code=503)
+            return
+        live = {ns.name for ns in store.namespaces()}
+        namespaces = [
+            {
+                "name": ns.name,
+                "version": ns.version,
+                "description": ns.description,
+                "registered": ns.name in live,
+                "keys": store.count(ns.name) if ns.name in live else 0,
+            }
+            for ns in NAMESPACES
+        ]
+        self._send_json({
+            "backend": type(store).__name__,
+            "namespaces": namespaces,
+        })
 
     def _send_trace(self, task_id: str) -> None:
         obs = self.gae.observability

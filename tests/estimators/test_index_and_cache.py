@@ -250,6 +250,14 @@ class TestBenchHarness:
                     "overhead_pct": 0.0, "identical": True,
                     "spans": 1, "events": 1,
                 },
+                "persistence": {
+                    "records": 10, "loop_s": 1.0, "batched_s": 0.5,
+                    "loop_per_record_ms": 100.0, "batched_per_record_ms": 50.0,
+                    "loop_throughput_per_s": 10.0,
+                    "batched_throughput_per_s": 20.0,
+                    "speedup": 2.0, "identical": True,
+                    "backends_identical": True,
+                },
             },
         }
         validate_report(report)  # must not raise
@@ -265,5 +273,9 @@ class TestBenchHarness:
             validate_report(broken)
         broken = {**report, "sections": {**report["sections"], "observability": {
             **report["sections"]["observability"], "overhead_pct": "low"}}}
+        with pytest.raises(BenchSchemaError):
+            validate_report(broken)
+        broken = {**report, "sections": {**report["sections"], "persistence": {
+            **report["sections"]["persistence"], "identical": "yes"}}}
         with pytest.raises(BenchSchemaError):
             validate_report(broken)

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.monalisa.repository import JobStateEvent, MonALISARepository
+from repro.monalisa.repository import (
+    JobStateEvent,
+    MonALISARepository,
+    UnknownMetricError,
+)
 
 
 @pytest.fixture
@@ -39,6 +43,36 @@ class TestMetrics:
 
     def test_metrics_of(self, repo):
         assert repo.metrics_of("siteA") == ["cpu_temp", "load"]
+
+    def test_series_missing_raises_structured_error(self, repo):
+        with pytest.raises(UnknownMetricError) as exc:
+            repo.series("ghost", "load")
+        assert exc.value.farm == "ghost"
+        assert exc.value.metric == "load"
+        assert exc.value.reason == "never published"
+
+    def test_latest_missing_raises_structured_error(self, repo):
+        with pytest.raises(UnknownMetricError):
+            repo.latest("siteA", "ghost_metric")
+
+    def test_unknown_metric_error_is_keyerror(self, repo):
+        # Pre-existing ``except KeyError`` callers must keep working.
+        assert issubclass(UnknownMetricError, KeyError)
+
+    def test_unknown_metric_error_str_not_reprd(self):
+        # KeyError.__str__ would wrap the message in quotes.
+        err = UnknownMetricError("siteA", "load")
+        assert str(err) == "no samples for siteA/load (never published)"
+
+    def test_unknown_metric_error_to_wire(self):
+        err = UnknownMetricError("siteA", "load", reason="expired")
+        assert err.to_wire() == {
+            "error": "not-found",
+            "resource": "metric",
+            "id": "siteA/load",
+            "reason": "expired",
+            "status": 404,
+        }
 
     def test_metric_subscribers_fan_out(self, repo):
         seen = []

@@ -68,6 +68,108 @@ class TestQueries:
         assert db.task_ids() == ["a", "b"]
 
 
+class TestLifecycle:
+    def test_close_is_idempotent(self, db):
+        db.close()
+        db.close()  # must not raise
+
+    def test_update_after_close_raises(self, db):
+        db.update(make_record())
+        db.close()
+        with pytest.raises(Exception):
+            db.update(make_record(task_id="t2"))
+
+    def test_context_manager_closes(self):
+        with DBManager() as db:
+            db.update(make_record())
+            assert len(db) == 1
+        with pytest.raises(Exception):
+            db.update(make_record(task_id="t2"))
+
+    def test_store_backed_close_leaves_shared_connection_open(self):
+        from repro.store import MemoryStore
+
+        store = MemoryStore()
+        db = DBManager(store=store)
+        db.update(make_record())
+        db.close()
+        # The store owns the connection; it must survive the manager.
+        conn = store.sql_connection()
+        assert conn.execute("SELECT COUNT(*) FROM monitoring").fetchone() == (1,)
+        store.close()
+
+
+class TestUpdateMany:
+    def test_empty_batch_is_a_noop(self, db):
+        assert db.update_many([]) == 0
+        assert len(db) == 0
+
+    def test_batched_rows_identical_to_update_loop(self):
+        records = [
+            make_record(task_id=f"t{i}", job_id=f"j{i % 3}", progress=i / 10)
+            for i in range(10)
+        ]
+        loop_db, batch_db = DBManager(), DBManager()
+        for record in records:
+            loop_db.update(record)
+        assert batch_db.update_many(records) == len(records)
+        assert batch_db.export_state() == loop_db.export_state()
+
+    def test_batched_upsert_keeps_last_write(self, db):
+        db.update_many(
+            [make_record(status="running"), make_record(status="completed")]
+        )
+        assert db.get("t1").status == "completed"
+        assert len(db) == 1
+
+    def test_batch_publishes_once_per_record_in_order(self):
+        repo = MonALISARepository()
+        db = DBManager(monalisa=repo)
+        db.update_many(
+            [
+                make_record(task_id="t1", status="running"),
+                make_record(task_id="t2", status="queued"),
+                make_record(task_id="t1", status="completed"),
+            ]
+        )
+        assert [e.state for e in repo.job_events(task_id="t1")] == [
+            "running",
+            "completed",
+        ]
+        assert [e.state for e in repo.job_events(task_id="t2")] == ["queued"]
+
+
+class TestStateRoundTrip:
+    def test_export_import_round_trips_both_tables(self):
+        source = DBManager()
+        for i in range(3):
+            source.update(make_record(task_id="t1", progress=i / 3, snapshot_time=10.0 * i))
+        source.update(make_record(task_id="t2"))
+
+        target = DBManager()
+        target.import_state(source.export_state())
+        assert target.export_state() == source.export_state()
+        assert target.progress_history("t1") == source.progress_history("t1")
+
+    def test_import_does_not_republish_to_monalisa(self):
+        source = DBManager()
+        source.update(make_record())
+        repo = MonALISARepository()
+        target = DBManager(monalisa=repo)
+        target.import_state(source.export_state())
+        assert repo.job_events(task_id="t1") == []
+
+    def test_history_seq_continues_after_import(self):
+        source = DBManager()
+        source.update(make_record(snapshot_time=1.0))
+        source.update(make_record(snapshot_time=2.0))
+        target = DBManager()
+        target.import_state(source.export_state())
+        target.update(make_record(snapshot_time=3.0))
+        times = [row[0] for row in target.progress_history("t1")]
+        assert times == [1.0, 2.0, 3.0]
+
+
 class TestMonalisaPublication:
     def test_update_publishes_job_state(self):
         repo = MonALISARepository()

@@ -1,0 +1,248 @@
+"""GAE-wide checkpoint/restore: round-trips, identity, kill-and-recover.
+
+The workload used throughout is a mixed-length bag of tasks over a
+two-site grid; around t=205 s it is part-completed, part-running,
+part-queued, so a checkpoint there captures every interesting state.
+Identity is always compared *at the barrier instant*: events scheduled
+at the same simulated time but after the checkpoint event still run in
+the original, so the original's answers are captured by a callback
+scheduled immediately after the checkpoint.
+"""
+
+import json
+
+import pytest
+
+from repro.gae import build_gae
+from repro.gridsim import GridBuilder
+from repro.gridsim.job import TaskSpec, bag_of_tasks, reset_id_counters
+from repro.store import MemoryStore, SqliteStore
+from repro.store.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    Checkpointer,
+    restore_gae,
+)
+from repro.store.registry import CHECKPOINT_META, register_all
+
+T_CHECKPOINT = 205.0  # not a multiple of any periodic (20/30/60 s)
+WORKS = [120.0, 240.0, 360.0, 480.0, 150.0, 90.0]
+
+
+def build_workload(seed=11):
+    reset_id_counters()
+    grid = (
+        GridBuilder(seed=seed)
+        .site("siteA", nodes=2, background_load=0.3)
+        .site("siteB", nodes=2, background_load=1.0)
+        .link("siteA", "siteB", capacity_mbps=100.0, latency_s=0.05)
+        .file("in.dat", size_mb=50.0, at="siteA")
+        .build()
+    )
+    gae = build_gae(grid, monitor_snapshot_period_s=20.0).start()
+    gae.add_user("alice", "pw")
+    specs = [TaskSpec(owner="alice", input_files=("in.dat",)) for _ in WORKS]
+    job = bag_of_tasks(specs, WORKS, owner="alice")
+    gae.scheduler.submit_job(job)
+    return gae, job
+
+
+def run_to_completion(gae, horizon=20000.0):
+    gae.sim.run_until(gae.sim.now + horizon)
+    gae.stop()
+    gae.sim.run()
+    return {t.task_id: t.state.value for j in gae.scheduler.jobs() for t in j.tasks}
+
+
+class TestFiveStoreRoundTrip:
+    def test_all_namespaces_bit_identical_across_backends(self, tmp_path):
+        """One checkpoint written through both backends reads back equal."""
+        gae, _ = build_workload()
+        gae.sim.run_until(T_CHECKPOINT)
+        ckpt = Checkpointer(gae)
+
+        memory = MemoryStore()
+        ckpt.write_state(memory)
+        with SqliteStore(str(tmp_path / "ckpt.sqlite")) as sqlite_store:
+            ckpt.write_state(sqlite_store)
+            for ns in memory.namespaces():
+                assert json.dumps(memory.items(ns.name)) == json.dumps(
+                    sqlite_store.items(ns.name)
+                ), f"namespace {ns.name} differs across backends"
+                assert memory.count(ns.name) == sqlite_store.count(ns.name)
+
+    def test_migrated_stores_reload_identically(self, tmp_path):
+        """The five migrated stores reload the same from either backend."""
+        from repro.core.estimators.history import HistoryRepository
+        from repro.core.estimators.queue_time import RuntimeEstimateDB
+        from repro.core.monitoring.db_manager import DBManager
+        from repro.monalisa.repository import MonALISARepository
+        from repro.observability.journal import EventJournal
+        from repro.store.registry import MONITORING_JOBS
+
+        def dump(obj):
+            scratch = MemoryStore()
+            obj.save_to(scratch)
+            return {ns.name: scratch.items(ns.name) for ns in scratch.namespaces()}
+
+        gae, _ = build_workload()
+        gae.sim.run_until(T_CHECKPOINT)
+        ckpt = Checkpointer(gae)
+        memory = MemoryStore()
+        ckpt.write_state(memory)
+        sqlite_store = SqliteStore(str(tmp_path / "ckpt.sqlite"))
+        ckpt.write_state(sqlite_store)
+
+        for source in (memory, sqlite_store):
+            history = HistoryRepository.load_from(source)
+            assert history.records() == gae.history.records()
+
+            estimates = RuntimeEstimateDB()
+            estimates.load_from(source)
+            assert dump(estimates) == dump(gae.estimators.estimate_db)
+
+            with DBManager() as db:
+                db.import_state(source.get(MONITORING_JOBS, "state"))
+                assert db.export_state() == gae.monitoring.db_manager.export_state()
+
+            monalisa = MonALISARepository()
+            monalisa.load_from(source)
+            assert dump(monalisa) == dump(gae.monalisa)
+
+            journal = EventJournal(clock=lambda: 0.0)
+            journal.load_from(source)
+            assert dump(journal) == dump(gae.observability.journal)
+        sqlite_store.close()
+
+
+class TestBarrierIdentity:
+    def test_restored_answers_match_barrier_instant(self, tmp_path):
+        """job_status / observability / estimates identical after restore."""
+        path = str(tmp_path / "ckpt.sqlite")
+        gae, job = build_workload()
+        Checkpointer(gae).checkpoint_at(T_CHECKPOINT, path)
+
+        captured = {}
+
+        def capture():
+            client = gae.client("alice", "pw")
+            captured["status"] = {
+                t.task_id: client.call("jobmon.job_status", t.task_id)
+                for t in job.tasks
+            }
+            captured["obs"] = client.call("system.observability")
+            captured["est"] = client.call(
+                "estimator.estimate_runtime", {"owner": "alice", "nodes": 1}
+            )
+
+        gae.sim.at(T_CHECKPOINT, capture)  # runs right after the checkpoint
+        gae.sim.run_until(T_CHECKPOINT)
+
+        reset_id_counters()
+        restored = restore_gae(path)
+        client = restored.client("alice", "pw")
+        restored_job = restored.scheduler.jobs()[0]
+        assert {
+            t.task_id: client.call("jobmon.job_status", t.task_id)
+            for t in restored_job.tasks
+        } == captured["status"]
+        assert client.call("system.observability") == captured["obs"]
+        assert client.call(
+            "estimator.estimate_runtime", {"owner": "alice", "nodes": 1}
+        ) == captured["est"]
+
+    def test_restore_does_not_mutate_checkpoint_file(self, tmp_path):
+        path = str(tmp_path / "ckpt.sqlite")
+        gae, _ = build_workload()
+        Checkpointer(gae).checkpoint_at(T_CHECKPOINT, path)
+        gae.sim.run_until(T_CHECKPOINT)
+
+        reset_id_counters()
+        first = run_to_completion(restore_gae(path))
+        reset_id_counters()
+        second = run_to_completion(restore_gae(path))
+        assert first == second
+
+
+class TestKillAndRestore:
+    def test_recovery_resumes_and_completes_every_job(self, tmp_path):
+        """Kill mid-workload; the restored GAE finishes with the same
+        per-job final statuses as the uninterrupted run."""
+        gae, _ = build_workload()
+        reference = run_to_completion(gae)
+        assert set(reference.values()) == {"completed"}
+
+        path = str(tmp_path / "ckpt.sqlite")
+        victim, _ = build_workload()
+        Checkpointer(victim).checkpoint_at(T_CHECKPOINT, path)
+        victim.sim.run_until(T_CHECKPOINT)
+        mid_states = {
+            t.task_id: t.state.value
+            for j in victim.scheduler.jobs()
+            for t in j.tasks
+        }
+        assert "completed" in mid_states.values()  # genuinely mid-workload
+        assert set(mid_states.values()) != {"completed"}
+        del victim  # the "kill": the process state is gone, only the file survives
+
+        reset_id_counters()
+        restored = restore_gae(path)
+        assert run_to_completion(restored) == reference
+
+    def test_recovery_with_failed_site_preserves_backup_recovery(self, tmp_path):
+        """A site crash before the barrier: the failed-set, resubmissions
+        and final statuses survive the kill."""
+        t_fail = 150.0
+
+        def run_with_failure():
+            gae, job = build_workload()
+            gae.sim.run_until(t_fail)
+            gae.grid.execution_services["siteB"].fail()
+            return gae, job
+
+        gae, _ = run_with_failure()
+        reference = run_to_completion(gae)
+        assert set(reference.values()) == {"completed"}
+
+        path = str(tmp_path / "ckpt.sqlite")
+        victim, _ = run_with_failure()
+        Checkpointer(victim).checkpoint_at(T_CHECKPOINT, path)
+        barrier = {}
+        victim.sim.at(
+            T_CHECKPOINT,
+            lambda: barrier.update(victim.steering.backup_recovery.export_state()),
+        )
+        victim.sim.run_until(T_CHECKPOINT)
+        del victim
+
+        reset_id_counters()
+        restored = restore_gae(path)
+        assert restored.grid.execution_services["siteB"].failed is True
+        assert restored.steering.backup_recovery.export_state() == barrier
+        assert run_to_completion(restored) == reference
+
+
+class TestCheckpointErrors:
+    def test_restore_of_non_checkpoint_raises(self, tmp_path):
+        path = str(tmp_path / "empty.sqlite")
+        SqliteStore(path).close()
+        with pytest.raises(CheckpointError):
+            restore_gae(path)
+
+    def test_restore_of_future_format_raises(self, tmp_path):
+        path = str(tmp_path / "future.sqlite")
+        with SqliteStore(path) as store:
+            register_all(store)
+            store.put(CHECKPOINT_META, "meta", {"format": CHECKPOINT_FORMAT + 1})
+        with pytest.raises(CheckpointError, match="format"):
+            restore_gae(path)
+
+    def test_checkpoint_info_counts(self, tmp_path):
+        path = str(tmp_path / "info.sqlite")
+        gae, job = build_workload()
+        gae.sim.run_until(T_CHECKPOINT)
+        info = Checkpointer(gae).checkpoint(path)
+        assert info.path == path
+        assert info.time == T_CHECKPOINT
+        assert info.jobs == 1
+        assert info.tasks == len(job.tasks)

@@ -1,13 +1,16 @@
 #!/usr/bin/env python
 """Check that docs/ARCHITECTURE.md matches the source tree.
 
-Two checks, both run by CI's docs job:
+Three checks, all run by CI's docs job:
 
 1. every package under src/ (directory with ``__init__.py``) appears by
    dotted name in docs/ARCHITECTURE.md;
 2. the "Event taxonomy" section documents exactly the members of
    ``repro.observability.journal.EventType`` — no missing events, no
-   stale ones.
+   stale ones;
+3. the "State-store namespaces" table lists exactly the canonical
+   namespaces of ``repro.store.registry`` — docs cannot drift from the
+   registry a checkpoint file is built on.
 
 Run from anywhere::
 
@@ -63,6 +66,37 @@ def check_event_taxonomy(text: str) -> list[str]:
     return problems
 
 
+def documented_namespaces(text: str) -> set[str]:
+    """Backticked tokens in the "State-store namespaces" table rows."""
+    match = re.search(r"### State-store namespaces\n(.*?)(?:\n#|\Z)", text, re.DOTALL)
+    if match is None:
+        return set()
+    tokens: set[str] = set()
+    for line in match.group(1).splitlines():
+        if line.startswith("|"):
+            first_cell = line.split("|")[1]
+            tokens.update(re.findall(r"`([a-z.]+)`", first_cell))
+    tokens.discard("namespace")  # the table header
+    return tokens
+
+
+def check_store_namespaces(text: str) -> list[str]:
+    from repro.store.registry import namespace_names
+
+    documented = documented_namespaces(text)
+    actual = set(namespace_names())
+    problems = []
+    for name in sorted(actual - documented):
+        problems.append(
+            f"namespace {name!r} is not documented in the state-store table"
+        )
+    for name in sorted(documented - actual):
+        problems.append(
+            f"documented namespace {name!r} is not in repro.store.registry"
+        )
+    return problems
+
+
 def main() -> int:
     if not ARCHITECTURE_MD.exists():
         print(f"error: {ARCHITECTURE_MD} does not exist", file=sys.stderr)
@@ -86,8 +120,18 @@ def main() -> int:
         for problem in taxonomy_problems:
             print(f"  - {problem}", file=sys.stderr)
         return 1
+    namespace_problems = check_store_namespaces(text)
+    if namespace_problems:
+        print(
+            "docs/ARCHITECTURE.md state-store namespace table is out of date:",
+            file=sys.stderr,
+        )
+        for problem in namespace_problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
     print(f"docs/ARCHITECTURE.md covers all {len(packages)} packages")
     print("docs/ARCHITECTURE.md event taxonomy matches EventType")
+    print("docs/ARCHITECTURE.md state-store namespaces match the registry")
     return 0
 
 

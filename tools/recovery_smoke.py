@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""End-to-end recovery smoke test: checkpoint, hard-kill, restore, finish.
+
+Three phases, the middle one a *genuine* process death:
+
+1. **reference** — run the demo workload (``repro.cli.checkpoint_demo_workload``)
+   uninterrupted to completion and record every task's final state;
+2. **victim** — a child process runs the same workload, checkpoints it
+   mid-flight at t=205 s, then dies via ``os._exit`` — no cleanup, no
+   atexit, nothing survives but the checkpoint file.  The parent checks
+   the child really did die with the crash exit code;
+3. **restore** — the parent rehydrates a GAE from the orphaned file with
+   ``restore_gae`` and runs it to completion.  Every job must finish,
+   and the final per-task states must equal the reference run's.
+
+CI runs this on every supported Python version::
+
+    PYTHONPATH=src python tools/recovery_smoke.py
+
+Exit status 0 on success, 1 on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC_ROOT))
+
+T_CHECKPOINT = 205.0  # not a multiple of any periodic (20/30/60 s)
+CRASH_EXIT_CODE = 86  # distinctive, so a clean exit can't masquerade as a crash
+
+
+def final_states(gae) -> dict:
+    """Run the GAE to completion; every task's final state by id."""
+    gae.sim.run_until(gae.sim.now + 20000.0)
+    gae.stop()
+    gae.sim.run()
+    return {
+        task.task_id: task.state.value
+        for job in gae.scheduler.jobs()
+        for task in job.tasks
+    }
+
+
+def run_victim(out: str) -> None:
+    """Checkpoint the demo workload mid-flight, then die without cleanup."""
+    from repro.cli import checkpoint_demo_workload
+    from repro.store.checkpoint import Checkpointer
+
+    gae, _ = checkpoint_demo_workload()
+    ckpt = Checkpointer(gae)
+    ckpt.checkpoint_at(T_CHECKPOINT, out)
+    gae.sim.run_until(T_CHECKPOINT)
+    if ckpt.last_info is None:
+        os._exit(2)  # checkpoint never fired: distinguishable failure
+    sys.stdout.flush()
+    os._exit(CRASH_EXIT_CODE)  # the "kill": skips atexit, GC, everything
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--phase", choices=["victim"], default=None)
+    parser.add_argument("--out", default=None, help="checkpoint path (victim phase)")
+    args = parser.parse_args()
+
+    if args.phase == "victim":
+        run_victim(args.out)
+        return 1  # unreachable: run_victim always _exits
+
+    from repro.gridsim.job import reset_id_counters
+    from repro.store.checkpoint import restore_gae
+
+    # Phase 1: the uninterrupted reference run.
+    from repro.cli import checkpoint_demo_workload
+
+    reference = final_states(checkpoint_demo_workload()[0])
+    if set(reference.values()) != {"completed"}:
+        print(f"FAIL: reference run did not complete: {reference}", file=sys.stderr)
+        return 1
+    print(f"reference run: {len(reference)} tasks completed")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "orphan.sqlite")
+
+        # Phase 2: the victim checkpoints, then dies hard.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_ROOT) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, __file__, "--phase", "victim", "--out", path],
+            env=env,
+            timeout=300,
+        )
+        if proc.returncode != CRASH_EXIT_CODE:
+            print(
+                f"FAIL: victim exited {proc.returncode}, "
+                f"expected crash code {CRASH_EXIT_CODE}",
+                file=sys.stderr,
+            )
+            return 1
+        if not os.path.exists(path):
+            print("FAIL: victim died without leaving a checkpoint", file=sys.stderr)
+            return 1
+        print(f"victim crashed as intended (exit {proc.returncode}); "
+              f"checkpoint survived at {path}")
+
+        # Phase 3: restore from the orphaned file and finish the workload.
+        reset_id_counters()
+        restored = restore_gae(path)
+        recovered = final_states(restored)
+
+    if recovered != reference:
+        print("FAIL: recovered run diverged from the reference:", file=sys.stderr)
+        for task_id in sorted(set(reference) | set(recovered)):
+            print(
+                f"  {task_id}: reference={reference.get(task_id)!r} "
+                f"recovered={recovered.get(task_id)!r}",
+                file=sys.stderr,
+            )
+        return 1
+
+    print(f"recovered run: {len(recovered)} tasks completed, identical final states")
+    print("recovery smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
