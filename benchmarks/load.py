@@ -1,0 +1,26 @@
+"""Closed-loop RPC read-path load harness (standalone entry point).
+
+Thin wrapper around :mod:`repro.analysis.load` so the harness can run
+straight from a checkout without installing the package::
+
+    PYTHONPATH=src python benchmarks/load.py                  # full run
+    PYTHONPATH=src python benchmarks/load.py --quick          # CI smoke
+    PYTHONPATH=src python benchmarks/load.py --validate LOAD_readpath.json
+
+Equivalent to ``gae-repro loadtest`` once installed.  See
+``docs/BENCHMARKS.md`` for the workload mix, what gets asserted (response
+bit-identity, the >=3x cached-throughput floor at 10k jobs), and the JSON
+schema of the ``LOAD_readpath.json`` it writes.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.analysis.load import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,11 +49,19 @@ class QuotaManager:
         self._reservations: Dict[int, Reservation] = {}
         self._next_id = 1
         self.ledger: List[Tuple[str, float, str]] = []  # (user, amount, note)
+        #: Called with the mutation kind ("set_quota" | "reserve" |
+        #: "commit" | "release") after each balance change — the
+        #: read-cache "accounting" epoch hangs here.
+        self.listeners: List = []
 
     def _allocate_id(self) -> int:
         value = self._next_id
         self._next_id += 1
         return value
+
+    def _notify(self, kind: str) -> None:
+        for listener in self.listeners:
+            listener(kind)
 
     # ------------------------------------------------------------------
     def set_quota(self, user: str, limit: float) -> None:
@@ -64,6 +72,7 @@ class QuotaManager:
             self._quotas[user].limit = limit
         else:
             self._quotas[user] = UserQuota(user=user, limit=limit)
+        self._notify("set_quota")
 
     def quota(self, user: str) -> UserQuota:
         """A user's quota record (QuotaError when none was set)."""
@@ -95,6 +104,7 @@ class QuotaManager:
         q.reserved += amount
         res = Reservation(reservation_id=self._allocate_id(), user=user, amount=amount, note=note)
         self._reservations[res.reservation_id] = res
+        self._notify("reserve")
         return res
 
     def _take(self, reservation_id: int) -> Reservation:
@@ -118,11 +128,13 @@ class QuotaManager:
         q.reserved -= res.amount
         q.spent += actual_amount
         self.ledger.append((res.user, actual_amount, note or res.note))
+        self._notify("commit")
 
     def release(self, reservation_id: int) -> None:
         """Drop a reservation without charging (failed/killed job)."""
         res = self._take(reservation_id)
         self.quota(res.user).reserved -= res.amount
+        self._notify("release")
 
     def spent(self, user: str) -> float:
         """Total committed charges for a user."""
@@ -166,3 +178,4 @@ class QuotaManager:
         self.ledger = [
             (user, amount, note) for user, amount, note in state["ledger"]  # type: ignore[union-attr]
         ]
+        self._notify("import_state")

@@ -12,8 +12,13 @@ from typing import Dict, Optional
 
 from repro.accounting.cost import CostModel
 from repro.accounting.quota import QuotaManager
+from repro.clarens.readcache import ReadPolicy
 from repro.clarens.registry import clarens_method
 from repro.gridsim.site import Site
+
+#: Rates, cost estimates, and balances all change only through quota
+#: mutations or site (re)registration — both bump the "accounting" epoch.
+_READS = ReadPolicy(depends_on=("accounting",))
 
 
 class QuotaAccountingService:
@@ -30,17 +35,19 @@ class QuotaAccountingService:
     def register_site(self, site: Site) -> None:
         """Teach the cost model a site's charge rates."""
         self.cost_model.register_site(site)
+        # New rates can change every cost answer: bump the epoch.
+        self.quotas._notify("register_site")
 
     # ------------------------------------------------------------------
     # Clarens-exposed methods
     # ------------------------------------------------------------------
-    @clarens_method
+    @clarens_method(cache=_READS)
     def site_rates(self, site_name: str) -> Dict[str, float]:
         """Charge rates of a site as a wire struct."""
         rates = self.cost_model.rates(site_name)
         return {"cpu_hour": rates.cpu_hour, "idle_hour": rates.idle_hour}
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def estimate_cost(
         self, site_name: str, runtime_s: float, queue_time_s: float = 0.0, nodes: int = 1
     ) -> Dict[str, float]:
@@ -55,7 +62,7 @@ class QuotaAccountingService:
             "total": est.total,
         }
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def cheapest_site(
         self,
         runtime_by_site: Dict[str, float],
@@ -71,7 +78,7 @@ class QuotaAccountingService:
         )
         return {"site": est.site_name, "total": est.total}
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def quota_available(self, user: str) -> float:
         """Spendable balance for a user."""
         return self.quotas.available(user)

@@ -26,7 +26,11 @@ field glossary):
 - ``persistence``      — monitoring snapshot-write throughput: a loop of
   per-record ``DBManager.update`` commits vs one batched
   ``update_many`` transaction at the 10k-task scale, plus store
-  backend round-trip identity (MemoryStore vs SqliteStore).
+  backend round-trip identity (MemoryStore vs SqliteStore);
+- ``rpc_read_path``  — closed-loop hot-read-mix throughput through the
+  Clarens pipeline with the epoch-keyed read cache on vs off at the
+  10k-job scale, with wire-level response identity (the >=3x
+  acceptance gate; see :mod:`repro.analysis.load`).
 
 Everything is seeded and uses ``time.perf_counter`` around fixed
 workloads (best-of-N repeats), so runs are comparable on one machine.
@@ -57,6 +61,10 @@ RUNTIME_SPEEDUP_FLOOR = 5.0
 #: Ceiling on what tracing+journal may add to end-to-end steering-verb
 #: latency, checked at the 10k-job scale (PR-3 acceptance gate).
 OVERHEAD_CEILING_PCT = 10.0
+
+#: Throughput multiple the cached read path must reach on the hot read
+#: mix at the 10k-job scale (with bit-identical responses).
+READ_PATH_SPEEDUP_FLOOR = 3.0
 
 
 class BenchError(RuntimeError):
@@ -597,6 +605,29 @@ def bench_persistence(n_records: int, repeats: int, seed: int) -> Dict[str, obje
 
 
 # ----------------------------------------------------------------------
+# section 8: RPC read path (epoch-keyed cache + coalescing)
+# ----------------------------------------------------------------------
+def bench_rpc_read_path(
+    n_tasks: int, workers: int, calls_per_worker: int, seed: int
+) -> Dict[str, object]:
+    """Cached vs uncached RPC throughput on the closed-loop hot read mix.
+
+    Delegates to :func:`repro.analysis.load.measure_read_path` — the same
+    machinery behind ``gae-repro loadtest`` — so the asserted bench
+    section and the interactive harness can never drift apart.  The
+    returned row carries both correctness (``identical``: every response
+    of the interleaved read/mutation schedule compared equal at the wire
+    level) and capacity (``speedup``: cached over uncached closed-loop
+    call rate), plus the cache's own counters.
+    """
+    from repro.analysis.load import measure_read_path
+
+    return measure_read_path(
+        n_tasks, workers=workers, calls_per_worker=calls_per_worker, seed=seed
+    )
+
+
+# ----------------------------------------------------------------------
 # the harness
 # ----------------------------------------------------------------------
 def run_bench(
@@ -654,6 +685,13 @@ def run_bench(
     persistence = bench_persistence(
         n_records=2_000 if quick else 10_000, repeats=repeats, seed=seed
     )
+    echo("  rpc read path: cached vs uncached host under closed-loop load")
+    rpc_read_path = bench_rpc_read_path(
+        n_tasks=2_000 if quick else 10_000,
+        workers=4 if quick else 8,
+        calls_per_worker=150 if quick else 1_000,
+        seed=seed,
+    )
 
     report: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
@@ -669,6 +707,7 @@ def run_bench(
             "monitoring": monitoring,
             "observability": observability,
             "persistence": persistence,
+            "rpc_read_path": rpc_read_path,
         },
     }
 
@@ -729,6 +768,26 @@ def _assert_invariants(report: Dict[str, object]) -> None:
         raise BenchError(
             "monitoring state did not round-trip bit-identically through "
             "MemoryStore and SqliteStore"
+        )
+    read_path = sections["rpc_read_path"]  # type: ignore[index]
+    if not read_path["identical"]:
+        raise BenchError(
+            "cached host answered the read/mutation schedule differently "
+            "from the uncached host"
+        )
+    if read_path["cache"]["hits"] <= 0 or read_path["cache"]["coalesced"] <= 0:
+        raise BenchError(
+            "read cache recorded no hits (or no coalesced sub-calls) "
+            "under the hot mix"
+        )
+    if (
+        read_path["n_tasks"] >= 10_000
+        and read_path["speedup"] < READ_PATH_SPEEDUP_FLOOR
+    ):
+        raise BenchError(
+            f"cached read path reached only {read_path['speedup']:.1f}x the "
+            f"uncached throughput at {read_path['n_tasks']} jobs, below "
+            f"the {READ_PATH_SPEEDUP_FLOOR}x floor"
         )
 
 
@@ -809,6 +868,19 @@ def _print_summary(report: Dict[str, object], echo: Callable[[str], None]) -> No
             f"{p['speedup']:.1f}x", p["identical"], p["backends_identical"],
         ]],
     ))
+    r = sections["rpc_read_path"]
+    echo("rpc read path (closed-loop hot mix, epoch-keyed cache on vs off)")
+    echo(markdown_table(
+        ["jobs", "workers", "calls", "uncached calls/s", "cached calls/s",
+         "hit rate", "speedup", "identical"],
+        [[
+            r["n_tasks"], r["workers"], r["total_calls"],
+            round(r["uncached_calls_per_s"], 1),
+            round(r["cached_calls_per_s"], 1),
+            f"{r['cache']['hit_rate']:.0%}",
+            f"{r['speedup']:.1f}x", r["identical"],
+        ]],
+    ))
 
 
 # ----------------------------------------------------------------------
@@ -838,7 +910,8 @@ def validate_report(report: Dict[str, object]) -> None:
              f"schema_version must be {SCHEMA_VERSION}")
     sections = report["sections"]
     for name in ("runtime_estimator", "queue_time", "transfer_time",
-                 "steering", "monitoring", "observability", "persistence"):
+                 "steering", "monitoring", "observability", "persistence",
+                 "rpc_read_path"):
         _require(name in sections, f"missing section {name!r}")
 
     def check_row(row, fields, where):
@@ -905,6 +978,20 @@ def validate_report(report: Dict[str, object]) -> None:
         ("loop_throughput_per_s", float), ("batched_throughput_per_s", float),
         ("speedup", float), ("identical", bool), ("backends_identical", bool),
     ], "persistence")
+    check_row(sections["rpc_read_path"], [
+        ("n_tasks", int), ("workers", int), ("calls_per_worker", int),
+        ("total_calls", int), ("mutations", int), ("rounds", int),
+        ("identical", bool), ("uncached_wall_s", float),
+        ("cached_wall_s", float), ("uncached_calls_per_s", float),
+        ("cached_calls_per_s", float), ("speedup", float),
+        ("cache", dict), ("mix", dict),
+    ], "rpc_read_path")
+    for counter in ("hits", "misses", "invalidations", "coalesced",
+                    "entries", "evictions"):
+        _require(
+            isinstance(sections["rpc_read_path"]["cache"].get(counter), int),
+            f"rpc_read_path.cache.{counter} must be an int",
+        )
 
 
 def validate_report_file(path: str) -> None:

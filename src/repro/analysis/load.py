@@ -1,0 +1,507 @@
+"""Closed-loop concurrent load harness for the Clarens read path.
+
+This is the machinery behind ``gae-repro loadtest`` (and
+``benchmarks/load.py``).  It builds a two-site GAE holding thousands of
+live jobs, then drives the host's RPC surface with a seeded, mixed
+read/steer workload two ways — once with the epoch-keyed read cache
+enabled and once with the always-execute pipeline — and reports both
+correctness and capacity:
+
+- **identity**: the full interleaved schedule (reads *and* mutations) is
+  replayed sequentially against both hosts and every wire-level response
+  must compare equal.  This is the cache's bit-identity contract under
+  production traffic, not a microbenchmark artifact.
+- **throughput**: the same per-worker schedules run as N closed-loop
+  worker threads (each issues its next call the moment the previous one
+  returns) against each host; the ratio of wall-clock rates is the
+  read-path speedup.  At the 10k-job scale the cached host must clear
+  :data:`SPEEDUP_FLOOR`.
+
+The hot mix mirrors what the webui and steering Optimizer actually poll:
+mostly per-task status/progress lookups over a hot subset, periodic
+``running_tasks``/``grid_weather`` scans, occasional ``system.multicall``
+batches with duplicate sub-calls (request coalescing), owner-wide
+monitoring sweeps, and a trickle of ``set_priority`` steering mutations
+that keep invalidation honest.
+
+Everything is seeded; the emitted JSON is schema-stable (see
+``docs/BENCHMARKS.md``) and validated by the CI ``loadtest-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+LOAD_SCHEMA_VERSION = 1
+
+#: Throughput multiple the cached read path must reach on the hot mix at
+#: the >=10k-job scale (the tentpole acceptance gate; mirrored by the
+#: ``rpc_read_path`` section of ``BENCH_estimators.json``).
+SPEEDUP_FLOOR = 3.0
+
+#: Size of the "hot" task subset the per-task reads cycle over.  Small
+#: enough that repeat reads dominate (the webui/optimizer polling
+#: pattern), large enough to exercise LRU behaviour.
+HOT_TASKS = 64
+
+
+class LoadTestError(RuntimeError):
+    """Raised when a loadtest invariant (identity, speedup floor) fails."""
+
+
+class LoadSchemaError(ValueError):
+    """Raised by :func:`validate_loadtest_report` for malformed reports."""
+
+
+# ----------------------------------------------------------------------
+# the rig
+# ----------------------------------------------------------------------
+def _rig(seed: int, n_tasks: int, read_cache: bool):
+    """A quiescent two-site GAE holding ``n_tasks`` live single-task jobs.
+
+    Same shape as the bench harness's 10k-job scale rig: dispatch has
+    settled, no auto-steering, a slow poll — so the load phase measures
+    the RPC surface, not the simulator.
+    """
+    from repro.gae import SteeringPolicy, build_gae
+    from repro.gridsim import GridBuilder
+    from repro.gridsim.job import Job, Task, TaskSpec, reset_id_counters
+
+    reset_id_counters()
+    rng = np.random.default_rng(seed)
+    grid = (
+        GridBuilder(seed=seed)
+        .site("siteA", nodes=64, cpus_per_node=4)
+        .site("siteB", nodes=64, cpus_per_node=4)
+        .link("siteA", "siteB", capacity_mbps=622.0, latency_s=0.05)
+        .probe_noise(0.0)
+        .build()
+    )
+    gae = build_gae(
+        grid,
+        read_cache=read_cache,
+        observability=False,
+        policy=SteeringPolicy(auto_move=False, poll_interval_s=3_600.0),
+    )
+    gae.add_user("load", "pw")
+    gae.start()
+    task_ids: List[str] = []
+    for work in rng.uniform(50.0, 500.0, n_tasks):
+        task = Task(
+            spec=TaskSpec(owner="load", priority=int(rng.integers(0, 5))),
+            work_seconds=float(work),
+        )
+        task_ids.append(task.task_id)
+        gae.scheduler.submit_job(Job(tasks=[task], owner="load"))
+    grid.run_until(100.0)  # dispatch settles; the bulk of the queue idles
+    token = gae.host.dispatch("system.login", ["load", "pw"])
+    return gae, task_ids, token
+
+
+# ----------------------------------------------------------------------
+# the workload
+# ----------------------------------------------------------------------
+def build_schedule(
+    rng: np.random.Generator, task_ids: Sequence[str], length: int
+) -> List[Tuple[str, List[Any]]]:
+    """A seeded list of ``(method, params)`` calls in the hot read mix."""
+    hot = list(task_ids[: min(HOT_TASKS, len(task_ids))])
+    sites = ("siteA", "siteB")
+    schedule: List[Tuple[str, List[Any]]] = []
+    for _ in range(length):
+        r = float(rng.random())
+        tid = hot[int(rng.integers(0, len(hot)))]
+        if r < 0.34:
+            schedule.append(("jobmon.job_status", [tid]))
+        elif r < 0.46:
+            schedule.append(("jobmon.progress", [tid]))
+        elif r < 0.54:
+            schedule.append(("jobmon.queue_position", [tid]))
+        elif r < 0.70:
+            schedule.append(("jobmon.running_tasks", []))
+        elif r < 0.80:
+            schedule.append(("monalisa.grid_weather", []))
+        elif r < 0.85:
+            schedule.append(("monalisa.site_load", [sites[int(rng.integers(0, 2))]]))
+        elif r < 0.90:
+            schedule.append(("estimator.history_size", []))
+        elif r < 0.95:
+            # A duplicate-heavy batch: the coalescing path.
+            schedule.append(("system.multicall", [[
+                {"methodName": "jobmon.job_status", "params": [tid]},
+                {"methodName": "jobmon.job_status", "params": [tid]},
+                {"methodName": "jobmon.progress", "params": [tid]},
+                {"methodName": "jobmon.job_status", "params": [tid]},
+            ]]))
+        elif r < 0.995:
+            schedule.append(("jobmon.owner_tasks", ["load"]))
+        else:
+            # Rare but present: every write invalidates the pool- and
+            # scheduler-dependent entries, keeping the cache honest.
+            schedule.append((
+                "steering.set_priority", [tid, int(rng.integers(0, 5))]
+            ))
+    return schedule
+
+
+def _mix_of(schedules: Sequence[Sequence[Tuple[str, List[Any]]]]) -> Dict[str, int]:
+    mix: Dict[str, int] = {}
+    for schedule in schedules:
+        for method, _ in schedule:
+            mix[method] = mix.get(method, 0) + 1
+    return mix
+
+
+def _interleave(
+    schedules: Sequence[List[Tuple[str, List[Any]]]]
+) -> List[Tuple[str, List[Any]]]:
+    """Round-robin merge: the deterministic order the identity pass replays."""
+    out: List[Tuple[str, List[Any]]] = []
+    for i in range(max(len(s) for s in schedules)):
+        for schedule in schedules:
+            if i < len(schedule):
+                out.append(schedule[i])
+    return out
+
+
+def _normalize(value: Any) -> Any:
+    """Strip per-host call identifiers before the identity comparison.
+
+    ``trace_id`` is a random identifier minted per dispatched call —
+    two hosts can never agree on it, and it carries no payload.  Every
+    other byte of the response must compare equal.
+    """
+    if isinstance(value, dict):
+        return {
+            k: _normalize(v) for k, v in value.items() if k != "trace_id"
+        }
+    if isinstance(value, list):
+        return [_normalize(v) for v in value]
+    return value
+
+
+def _run_sequential(host: Any, token: str, schedule: Sequence[Tuple[str, List[Any]]]):
+    from repro.clarens.errors import ClarensFault
+
+    out: List[Any] = []
+    for method, params in schedule:
+        try:
+            out.append(_normalize(host.dispatch(method, params, token)))
+        except ClarensFault as exc:
+            out.append(("fault", exc.code, exc.message))
+    return out
+
+
+def _run_threaded(
+    host: Any, token: str, schedules: Sequence[Sequence[Tuple[str, List[Any]]]]
+) -> float:
+    """Wall-clock seconds for N closed-loop workers to drain their schedules."""
+    from repro.clarens.errors import ClarensFault
+
+    barrier = threading.Barrier(len(schedules) + 1)
+
+    def worker(schedule: Sequence[Tuple[str, List[Any]]]) -> None:
+        barrier.wait()
+        for method, params in schedule:
+            try:
+                host.dispatch(method, params, token)
+            except ClarensFault:
+                pass
+
+    threads = [
+        threading.Thread(target=worker, args=(schedule,), daemon=True)
+        for schedule in schedules
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# the measurement
+# ----------------------------------------------------------------------
+def measure_read_path(
+    n_tasks: int,
+    workers: int,
+    calls_per_worker: int,
+    seed: int,
+    rounds: int = 2,
+) -> Dict[str, object]:
+    """Identity + throughput of the hot read mix, cached vs uncached.
+
+    Builds one cached and one uncached rig, replays the interleaved
+    schedule sequentially on both (every response compared for the
+    ``identical`` flag), then times the threaded closed-loop run on each
+    (best of *rounds*).  Both hosts execute the identical mutation
+    stream, so they stay in lockstep throughout.
+    """
+    rng = np.random.default_rng(seed)
+    cached_gae, task_ids, cached_token = _rig(seed, n_tasks, read_cache=True)
+    plain_gae, _, plain_token = _rig(seed, n_tasks, read_cache=False)
+    schedules = [
+        build_schedule(rng, task_ids, calls_per_worker) for _ in range(workers)
+    ]
+    combined = _interleave(schedules)
+    mutations = sum(
+        1 for method, _ in combined if method == "steering.set_priority"
+    )
+
+    cached_answers = _run_sequential(cached_gae.host, cached_token, combined)
+    plain_answers = _run_sequential(plain_gae.host, plain_token, combined)
+    identical = cached_answers == plain_answers
+
+    best = {"cached": float("inf"), "uncached": float("inf")}
+    for round_no in range(max(1, rounds)):
+        order = ("cached", "uncached") if round_no % 2 == 0 else ("uncached", "cached")
+        for which in order:
+            host, token = (
+                (cached_gae.host, cached_token)
+                if which == "cached"
+                else (plain_gae.host, plain_token)
+            )
+            best[which] = min(best[which], _run_threaded(host, token, schedules))
+
+    total_calls = sum(len(s) for s in schedules)
+    snapshot = cached_gae.host.read_cache.snapshot()
+    totals = {"hits": 0, "misses": 0, "invalidations": 0, "coalesced": 0}
+    for counters in snapshot["per_method"].values():
+        for kind in totals:
+            totals[kind] += counters[kind]
+    cached_gae.stop()
+    plain_gae.stop()
+    lookups = totals["hits"] + totals["misses"] + totals["invalidations"]
+    return {
+        "n_tasks": n_tasks,
+        "workers": workers,
+        "calls_per_worker": calls_per_worker,
+        "total_calls": total_calls,
+        "mutations": mutations,
+        "rounds": rounds,
+        "identical": identical,
+        "uncached_wall_s": best["uncached"],
+        "cached_wall_s": best["cached"],
+        "uncached_calls_per_s": total_calls / best["uncached"],
+        "cached_calls_per_s": total_calls / best["cached"],
+        "speedup": best["uncached"] / best["cached"],
+        "cache": {
+            **totals,
+            "entries": snapshot["entries"],
+            "evictions": snapshot["evictions"],
+            "hit_rate": (totals["hits"] / lookups) if lookups else 0.0,
+        },
+        "mix": _mix_of(schedules),
+    }
+
+
+# ----------------------------------------------------------------------
+# the harness
+# ----------------------------------------------------------------------
+def run_loadtest(
+    quick: bool = False,
+    seed: int = 1995,
+    out: Optional[str] = None,
+    n_tasks: Optional[int] = None,
+    workers: Optional[int] = None,
+    calls_per_worker: Optional[int] = None,
+    echo: Callable[[str], None] = print,
+) -> Dict[str, object]:
+    """Run the closed-loop load test, assert its invariants, return the report.
+
+    ``quick`` shrinks the rig for CI smoke runs (identity assertions are
+    kept; the speedup floor is only asserted at the >=10k-job scale).
+    ``out`` additionally writes the JSON report to that path.
+    """
+    if n_tasks is None:
+        n_tasks = 2_000 if quick else 10_000
+    if workers is None:
+        workers = 4 if quick else 8
+    if calls_per_worker is None:
+        calls_per_worker = 250 if quick else 1_500
+
+    echo(f"gae-repro loadtest (quick={quick}, seed={seed})")
+    echo(
+        f"  rig: {n_tasks} jobs, {workers} closed-loop workers x "
+        f"{calls_per_worker} calls, cached vs uncached"
+    )
+    read_path = measure_read_path(
+        n_tasks, workers, calls_per_worker, seed, rounds=1 if quick else 2
+    )
+    report: Dict[str, object] = {
+        "schema_version": LOAD_SCHEMA_VERSION,
+        "generated_by": "gae-repro loadtest",
+        "quick": bool(quick),
+        "seed": int(seed),
+        "python": platform.python_version(),
+        "read_path": read_path,
+    }
+    _assert_invariants(report)
+    validate_loadtest_report(report)
+    _print_summary(report, echo)
+    if out:
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        echo(f"wrote {out}")
+    return report
+
+
+def _assert_invariants(report: Dict[str, object]) -> None:
+    rp = report["read_path"]
+    if not rp["identical"]:
+        raise LoadTestError(
+            "cached host answered the interleaved schedule differently "
+            "from the uncached host"
+        )
+    cache = rp["cache"]
+    if cache["hits"] <= 0:
+        raise LoadTestError("the read cache served no hits under the hot mix")
+    if cache["coalesced"] <= 0:
+        raise LoadTestError("multicall batches produced no coalesced sub-calls")
+    if rp["mutations"] > 0 and cache["invalidations"] <= 0:
+        raise LoadTestError(
+            "mutations ran but no cache entry was ever invalidated"
+        )
+    if rp["n_tasks"] >= 10_000 and rp["speedup"] < SPEEDUP_FLOOR:
+        raise LoadTestError(
+            f"cached read path reached only {rp['speedup']:.1f}x the uncached "
+            f"throughput at {rp['n_tasks']} jobs, below the "
+            f"{SPEEDUP_FLOOR}x floor"
+        )
+
+
+def _print_summary(report: Dict[str, object], echo: Callable[[str], None]) -> None:
+    from repro.analysis.report import markdown_table
+
+    rp = report["read_path"]
+    cache = rp["cache"]
+    echo("")
+    echo("rpc read path (closed-loop hot mix, cached vs uncached host)")
+    echo(markdown_table(
+        ["jobs", "workers", "calls", "uncached calls/s", "cached calls/s",
+         "speedup", "identical"],
+        [[
+            rp["n_tasks"], rp["workers"], rp["total_calls"],
+            round(rp["uncached_calls_per_s"], 1),
+            round(rp["cached_calls_per_s"], 1),
+            f"{rp['speedup']:.1f}x", rp["identical"],
+        ]],
+    ))
+    echo(markdown_table(
+        ["hits", "misses", "invalidations", "coalesced", "hit rate",
+         "entries", "evictions"],
+        [[
+            cache["hits"], cache["misses"], cache["invalidations"],
+            cache["coalesced"], f"{cache['hit_rate']:.1%}",
+            cache["entries"], cache["evictions"],
+        ]],
+    ))
+
+
+# ----------------------------------------------------------------------
+# schema validation (used by the CI smoke job)
+# ----------------------------------------------------------------------
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise LoadSchemaError(message)
+
+
+def validate_loadtest_report(report: Dict[str, object]) -> None:
+    """Validate a loadtest report against the documented schema.
+
+    Raises :class:`LoadSchemaError` on the first violation.  The CI
+    smoke job additionally re-checks the identity flag, so a report that
+    validates is also a report whose cached answers were bit-identical.
+    """
+    _require(isinstance(report, dict), "report must be a JSON object")
+    for key, kind in (
+        ("schema_version", int), ("generated_by", str), ("quick", bool),
+        ("seed", int), ("python", str), ("read_path", dict),
+    ):
+        _require(key in report, f"missing top-level key {key!r}")
+        _require(isinstance(report[key], kind),
+                 f"top-level {key!r} must be {kind.__name__}")
+    _require(report["schema_version"] == LOAD_SCHEMA_VERSION,
+             f"schema_version must be {LOAD_SCHEMA_VERSION}")
+    rp = report["read_path"]
+    for fname, ftype in (
+        ("n_tasks", int), ("workers", int), ("calls_per_worker", int),
+        ("total_calls", int), ("mutations", int), ("rounds", int),
+        ("identical", bool), ("uncached_wall_s", float),
+        ("cached_wall_s", float), ("uncached_calls_per_s", float),
+        ("cached_calls_per_s", float), ("speedup", float),
+        ("cache", dict), ("mix", dict),
+    ):
+        _require(fname in rp, f"read_path missing field {fname!r}")
+        value = rp[fname]
+        if ftype is float:
+            _require(
+                isinstance(value, (int, float)) and not isinstance(value, bool),
+                f"read_path.{fname} must be a number",
+            )
+        else:
+            _require(isinstance(value, ftype),
+                     f"read_path.{fname} must be {ftype.__name__}")
+    for counter in ("hits", "misses", "invalidations", "coalesced",
+                    "entries", "evictions"):
+        _require(isinstance(rp["cache"].get(counter), int),
+                 f"read_path.cache.{counter} must be an int")
+    _require(isinstance(rp["cache"].get("hit_rate"), float),
+             "read_path.cache.hit_rate must be a number")
+    _require(rp["identical"] is True,
+             "read_path.identical must be true (bit-identity violated)")
+
+
+def validate_loadtest_file(path: str) -> None:
+    """Load *path* and validate it; raises on schema violations."""
+    with open(path) as fh:
+        validate_loadtest_report(json.load(fh))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI for ``python -m repro.analysis.load`` (mirrors ``gae-repro loadtest``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Closed-loop RPC read-path load harness (cached vs uncached)."
+    )
+    parser.add_argument("--quick", action="store_true", help="small CI-sized run")
+    parser.add_argument("--seed", type=int, default=1995)
+    parser.add_argument("--out", type=str, default="LOAD_readpath.json",
+                        help="report path ('-' to skip writing)")
+    parser.add_argument("--tasks", type=int, default=None, dest="n_tasks",
+                        help="jobs held live on the rig (default 10000, quick 2000)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="closed-loop worker threads (default 8, quick 4)")
+    parser.add_argument("--calls-per-worker", type=int, default=None,
+                        help="schedule length per worker (default 1500, quick 250)")
+    parser.add_argument("--validate", type=str, default=None, metavar="PATH",
+                        help="validate an existing report instead of running")
+    args = parser.parse_args(argv)
+    if args.validate:
+        validate_loadtest_file(args.validate)
+        print(f"{args.validate}: schema ok")
+        return 0
+    run_loadtest(
+        quick=args.quick,
+        seed=args.seed,
+        out=None if args.out == "-" else args.out,
+        n_tasks=args.n_tasks,
+        workers=args.workers,
+        calls_per_worker=args.calls_per_worker,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

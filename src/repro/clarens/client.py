@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional
 
 from repro.clarens.errors import ClarensFault, fault_from_code
+from repro.clarens.readcache import canonical_args
 from repro.clarens.serialization import MulticallResult
 from repro.clarens.telemetry import new_trace_id
 from repro.clarens.transport import Transport
@@ -121,6 +122,32 @@ class ClarensClient:
             {"methodName": c[0], "params": list(c[1:])} for c in calls
         ]
         return [MulticallResult.from_wire(r) for r in self.call("system.multicall", payload)]
+
+    def batch_reads(self, calls: List[tuple]) -> List[MulticallResult]:
+        """Batch **read-only** calls, deduplicating identical ones client-side.
+
+        Like :meth:`batch_detailed`, but identical ``(method, args)``
+        sub-calls are sent only once and the shared result is fanned back
+        to every original position — the client-side half of request
+        coalescing (the host's ``system.multicall`` additionally coalesces
+        server-side).  Only use this for batches of read methods: the
+        caller asserts that executing a duplicate would return the same
+        answer, so a batch containing mutations must use :meth:`batch`.
+        """
+        unique: List[tuple] = []
+        index_of: dict = {}
+        positions: List[int] = []
+        for call in calls:
+            key = (call[0], canonical_args(list(call[1:])))
+            if key[1] is not None and key in index_of:
+                positions.append(index_of[key])
+                continue
+            if key[1] is not None:
+                index_of[key] = len(unique)
+            positions.append(len(unique))
+            unique.append(call)
+        results = self.batch_detailed(unique)
+        return [results[i] for i in positions]
 
     def service(self, name: str) -> "ServiceProxy":
         """A proxy whose attributes are the service's remote methods."""

@@ -12,6 +12,7 @@ The built-in chain, outermost first::
     MetricsMiddleware     # feeds CallStats (counts + latency reservoirs)
     AuthenticationMiddleware   # token -> Principal (skipped when pre-set)
     AclMiddleware         # anonymous/ACL enforcement
+    ReadCacheMiddleware   # epoch-keyed read cache (repro.clarens.readcache)
     ... user middlewares added via ClarensHost.add_middleware() ...
     <terminal invoker>    # registry lookup + method invocation + to_wire
 
@@ -55,6 +56,7 @@ class CallContext:
         "started",
         "duration_ms",
         "outcome",
+        "served_from",
         "fault_code",
         "fault_message",
         "metadata",
@@ -83,6 +85,9 @@ class CallContext:
         self.started = started
         self.duration_ms = 0.0
         self.outcome = ""          # "" while in flight; "ok"/"fault"/"error" after
+        #: "execute" normally; "cache" when ReadCacheMiddleware answered,
+        #: "coalesced" when multicall deduplication did.
+        self.served_from = "execute"
         self.fault_code = 0
         self.fault_message = ""
         #: Scratch space for user middlewares (created lazily).
@@ -173,7 +178,12 @@ class MetricsMiddleware:
             ok = True
             return result
         finally:
-            self.stats.record(ctx.method_path, ok, time.perf_counter() - t0)
+            self.stats.record(
+                ctx.method_path,
+                ok,
+                time.perf_counter() - t0,
+                served_from=ctx.served_from,
+            )
 
 
 class TracingMiddleware:
@@ -215,6 +225,7 @@ class TracingMiddleware:
                 outcome=ctx.outcome,
                 code=ctx.fault_code,
                 error=ctx.fault_message,
+                served_from=ctx.served_from,
             ))
 
 

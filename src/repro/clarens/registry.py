@@ -30,6 +30,7 @@ def clarens_method(
     anonymous: bool = False,
     pass_principal: bool = False,
     pass_context: bool = False,
+    cache: Optional[Any] = None,
 ) -> Callable:
     """Mark a method for exposure through a Clarens host.
 
@@ -47,6 +48,12 @@ def clarens_method(
         :class:`~repro.clarens.middleware.CallContext` instead — how
         ``system.multicall`` propagates one trace id over a whole batch.
         Takes precedence over ``pass_principal``.
+    cache:
+        A :class:`~repro.clarens.readcache.ReadPolicy` declaring the
+        method read-only and naming the epochs its answer depends on.
+        Policy-bearing methods are served by ``ReadCacheMiddleware`` and
+        are eligible for multicall coalescing.  Leave ``None`` (the
+        default) for anything that mutates state or draws randomness.
     """
 
     def mark(f: Callable) -> Callable:
@@ -54,6 +61,7 @@ def clarens_method(
             "anonymous": anonymous,
             "pass_principal": pass_principal,
             "pass_context": pass_context,
+            "cache": cache,
         })
         return f
 
@@ -72,6 +80,8 @@ class MethodEntry:
     anonymous: bool = False
     pass_principal: bool = False
     pass_context: bool = False
+    #: ReadPolicy when the method is a cacheable read, else None.
+    cache: Optional[Any] = None
 
     def signature(self) -> str:
         """Human-readable call signature for introspection."""
@@ -154,6 +164,7 @@ class ServiceRegistry:
                 anonymous=bool(meta.get("anonymous", False)),
                 pass_principal=bool(meta.get("pass_principal", False)),
                 pass_context=bool(meta.get("pass_context", False)),
+                cache=meta.get("cache"),
             )
         self._services[name] = entry
         return entry

@@ -6,7 +6,7 @@ it flows through an explicit **middleware pipeline**
 (:mod:`repro.clarens.middleware`) operating on one
 :class:`~repro.clarens.middleware.CallContext`:
 
-    tracing → metrics → authentication → ACL → [user middlewares] → invoke
+    tracing → metrics → authentication → ACL → read cache → [user middlewares] → invoke
 
 so every hosted service inherits per-method latency metrics
 (``system.stats``), a queryable trace ring (``system.recent_calls``) and
@@ -41,6 +41,12 @@ from repro.clarens.middleware import (
     Middleware,
     TracingMiddleware,
     build_pipeline,
+)
+from repro.clarens.readcache import (
+    EpochRegistry,
+    ReadCache,
+    ReadCacheMiddleware,
+    canonical_args,
 )
 from repro.clarens.registry import ServiceRegistry, clarens_method
 from repro.clarens.serialization import (
@@ -123,11 +129,24 @@ class _SystemService:
         return instrumentation.snapshot()
 
     @clarens_method(anonymous=True)
+    def cache(self) -> Dict[str, Any]:
+        """Read-cache introspection for this host.
+
+        Returns the cache configuration (``enabled``, ``capacity``), its
+        current occupancy (``entries``, ``evictions``), per-method
+        ``{hits, misses, invalidations, coalesced}`` counters, and the
+        live epoch vector (``epochs``: every registered epoch name with
+        its current value).
+        """
+        return self._host.read_cache.snapshot()
+
+    @clarens_method(anonymous=True)
     def recent_calls(self, limit: int = 50, trace_id: str = "") -> List[Dict[str, Any]]:
         """The newest finished calls from the host's trace ring buffer.
 
         Each record carries ``trace_id``, ``method``, ``transport``,
-        ``principal``, ``started``, ``duration_ms``, ``outcome`` and (for
+        ``principal``, ``started``, ``duration_ms``, ``outcome``,
+        ``served_from`` (``execute`` / ``cache`` / ``coalesced``) and (for
         failures) ``code``/``error``.  Filter to one trace with
         *trace_id*; records arrive oldest-first.
         """
@@ -146,8 +165,20 @@ class _SystemService:
         failure cannot poison the batch.  Every sub-call runs through the
         full middleware pipeline under the batch's trace id.  Nested
         multicalls are rejected.
+
+        When the host's read cache is enabled, identical **read** sub-calls
+        (same method + canonical args, method registered with a
+        ``ReadPolicy``) are *coalesced*: the first occurrence executes, the
+        duplicates reuse its result without re-entering the pipeline.  This
+        is safe because duplicates share the batch's principal (same auth
+        and ACL outcome) and only declared-read-only sub-calls separate
+        them — any potentially mutating sub-call in between resets the
+        dedup window, so answers stay bit-identical to an uncoalesced run.
         """
+        host = self._host
+        cache = host.read_cache
         out: List[MulticallResult] = []
+        seen: Dict[Any, int] = {}  # coalescing key -> index of first result
         for call in calls:
             method = str(call.get("methodName", ""))
             params = list(call.get("params", []))
@@ -158,11 +189,40 @@ class _SystemService:
                     trace_id=ctx.trace_id,
                 ))
                 continue
+            key = None
+            if cache.enabled:
+                try:
+                    entry = host.registry.resolve(method)
+                except ClarensFault:
+                    entry = None
+                if (
+                    entry is not None
+                    and entry.cache is not None
+                    and not entry.pass_context
+                ):
+                    args_key = canonical_args(params)
+                    if args_key is not None:
+                        key = (method, args_key)
+                else:
+                    # A sub-call without a read policy may mutate state:
+                    # earlier read results are no longer reusable.
+                    seen.clear()
+            first_index = seen.get(key) if key is not None else None
+            if first_index is not None and out[first_index].ok:
+                cache.note_coalesced(method)
+                host.stats.record(method, True, served_from="coalesced")
+                out.append(MulticallResult(
+                    ok=True, result=out[first_index].result,
+                    trace_id=ctx.trace_id,
+                ))
+                continue
             try:
-                result = self._host.invoke_in_context(ctx, method, params)
+                result = host.invoke_in_context(ctx, method, params)
                 out.append(MulticallResult(
                     ok=True, result=result, trace_id=ctx.trace_id
                 ))
+                if key is not None:
+                    seen[key] = len(out) - 1
             except ClarensFault as exc:
                 out.append(MulticallResult(
                     ok=False, code=exc.code, error=exc.message,
@@ -195,6 +255,8 @@ class ClarensHost:
         acl: Optional[AccessControlList] = None,
         session_lifetime_s: float = 3600.0,
         trace_capacity: int = 256,
+        read_cache_capacity: int = 4096,
+        read_cache_enabled: bool = True,
     ) -> None:
         self.name = name
         self.registry = ServiceRegistry()
@@ -204,6 +266,13 @@ class ClarensHost:
         self.acl = acl if acl is not None else AccessControlList(default_allow=False)
         self.stats = CallStats()
         self.traces = TraceLog(capacity=trace_capacity)
+        #: Epoch counters every mutating subsystem bumps (``wire_epochs``).
+        self.epochs = EpochRegistry()
+        #: The epoch-keyed result cache behind ``ReadCacheMiddleware``,
+        #: multicall coalescing, and the webui's memoized hot pages.
+        self.read_cache = ReadCache(
+            self.epochs, capacity=read_cache_capacity, enabled=read_cache_enabled
+        )
         #: The GAE's :class:`~repro.observability.instrument.GAEInstrumentation`
         #: when wired (``build_gae`` sets it); ``system.observability`` reads it.
         self.observability = None
@@ -222,6 +291,7 @@ class ClarensHost:
             MetricsMiddleware(self.stats),
             AuthenticationMiddleware(self.auth),
             AclMiddleware(self.registry, self.acl),
+            ReadCacheMiddleware(self.read_cache),
             *self._user_middlewares,
         ]
         return build_pipeline(chain, self._invoke)

@@ -145,16 +145,36 @@ class CallStats:
         self.faults = 0
         self.per_method: Dict[str, int] = {}
         self._methods: Dict[str, _MethodRecord] = {}
+        #: method -> {served_from -> count} for non-executed responses
+        #: ("cache" hits, "coalesced" multicall dedups).
+        self._served: Dict[str, Dict[str, int]] = {}
         self._cap = max_samples_per_method
         self._lock = threading.Lock()
 
-    def record(self, method_path: str, ok: bool, duration_s: Optional[float] = None) -> None:
-        """Record one finished call (thread-safe)."""
+    def record(
+        self,
+        method_path: str,
+        ok: bool,
+        duration_s: Optional[float] = None,
+        served_from: str = "execute",
+    ) -> None:
+        """Record one finished call (thread-safe).
+
+        ``served_from`` distinguishes full executions (``"execute"``) from
+        responses answered by the read cache (``"cache"``) or by multicall
+        deduplication (``"coalesced"``).  Only executed calls enter the
+        latency reservoirs — sub-microsecond cached responses would
+        otherwise silently drag p50/p95/p99 toward zero.
+        """
         with self._lock:
             self.calls += 1
             if not ok:
                 self.faults += 1
             self.per_method[method_path] = self.per_method.get(method_path, 0) + 1
+            if served_from != "execute":
+                sources = self._served.setdefault(method_path, {})
+                sources[served_from] = sources.get(served_from, 0) + 1
+                return
             rec = self._methods.get(method_path)
             if rec is None:
                 rec = self._methods[method_path] = _MethodRecord(self._cap)
@@ -184,12 +204,14 @@ class CallStats:
         with self._lock:
             per_method = dict(self.per_method)
             latency = {name: rec.summary_ms() for name, rec in self._methods.items()}
+            served = {name: dict(srcs) for name, srcs in self._served.items()}
             calls, faults = self.calls, self.faults
         return {
             "calls": calls,
             "faults": faults,
             "per_method": per_method,
             "latency_ms": latency,
+            "served": served,
         }
 
 
@@ -206,6 +228,7 @@ class TraceRecord:
     outcome: str            # "ok" | "fault" | "error"
     code: int = 0           # fault code when outcome != "ok"
     error: str = ""
+    served_from: str = "execute"  # "execute" | "cache" | "coalesced"
 
     def to_wire(self) -> Dict[str, Any]:
         return {
@@ -218,6 +241,7 @@ class TraceRecord:
             "outcome": self.outcome,
             "code": self.code,
             "error": self.error,
+            "served_from": self.served_from,
         }
 
 

@@ -290,6 +290,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """Run (or validate) the closed-loop RPC read-path load harness."""
+    from repro.analysis.load import run_loadtest, validate_loadtest_file
+
+    if args.validate:
+        validate_loadtest_file(args.validate)
+        print(f"{args.validate}: schema ok")
+        return 0
+    run_loadtest(
+        quick=args.quick,
+        seed=args.seed,
+        out=None if args.out == "-" else args.out,
+        n_tasks=args.n_tasks,
+        workers=args.workers,
+        calls_per_worker=args.calls_per_worker,
+    )
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     """A steered job's whole life, exported as one trace.
 
@@ -542,6 +561,24 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--validate", type=str, default=None, metavar="PATH",
                     help="validate an existing report's schema instead of running")
     pb.set_defaults(func=_cmd_bench)
+
+    pl = sub.add_parser(
+        "loadtest",
+        help="closed-loop RPC read-path load harness (cached vs uncached)",
+    )
+    pl.add_argument("--quick", action="store_true", help="small CI-sized run")
+    pl.add_argument("--seed", type=int, default=1995)
+    pl.add_argument("--out", type=str, default="LOAD_readpath.json",
+                    help="report path ('-' to skip writing)")
+    pl.add_argument("--tasks", type=int, default=None, dest="n_tasks",
+                    help="jobs held live on the rig (default 10000, quick 2000)")
+    pl.add_argument("--workers", type=int, default=None,
+                    help="closed-loop worker threads (default 8, quick 4)")
+    pl.add_argument("--calls-per-worker", type=int, default=None,
+                    help="schedule length per worker (default 1500, quick 250)")
+    pl.add_argument("--validate", type=str, default=None, metavar="PATH",
+                    help="validate an existing report's schema instead of running")
+    pl.set_defaults(func=_cmd_loadtest)
 
     pd = sub.add_parser(
         "demo", help="end-to-end GAE demo: flock, pause, move, trace export"

@@ -128,6 +128,9 @@ class HistoryRepository:
         # order.  Built lazily on first query of each template, then kept
         # up to date incrementally by add()/extend().
         self._indexes: Dict[Tuple[str, ...], Dict[Tuple, List[TaskRecord]]] = {}
+        #: Called with each record as it is appended — the read-cache
+        #: "history" epoch (and anything else watching arrivals) hangs here.
+        self.listeners: List = []
 
     def __len__(self) -> int:
         return len(self._records)
@@ -143,6 +146,8 @@ class HistoryRepository:
             for attributes, buckets in self._indexes.items():
                 key = tuple(record.attribute(a) for a in attributes)
                 buckets.setdefault(key, []).append(record)
+        for listener in self.listeners:
+            listener(record)
 
     def extend(self, records: Iterable[TaskRecord]) -> None:
         """Append many records."""

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.clarens.readcache import ReadPolicy
 from repro.clarens.registry import clarens_method
 from repro.core.estimators.history import HistoryRepository
 from repro.core.estimators.queue_time import QueueTimeEstimator, RuntimeEstimateDB
@@ -142,7 +143,11 @@ class EstimatorService:
     # ------------------------------------------------------------------
     # Clarens-exposed estimator methods
     # ------------------------------------------------------------------
-    @clarens_method
+    # estimate_transfer_time and estimate_completion are deliberately NOT
+    # cached: both may draw from the iperf probe's RNG stream, and serving
+    # a cached answer would skip the draw — diverging the stream from an
+    # uncached host and breaking bit-identity.
+    @clarens_method(cache=ReadPolicy(depends_on=("history",)))
     def estimate_runtime(self, spec: Dict[str, object]) -> Dict[str, object]:
         """Runtime estimate for a task spec (wire struct in, struct out)."""
         est = self.runtime.estimate(spec_from_wire(spec))
@@ -155,12 +160,16 @@ class EstimatorService:
             "method": est.method,
         }
 
-    @clarens_method
+    @clarens_method(
+        cache=ReadPolicy(depends_on=("clock", "scheduler", "pool:*", "estimates"))
+    )
     def estimate_queue_time(self, site_name: str, task_id: str) -> float:
         """Queue-wait estimate for a task already queued at a site (§6.2)."""
         return self.queue_time.estimate(self._service(site_name), task_id)
 
-    @clarens_method
+    @clarens_method(
+        cache=ReadPolicy(depends_on=("clock", "scheduler", "pool:*", "estimates"))
+    )
     def estimate_queue_time_by_condor_id(self, site_name: str, condor_id: int) -> float:
         """Queue-wait estimate keyed by Condor id.
 
@@ -205,7 +214,7 @@ class EstimatorService:
             "total_s": runtime_s + queue_s + transfer_s,
         }
 
-    @clarens_method
+    @clarens_method(cache=ReadPolicy(depends_on=("history",)))
     def history_size(self) -> int:
         """Number of records in the task history."""
         return len(self.history)

@@ -40,6 +40,7 @@ With memoization, the second estimate reuses the first probe's bandwidth:
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -60,17 +61,19 @@ class TransferEstimate:
 
 @dataclass
 class BandwidthCacheStats:
-    """Hit/miss counters for the memoized bandwidth cache."""
+    """Hit/miss/eviction counters for the memoized bandwidth cache."""
 
     hits: int = 0
     misses: int = 0
     expirations: int = 0
+    evictions: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "expirations": self.expirations,
+            "evictions": self.evictions,
         }
 
 
@@ -83,6 +86,7 @@ class TransferTimeEstimator:
         smoothing_window: int = 1,
         cache_ttl_s: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
+        cache_max_pairs: int = 1024,
     ) -> None:
         """``smoothing_window`` > 1 averages that many probe measurements
         per estimate (more probe traffic, steadier predictions).
@@ -92,17 +96,27 @@ class TransferTimeEstimator:
         ``time.monotonic`` — pass the simulation clock when estimating
         under simulated time) is answered from cache.  ``None`` (default)
         probes on every estimate, the original behaviour.
+
+        ``cache_max_pairs`` bounds the memo: beyond that many (src, dst)
+        pairs the least-recently-used entry is evicted (counted in
+        ``cache_stats.evictions``), so a grid with many sites cannot grow
+        the memo without bound.
         """
         if smoothing_window < 1:
             raise ValueError(f"smoothing_window must be >= 1, got {smoothing_window}")
         if cache_ttl_s is not None and cache_ttl_s <= 0:
             raise ValueError(f"cache_ttl_s must be positive, got {cache_ttl_s}")
+        if cache_max_pairs < 1:
+            raise ValueError(f"cache_max_pairs must be positive, got {cache_max_pairs}")
         self.probe = probe
         self.smoothing_window = smoothing_window
         self.cache_ttl_s = cache_ttl_s
+        self.cache_max_pairs = cache_max_pairs
         self.clock = clock
         self.cache_stats = BandwidthCacheStats()
-        self._bandwidth_cache: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        self._bandwidth_cache: "OrderedDict[Tuple[str, str], Tuple[float, float]]" = (
+            OrderedDict()
+        )
 
     def _now(self) -> float:
         return float(self.clock()) if self.clock is not None else time.monotonic()
@@ -129,12 +143,44 @@ class TransferTimeEstimator:
                 bandwidth, measured_at = cached
                 if now - measured_at < self.cache_ttl_s:
                     self.cache_stats.hits += 1
+                    self._bandwidth_cache.move_to_end(key)
                     return bandwidth
                 self.cache_stats.expirations += 1
         self.cache_stats.misses += 1
         bandwidth = self._probe_bandwidth(src, dst)
         self._bandwidth_cache[key] = (bandwidth, now)
+        self._bandwidth_cache.move_to_end(key)
+        while len(self._bandwidth_cache) > self.cache_max_pairs:
+            self._bandwidth_cache.popitem(last=False)
+            self.cache_stats.evictions += 1
         return bandwidth
+
+    def export_cache_state(self) -> Dict[str, object]:
+        """The memo and its counters, JSON-serializable, for checkpointing.
+
+        A restored estimator must answer ``system.observability`` (which
+        exposes the counters as metrics) and re-probe exactly as the
+        original would have — so both the entries (with their insertion
+        order and timestamps) and the statistics travel.
+        """
+        return {
+            "entries": [
+                [src, dst, bandwidth, measured_at]
+                for (src, dst), (bandwidth, measured_at)
+                in self._bandwidth_cache.items()
+            ],
+            "stats": self.cache_stats.as_dict(),
+        }
+
+    def import_cache_state(self, state: Dict[str, object]) -> None:
+        """Restore the memo written by :meth:`export_cache_state`."""
+        self._bandwidth_cache.clear()
+        for src, dst, bandwidth, measured_at in state["entries"]:  # type: ignore[union-attr]
+            self._bandwidth_cache[(src, dst)] = (float(bandwidth), float(measured_at))
+        stats = state["stats"]  # type: ignore[index]
+        self.cache_stats = BandwidthCacheStats(**{
+            key: int(stats[key]) for key in ("hits", "misses", "expirations", "evictions")
+        })
 
     def invalidate(self, src: Optional[str] = None, dst: Optional[str] = None) -> int:
         """Drop cached bandwidths (all, or those touching the named sites).

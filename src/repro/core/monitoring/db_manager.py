@@ -136,6 +136,9 @@ class DBManager:
         with self._lock:
             self._conn.executescript(_SCHEMA)
         self.monalisa = monalisa
+        #: Called with each record after it is upserted — the read-cache
+        #: "monitoring" epoch (and any other watcher) hangs here.
+        self.update_listeners: list = []
 
     def close(self) -> None:
         """Idempotently close the underlying database connection.
@@ -168,6 +171,8 @@ class DBManager:
             self._conn.commit()
         if self.monalisa is not None:
             self.monalisa.publish_job_state(self._job_state_event(record))
+        for listener in self.update_listeners:
+            listener(record)
 
     def update_many(self, records: Iterable[MonitoringRecord]) -> int:
         """Batched upsert: one ``executemany`` pair in one transaction.
@@ -188,6 +193,9 @@ class DBManager:
         if self.monalisa is not None:
             for record in records:
                 self.monalisa.publish_job_state(self._job_state_event(record))
+        for listener in self.update_listeners:
+            for record in records:
+                listener(record)
         return len(records)
 
     @staticmethod
@@ -300,3 +308,5 @@ class DBManager:
                 [tuple(row) for row in state["history"]],
             )
             self._conn.commit()
+        for listener in self.update_listeners:
+            listener(None)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.clarens.readcache import ReadPolicy
 from repro.clarens.registry import clarens_method
 from repro.core.monitoring.collector import JobInformationCollector
 from repro.core.monitoring.db_manager import DBManager
@@ -23,6 +24,15 @@ from repro.store.base import StateStore
 
 class MonitoringError(RuntimeError):
     """Raised for queries about tasks nobody has ever seen."""
+
+
+#: Every jobmon read mixes live pool state, the monitoring DB, the
+#: at-submission estimates, scheduler queue placement, and elapsed time
+#: (a function of the simulation clock) — so they all depend on the
+#: union of those epochs.  Over-declaring only costs hit rate.
+_READS = ReadPolicy(depends_on=(
+    "clock", "scheduler", "pool:*", "monitoring", "estimates"
+))
 
 
 def _record_to_wire(record: MonitoringRecord) -> Dict[str, object]:
@@ -116,57 +126,57 @@ class JobMonitoringService:
     # ------------------------------------------------------------------
     # Clarens-exposed API (§5's field list)
     # ------------------------------------------------------------------
-    @clarens_method
+    @clarens_method(cache=_READS)
     def job_info(self, task_id: str) -> Dict[str, object]:
         """Every monitoring field for one task as a wire struct."""
         return _record_to_wire(self.record_for(task_id))
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def job_status(self, task_id: str) -> str:
         """Just the status string (the cheapest, most-polled call)."""
         return self.record_for(task_id).status
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def elapsed_time(self, task_id: str) -> float:
         """Condor accumulated wall-clock seconds."""
         return self.record_for(task_id).elapsed_time_s
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def remaining_time(self, task_id: str) -> float:
         """Estimated seconds of work left (0 when no estimate exists)."""
         return self.record_for(task_id).remaining_time_s
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def estimated_run_time(self, task_id: str) -> float:
         """The at-submission runtime estimate."""
         return self.record_for(task_id).estimated_run_time_s
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def queue_position(self, task_id: str) -> int:
         """0-based idle-queue position; -1 when not queued."""
         return self.record_for(task_id).queue_position
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def progress(self, task_id: str) -> float:
         """Completed fraction in [0, 1]."""
         return self.record_for(task_id).progress
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def job_tasks(self, job_id: str) -> List[Dict[str, object]]:
         """Monitoring structs for every known task of a job."""
         return [_record_to_wire(r) for r in self.executable.get_job_info(job_id)]
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def owner_tasks(self, owner: str) -> List[Dict[str, object]]:
         """Monitoring structs for every stored task of an owner."""
         return [_record_to_wire(r) for r in self.db_manager.for_owner(owner)]
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def running_tasks(self) -> List[Dict[str, object]]:
         """Live snapshots of everything currently running."""
         return [_record_to_wire(r) for r in self.collector.collect_running()]
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def progress_history(self, task_id: str) -> List[Dict[str, object]]:
         """Every stored snapshot of a task, oldest first.
 

@@ -30,6 +30,7 @@ from typing import Dict, Optional, Tuple
 from repro.accounting.service import QuotaAccountingService
 from repro.clarens.acl import AccessControlList
 from repro.clarens.client import ClarensClient
+from repro.clarens.readcache import wire_epochs
 from repro.clarens.server import ClarensHost
 from repro.clarens.transport import InProcessTransport
 from repro.core.estimators.history import HistoryRecorder, HistoryRepository
@@ -151,6 +152,7 @@ def build_gae(
     transfer_cache_ttl_s: Optional[float] = 300.0,
     observability: bool = True,
     store: Optional[StateStore] = None,
+    read_cache: bool = True,
 ) -> GAE:
     """Wire the full GAE over an assembled grid.
 
@@ -182,6 +184,14 @@ def build_gae(
         steering and MonALISA, a lifecycle event journal, the unified
         metrics registry, the ``system.observability`` Clarens method,
         and an ``rpc:*`` span per dispatched call.
+    read_cache:
+        When true (the default) the host's epoch-keyed read cache is
+        enabled and every mutating subsystem is wired to bump its epoch
+        (:func:`repro.clarens.readcache.wire_epochs`), so repeat reads
+        whose inputs haven't changed are served without re-execution —
+        bit-identical by construction.  ``False`` disables caching *and*
+        multicall coalescing, restoring the always-execute pipeline (the
+        benchmark baseline).
     """
     sim = grid.sim
     store = store if store is not None else MemoryStore()
@@ -233,7 +243,24 @@ def build_gae(
         period_s=load_publish_period_s,
     )
 
-    host = ClarensHost(name=host_name, time_source=lambda: sim.now, acl=default_acl())
+    host = ClarensHost(
+        name=host_name,
+        time_source=lambda: sim.now,
+        acl=default_acl(),
+        read_cache_enabled=read_cache,
+    )
+    if read_cache:
+        wire_epochs(
+            host.epochs,
+            sim=sim,
+            scheduler=grid.scheduler,
+            pools={name: grid.sites[name].pool for name in grid.sites},
+            db_manager=monitoring.db_manager,
+            history=history,
+            estimate_db=estimators.estimate_db,
+            quotas=accounting.quotas,
+            monalisa=monalisa,
+        )
     service_metrics_publisher = ServiceMetricsPublisher(
         sim, monalisa, host, period_s=service_metrics_period_s
     )
@@ -258,6 +285,7 @@ def build_gae(
         )
         host.observability = instrumentation
         host.add_middleware(instrumentation.middleware())
+        host.read_cache.bind_metrics(instrumentation.metrics)
 
     return GAE(
         grid=grid,
@@ -283,5 +311,6 @@ def build_gae(
             "service_metrics_period_s": service_metrics_period_s,
             "transfer_cache_ttl_s": transfer_cache_ttl_s,
             "observability": observability,
+            "read_cache": read_cache,
         },
     )

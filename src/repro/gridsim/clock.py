@@ -25,6 +25,9 @@ class SimClock:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
+        #: Listeners called with the new time whenever the clock actually
+        #: moves forward (the read-cache "clock" epoch hangs off this).
+        self.on_advance: List[Callable[[float], None]] = []
 
     @property
     def now(self) -> float:
@@ -36,7 +39,12 @@ class SimClock:
             raise SimulationError(
                 f"clock may not move backwards ({t:.6g} < {self._now:.6g})"
             )
-        self._now = t
+        if t > self._now:
+            self._now = t
+            for listener in self.on_advance:
+                listener(t)
+        else:
+            self._now = t
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SimClock(now={self._now:.6g})"

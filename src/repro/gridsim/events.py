@@ -50,14 +50,17 @@ class EventHandle:
     Cancellation is *lazy*: the underlying heap entry stays in place and is
     skipped when popped.  This keeps scheduling O(log n) with no heap
     surgery, which matters for the steering service's frequently re-armed
-    poll timers.
+    poll timers.  The owning queue counts cancellations and compacts the
+    heap once cancelled entries outnumber live ones, so a workload that
+    re-arms timers forever cannot grow the heap without bound.
     """
 
-    __slots__ = ("event", "_cancelled")
+    __slots__ = ("event", "_cancelled", "_queue")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, queue: Optional["EventQueue"] = None) -> None:
         self.event = event
         self._cancelled = False
+        self._queue = queue
 
     @property
     def time(self) -> float:
@@ -75,7 +78,11 @@ class EventHandle:
         Idempotent; cancelling an already-fired event has no effect on the
         past but marks the handle cancelled.
         """
+        if self._cancelled:
+            return
         self._cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancel(self.event.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self._cancelled else "armed"
@@ -93,10 +100,35 @@ class EventQueue:
         self._heap: List[Event] = []
         self._handles: dict[int, EventHandle] = {}
         self._counter: Iterator[int] = itertools.count()
+        # Cancelled events still sitting in the heap.  Kept exact by
+        # _note_cancel/peek/pop so __len__ is O(1) and compaction can
+        # trigger the moment cancelled entries outnumber live ones.
+        self._cancelled_pending = 0
 
     def __len__(self) -> int:
         # Cancelled events still occupy heap slots; report live events only.
-        return sum(1 for ev in self._heap if not self._handles[ev.seq].cancelled)
+        return len(self._heap) - self._cancelled_pending
+
+    def _note_cancel(self, seq: int) -> None:
+        """Handle-cancellation callback: count it, compact when dominant.
+
+        Only counts events still pending (an already-fired event's seq is
+        gone from ``_handles``).  Compaction drops every cancelled entry
+        and re-heapifies — safe bit-for-bit because ``(time, seq)`` is a
+        total order with unique ``seq``, so the surviving events pop in
+        exactly the order they would have anyway.
+        """
+        if seq not in self._handles:
+            return
+        self._cancelled_pending += 1
+        if self._cancelled_pending > len(self._heap) // 2:
+            live = [ev for ev in self._heap if not self._handles[ev.seq].cancelled]
+            for ev in self._heap:
+                if self._handles[ev.seq].cancelled:
+                    del self._handles[ev.seq]
+            heapq.heapify(live)
+            self._heap = live
+            self._cancelled_pending = 0
 
     def __bool__(self) -> bool:
         return self.peek() is not None
@@ -110,7 +142,7 @@ class EventQueue:
         if time != time:  # NaN guard
             raise SimulationError("event time must not be NaN")
         event = Event(time=float(time), seq=next(self._counter), action=action, label=label)
-        handle = EventHandle(event)
+        handle = EventHandle(event, self)
         heapq.heappush(self._heap, event)
         self._handles[event.seq] = handle
         return handle
@@ -122,6 +154,7 @@ class EventQueue:
             if self._handles[head.seq].cancelled:
                 heapq.heappop(self._heap)
                 del self._handles[head.seq]
+                self._cancelled_pending -= 1
                 continue
             return head
         return None
@@ -145,6 +178,7 @@ class EventQueue:
         """Drop every pending event (live and cancelled)."""
         self._heap.clear()
         self._handles.clear()
+        self._cancelled_pending = 0
 
 
 @dataclass

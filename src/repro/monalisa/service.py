@@ -10,8 +10,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.clarens.readcache import ReadPolicy
 from repro.clarens.registry import clarens_method
 from repro.monalisa.repository import MonALISARepository
+
+#: Every answer here is a pure function of the repository, which only
+#: changes via publish()/publish_job_state() — the "monalisa" epoch.
+_READS = ReadPolicy(depends_on=("monalisa",))
 
 
 class MonALISAQueryService:
@@ -20,22 +25,22 @@ class MonALISAQueryService:
     def __init__(self, repository: MonALISARepository) -> None:
         self.repository = repository
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def farms(self) -> List[str]:
         """Every site (farm) that has published monitoring data."""
         return self.repository.farms()
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def metrics_of(self, farm: str) -> List[str]:
         """Metric names a farm has published."""
         return self.repository.metrics_of(farm)
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def site_load(self, farm: str) -> float:
         """Latest published load for a site (0 when never published)."""
         return self.repository.site_load(farm, default=0.0)
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def grid_weather(self) -> Dict[str, float]:
         """Latest load for every site that publishes one — 'Grid weather'.
 
@@ -47,7 +52,7 @@ class MonALISAQueryService:
                 for farm in self.repository.farms()
                 if self.repository.has_series(farm, "load")}
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def service_health(self, host: str = "") -> Dict[str, Dict[str, float]]:
         """Latest RPC telemetry published for Clarens hosts.
 
@@ -70,12 +75,12 @@ class MonALISAQueryService:
                 out[farm] = rpc
         return out
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def latest(self, farm: str, metric: str) -> float:
         """Most recent value of one metric (fault when never published)."""
         return self.repository.latest(farm, metric)
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def series_window(
         self, farm: str, metric: str, t0: float, t1: float
     ) -> Dict[str, List[float]]:
@@ -83,7 +88,7 @@ class MonALISAQueryService:
         times, values = self.repository.series(farm, metric).window(t0, t1)
         return {"times": [float(t) for t in times], "values": [float(v) for v in values]}
 
-    @clarens_method
+    @clarens_method(cache=_READS)
     def job_events(
         self, task_id: str = "", job_id: str = ""
     ) -> List[Dict[str, object]]:

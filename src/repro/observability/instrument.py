@@ -235,6 +235,18 @@ class GAEInstrumentation:
                 "task-history rows feeding the runtime estimator",
                 fn=lambda: float(estimators.history_size()),
             )
+            transfer = getattr(estimators, "transfer", None)
+            if transfer is not None:
+                # The iperf bandwidth memo's counters, observable like
+                # everything else (one fn-backed gauge per event kind).
+                for kind in ("hits", "misses", "expirations", "evictions"):
+                    self.metrics.gauge(
+                        f"gae_transfer_probe_cache_{kind}",
+                        f"iperf bandwidth-memo {kind}",
+                        fn=lambda _kind=kind: float(
+                            getattr(transfer.cache_stats, _kind)
+                        ),
+                    )
         if monitoring is not None:
             self.metrics.gauge(
                 "gae_monitoring_records",

@@ -147,6 +147,12 @@ class Checkpointer:
                 grid.sites[name].pool.snapshot_state(),
             )
         store.put(CHECKPOINT_GRIDSIM, "catalog", grid.catalog.snapshot_files())
+        if gae.estimators.transfer is not None:
+            store.put(
+                CHECKPOINT_GRIDSIM,
+                "transfer_cache",
+                gae.estimators.transfer.export_cache_state(),
+            )
         store.put(CHECKPOINT_GRIDSIM, "rng", grid.rngs.export_states())
         store.put(
             CHECKPOINT_GRIDSIM,
@@ -232,6 +238,9 @@ def restore_gae(path: str, store: Optional[StateStore] = None) -> "GAE":
         for name, failed in source.get(CHECKPOINT_GRIDSIM, "services").items():
             grid.execution_services[name].restore_availability(failed)
         grid.catalog.restore_files(source.get(CHECKPOINT_GRIDSIM, "catalog"))
+        transfer_cache = source.get(CHECKPOINT_GRIDSIM, "transfer_cache", default=None)
+        if transfer_cache is not None and gae.estimators.transfer is not None:
+            gae.estimators.transfer.import_cache_state(transfer_cache)
 
         # 6. Steering, accounting, observability.
         gae.steering.subscriber.import_state(

@@ -138,6 +138,16 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
         )
 
     def _jobs(self) -> str:
+        # The jobs table is the UI's hot page; its rendered HTML is
+        # memoized in the host's epoch-keyed read cache under a
+        # pseudo-method name, invalidated by the same epochs the jobmon
+        # RPCs depend on.
+        return self.gae.host.read_cache.cached(
+            "webui.jobs", (), ("clock", "scheduler", "pool:*", "monitoring"),
+            self._render_jobs,
+        )
+
+    def _render_jobs(self) -> str:
         gae = self.gae
         records = {r.task_id: r for r in gae.monitoring.collector.collect_running()}
         for task_id in gae.monitoring.db_manager.task_ids():
@@ -197,6 +207,11 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
         return _table(["time (s)", "kind", "task", "owner", "site", "detail"], rows)
 
     def _weather(self) -> Dict[str, float]:
+        return self.gae.host.read_cache.cached(
+            "webui.weather", (), ("monalisa",), self._compute_weather,
+        )
+
+    def _compute_weather(self) -> Dict[str, float]:
         return {
             farm: self.gae.monalisa.site_load(farm, default=0.0)
             for farm in self.gae.monalisa.farms()

@@ -141,5 +141,5 @@ class TestTraceLog:
         assert wire["outcome"] == "ok"
         assert set(wire) == {
             "trace_id", "method", "transport", "principal", "started",
-            "duration_ms", "outcome", "code", "error",
+            "duration_ms", "outcome", "code", "error", "served_from",
         }

@@ -258,6 +258,19 @@ class TestBenchHarness:
                     "speedup": 2.0, "identical": True,
                     "backends_identical": True,
                 },
+                "rpc_read_path": {
+                    "n_tasks": 10, "workers": 2, "calls_per_worker": 5,
+                    "total_calls": 10, "mutations": 1, "rounds": 1,
+                    "identical": True, "uncached_wall_s": 1.0,
+                    "cached_wall_s": 0.25, "uncached_calls_per_s": 10.0,
+                    "cached_calls_per_s": 40.0, "speedup": 4.0,
+                    "cache": {
+                        "hits": 4, "misses": 5, "invalidations": 1,
+                        "coalesced": 2, "entries": 5, "evictions": 0,
+                        "hit_rate": 0.4,
+                    },
+                    "mix": {"jobmon.job_status": 10},
+                },
             },
         }
         validate_report(report)  # must not raise
@@ -273,6 +286,11 @@ class TestBenchHarness:
             validate_report(broken)
         broken = {**report, "sections": {**report["sections"], "observability": {
             **report["sections"]["observability"], "overhead_pct": "low"}}}
+        with pytest.raises(BenchSchemaError):
+            validate_report(broken)
+        broken = {**report, "sections": {**report["sections"], "rpc_read_path": {
+            **report["sections"]["rpc_read_path"], "cache": {
+                **report["sections"]["rpc_read_path"]["cache"], "hits": 1.5}}}}
         with pytest.raises(BenchSchemaError):
             validate_report(broken)
         broken = {**report, "sections": {**report["sections"], "persistence": {

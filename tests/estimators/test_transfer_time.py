@@ -75,3 +75,43 @@ class TestStageIn:
         catalog.register(StorageElement("dst"))
         est = TransferTimeEstimator(perfect_probe(net))
         assert est.estimate_stage_in(catalog, [], "dst") == 0.0
+
+
+class TestCacheBound:
+    def _estimator(self, n_sites, cache_max_pairs):
+        net = Network()
+        for i in range(1, n_sites):
+            net.add_link(Link("hub", f"s{i}", capacity_mbps=800.0))
+        ticks = iter(range(1_000_000))
+        return TransferTimeEstimator(
+            IperfProbe(net, noise_sigma=0.0),
+            cache_ttl_s=1e9,
+            clock=lambda: float(next(ticks)),
+            cache_max_pairs=cache_max_pairs,
+        )
+
+    def test_memo_never_exceeds_cap_and_counts_evictions(self):
+        est = self._estimator(n_sites=20, cache_max_pairs=4)
+        for i in range(1, 20):
+            est.measure_bandwidth("hub", f"s{i}")
+        assert len(est._bandwidth_cache) == 4
+        assert est.cache_stats.evictions == 19 - 4
+        assert est.cache_stats.as_dict()["evictions"] == 15
+
+    def test_eviction_is_least_recently_used(self):
+        est = self._estimator(n_sites=5, cache_max_pairs=2)
+        est.measure_bandwidth("hub", "s1")
+        est.measure_bandwidth("hub", "s2")
+        est.measure_bandwidth("hub", "s1")  # refresh s1
+        est.measure_bandwidth("hub", "s3")  # evicts s2
+        hits_before = est.cache_stats.hits
+        est.measure_bandwidth("hub", "s1")
+        assert est.cache_stats.hits == hits_before + 1  # s1 survived
+        misses_before = est.cache_stats.misses
+        est.measure_bandwidth("hub", "s2")  # gone: must re-probe
+        assert est.cache_stats.misses == misses_before + 1
+
+    def test_invalid_cap_rejected(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            TransferTimeEstimator(IperfProbe(net), cache_max_pairs=0)

@@ -103,3 +103,56 @@ class TestQueueEdgeCases:
         q = EventQueue()
         h = q.push(7.5, lambda: None)
         assert h.time == 7.5
+
+
+class TestHeapCompaction:
+    def test_heap_stays_bounded_under_repeated_rearming(self):
+        """A forever re-armed timer must not grow the heap without bound.
+
+        This is the steering-poll pattern: cancel the pending timer, arm a
+        new one.  Lazy cancellation alone would retain every cancelled
+        entry until its pop time; compaction keeps cancelled entries from
+        ever outnumbering live ones.
+        """
+        q = EventQueue()
+        handle = q.push(1.0, lambda: None, label="timer")
+        for i in range(10_000):
+            handle.cancel()
+            handle = q.push(float(i + 2), lambda: None, label="timer")
+        assert len(q) == 1  # one live timer
+        # Bounded: cancelled entries can never exceed half the heap (plus
+        # the one just cancelled before compaction triggers).
+        assert len(q._heap) <= 3
+
+    def test_compaction_preserves_pop_order_bit_for_bit(self):
+        # (time, seq) is a total order with unique seq, so the expected
+        # pop order of the surviving events is their sorted key order —
+        # heavy cancellation (and the compactions it triggers) must not
+        # change it.
+        import random
+
+        rng = random.Random(42)
+        q = EventQueue()
+        expected = []
+        for i in range(2_000):
+            t = rng.uniform(0.0, 100.0)
+            handle = q.push(t, lambda: None, label=f"e{i}")
+            if rng.random() < 0.7:
+                handle.cancel()
+            else:
+                expected.append((t, handle.event.seq, f"e{i}"))
+        expected.sort()
+        got = []
+        while q:
+            e = q.pop()
+            got.append((e.time, e.seq, e.label))
+        assert got == expected
+
+    def test_cancel_after_fire_does_not_corrupt_accounting(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.pop()  # fires h's event
+        h.cancel()  # late cancel of an already-fired event
+        assert len(q) == 1
+        assert q.pop().time == 2.0

@@ -10,7 +10,10 @@ Three checks, all run by CI's docs job:
    stale ones;
 3. the "State-store namespaces" table lists exactly the canonical
    namespaces of ``repro.store.registry`` — docs cannot drift from the
-   registry a checkpoint file is built on.
+   registry a checkpoint file is built on;
+4. the "Epoch taxonomy" table lists exactly the canonical epoch names
+   of ``repro.clarens.readcache.CANONICAL_EPOCHS`` — every epoch the
+   read cache can key on must be documented, and no stale names.
 
 Run from anywhere::
 
@@ -97,6 +100,33 @@ def check_store_namespaces(text: str) -> list[str]:
     return problems
 
 
+def documented_epochs(text: str) -> set[str]:
+    """Backticked tokens in the "Epoch taxonomy" table rows."""
+    match = re.search(r"### Epoch taxonomy\n(.*?)(?:\n#|\Z)", text, re.DOTALL)
+    if match is None:
+        return set()
+    tokens: set[str] = set()
+    for line in match.group(1).splitlines():
+        if line.startswith("|"):
+            first_cell = line.split("|")[1]
+            tokens.update(re.findall(r"`([a-z:<>-]+)`", first_cell))
+    tokens.discard("epoch")  # the table header
+    return tokens
+
+
+def check_epoch_taxonomy(text: str) -> list[str]:
+    from repro.clarens.readcache import CANONICAL_EPOCHS
+
+    documented = documented_epochs(text)
+    actual = {name for name, _description in CANONICAL_EPOCHS}
+    problems = []
+    for name in sorted(actual - documented):
+        problems.append(f"epoch {name!r} is not documented in the epoch taxonomy")
+    for name in sorted(documented - actual):
+        problems.append(f"documented epoch {name!r} is not in CANONICAL_EPOCHS")
+    return problems
+
+
 def main() -> int:
     if not ARCHITECTURE_MD.exists():
         print(f"error: {ARCHITECTURE_MD} does not exist", file=sys.stderr)
@@ -129,9 +159,19 @@ def main() -> int:
         for problem in namespace_problems:
             print(f"  - {problem}", file=sys.stderr)
         return 1
+    epoch_problems = check_epoch_taxonomy(text)
+    if epoch_problems:
+        print(
+            "docs/ARCHITECTURE.md epoch taxonomy is out of date:",
+            file=sys.stderr,
+        )
+        for problem in epoch_problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
     print(f"docs/ARCHITECTURE.md covers all {len(packages)} packages")
     print("docs/ARCHITECTURE.md event taxonomy matches EventType")
     print("docs/ARCHITECTURE.md state-store namespaces match the registry")
+    print("docs/ARCHITECTURE.md epoch taxonomy matches CANONICAL_EPOCHS")
     return 0
 
 
