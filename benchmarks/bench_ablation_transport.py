@@ -6,16 +6,23 @@ the per-call cost into layers:
 
 - bare in-process dispatch (auth + ACL + marshalling, no sockets),
 - real XML-RPC over loopback HTTP,
+- the framed async transport (serial round trips, and pipelined) under
+  each wire codec,
 - the marshalling layer alone (to_wire on a monitoring record),
 - token validation alone.
 """
 
 import pytest
 
+from repro.clarens.aio import AsyncSocketServerHandle
 from repro.clarens.client import ClarensClient
 from repro.clarens.serialization import to_wire
 from repro.clarens.server import ClarensHost, XmlRpcServerHandle
-from repro.clarens.transport import InProcessTransport, XmlRpcTransport
+from repro.clarens.transport import (
+    AsyncSocketTransport,
+    LoopbackTransport,
+    SocketTransport,
+)
 
 
 class EchoService:
@@ -57,7 +64,7 @@ def make_host():
 @pytest.mark.benchmark(group="ablation-transport")
 def test_inprocess_dispatch(benchmark):
     host = make_host()
-    client = ClarensClient(InProcessTransport(host))
+    client = ClarensClient(LoopbackTransport(host))
     client.login("u", "p")
     echo = client.service("echo")
     result = benchmark(lambda: echo.echo(SAMPLE_RECORD))
@@ -68,11 +75,43 @@ def test_inprocess_dispatch(benchmark):
 def test_xmlrpc_dispatch(benchmark):
     host = make_host()
     with XmlRpcServerHandle(host) as handle:
-        client = ClarensClient(XmlRpcTransport(handle.url))
+        client = ClarensClient(SocketTransport(handle.url))
         client.login("u", "p")
         echo = client.service("echo")
         result = benchmark(lambda: echo.echo(SAMPLE_RECORD))
         assert result["owner"] == "physicist"
+
+
+@pytest.mark.benchmark(group="ablation-transport")
+@pytest.mark.parametrize("codec", ["json", "xmlrpc"])
+def test_async_framed_dispatch(benchmark, codec):
+    host = make_host()
+    with AsyncSocketServerHandle(host) as handle:
+        client = ClarensClient(AsyncSocketTransport(handle.address, codec=codec))
+        client.login("u", "p")
+        echo = client.service("echo")
+        result = benchmark(lambda: echo.echo(SAMPLE_RECORD))
+        assert result["owner"] == "physicist"
+        client.close()
+
+
+@pytest.mark.benchmark(group="ablation-transport")
+@pytest.mark.parametrize("codec", ["json", "xmlrpc"])
+def test_async_framed_pipelined(benchmark, codec):
+    """Amortised per-call cost with 64 calls in flight on one connection."""
+    host = make_host()
+    with AsyncSocketServerHandle(host) as handle:
+        transport = AsyncSocketTransport(handle.address, codec=codec)
+        client = ClarensClient(transport)
+        token = client.login("u", "p")
+        batch = [("echo.echo", [SAMPLE_RECORD])] * 64
+
+        def run():
+            return transport.call_pipelined(batch, token=token)
+
+        results = benchmark(run)
+        assert all(ok for ok, _ in results)
+        client.close()
 
 
 @pytest.mark.benchmark(group="ablation-transport")
@@ -103,13 +142,13 @@ class TestTransportEquivalence:
                 fn()
             return (time.perf_counter() - t0) / n * 1e6  # us
 
-        local = ClarensClient(InProcessTransport(host))
+        local = ClarensClient(LoopbackTransport(host))
         local.login("u", "p")
         local_echo = local.service("echo")
         t_local = time_it(lambda: local_echo.echo(SAMPLE_RECORD))
         t_marshal = time_it(lambda: to_wire(SAMPLE_RECORD))
         with XmlRpcServerHandle(host) as handle:
-            remote = ClarensClient(XmlRpcTransport(handle.url))
+            remote = ClarensClient(SocketTransport(handle.url))
             remote.login("u", "p")
             remote_echo = remote.service("echo")
             t_remote = time_it(lambda: remote_echo.echo(SAMPLE_RECORD))

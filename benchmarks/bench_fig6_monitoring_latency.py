@@ -26,7 +26,7 @@ from repro.analysis.figures import FigureData
 from repro.analysis.latency import build_served_monitoring, measure_mean_latency_ms
 from repro.clarens.client import ClarensClient
 from repro.clarens.server import XmlRpcServerHandle
-from repro.clarens.transport import XmlRpcTransport
+from repro.clarens.transport import SocketTransport
 from repro.gae import build_gae
 from repro.gridsim import GridBuilder, Job, Task, TaskSpec
 
@@ -80,7 +80,7 @@ def test_single_request_latency(benchmark):
     """pytest-benchmark timing of one monitoring query over XML-RPC."""
     gae, task_ids = build_served_monitoring()
     with XmlRpcServerHandle(gae.host) as handle:
-        client = ClarensClient(XmlRpcTransport(handle.url))
+        client = ClarensClient(SocketTransport(handle.url))
         client.login("alice", "pw")
         jobmon = client.service("jobmon")
         result = benchmark(lambda: jobmon.job_status(task_ids[0]))
@@ -90,10 +90,10 @@ def test_single_request_latency(benchmark):
 @pytest.mark.benchmark(group="fig6-monitoring")
 def test_inprocess_request_latency(benchmark):
     """The same query without sockets — the transport-cost baseline."""
-    from repro.clarens.transport import InProcessTransport
+    from repro.clarens.transport import LoopbackTransport
 
     gae, task_ids = build_served_monitoring()
-    client = ClarensClient(InProcessTransport(gae.host))
+    client = ClarensClient(LoopbackTransport(gae.host))
     client.login("alice", "pw")
     jobmon = client.service("jobmon")
     result = benchmark(lambda: jobmon.job_status(task_ids[0]))

@@ -17,7 +17,7 @@ from repro.clarens import (
     ClarensHost,
     DiscoveryNetwork,
     XmlRpcServerHandle,
-    XmlRpcTransport,
+    SocketTransport,
 )
 
 
@@ -63,7 +63,7 @@ def main() -> None:
         hit = network.find_one("steering", start="nust")
         url = handles[hit.host_name].url
         print(f"\nconnecting to {hit.host_name} at {url}")
-        client = ClarensClient(XmlRpcTransport(url))
+        client = ClarensClient(SocketTransport(url))
         client.login("alice", "pw")
         print("remote host introspection:", client.list_services())
         answer = client.service("steering").where_am_i()

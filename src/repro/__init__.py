@@ -36,11 +36,13 @@ from repro.analysis import (
     summarize_errors,
 )
 from repro.clarens import (
+    AsyncSocketServerHandle,
+    AsyncSocketTransport,
     ClarensClient,
     ClarensHost,
-    InProcessTransport,
+    LoopbackTransport,
+    SocketTransport,
     XmlRpcServerHandle,
-    XmlRpcTransport,
 )
 from repro.core import (
     EstimatorService,
@@ -78,10 +80,36 @@ from repro.workloads import (
     physics_analysis_job,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Deprecated aliases kept for pre-redesign callers (warn on access).
+_DEPRECATED_NAMES = {
+    "InProcessTransport": "LoopbackTransport",
+    "XmlRpcTransport": "SocketTransport",
+}
+
+
+def __getattr__(name):
+    try:
+        replacement = _DEPRECATED_NAMES[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import warnings
+
+    warnings.warn(
+        f"{__name__}.{name} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return globals()[replacement]
+
 
 __all__ = [
     "AdaptiveSteeringAgent",
+    "AsyncSocketServerHandle",
+    "AsyncSocketTransport",
     "FaultInjector",
     "GAE",
     "GAEWebUI",
@@ -95,11 +123,11 @@ __all__ = [
     "FigureData",
     "GridBuilder",
     "HistoryRepository",
-    "InProcessTransport",
     "Job",
     "JobMonitoringService",
     "JobState",
     "LoadProfile",
+    "LoopbackTransport",
     "MonALISARepository",
     "ParagonAccountingRecord",
     "QueueTimeEstimator",
@@ -107,6 +135,7 @@ __all__ = [
     "QuotaManager",
     "RuntimeEstimator",
     "Simulator",
+    "SocketTransport",
     "SphinxScheduler",
     "SteeringPolicy",
     "SteeringService",
@@ -115,7 +144,6 @@ __all__ = [
     "TaskSpec",
     "TransferTimeEstimator",
     "XmlRpcServerHandle",
-    "XmlRpcTransport",
     "build_gae",
     "count_primes",
     "gae_from_scenario",

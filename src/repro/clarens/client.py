@@ -1,6 +1,6 @@
 """Client-side convenience layer: sessions and service proxies.
 
->>> client = ClarensClient(InProcessTransport(host))   # doctest: +SKIP
+>>> client = ClarensClient(host)                       # doctest: +SKIP
 >>> client.login("alice", "secret")                    # doctest: +SKIP
 >>> steering = client.service("steering")              # doctest: +SKIP
 >>> steering.list_jobs()                               # doctest: +SKIP
@@ -8,12 +8,18 @@
 A :class:`ServiceProxy` turns attribute access into remote calls, carrying
 the client's session token automatically.
 
-Clients are context managers — leaving the ``with`` block logs out and
-closes the transport::
+The constructor accepts a ready transport, a host (wrapped in a
+:class:`~repro.clarens.transport.LoopbackTransport`), or an endpoint
+string — ``http://...`` for the threaded XML-RPC server, ``clarens://``
+for the framed async server, where ``codec=`` states the wire-codec
+preference::
 
-    with ClarensClient(XmlRpcTransport(url)) as client:
+    with ClarensClient("clarens://127.0.0.1:8123", codec="json") as client:
         client.login("alice", "secret")
         ...
+
+Clients are context managers — leaving the ``with`` block logs out and
+closes the transport.
 
 Every call carries the client's current :attr:`~ClarensClient.trace_id`
 (empty by default — the host then mints one per call); set one with
@@ -23,20 +29,70 @@ host's ``system.recent_calls`` ring.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Sequence, Union
 
 from repro.clarens.errors import ClarensFault, fault_from_code
 from repro.clarens.readcache import canonical_args
 from repro.clarens.serialization import MulticallResult
+from repro.clarens.server import ClarensHost
 from repro.clarens.telemetry import new_trace_id
-from repro.clarens.transport import Transport
+from repro.clarens.transport import (
+    AsyncSocketTransport,
+    LoopbackTransport,
+    SocketTransport,
+    Transport,
+)
+
+
+def resolve_transport(
+    target: Union[Transport, ClarensHost, str],
+    codec: Union[str, Sequence[str], None] = None,
+) -> Transport:
+    """Turn a transport spec into a :class:`Transport`.
+
+    - a :class:`Transport` is returned as-is (*codec* must be ``None`` —
+      a constructed transport already fixed its codec);
+    - a :class:`~repro.clarens.server.ClarensHost` becomes a
+      :class:`~repro.clarens.transport.LoopbackTransport`;
+    - an ``http(s)://`` URL becomes a
+      :class:`~repro.clarens.transport.SocketTransport` (XML-RPC only);
+    - a ``clarens://host:port`` URL (or bare ``host:port``) becomes an
+      :class:`~repro.clarens.transport.AsyncSocketTransport`, the only
+      spec where *codec* applies.
+    """
+    if isinstance(target, Transport):
+        if codec is not None:
+            raise ValueError(
+                "codec= cannot be combined with an already-built transport"
+            )
+        return target
+    if isinstance(target, ClarensHost):
+        if codec is not None:
+            raise ValueError("codec= does not apply to a loopback transport")
+        return LoopbackTransport(target)
+    spec = str(target)
+    if spec.startswith(("http://", "https://")):
+        if codec not in (None, "xmlrpc"):
+            raise ValueError(
+                f"the HTTP transport only speaks xmlrpc, not {codec!r}"
+            )
+        return SocketTransport(spec)
+    return AsyncSocketTransport(spec, codec=codec)
 
 
 class ClarensClient:
-    """A session-holding client over any :class:`Transport`."""
+    """A session-holding client over any :class:`Transport`.
 
-    def __init__(self, transport: Transport) -> None:
-        self.transport = transport
+    *transport* is anything :func:`resolve_transport` accepts; *codec*
+    is forwarded to it (only meaningful for ``clarens://`` endpoints).
+    """
+
+    def __init__(
+        self,
+        transport: Union[Transport, ClarensHost, str],
+        codec: Union[str, Sequence[str], None] = None,
+    ) -> None:
+        self.transport = resolve_transport(transport, codec)
         self.token: str = ""
         #: Trace id sent with every call ("" lets the host mint one each).
         self.trace_id: str = ""
@@ -133,6 +189,12 @@ class ClarensClient:
         server-side).  Only use this for batches of read methods: the
         caller asserts that executing a duplicate would return the same
         answer, so a batch containing mutations must use :meth:`batch`.
+
+        On a pipelining transport (``supports_pipelining``) the deduped
+        batch is issued as overlapping framed calls under one shared trace
+        id instead of a ``system.multicall`` round trip — each sub-call
+        then passes the host pipeline (and read cache) individually, with
+        the same fault-isolation semantics.
         """
         unique: List[tuple] = []
         index_of: dict = {}
@@ -146,7 +208,26 @@ class ClarensClient:
                 index_of[key] = len(unique)
             positions.append(len(unique))
             unique.append(call)
-        results = self.batch_detailed(unique)
+        if self.transport.supports_pipelining:
+            trace_id = self.trace_id or new_trace_id()
+            outcomes = self.transport.call_pipelined(
+                [(c[0], list(c[1:])) for c in unique],
+                token=self.token,
+                trace_id=trace_id,
+            )
+            results = [
+                MulticallResult(ok=True, result=value, trace_id=trace_id)
+                if ok
+                else MulticallResult(
+                    ok=False,
+                    code=value.code,
+                    error=value.message,
+                    trace_id=trace_id,
+                )
+                for ok, value in outcomes
+            ]
+        else:
+            results = self.batch_detailed(unique)
         return [results[i] for i in positions]
 
     def service(self, name: str) -> "ServiceProxy":

@@ -1,0 +1,71 @@
+"""The XML-RPC body codec for the framed transport.
+
+Reuses the stdlib ``xmlrpc.client`` marshaller, so a frame's payload is
+byte-for-byte what the threaded HTTP transport puts inside a POST body.
+This is the compatibility codec: it proves the framed async transport is
+a pure transport change — same bodies, different plumbing — and gives
+legacy XML-RPC tooling a migration path onto persistent framed
+connections without a re-encode.
+"""
+
+from __future__ import annotations
+
+import xmlrpc.client
+from typing import Any, List, Sequence, Tuple
+
+from repro.clarens.codecs import Codec
+from repro.clarens.errors import ProtocolError, fault_from_code
+
+
+class XmlRpcCodec(Codec):
+    """Calls and responses as standard XML-RPC ``methodCall`` bodies."""
+
+    name = "xmlrpc"
+    content_type = "text/xml"
+
+    def encode_request(
+        self, method: str, wire_token: str, params: Sequence[Any]
+    ) -> bytes:
+        body = xmlrpc.client.dumps(
+            tuple([wire_token, *params]), methodname=method, allow_none=True
+        )
+        return body.encode("utf-8")
+
+    def decode_request(self, data: bytes) -> Tuple[str, str, List[Any]]:
+        try:
+            params, method = xmlrpc.client.loads(
+                data.decode("utf-8"), use_builtin_types=True
+            )
+        except Exception as exc:
+            raise ProtocolError(f"malformed XML-RPC request: {exc}") from exc
+        if method is None or not params or not isinstance(params[0], str):
+            raise ProtocolError(
+                "XML-RPC request lacks a method name or leading token param"
+            )
+        return method, params[0], list(params[1:])
+
+    def encode_response(self, result: Any) -> bytes:
+        body = xmlrpc.client.dumps(
+            (result,), methodresponse=True, allow_none=True
+        )
+        return body.encode("utf-8")
+
+    def encode_fault(self, code: int, message: str) -> bytes:
+        body = xmlrpc.client.dumps(
+            xmlrpc.client.Fault(code, message), methodresponse=True, allow_none=True
+        )
+        return body.encode("utf-8")
+
+    def decode_response(self, data: bytes) -> Any:
+        try:
+            (result,), _ = xmlrpc.client.loads(
+                data.decode("utf-8"), use_builtin_types=True
+            )
+        except xmlrpc.client.Fault as fault:
+            raise fault_from_code(fault.faultCode, fault.faultString) from None
+        except Exception as exc:
+            raise ProtocolError(f"malformed XML-RPC response: {exc}") from exc
+        return result
+
+
+__all__ = ["XmlRpcCodec"]

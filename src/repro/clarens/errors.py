@@ -56,6 +56,24 @@ class TransportError(ClarensFault):
     code = 502
 
 
+class TransportClosedError(TransportError):
+    """The transport was closed while (or before) the call was in flight.
+
+    Raised instead of hanging or surfacing a bare socket error when
+    :meth:`~repro.clarens.transport.Transport.close` runs concurrently
+    with pipelined calls — the structured "your connection is gone"
+    signal pipelined clients retry or surface.
+    """
+
+    code = 503
+
+
+class ProtocolError(ClarensFault):
+    """The framed wire protocol was violated (bad frame, failed handshake)."""
+
+    code = 400
+
+
 class RemoteFault(ClarensFault):
     """An application exception raised inside a service method."""
 
@@ -71,6 +89,8 @@ _CODE_MAP: Dict[int, Type[ClarensFault]] = {
         MethodNotFound,
         SerializationError,
         TransportError,
+        TransportClosedError,
+        ProtocolError,
         RemoteFault,
         ClarensFault,
     )

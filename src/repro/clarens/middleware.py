@@ -183,6 +183,7 @@ class MetricsMiddleware:
                 ok,
                 time.perf_counter() - t0,
                 served_from=ctx.served_from,
+                transport=ctx.transport,
             )
 
 

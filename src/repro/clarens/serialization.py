@@ -152,6 +152,52 @@ def decode_trace_token(wire_token: str) -> Tuple[str, Optional[str]]:
     return token, trace_id
 
 
+# ----------------------------------------------------------------------
+# JSON-representable view of wire values (the compact-JSON codec's half)
+# ----------------------------------------------------------------------
+# XML-RPC's wire set includes ``bytes``; JSON's does not.  Bytes travel as
+# a two-element array tagged by a sentinel first element.  The sentinel
+# starts with NUL, which no sane payload string uses — but payloads are
+# adversarial (hypothesis says so), so any *list* whose first element is
+# itself a sentinel string gets escape-tagged too.  Both sides can skip
+# the recursive walk entirely when the JSON text contains no ``\u0000``
+# escape, which is every real payload (see CompactJsonCodec).
+_JSON_BYTES_TAG = "\x00b64"
+_JSON_ESCAPE_TAG = "\x00esc"
+_JSON_TAGS = (_JSON_BYTES_TAG, _JSON_ESCAPE_TAG)
+
+
+def to_jsonable(value: Any) -> Any:
+    """Lower a wire value (post-:func:`to_wire`) into JSON-only types."""
+    if isinstance(value, bytes):
+        import base64
+
+        return [_JSON_BYTES_TAG, base64.b64encode(value).decode("ascii")]
+    if isinstance(value, list):
+        items = [to_jsonable(v) for v in value]
+        if items and isinstance(items[0], str) and items[0] in _JSON_TAGS:
+            return [_JSON_ESCAPE_TAG, *items]
+        return items
+    if isinstance(value, dict):
+        return {k: to_jsonable(v) for k, v in value.items()}
+    return value
+
+
+def from_jsonable(value: Any) -> Any:
+    """Invert :func:`to_jsonable` (bytes untagging, list unescaping)."""
+    if isinstance(value, list):
+        if value and value[0] == _JSON_BYTES_TAG:
+            import base64
+
+            return base64.b64decode(value[1])
+        if value and value[0] == _JSON_ESCAPE_TAG:
+            return [from_jsonable(v) for v in value[1:]]
+        return [from_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: from_jsonable(v) for k, v in value.items()}
+    return value
+
+
 def check_wire_safe(value: Any) -> None:
     """Assert *value* is already wire-representable (post-``to_wire``)."""
     if value is None or isinstance(value, (bool, int, float, str, bytes)):

@@ -459,7 +459,7 @@ class XmlRpcServerHandle:
     Use as a context manager::
 
         with XmlRpcServerHandle(host) as handle:
-            transport = XmlRpcTransport(handle.url)
+            transport = SocketTransport(handle.url)
             ...
 
     The port defaults to 0 (ephemeral); read :attr:`url` after start.

@@ -148,6 +148,9 @@ class CallStats:
         #: method -> {served_from -> count} for non-executed responses
         #: ("cache" hits, "coalesced" multicall dedups).
         self._served: Dict[str, Dict[str, int]] = {}
+        #: transport label -> call count ("inproc", "xmlrpc",
+        #: "async+json", ...); calls recorded without a label are omitted.
+        self._per_transport: Dict[str, int] = {}
         self._cap = max_samples_per_method
         self._lock = threading.Lock()
 
@@ -157,6 +160,7 @@ class CallStats:
         ok: bool,
         duration_s: Optional[float] = None,
         served_from: str = "execute",
+        transport: str = "",
     ) -> None:
         """Record one finished call (thread-safe).
 
@@ -164,13 +168,20 @@ class CallStats:
         responses answered by the read cache (``"cache"``) or by multicall
         deduplication (``"coalesced"``).  Only executed calls enter the
         latency reservoirs — sub-microsecond cached responses would
-        otherwise silently drag p50/p95/p99 toward zero.
+        otherwise silently drag p50/p95/p99 toward zero.  ``transport``,
+        when non-empty, feeds the per-transport breakdown in
+        :meth:`snapshot` (the async server reports one label per
+        negotiated codec, e.g. ``"async+json"``).
         """
         with self._lock:
             self.calls += 1
             if not ok:
                 self.faults += 1
             self.per_method[method_path] = self.per_method.get(method_path, 0) + 1
+            if transport:
+                self._per_transport[transport] = (
+                    self._per_transport.get(transport, 0) + 1
+                )
             if served_from != "execute":
                 sources = self._served.setdefault(method_path, {})
                 sources[served_from] = sources.get(served_from, 0) + 1
@@ -205,11 +216,13 @@ class CallStats:
             per_method = dict(self.per_method)
             latency = {name: rec.summary_ms() for name, rec in self._methods.items()}
             served = {name: dict(srcs) for name, srcs in self._served.items()}
+            per_transport = dict(self._per_transport)
             calls, faults = self.calls, self.faults
         return {
             "calls": calls,
             "faults": faults,
             "per_method": per_method,
+            "per_transport": per_transport,
             "latency_ms": latency,
             "served": served,
         }

@@ -32,7 +32,7 @@ from repro.clarens.acl import AccessControlList
 from repro.clarens.client import ClarensClient
 from repro.clarens.readcache import wire_epochs
 from repro.clarens.server import ClarensHost
-from repro.clarens.transport import InProcessTransport
+from repro.clarens.transport import LoopbackTransport
 from repro.core.estimators.history import HistoryRecorder, HistoryRepository
 from repro.core.estimators.service import EstimatorService
 from repro.core.monitoring.service import JobMonitoringService
@@ -85,7 +85,7 @@ class GAE:
 
     def client(self, user: str = "", password: str = "") -> ClarensClient:
         """An in-process client; logs in when credentials are given."""
-        client = ClarensClient(InProcessTransport(self.host))
+        client = ClarensClient(LoopbackTransport(self.host))
         if user:
             client.login(user, password)
         return client

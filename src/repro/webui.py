@@ -295,6 +295,15 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
                 f"{snapshot['per_method'][method]}"
             )
         lines += [
+            "# HELP gae_rpc_transport_calls_total Calls by arriving transport.",
+            "# TYPE gae_rpc_transport_calls_total counter",
+        ]
+        for transport in sorted(snapshot.get("per_transport", {})):
+            lines.append(
+                f'gae_rpc_transport_calls_total{{transport="{transport}"}} '
+                f"{snapshot['per_transport'][transport]}"
+            )
+        lines += [
             "# HELP gae_rpc_latency_ms Per-method call latency quantiles.",
             "# TYPE gae_rpc_latency_ms summary",
         ]

@@ -1,0 +1,182 @@
+"""Integration tests for the asyncio framed server + AsyncSocketTransport."""
+
+import threading
+
+import pytest
+
+from repro.clarens.aio import AsyncSocketServerHandle
+from repro.clarens.client import ClarensClient
+from repro.clarens.errors import (
+    AuthenticationError,
+    ProtocolError,
+    RemoteFault,
+    TransportClosedError,
+    TransportError,
+)
+from repro.clarens.server import ClarensHost
+from repro.clarens.transport import AsyncSocketTransport
+
+
+class Echo:
+    def echo(self, value):
+        """Return the argument unchanged."""
+        return value
+
+    def boom(self):
+        raise RuntimeError("kaput")
+
+
+@pytest.fixture
+def host():
+    h = ClarensHost("t")
+    h.users.add_user("u", "p", groups=("g",))
+    h.acl.allow("echo.*", groups=("g",))
+    h.register("echo", Echo())
+    return h
+
+
+@pytest.fixture
+def server(host):
+    with AsyncSocketServerHandle(host, workers=2) as handle:
+        yield handle
+
+
+@pytest.mark.parametrize("codec", ["json", "xmlrpc"])
+class TestRoundTrip:
+    def test_call_round_trip(self, server, codec):
+        with AsyncSocketTransport(server.address, codec=codec) as t:
+            token = t.call("system.login", ["u", "p"])
+            assert t.call("echo.echo", [{"a": [1, 2]}], token) == {"a": [1, 2]}
+
+    def test_negotiated_codec_reported(self, server, codec):
+        with AsyncSocketTransport(server.address, codec=codec) as t:
+            assert t.codec.name == codec
+            assert t.server_name == "t"
+
+    def test_fault_rehydrated(self, server, codec):
+        with AsyncSocketTransport(server.address, codec=codec) as t:
+            with pytest.raises(AuthenticationError):
+                t.call("echo.echo", ["x"], token="")
+            token = t.call("system.login", ["u", "p"])
+            with pytest.raises(RemoteFault, match="kaput"):
+                t.call("echo.boom", [], token)
+
+    def test_pipelined_batch_ordered(self, server, codec):
+        with AsyncSocketTransport(server.address, codec=codec) as t:
+            token = t.call("system.login", ["u", "p"])
+            calls = [("echo.echo", [i]) for i in range(150)]
+            outcomes = t.call_pipelined(calls, token=token, window=32)
+            assert outcomes == [(True, i) for i in range(150)]
+
+    def test_pipelined_fault_isolated(self, server, codec):
+        with AsyncSocketTransport(server.address, codec=codec) as t:
+            token = t.call("system.login", ["u", "p"])
+            calls = [("echo.echo", [0]), ("echo.boom", []), ("echo.echo", [2])]
+            outcomes = t.call_pipelined(calls, token=token)
+            assert outcomes[0] == (True, 0)
+            ok, fault = outcomes[1]
+            assert not ok and isinstance(fault, RemoteFault)
+            assert outcomes[2] == (True, 2)
+
+
+class TestNegotiation:
+    def test_default_prefers_json(self, server):
+        with AsyncSocketTransport(server.address) as t:
+            assert t.codec.name == "json"
+
+    def test_unknown_codec_rejected_by_server(self, server):
+        with pytest.raises(ProtocolError, match="no common codec"):
+            AsyncSocketTransport(server.address, codec="msgpack")
+
+    def test_server_codec_subset(self, host):
+        with AsyncSocketServerHandle(host, codecs=["xmlrpc"]) as handle:
+            with AsyncSocketTransport(handle.address) as t:
+                assert t.codec.name == "xmlrpc"
+            with pytest.raises(ProtocolError):
+                AsyncSocketTransport(handle.address, codec="json")
+
+    def test_server_rejects_unknown_codec_at_init(self, host):
+        with pytest.raises(ProtocolError):
+            AsyncSocketServerHandle(host, codecs=["msgpack"])
+
+
+class TestLifecycle:
+    def test_url_and_address(self, server):
+        bind, port = server.address
+        assert bind == "127.0.0.1"
+        assert server.url == f"clarens://127.0.0.1:{port}"
+
+    def test_address_before_start_raises(self, host):
+        handle = AsyncSocketServerHandle(host)
+        with pytest.raises(TransportError):
+            handle.address
+
+    def test_shutdown_idempotent(self, host):
+        handle = AsyncSocketServerHandle(host).start()
+        handle.shutdown()
+        handle.shutdown()
+
+    def test_transport_close_idempotent(self, server):
+        t = AsyncSocketTransport(server.address)
+        t.close()
+        t.close()
+        assert t.closed
+
+    def test_call_after_close_raises(self, server):
+        t = AsyncSocketTransport(server.address)
+        t.close()
+        with pytest.raises(TransportClosedError):
+            t.call("system.ping", [])
+
+    def test_concurrent_close_unblocks_inflight(self, server):
+        t = AsyncSocketTransport(server.address)
+        token = t.call("system.login", ["u", "p"])
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(100):
+                    t.call_pipelined(
+                        [("echo.echo", [i]) for i in range(64)], token=token
+                    )
+            except TransportClosedError:
+                errors.append("closed")
+            except TransportError:
+                errors.append("transport")
+
+        worker = threading.Thread(target=hammer)
+        worker.start()
+        t.close()
+        worker.join(timeout=10.0)
+        assert not worker.is_alive()
+        assert errors and errors[0] in ("closed", "transport")
+
+    def test_server_shutdown_surfaces_transport_error(self, host):
+        handle = AsyncSocketServerHandle(host).start()
+        t = AsyncSocketTransport(handle.address)
+        t.call("system.ping", [])
+        handle.shutdown()
+        with pytest.raises((TransportError, ProtocolError)):
+            for _ in range(5):
+                t.call("system.ping", [])
+
+
+class TestTelemetry:
+    def test_per_transport_label(self, server, host):
+        with AsyncSocketTransport(server.address, codec="json") as t:
+            t.call("system.ping", [])
+        snapshot = host.stats.snapshot()
+        assert snapshot["per_transport"].get("async+json", 0) >= 1
+
+    def test_client_over_async_transport(self, server):
+        client = ClarensClient(server.url, codec="json")
+        try:
+            client.login("u", "p")
+            assert client.call("echo.echo", "hi") == "hi"
+            results = client.batch_reads(
+                [("echo.echo", 1), ("echo.echo", 2), ("echo.echo", 1)]
+            )
+            assert [r.result for r in results] == [1, 2, 1]
+            assert all(r.ok for r in results)
+        finally:
+            client.close()

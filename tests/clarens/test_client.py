@@ -5,7 +5,7 @@ import pytest
 from repro.clarens.client import ClarensClient, ServiceProxy
 from repro.clarens.errors import AuthenticationError
 from repro.clarens.server import ClarensHost
-from repro.clarens.transport import InProcessTransport
+from repro.clarens.transport import LoopbackTransport
 
 
 class Greeter:
@@ -19,7 +19,7 @@ def client():
     host.users.add_user("u", "p", groups=("g",))
     host.acl.allow("greeter.*", groups=("g",))
     host.register("greeter", Greeter())
-    return ClarensClient(InProcessTransport(host))
+    return ClarensClient(LoopbackTransport(host))
 
 
 class TestSession:

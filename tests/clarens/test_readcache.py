@@ -11,7 +11,7 @@ from repro.clarens.readcache import (
 )
 from repro.clarens.registry import clarens_method
 from repro.clarens.server import ClarensHost
-from repro.clarens.transport import InProcessTransport
+from repro.clarens.transport import LoopbackTransport
 from repro.observability.metrics import MetricsRegistry
 
 
@@ -191,7 +191,7 @@ def rig():
     # The test stands in for the subsystem that would own this epoch.
     host.epochs.register("scheduler")
     service.epochs = host.epochs
-    client = ClarensClient(InProcessTransport(host))
+    client = ClarensClient(LoopbackTransport(host))
     client.login("alice", "pw")
     return host, service, client
 
@@ -226,7 +226,7 @@ class TestReadCacheMiddleware:
         assert client.call("jobs.mine") == "alice"
         assert client.call("jobs.mine") == "alice"
         assert service.executions == 1
-        bob = ClarensClient(InProcessTransport(host))
+        bob = ClarensClient(LoopbackTransport(host))
         bob.login("bob", "pw")
         assert bob.call("jobs.mine") == "bob"
         assert service.executions == 2
@@ -237,7 +237,7 @@ class TestReadCacheMiddleware:
         host.acl.allow("jobs.*", groups=("g",))
         service = _CountingReads()
         host.register("jobs", service)
-        client = ClarensClient(InProcessTransport(host))
+        client = ClarensClient(LoopbackTransport(host))
         client.login("u", "p")
         client.call("jobs.status", "t1")
         client.call("jobs.status", "t1")
@@ -303,7 +303,7 @@ class TestMulticallCoalescing:
         host.acl.allow("jobs.*", groups=("g",))
         service = _CountingReads()
         host.register("jobs", service)
-        client = ClarensClient(InProcessTransport(host))
+        client = ClarensClient(LoopbackTransport(host))
         client.login("u", "p")
         client.batch([("jobs.status", "t1"), ("jobs.status", "t1")])
         assert service.executions == 2

@@ -335,10 +335,10 @@ class TestMulticall:
     def test_multicall_over_real_xmlrpc(self, host):
         from repro.clarens.client import ClarensClient
         from repro.clarens.server import XmlRpcServerHandle
-        from repro.clarens.transport import XmlRpcTransport
+        from repro.clarens.transport import SocketTransport
 
         with XmlRpcServerHandle(host) as handle:
-            client = ClarensClient(XmlRpcTransport(handle.url))
+            client = ClarensClient(SocketTransport(handle.url))
             client.login("alice", "pw")
             results = client.call(
                 "system.multicall",

@@ -12,7 +12,7 @@ from repro.clarens.errors import (
     TransportError,
 )
 from repro.clarens.server import ClarensHost, XmlRpcServerHandle
-from repro.clarens.transport import InProcessTransport, XmlRpcTransport
+from repro.clarens.transport import LoopbackTransport, SocketTransport
 
 
 class Echo:
@@ -39,46 +39,46 @@ def xmlrpc_server(host):
         yield handle
 
 
-class TestInProcessTransport:
+class TestLoopbackTransport:
     def test_round_trip(self, host):
-        t = InProcessTransport(host)
+        t = LoopbackTransport(host)
         token = t.call("system.login", ["u", "p"])
         assert t.call("echo.echo", [{"a": [1, 2]}], token) == {"a": [1, 2]}
 
     def test_strict_wire_catches_bad_params(self, host):
-        t = InProcessTransport(host)
+        t = LoopbackTransport(host)
         token = t.call("system.login", ["u", "p"])
         with pytest.raises(SerializationError):
             t.call("echo.echo", [object()], token)
 
     def test_non_strict_passes_objects(self, host):
-        t = InProcessTransport(host, strict_wire=False)
+        t = LoopbackTransport(host, strict_wire=False)
         token = t.call("system.login", ["u", "p"])
         # Without strict wire the host still marshals the *result*, so a
         # non-wire-safe result would fail; plain values pass.
         assert t.call("echo.echo", [5], token) == 5
 
 
-class TestXmlRpcTransport:
+class TestSocketTransport:
     def test_round_trip_over_sockets(self, xmlrpc_server):
-        t = XmlRpcTransport(xmlrpc_server.url)
+        t = SocketTransport(xmlrpc_server.url)
         token = t.call("system.login", ["u", "p"])
         assert t.call("echo.echo", [{"k": "v"}], token) == {"k": "v"}
 
     def test_fault_rehydrated_to_typed_exception(self, xmlrpc_server):
-        t = XmlRpcTransport(xmlrpc_server.url)
+        t = SocketTransport(xmlrpc_server.url)
         with pytest.raises(AuthenticationError):
             t.call("echo.echo", ["x"], token="")
 
     def test_application_error_travels_as_remote_fault(self, xmlrpc_server):
-        t = XmlRpcTransport(xmlrpc_server.url)
+        t = SocketTransport(xmlrpc_server.url)
         token = t.call("system.login", ["u", "p"])
         with pytest.raises(RemoteFault) as exc:
             t.call("echo.boom", [], token)
         assert "kaput" in str(exc.value)
 
     def test_unreachable_server_raises_transport_error(self):
-        t = XmlRpcTransport("http://127.0.0.1:1/RPC2", timeout_s=0.5)
+        t = SocketTransport("http://127.0.0.1:1/RPC2", timeout_s=0.5)
         with pytest.raises(TransportError):
             t.call("system.ping", [])
 
@@ -88,7 +88,7 @@ class TestXmlRpcTransport:
 
         def worker():
             try:
-                t = XmlRpcTransport(xmlrpc_server.url)
+                t = SocketTransport(xmlrpc_server.url)
                 token = t.call("system.login", ["u", "p"])
                 for _ in range(5):
                     results.append(t.call("echo.echo", ["hi"], token))
@@ -107,8 +107,8 @@ class TestXmlRpcTransport:
 class TestTransportEquivalence:
     def test_same_result_on_both_transports(self, host, xmlrpc_server):
         payload = {"nested": [1, 2.5, "x", None, True], "t": [1, 2]}
-        local = InProcessTransport(host)
-        remote = XmlRpcTransport(xmlrpc_server.url)
+        local = LoopbackTransport(host)
+        remote = SocketTransport(xmlrpc_server.url)
         tok_l = local.call("system.login", ["u", "p"])
         tok_r = remote.call("system.login", ["u", "p"])
         assert local.call("echo.echo", [payload], tok_l) == remote.call(
@@ -116,7 +116,7 @@ class TestTransportEquivalence:
         )
 
     def test_client_facade_over_both(self, host, xmlrpc_server):
-        for transport in (InProcessTransport(host), XmlRpcTransport(xmlrpc_server.url)):
+        for transport in (LoopbackTransport(host), SocketTransport(xmlrpc_server.url)):
             client = ClarensClient(transport)
             client.login("u", "p")
             assert client.ping()
@@ -127,14 +127,14 @@ class TestTransportEquivalence:
 
 class TestTracePropagation:
     def test_inprocess_trace_reaches_the_host(self, host):
-        t = InProcessTransport(host)
+        t = LoopbackTransport(host)
         t.call("system.ping", [], trace_id="trace-local")
         records = host.traces.snapshot(trace_id="trace-local")
         assert [r.method for r in records] == ["system.ping"]
         assert records[0].transport == "inproc"
 
     def test_xmlrpc_trace_travels_the_wire(self, host, xmlrpc_server):
-        t = XmlRpcTransport(xmlrpc_server.url)
+        t = SocketTransport(xmlrpc_server.url)
         token = t.call("system.login", ["u", "p"])
         t.call("echo.echo", ["traced"], token, trace_id="trace-wire")
         records = host.traces.snapshot(trace_id="trace-wire")
@@ -143,7 +143,7 @@ class TestTracePropagation:
         assert records[0].principal == "u"
 
     def test_wire_token_still_authenticates_with_trace_attached(self, xmlrpc_server):
-        t = XmlRpcTransport(xmlrpc_server.url)
+        t = SocketTransport(xmlrpc_server.url)
         token = t.call("system.login", ["u", "p"])
         # A traced call to a protected method must not corrupt the token.
         assert t.call("echo.echo", [1], token, trace_id="x-1") == 1
@@ -151,19 +151,19 @@ class TestTracePropagation:
 
 class TestClose:
     def test_inprocess_close_is_idempotent(self, host):
-        t = InProcessTransport(host)
+        t = LoopbackTransport(host)
         t.close()
         t.close()
         assert t.closed
 
     def test_xmlrpc_close_is_idempotent(self, xmlrpc_server):
-        t = XmlRpcTransport(xmlrpc_server.url)
+        t = SocketTransport(xmlrpc_server.url)
         assert t.call("system.ping", []) == "pong"
         t.close()
         t.close()
         assert t.closed
 
     def test_transport_context_manager(self, xmlrpc_server):
-        with XmlRpcTransport(xmlrpc_server.url) as t:
+        with SocketTransport(xmlrpc_server.url) as t:
             assert t.call("system.ping", []) == "pong"
         assert t.closed

@@ -224,7 +224,7 @@ class TestBenchHarness:
         )
 
         report = {
-            "schema_version": 1, "generated_by": "test", "quick": True,
+            "schema_version": 2, "generated_by": "test", "quick": True,
             "seed": 3, "python": "3",
             "sections": {
                 "runtime_estimator": {
@@ -271,6 +271,24 @@ class TestBenchHarness:
                     },
                     "mix": {"jobmon.job_status": 10},
                 },
+                "transport": {
+                    "n_tasks": 10, "workers": 2, "calls_per_worker": 5,
+                    "total_calls": 10, "pipeline_window": 8,
+                    "identical": True,
+                    "identity": {"xmlrpc_http": True, "async+json": True,
+                                 "async+xmlrpc": True},
+                    "threaded_xmlrpc_calls_per_s": 100.0,
+                    "codecs": {
+                        "json": {"serial_calls_per_s": 500.0,
+                                 "pipelined_calls_per_s": 900.0},
+                        "xmlrpc": {"serial_calls_per_s": 120.0,
+                                   "pipelined_calls_per_s": 150.0},
+                    },
+                    "async_calls_per_s": 900.0,
+                    "recorded_baseline_calls_per_s": 10.0,
+                    "speedup_vs_recorded": 90.0,
+                    "speedup_vs_live_threaded": 9.0,
+                },
             },
         }
         validate_report(report)  # must not raise
@@ -295,5 +313,19 @@ class TestBenchHarness:
             validate_report(broken)
         broken = {**report, "sections": {**report["sections"], "persistence": {
             **report["sections"]["persistence"], "identical": "yes"}}}
+        with pytest.raises(BenchSchemaError):
+            validate_report(broken)
+        broken = {**report, "sections": {**report["sections"]}}
+        del broken["sections"]["transport"]
+        with pytest.raises(BenchSchemaError):
+            validate_report(broken)
+        broken = {**report, "sections": {**report["sections"], "transport": {
+            **report["sections"]["transport"], "codecs": {
+                "json": report["sections"]["transport"]["codecs"]["json"]}}}}
+        with pytest.raises(BenchSchemaError):
+            validate_report(broken)
+        broken = {**report, "sections": {**report["sections"], "transport": {
+            **report["sections"]["transport"],
+            "speedup_vs_recorded": "fast"}}}
         with pytest.raises(BenchSchemaError):
             validate_report(broken)

@@ -12,7 +12,7 @@ import pytest
 from repro.clarens.client import ClarensClient
 from repro.clarens.discovery import DiscoveryNetwork
 from repro.clarens.server import ClarensHost
-from repro.clarens.transport import InProcessTransport
+from repro.clarens.transport import LoopbackTransport
 
 
 class Estimator:
@@ -57,7 +57,7 @@ class TestFederatedLookup:
     def test_discovered_service_callable(self, federation):
         hosts, net = federation
         hit = net.find_one("jobmon", start="caltech")
-        client = ClarensClient(InProcessTransport(hosts[hit.host_name]))
+        client = ClarensClient(LoopbackTransport(hosts[hit.host_name]))
         client.login("alice", "pw")
         assert client.service("jobmon").status("t1") == "running"
 
@@ -69,11 +69,11 @@ class TestFederatedLookup:
         """A session issued by one host is worthless at another — each host
         signs with its own secret."""
         hosts, net = federation
-        caltech = ClarensClient(InProcessTransport(hosts["caltech"]))
+        caltech = ClarensClient(LoopbackTransport(hosts["caltech"]))
         token = caltech.login("alice", "pw")
         from repro.clarens.errors import AuthenticationError
 
-        cern = ClarensClient(InProcessTransport(hosts["cern"]))
+        cern = ClarensClient(LoopbackTransport(hosts["cern"]))
         cern.token = token
         with pytest.raises(AuthenticationError):
             cern.service("jobmon").status("t1")

@@ -11,7 +11,7 @@ import pytest
 
 from repro.clarens.client import ClarensClient
 from repro.clarens.server import XmlRpcServerHandle
-from repro.clarens.transport import XmlRpcTransport
+from repro.clarens.transport import SocketTransport
 from repro.gae import build_gae
 from repro.gridsim import GridBuilder, Job, Task, TaskSpec
 from repro.workloads.downey import DowneyWorkloadGenerator
@@ -40,7 +40,7 @@ def served_gae():
 class TestRemoteAccess:
     def test_monitoring_over_the_wire(self, served_gae):
         gae, handle, tasks = served_gae
-        client = ClarensClient(XmlRpcTransport(handle.url))
+        client = ClarensClient(SocketTransport(handle.url))
         client.login("alice", "pw")
         info = client.service("jobmon").job_info(tasks[0].task_id)
         assert info["status"] in ("running", "queued")
@@ -48,7 +48,7 @@ class TestRemoteAccess:
 
     def test_steering_over_the_wire(self, served_gae):
         gae, handle, tasks = served_gae
-        client = ClarensClient(XmlRpcTransport(handle.url))
+        client = ClarensClient(SocketTransport(handle.url))
         client.login("alice", "pw")
         running = [t for t in tasks if t.state.value == "running"]
         result = client.service("steering").pause(running[0].task_id)
@@ -57,13 +57,13 @@ class TestRemoteAccess:
 
     def test_estimator_over_the_wire(self, served_gae):
         gae, handle, tasks = served_gae
-        client = ClarensClient(XmlRpcTransport(handle.url))
+        client = ClarensClient(SocketTransport(handle.url))
         client.login("alice", "pw")
         assert client.service("estimator").history_size() == 100
 
     def test_accounting_over_the_wire(self, served_gae):
         gae, handle, _ = served_gae
-        client = ClarensClient(XmlRpcTransport(handle.url))
+        client = ClarensClient(SocketTransport(handle.url))
         client.login("alice", "pw")
         out = client.service("accounting").cheapest_site({"siteA": 100.0, "siteB": 100.0})
         assert out["site"] in ("siteA", "siteB")
@@ -75,7 +75,7 @@ class TestRemoteAccess:
 
         def worker():
             try:
-                client = ClarensClient(XmlRpcTransport(handle.url))
+                client = ClarensClient(SocketTransport(handle.url))
                 client.login("alice", "pw")
                 for _ in range(3):
                     answers.append(client.service("jobmon").job_status(task_id))
@@ -102,7 +102,7 @@ class TestMulticallOverTheWire:
 
     def test_fault_isolation_in_a_real_batch(self, served_gae):
         gae, handle, tasks = served_gae
-        with ClarensClient(XmlRpcTransport(handle.url)) as client:
+        with ClarensClient(SocketTransport(handle.url)) as client:
             client.login("alice", "pw")
             detailed = client.batch_detailed([
                 ("jobmon.job_status", tasks[0].task_id),
@@ -118,14 +118,14 @@ class TestMulticallOverTheWire:
         from repro.clarens.errors import ServiceNotFound
 
         gae, handle, _ = served_gae
-        with ClarensClient(XmlRpcTransport(handle.url)) as client:
+        with ClarensClient(SocketTransport(handle.url)) as client:
             client.login("alice", "pw")
             with pytest.raises(ServiceNotFound):
                 client.batch([("system.ping",), ("ghost.method",)])
 
     def test_client_trace_id_spans_every_subcall(self, served_gae):
         gae, handle, tasks = served_gae
-        with ClarensClient(XmlRpcTransport(handle.url)) as client:
+        with ClarensClient(SocketTransport(handle.url)) as client:
             client.login("alice", "pw")
             trace = client.new_trace()
             detailed = client.batch_detailed([

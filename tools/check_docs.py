@@ -13,7 +13,10 @@ Three checks, all run by CI's docs job:
    registry a checkpoint file is built on;
 4. the "Epoch taxonomy" table lists exactly the canonical epoch names
    of ``repro.clarens.readcache.CANONICAL_EPOCHS`` — every epoch the
-   read cache can key on must be documented, and no stale names.
+   read cache can key on must be documented, and no stale names;
+5. the "Wire codecs" table lists exactly the registered codec names of
+   ``repro.clarens.codecs.codec_names()`` — a codec the framed
+   transport can negotiate must be documented, and vice versa.
 
 Run from anywhere::
 
@@ -127,6 +130,33 @@ def check_epoch_taxonomy(text: str) -> list[str]:
     return problems
 
 
+def documented_codecs(text: str) -> set[str]:
+    """Backticked tokens in the "Wire codecs" table rows."""
+    match = re.search(r"### Wire codecs\n(.*?)(?:\n#|\Z)", text, re.DOTALL)
+    if match is None:
+        return set()
+    tokens: set[str] = set()
+    for line in match.group(1).splitlines():
+        if line.startswith("|"):
+            first_cell = line.split("|")[1]
+            tokens.update(re.findall(r"`([a-z]+)`", first_cell))
+    tokens.discard("codec")  # the table header
+    return tokens
+
+
+def check_wire_codecs(text: str) -> list[str]:
+    from repro.clarens.codecs import codec_names
+
+    documented = documented_codecs(text)
+    actual = set(codec_names())
+    problems = []
+    for name in sorted(actual - documented):
+        problems.append(f"codec {name!r} is not documented in the wire-codec table")
+    for name in sorted(documented - actual):
+        problems.append(f"documented codec {name!r} is not registered in repro.clarens.codecs")
+    return problems
+
+
 def main() -> int:
     if not ARCHITECTURE_MD.exists():
         print(f"error: {ARCHITECTURE_MD} does not exist", file=sys.stderr)
@@ -168,10 +198,20 @@ def main() -> int:
         for problem in epoch_problems:
             print(f"  - {problem}", file=sys.stderr)
         return 1
+    codec_problems = check_wire_codecs(text)
+    if codec_problems:
+        print(
+            "docs/ARCHITECTURE.md wire-codec table is out of date:",
+            file=sys.stderr,
+        )
+        for problem in codec_problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
     print(f"docs/ARCHITECTURE.md covers all {len(packages)} packages")
     print("docs/ARCHITECTURE.md event taxonomy matches EventType")
     print("docs/ARCHITECTURE.md state-store namespaces match the registry")
     print("docs/ARCHITECTURE.md epoch taxonomy matches CANONICAL_EPOCHS")
+    print("docs/ARCHITECTURE.md wire-codec table matches codec_names()")
     return 0
 
 
