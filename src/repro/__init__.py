@@ -58,7 +58,8 @@ from repro.core import (
 from repro.config import ScenarioConfig, gae_from_scenario, grid_from_config
 from repro.core.steering import AdaptiveSteeringAgent
 from repro.gae import GAE, build_gae
-from repro.gridsim.faults import FaultInjector
+from repro.gridsim.faults import FaultInjector, OutageScheduler
+from repro.scenarios import ScenarioSpec, load_scenario, run_campaign, run_scenario
 from repro.webui import GAEWebUI
 from repro.gridsim import (
     ConcreteJobPlan,
@@ -113,7 +114,9 @@ __all__ = [
     "FaultInjector",
     "GAE",
     "GAEWebUI",
+    "OutageScheduler",
     "ScenarioConfig",
+    "ScenarioSpec",
     "ClarensClient",
     "ClarensHost",
     "ConcreteJobPlan",
@@ -148,11 +151,14 @@ __all__ = [
     "count_primes",
     "gae_from_scenario",
     "grid_from_config",
+    "load_scenario",
     "make_prime_count_task",
     "mean_absolute_percentage_error",
     "mean_percentage_error",
     "percentage_error",
     "physics_analysis_job",
+    "run_campaign",
+    "run_scenario",
     "summarize_errors",
     "__version__",
 ]

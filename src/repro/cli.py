@@ -12,6 +12,9 @@ Installed as ``gae-repro`` (or run as ``python -m repro.cli``)::
     gae-repro demo [--trace-export gae_trace_export.jsonl]
     gae-repro checkpoint [--out gae_checkpoint.sqlite] [--at 205]
     gae-repro restore gae_checkpoint.sqlite [--inspect]
+    gae-repro scenario list
+    gae-repro scenario run [NAME ...] [--quick] [--out SCENARIOS.json]
+    gae-repro scenario validate [NAME ...] [--report SCENARIOS.json]
 
 Each figure command prints the same series, chart and paper-vs-measured
 summary as the corresponding ``benchmarks/bench_fig*.py`` module.
@@ -466,32 +469,94 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_scenario(args: argparse.Namespace) -> int:
-    from repro.config import ScenarioConfig, gae_from_scenario, submit_scenario_workload
+def _resolve_scenarios(names: List[str], seed: Optional[int]):
+    """Load scenarios by registry name or path, with optional seed override."""
+    from repro.scenarios.registry import load_all, load_scenario
+    from repro.scenarios.spec import ScenarioSpec
 
-    scenario = ScenarioConfig.from_json(args.file)
-    gae = gae_from_scenario(scenario)
-    gae.add_user(scenario.workload.owner, "scenario")
-    task_ids = submit_scenario_workload(gae, scenario)
-    gae.start()
-    gae.grid.run_until(scenario.horizon_s)
-    gae.stop()
+    specs = [load_scenario(name) for name in names] if names else load_all()
+    if seed is not None:
+        specs = [
+            ScenarioSpec.from_dict({**spec.to_dict(), "seed": seed})
+            for spec in specs
+        ]
+    return specs
 
-    client = gae.client(scenario.workload.owner, "scenario")
-    jobmon = client.service("jobmon")
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    """Run named scenarios and write the SCENARIOS.json verdict artifact."""
+    from repro.scenarios.engine import run_campaign, write_scenarios_report
+    from repro.scenarios.spec import ScenarioError
+
+    try:
+        specs = _resolve_scenarios(args.names, args.seed)
+        if not specs:
+            print("error: no scenarios registered under scenarios/", file=sys.stderr)
+            return 2
+        report = run_campaign(specs, quick=args.quick, echo=print)
+    except (ScenarioError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rows = []
-    for task_id in task_ids:
-        info = jobmon.job_info(task_id)
-        rows.append([
-            task_id, info["site"], info["status"],
-            f"{info['progress'] * 100:.1f}%",
-            round(info["completion_time"], 1) if info["completion_time"] else "-",
-        ])
-    print(markdown_table(["task", "site", "status", "progress", "completed (s)"], rows))
-    moves = [a for a in gae.steering.actions if a.result and a.result.ok]
-    print(f"autonomous moves: {len(moves)}; "
-          f"notifications: {len(gae.steering.backup_recovery.notifications)}")
+    for entry in report["scenarios"]:
+        for verdict in entry["slos"]:
+            rows.append([
+                entry["name"], verdict["slo"],
+                round(verdict["value"], 2), verdict["samples"],
+                "PASS" if verdict["passed"] else "FAIL",
+            ])
+    print(markdown_table(["scenario", "SLO", "value", "samples", "verdict"], rows))
+    if args.out != "-":
+        path = write_scenarios_report(report, args.out)
+        print(f"wrote {path}")
+    print(f"campaign: {'PASS' if report['passed'] else 'FAIL'}")
+    return 0 if report["passed"] else 1
+
+
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    """List the registered scenario library."""
+    from repro.scenarios.registry import load_all
+
+    specs = load_all()
+    if not specs:
+        print("no scenarios registered under scenarios/")
+        return 0
+    rows = [
+        [
+            spec.name, spec.workload.shape,
+            ", ".join(dict.fromkeys(a.kind for a in spec.chaos)) or "none",
+            len(spec.slos), ", ".join(spec.tags) or "-",
+        ]
+        for spec in specs
+    ]
+    print(markdown_table(["scenario", "workload", "chaos", "SLOs", "tags"], rows))
     return 0
+
+
+def _cmd_scenario_validate(args: argparse.Namespace) -> int:
+    """Validate scenario files and/or a SCENARIOS.json report schema."""
+    from repro.scenarios.engine import ScenarioReportError, validate_scenarios_file
+    from repro.scenarios.spec import ScenarioError
+
+    status = 0
+    if args.report:
+        try:
+            validate_scenarios_file(args.report)
+            print(f"{args.report}: schema ok")
+        except ScenarioReportError as exc:
+            print(f"{args.report}: INVALID — {exc}", file=sys.stderr)
+            status = 1
+    if args.names or not args.report:
+        try:
+            specs = _resolve_scenarios(args.names, seed=None)
+        except (ScenarioError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for spec in specs:
+            slos = len(spec.slos)
+            print(f"{spec.name}: ok ({spec.workload.shape} workload, "
+                  f"{len(spec.chaos)} chaos action(s), {slos} SLO(s))")
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -610,9 +675,38 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the restored state without resuming")
     pre.set_defaults(func=_cmd_restore)
 
-    ps = sub.add_parser("scenario", help="run a JSON scenario file end to end")
-    ps.add_argument("file", type=str, help="path to the scenario JSON")
-    ps.set_defaults(func=_cmd_scenario)
+    ps = sub.add_parser(
+        "scenario",
+        help="declarative chaos campaigns scored against SLOs (run/list/validate)",
+    )
+    ssub = ps.add_subparsers(dest="scenario_command", required=True)
+
+    psr = ssub.add_parser(
+        "run", help="run scenarios and write the SCENARIOS.json verdict artifact"
+    )
+    psr.add_argument("names", type=str, nargs="*",
+                     help="scenario names (from scenarios/) or JSON file paths; "
+                          "default: every registered scenario")
+    psr.add_argument("--quick", action="store_true",
+                     help="apply each scenario's quick overrides (CI-sized run)")
+    psr.add_argument("--seed", type=int, default=None,
+                     help="override every scenario's seed")
+    psr.add_argument("--out", type=str, default="SCENARIOS.json",
+                     help="report path ('-' to skip writing)")
+    psr.set_defaults(func=_cmd_scenario_run)
+
+    psl = ssub.add_parser("list", help="list the registered scenario library")
+    psl.set_defaults(func=_cmd_scenario_list)
+
+    psv = ssub.add_parser(
+        "validate",
+        help="validate scenario files and/or a SCENARIOS.json report schema",
+    )
+    psv.add_argument("names", type=str, nargs="*",
+                     help="scenario names or JSON file paths; default: all registered")
+    psv.add_argument("--report", type=str, default=None, metavar="PATH",
+                     help="also validate an existing SCENARIOS.json against its schema")
+    psv.set_defaults(func=_cmd_scenario_validate)
 
     pr = sub.add_parser("report", help="regenerate the experiment report (markdown)")
     pr.add_argument("--out", type=str, default=None, help="write to this file")

@@ -182,7 +182,15 @@ class BackupRecovery:
                 continue
             try:
                 service.ping()
-                self.failed_sites.discard(site_name)
+                if site_name in self.failed_sites:
+                    self.failed_sites.discard(site_name)
+                    # The site survived its outage: forget its resubmission
+                    # guards, so a task lost to a *later* outage of the same
+                    # site (flapping) is eligible for resubmission again.
+                    # The guard only spans one outage, not the site's life.
+                    self._resubmitted = {
+                        pair for pair in self._resubmitted if pair[1] != site_name
+                    }
             except ExecutionServiceDown:
                 down.append(site_name)
                 if site_name not in self.failed_sites:

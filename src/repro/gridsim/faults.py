@@ -1,18 +1,35 @@
-"""Stochastic fault injection for robustness experiments.
+"""Fault injection: stochastic churn and deterministic outage windows.
 
 §1 motivates steering with "the volatile nature of a Grid environment";
 Backup & Recovery (§4.2.4) exists because execution services *do* die.
-:class:`FaultInjector` drives that volatility deterministically: seeded
-exponential failure/repair processes per site, taking execution services
-down (crashing their pools) and bringing them back, all under the
-simulation clock.  Robustness tests assert that the GAE still completes
-every job while sites churn underneath it.
+Two injectors drive that volatility under the simulation clock:
+
+- :class:`FaultInjector` — seeded exponential failure/repair processes
+  per site (the robustness-test workhorse: the GAE must still complete
+  every job while sites churn underneath it);
+- :class:`OutageScheduler` — *declarative* outage windows for chaos
+  campaigns (:mod:`repro.scenarios`): each window ``[start_s, end_s)``
+  takes a site's execution service down at its start and repairs it at
+  its end, with exact, pinned boundary semantics (see below).
+
+Window boundary semantics
+-------------------------
+Windows are half-open ``[start_s, end_s)``.  Before any event is
+scheduled, each site's windows are **merged**: overlapping windows and
+windows that abut exactly (one ends at the clock tick another starts,
+``end == next.start``) collapse into one continuous outage.  This is
+what makes flapping with a 100 % duty cycle equal a single long outage,
+and — the regression the merge pins — it means a window ending exactly
+at a clock tick never double-fires recovery: without merging, abutting
+windows would emit a ``repair`` immediately followed by a ``failure``
+at the same instant (and a second, spurious ``repair`` at the end of
+the second window if the first repair already re-armed state).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -107,18 +124,193 @@ class FaultInjector:
 
     def availability(self, site: str, horizon: float) -> float:
         """Fraction of [0, horizon] the site was up, from the event log."""
-        if horizon <= 0:
-            raise ValueError("horizon must be positive")
-        down = 0.0
-        down_since: Optional[float] = None
-        for e in self.events:
-            if e.site != site:
-                continue
-            if e.kind == "failure" and down_since is None:
-                down_since = e.time
-            elif e.kind == "repair" and down_since is not None:
-                down += min(e.time, horizon) - down_since
-                down_since = None
-        if down_since is not None:
-            down += max(0.0, horizon - down_since)
-        return 1.0 - down / horizon
+        return _availability(self.events, site, horizon)
+
+
+def _availability(events: Sequence[FaultEvent], site: str, horizon: float) -> float:
+    """Up-time fraction over [0, horizon] from an injector's event log."""
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    down = 0.0
+    down_since: Optional[float] = None
+    for e in events:
+        if e.site != site:
+            continue
+        if e.kind == "failure" and down_since is None:
+            down_since = e.time
+        elif e.kind == "repair" and down_since is not None:
+            down += min(e.time, horizon) - down_since
+            down_since = None
+    if down_since is not None:
+        down += max(0.0, horizon - down_since)
+    return 1.0 - down / horizon
+
+
+# ----------------------------------------------------------------------
+# deterministic outage windows (chaos campaigns)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OutageWindow:
+    """One half-open outage window ``[start_s, end_s)``."""
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError(f"window start must be non-negative, got {self.start_s}")
+        if self.end_s <= self.start_s:
+            raise ValueError(
+                f"window end must be after its start, got [{self.start_s}, {self.end_s})"
+            )
+
+
+def merge_windows(windows: Sequence[OutageWindow]) -> List[OutageWindow]:
+    """Merge overlapping **and abutting** windows into disjoint ones.
+
+    Two windows touch when ``a.end_s >= b.start_s`` (half-open windows
+    that share a boundary instant describe one continuous outage), so
+    the merged list never contains a repair scheduled at the same clock
+    tick as a failure — the double-fire guard the boundary regression
+    test pins.
+    """
+    if not windows:
+        return []
+    ordered = sorted(windows, key=lambda w: (w.start_s, w.end_s))
+    merged = [ordered[0]]
+    for window in ordered[1:]:
+        last = merged[-1]
+        if window.start_s <= last.end_s:  # overlap or exact abutment
+            if window.end_s > last.end_s:
+                merged[-1] = OutageWindow(last.start_s, window.end_s)
+        else:
+            merged.append(window)
+    return merged
+
+
+def flapping_windows(
+    start_s: float, end_s: float, period_s: float, duty: float = 0.5
+) -> List[OutageWindow]:
+    """Down/up cycles as outage windows: down for ``duty * period_s``
+    at the head of every period in ``[start_s, end_s)``.
+
+    ``duty == 1.0`` degenerates (by way of :func:`merge_windows`) into
+    one continuous outage — abutting windows are one outage, not many.
+    """
+    if period_s <= 0:
+        raise ValueError(f"flapping period must be positive, got {period_s}")
+    if not 0.0 < duty <= 1.0:
+        raise ValueError(f"duty cycle must be in (0, 1], got {duty}")
+    if end_s <= start_s:
+        raise ValueError(f"flapping needs end_s > start_s, got [{start_s}, {end_s})")
+    windows = []
+    t = start_s
+    while t < end_s:
+        windows.append(OutageWindow(t, min(t + duty * period_s, end_s)))
+        t += period_s
+    return windows
+
+
+class OutageScheduler:
+    """Schedules declarative outage windows on the simulation clock.
+
+    The deterministic counterpart of :class:`FaultInjector`: chaos
+    campaigns declare *when* each site is down instead of sampling
+    failure processes.  Windows registered via :meth:`add_outage` /
+    :meth:`add_flapping` are merged per site at :meth:`start` (see the
+    module docstring for the pinned boundary semantics), then one
+    ``fail``/``recover`` pair is scheduled per merged window.
+
+    A site already down at a window start (e.g. failed directly by a
+    test, or by a concurrently running :class:`FaultInjector`) is left
+    alone and the window records nothing — this scheduler only repairs
+    outages it caused.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._services: Dict[str, ExecutionService] = {}
+        self._windows: Dict[str, List[OutageWindow]] = {}
+        self.events: List[FaultEvent] = []
+        self._down_by_us: Dict[str, bool] = {}
+        self._started = False
+
+    def _register(self, service: ExecutionService) -> str:
+        name = service.site.name
+        existing = self._services.setdefault(name, service)
+        if existing is not service:
+            raise ValueError(f"site {name!r} registered with two services")
+        return name
+
+    def add_outage(
+        self, service: ExecutionService, start_s: float, duration_s: float
+    ) -> None:
+        """One outage window ``[start_s, start_s + duration_s)``."""
+        if self._started:
+            raise RuntimeError("outage scheduler already started")
+        name = self._register(service)
+        self._windows.setdefault(name, []).append(
+            OutageWindow(start_s, start_s + duration_s)
+        )
+
+    def add_flapping(
+        self,
+        service: ExecutionService,
+        start_s: float,
+        end_s: float,
+        period_s: float,
+        duty: float = 0.5,
+    ) -> None:
+        """Down/up cycles over ``[start_s, end_s)`` (see :func:`flapping_windows`)."""
+        if self._started:
+            raise RuntimeError("outage scheduler already started")
+        name = self._register(service)
+        self._windows.setdefault(name, []).extend(
+            flapping_windows(start_s, end_s, period_s, duty)
+        )
+
+    def windows(self, site: str) -> List[OutageWindow]:
+        """The merged, disjoint windows that will drive (or drove) *site*."""
+        return merge_windows(self._windows.get(site, []))
+
+    def start(self) -> "OutageScheduler":
+        """Merge every site's windows and schedule their fail/recover events."""
+        if self._started:
+            raise RuntimeError("outage scheduler already started")
+        self._started = True
+        for name in sorted(self._windows):
+            for window in self.windows(name):
+                self.sim.at(
+                    window.start_s,
+                    lambda s=name: self._window_start(s),
+                    label=f"outage:{name}",
+                )
+                self.sim.at(
+                    window.end_s,
+                    lambda s=name: self._window_end(s),
+                    label=f"outage-end:{name}",
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    def _window_start(self, site: str) -> None:
+        service = self._services[site]
+        try:
+            service.ping()
+        except Exception:
+            return  # already down (not by us): leave it to whoever failed it
+        service.fail()
+        self._down_by_us[site] = True
+        self.events.append(FaultEvent(time=self.sim.now, site=site, kind="failure"))
+
+    def _window_end(self, site: str) -> None:
+        if not self._down_by_us.get(site, False):
+            return  # we never took it down, so we must not bring it up
+        self._services[site].recover()
+        self._down_by_us[site] = False
+        self.events.append(FaultEvent(time=self.sim.now, site=site, kind="repair"))
+
+    # ------------------------------------------------------------------
+    def availability(self, site: str, horizon: float) -> float:
+        """Fraction of [0, horizon] the site was up, from the event log."""
+        return _availability(self.events, site, horizon)

@@ -1,0 +1,577 @@
+"""Scenario files: schema-validated declarations of adversity campaigns.
+
+A scenario composes four declarative parts:
+
+- ``grid`` — the testbed, reusing :class:`repro.config.GridConfig`;
+- ``workload`` — a :class:`WorkloadShape` (diurnal portal traffic, flash
+  crowd, DAG campaign, multi-VO contention, ... — see
+  :mod:`repro.scenarios.workload`);
+- ``chaos`` — a list of :class:`ChaosAction` windows (site outages,
+  flapping, link degradation, partitions, network weather — see
+  :mod:`repro.scenarios.chaos`);
+- ``slos`` — :class:`repro.scenarios.slo.SloSpec` assertions scored from
+  the observability journal after the run.
+
+Validation is hand-rolled (no external schema dependency), path-qualified
+and strict: unknown keys, unknown shapes/kinds/metrics, and out-of-range
+numbers all raise :class:`ScenarioError` naming the offending path.
+``ScenarioSpec.from_dict(spec.to_dict())`` is the identity — the
+round-trip the scenario property test pins.
+
+Doctest — load, round-trip, and apply quick overrides::
+
+    >>> spec = ScenarioSpec.from_dict({
+    ...     "name": "demo",
+    ...     "description": "one prime task, no chaos",
+    ...     "grid": {"sites": [{"name": "siteA"}]},
+    ...     "workload": {"shape": "prime", "tasks": 2},
+    ...     "slos": [{"metric": "completion_ratio", "op": ">=", "threshold": 1.0}],
+    ...     "quick": {"horizon_s": 500.0, "workload": {"tasks": 1}},
+    ... })
+    >>> spec.workload.tasks, spec.horizon_s
+    (2, 2000.0)
+    >>> ScenarioSpec.from_dict(spec.to_dict()) == spec
+    True
+    >>> quick = spec.effective(quick=True)
+    >>> quick.workload.tasks, quick.horizon_s
+    (1, 500.0)
+    >>> ScenarioSpec.from_dict({"name": "bad", "description": "x",
+    ...                         "grid": {"sites": [{"name": "a"}]},
+    ...                         "workload": {"shape": "tsunami"}})  # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    repro.scenarios.spec.ScenarioError: workload.shape: unknown shape 'tsunami' (known: ...)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.config import ConfigError, GridConfig
+from repro.core.steering.optimizer import SteeringPolicy
+from repro.scenarios.slo import SloSpec
+
+__all__ = [
+    "CHAOS_KINDS",
+    "ChaosAction",
+    "ScenarioError",
+    "ScenarioSpec",
+    "VoShape",
+    "WORKLOAD_SHAPES",
+    "WorkloadShape",
+]
+
+#: Workload shapes :mod:`repro.scenarios.workload` can build.
+WORKLOAD_SHAPES: Tuple[str, ...] = (
+    "prime",
+    "downey",
+    "bag",
+    "dag_campaign",
+    "diurnal",
+    "flash_crowd",
+    "multi_vo",
+)
+
+#: Chaos kinds :mod:`repro.scenarios.chaos` can compile onto the clock.
+CHAOS_KINDS: Tuple[str, ...] = (
+    "outage",
+    "flapping",
+    "degrade",
+    "partition",
+    "weather",
+)
+
+
+class ScenarioError(ValueError):
+    """Raised for malformed scenario files (path-qualified message)."""
+
+
+def _require_keys(data: Dict, cls, path: str) -> None:
+    if not isinstance(data, dict):
+        raise ScenarioError(f"{path}: expected an object, got {type(data).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ScenarioError(f"{path}: unknown keys {sorted(unknown)}")
+
+
+def _number(data: Dict, key: str, path: str, default: float) -> float:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError(f"{path}.{key}: expected a number, got {value!r}")
+    return float(value)
+
+
+def _integer(data: Dict, key: str, path: str, default: int) -> int:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioError(f"{path}.{key}: expected an integer, got {value!r}")
+    return int(value)
+
+
+def _string(data: Dict, key: str, path: str, default: str) -> str:
+    value = data.get(key, default)
+    if not isinstance(value, str):
+        raise ScenarioError(f"{path}.{key}: expected a string, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class VoShape:
+    """One virtual organisation in a ``multi_vo`` workload."""
+
+    owner: str
+    tasks: int = 4
+    priority: int = 0
+    mean_seconds: float = 300.0
+
+    @classmethod
+    def from_dict(cls, data: Dict, path: str) -> "VoShape":
+        _require_keys(data, cls, path)
+        owner = _string(data, "owner", path, "")
+        if not owner:
+            raise ScenarioError(f"{path}.owner: required")
+        vo = cls(
+            owner=owner,
+            tasks=_integer(data, "tasks", path, 4),
+            priority=_integer(data, "priority", path, 0),
+            mean_seconds=_number(data, "mean_seconds", path, 300.0),
+        )
+        if vo.tasks < 1:
+            raise ScenarioError(f"{path}.tasks: must be >= 1, got {vo.tasks}")
+        if vo.mean_seconds <= 0:
+            raise ScenarioError(f"{path}.mean_seconds: must be positive")
+        return vo
+
+    def to_dict(self) -> Dict:
+        return {
+            "owner": self.owner,
+            "tasks": self.tasks,
+            "priority": self.priority,
+            "mean_seconds": self.mean_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """A declarative workload: which shape, how big, how spread in time.
+
+    Shape-specific fields (``burst_*`` for ``flash_crowd``, ``period_s``
+    for ``diurnal``, ``analysis_tasks`` for ``dag_campaign``, ``vos`` for
+    ``multi_vo``) are validated per shape; the rest are common knobs.
+    """
+
+    shape: str = "prime"
+    owner: str = "physicist"
+    tasks: int = 4
+    mean_seconds: float = 300.0
+    interval_s: float = 60.0
+    period_s: float = 1200.0
+    burst_at_s: float = 600.0
+    burst_tasks: int = 8
+    analysis_tasks: int = 3
+    vos: Tuple[VoShape, ...] = ()
+
+    @classmethod
+    def from_dict(cls, data: Dict, path: str = "workload") -> "WorkloadShape":
+        _require_keys(data, cls, path)
+        shape = _string(data, "shape", path, "prime")
+        if shape not in WORKLOAD_SHAPES:
+            raise ScenarioError(
+                f"{path}.shape: unknown shape {shape!r} "
+                f"(known: {', '.join(WORKLOAD_SHAPES)})"
+            )
+        vos_data = data.get("vos", [])
+        if not isinstance(vos_data, list):
+            raise ScenarioError(f"{path}.vos: expected a list")
+        wl = cls(
+            shape=shape,
+            owner=_string(data, "owner", path, "physicist"),
+            tasks=_integer(data, "tasks", path, 4),
+            mean_seconds=_number(data, "mean_seconds", path, 300.0),
+            interval_s=_number(data, "interval_s", path, 60.0),
+            period_s=_number(data, "period_s", path, 1200.0),
+            burst_at_s=_number(data, "burst_at_s", path, 600.0),
+            burst_tasks=_integer(data, "burst_tasks", path, 8),
+            analysis_tasks=_integer(data, "analysis_tasks", path, 3),
+            vos=tuple(
+                VoShape.from_dict(vo, f"{path}.vos[{i}]")
+                for i, vo in enumerate(vos_data)
+            ),
+        )
+        if wl.tasks < 1:
+            raise ScenarioError(f"{path}.tasks: must be >= 1, got {wl.tasks}")
+        if wl.mean_seconds <= 0:
+            raise ScenarioError(f"{path}.mean_seconds: must be positive")
+        if wl.interval_s < 0:
+            raise ScenarioError(f"{path}.interval_s: must be non-negative")
+        if wl.period_s <= 0:
+            raise ScenarioError(f"{path}.period_s: must be positive")
+        if wl.shape == "flash_crowd":
+            if wl.burst_tasks < 1:
+                raise ScenarioError(f"{path}.burst_tasks: must be >= 1")
+            if wl.burst_at_s < 0:
+                raise ScenarioError(f"{path}.burst_at_s: must be non-negative")
+        if wl.shape == "dag_campaign" and wl.analysis_tasks < 1:
+            raise ScenarioError(f"{path}.analysis_tasks: must be >= 1")
+        if wl.shape == "multi_vo":
+            if not wl.vos:
+                raise ScenarioError(f"{path}.vos: multi_vo needs at least one VO")
+        elif wl.vos:
+            raise ScenarioError(f"{path}.vos: only valid for shape 'multi_vo'")
+        return wl
+
+    def to_dict(self) -> Dict:
+        return {
+            "shape": self.shape,
+            "owner": self.owner,
+            "tasks": self.tasks,
+            "mean_seconds": self.mean_seconds,
+            "interval_s": self.interval_s,
+            "period_s": self.period_s,
+            "burst_at_s": self.burst_at_s,
+            "burst_tasks": self.burst_tasks,
+            "analysis_tasks": self.analysis_tasks,
+            "vos": [vo.to_dict() for vo in self.vos],
+        }
+
+    def owners(self) -> List[str]:
+        """Every distinct job owner this workload will submit as."""
+        if self.shape == "multi_vo":
+            return sorted({vo.owner for vo in self.vos})
+        return [self.owner]
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One adversity window.  Field relevance depends on ``kind``:
+
+    - ``outage``: ``site``, ``start_s``, ``duration_s``;
+    - ``flapping``: ``site``, ``start_s``, ``end_s``, ``period_s``, ``duty``;
+    - ``degrade``: ``link`` (two site names), ``start_s``, ``end_s``,
+      ``utilization``;
+    - ``partition``: ``sites`` (one side of the cut), ``start_s``,
+      ``duration_s``;
+    - ``weather``: ``start_s``, ``end_s``, ``period_s``,
+      ``mean_utilization``, ``volatility``.
+
+    An ``end_s`` of ``0`` means "until the scenario horizon" for the
+    kinds that take one.
+    """
+
+    kind: str
+    site: str = ""
+    sites: Tuple[str, ...] = ()
+    link: Tuple[str, str] = ("", "")
+    start_s: float = 0.0
+    end_s: float = 0.0
+    duration_s: float = 0.0
+    period_s: float = 300.0
+    duty: float = 0.5
+    utilization: float = 0.9
+    mean_utilization: float = 0.5
+    volatility: float = 0.15
+
+    @classmethod
+    def from_dict(cls, data: Dict, path: str) -> "ChaosAction":
+        _require_keys(data, cls, path)
+        kind = _string(data, "kind", path, "")
+        if kind not in CHAOS_KINDS:
+            raise ScenarioError(
+                f"{path}.kind: unknown kind {kind!r} (known: {', '.join(CHAOS_KINDS)})"
+            )
+        sites = data.get("sites", [])
+        if not isinstance(sites, list) or not all(isinstance(s, str) for s in sites):
+            raise ScenarioError(f"{path}.sites: expected a list of site names")
+        link = data.get("link", ["", ""])
+        if not isinstance(link, (list, tuple)) or len(link) != 2 or not all(
+            isinstance(s, str) for s in link
+        ):
+            raise ScenarioError(f"{path}.link: expected a [a, b] pair of site names")
+        action = cls(
+            kind=kind,
+            site=_string(data, "site", path, ""),
+            sites=tuple(sites),
+            link=(link[0], link[1]),
+            start_s=_number(data, "start_s", path, 0.0),
+            end_s=_number(data, "end_s", path, 0.0),
+            duration_s=_number(data, "duration_s", path, 0.0),
+            period_s=_number(data, "period_s", path, 300.0),
+            duty=_number(data, "duty", path, 0.5),
+            utilization=_number(data, "utilization", path, 0.9),
+            mean_utilization=_number(data, "mean_utilization", path, 0.5),
+            volatility=_number(data, "volatility", path, 0.15),
+        )
+        action._validate(path)
+        return action
+
+    def _validate(self, path: str) -> None:
+        if self.start_s < 0:
+            raise ScenarioError(f"{path}.start_s: must be non-negative")
+        if self.kind in ("outage", "flapping") and not self.site:
+            raise ScenarioError(f"{path}.site: required for kind {self.kind!r}")
+        if self.kind == "outage" and self.duration_s <= 0:
+            raise ScenarioError(f"{path}.duration_s: outage needs a positive duration")
+        if self.kind == "flapping":
+            if self.period_s <= 0:
+                raise ScenarioError(f"{path}.period_s: must be positive")
+            if not 0.0 < self.duty <= 1.0:
+                raise ScenarioError(f"{path}.duty: must be in (0, 1], got {self.duty}")
+            if self.end_s and self.end_s <= self.start_s:
+                raise ScenarioError(f"{path}.end_s: must be after start_s")
+        if self.kind == "degrade":
+            if not self.link[0] or not self.link[1]:
+                raise ScenarioError(f"{path}.link: required for kind 'degrade'")
+            if not 0.0 <= self.utilization < 1.0:
+                raise ScenarioError(f"{path}.utilization: must be in [0, 1)")
+            if self.end_s and self.end_s <= self.start_s:
+                raise ScenarioError(f"{path}.end_s: must be after start_s")
+        if self.kind == "partition":
+            if not self.sites:
+                raise ScenarioError(f"{path}.sites: partition needs one side of the cut")
+            if self.duration_s <= 0:
+                raise ScenarioError(
+                    f"{path}.duration_s: partition needs a positive duration"
+                )
+        if self.kind == "weather":
+            if self.period_s <= 0:
+                raise ScenarioError(f"{path}.period_s: must be positive")
+            if not 0.0 <= self.mean_utilization < 1.0:
+                raise ScenarioError(f"{path}.mean_utilization: must be in [0, 1)")
+            if self.volatility < 0:
+                raise ScenarioError(f"{path}.volatility: must be non-negative")
+            if self.end_s and self.end_s <= self.start_s:
+                raise ScenarioError(f"{path}.end_s: must be after start_s")
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "site": self.site,
+            "sites": list(self.sites),
+            "link": list(self.link),
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "period_s": self.period_s,
+            "duty": self.duty,
+            "utilization": self.utilization,
+            "mean_utilization": self.mean_utilization,
+            "volatility": self.volatility,
+        }
+
+
+#: Keys ``quick`` overrides may set at the top level.
+_QUICK_KEYS = ("horizon_s", "workload", "chaos", "slos")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete named scenario: grid + workload + chaos + SLOs."""
+
+    name: str
+    description: str
+    grid: GridConfig
+    workload: WorkloadShape = field(default_factory=WorkloadShape)
+    chaos: Tuple[ChaosAction, ...] = ()
+    slos: Tuple[SloSpec, ...] = ()
+    policy: Dict[str, object] = field(default_factory=dict)
+    tags: Tuple[str, ...] = ()
+    seed: int = 2005
+    horizon_s: float = 2000.0
+    quick: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # frozen dataclass: normalise via object.__setattr__ is avoided by
+        # validating instead — constructors must hand in canonical types.
+        if not self.name:
+            raise ScenarioError("scenario.name: required")
+        if self.horizon_s <= 0:
+            raise ScenarioError("scenario.horizon_s: must be positive")
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioSpec":
+        _require_keys(data, cls, "scenario")
+        name = _string(data, "name", "scenario", "")
+        if not name:
+            raise ScenarioError("scenario.name: required")
+        description = _string(data, "description", "scenario", "")
+        if not description:
+            raise ScenarioError("scenario.description: required (the cookbook is built from it)")
+        if "grid" not in data:
+            raise ScenarioError("scenario.grid: required")
+        try:
+            grid = GridConfig.from_dict(data["grid"])
+        except ConfigError as exc:
+            raise ScenarioError(f"scenario.{exc}") from exc
+        chaos_data = data.get("chaos", [])
+        if not isinstance(chaos_data, list):
+            raise ScenarioError("scenario.chaos: expected a list")
+        slos_data = data.get("slos", [])
+        if not isinstance(slos_data, list):
+            raise ScenarioError("scenario.slos: expected a list")
+        tags = data.get("tags", [])
+        if not isinstance(tags, list) or not all(isinstance(t, str) for t in tags):
+            raise ScenarioError("scenario.tags: expected a list of strings")
+        policy = data.get("policy", {})
+        if not isinstance(policy, dict):
+            raise ScenarioError("scenario.policy: expected an object")
+        quick = data.get("quick", {})
+        if not isinstance(quick, dict):
+            raise ScenarioError("scenario.quick: expected an object")
+        unknown_quick = set(quick) - set(_QUICK_KEYS)
+        if unknown_quick:
+            raise ScenarioError(
+                f"scenario.quick: unknown keys {sorted(unknown_quick)} "
+                f"(allowed: {', '.join(_QUICK_KEYS)})"
+            )
+        spec = cls(
+            name=name,
+            description=description,
+            grid=grid,
+            workload=WorkloadShape.from_dict(data.get("workload", {}), "workload"),
+            chaos=tuple(
+                ChaosAction.from_dict(c, f"chaos[{i}]")
+                for i, c in enumerate(chaos_data)
+            ),
+            slos=tuple(
+                SloSpec.from_dict(s, f"slos[{i}]") for i, s in enumerate(slos_data)
+            ),
+            policy=dict(policy),
+            tags=tuple(tags),
+            seed=_integer(data, "seed", "scenario", 2005),
+            horizon_s=_number(data, "horizon_s", "scenario", 2000.0),
+            quick=dict(quick),
+        )
+        spec._check_sites()
+        if spec.quick:
+            spec.effective(quick=True)  # fail at load time, not run time
+        return spec
+
+    def _check_sites(self) -> None:
+        known = {site.name for site in self.grid.sites}
+        for i, action in enumerate(self.chaos):
+            for site in ((action.site,) if action.site else ()) + action.sites:
+                if site not in known:
+                    raise ScenarioError(
+                        f"chaos[{i}].{'site' if site == action.site else 'sites'}: "
+                        f"unknown site {site!r}"
+                    )
+            if action.kind == "degrade":
+                for end in action.link:
+                    if end not in known:
+                        raise ScenarioError(f"chaos[{i}].link: unknown site {end!r}")
+
+    @classmethod
+    def from_json(cls, text_or_path: Union[str, Path]) -> "ScenarioSpec":
+        """Parse a scenario from JSON text or a JSON file path."""
+        raw = str(text_or_path)
+        try:
+            is_file = "\n" not in raw and len(raw) < 1024 and Path(raw).exists()
+        except OSError:
+            is_file = False
+        if is_file:
+            raw = Path(raw).read_text(encoding="utf-8")
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid scenario JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_dict(self) -> Dict:
+        """The canonical, JSON-serialisable dict (round-trips exactly)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "grid": _grid_to_dict(self.grid),
+            "workload": self.workload.to_dict(),
+            "chaos": [c.to_dict() for c in self.chaos],
+            "slos": [s.to_dict() for s in self.slos],
+            "policy": dict(self.policy),
+            "tags": list(self.tags),
+            "seed": self.seed,
+            "horizon_s": self.horizon_s,
+            "quick": dict(self.quick),
+        }
+
+    def effective(self, quick: bool = False) -> "ScenarioSpec":
+        """This spec, with its ``quick`` overrides applied when asked.
+
+        ``quick.horizon_s`` replaces the horizon, ``quick.workload`` is
+        merged field-by-field into the workload, and ``quick.chaos`` /
+        ``quick.slos`` (when present) replace those lists wholesale —
+        CI-sized chaos needs retimed windows and retuned thresholds, not
+        scaled ones.
+        """
+        if not quick or not self.quick:
+            return self
+        data = self.to_dict()
+        overrides = dict(self.quick)
+        workload = overrides.pop("workload", None)
+        if workload is not None:
+            if not isinstance(workload, dict):
+                raise ScenarioError("scenario.quick.workload: expected an object")
+            data["workload"] = {**data["workload"], **workload}
+        for key in ("chaos", "slos", "horizon_s"):
+            if key in overrides:
+                data[key] = overrides.pop(key)
+        data["quick"] = {}
+        return ScenarioSpec.from_dict(data)
+
+    def steering_policy(self) -> SteeringPolicy:
+        """The SteeringPolicy with this scenario's overrides applied."""
+        try:
+            return SteeringPolicy(**self.policy)  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise ScenarioError(f"scenario.policy: bad options: {exc}") from exc
+
+
+def _grid_to_dict(grid: GridConfig) -> Dict:
+    """GridConfig as the canonical dict ``GridConfig.from_dict`` accepts."""
+    return {
+        "sites": [
+            {
+                "name": s.name,
+                "nodes": s.nodes,
+                "cpus_per_node": s.cpus_per_node,
+                "background_load": s.background_load,
+                "cpu_hour_rate": s.cpu_hour_rate,
+                "idle_hour_rate": s.idle_hour_rate,
+            }
+            for s in grid.sites
+        ],
+        "links": [
+            {
+                "a": link.a,
+                "b": link.b,
+                "capacity_mbps": link.capacity_mbps,
+                "latency_s": link.latency_s,
+                "utilization": link.utilization,
+            }
+            for link in grid.links
+        ],
+        "files": [
+            {"name": f.name, "size_mb": f.size_mb, "at": f.at} for f in grid.files
+        ],
+        "flocking": [list(pair) for pair in grid.flocking],
+        "probe_noise": grid.probe_noise,
+    }
+
+
+def first_chaos_start(chaos: Sequence[ChaosAction], horizon_s: float) -> float:
+    """Earliest chaos onset, or *horizon_s* when the scenario is benign."""
+    starts = [action.start_s for action in chaos]
+    return min(starts) if starts else horizon_s
+
+
+def last_chaos_end(chaos: Sequence[ChaosAction], horizon_s: float) -> float:
+    """Latest chaos end (resolving open windows to the horizon)."""
+    ends = []
+    for action in chaos:
+        if action.kind in ("outage", "partition"):
+            ends.append(action.start_s + action.duration_s)
+        else:
+            ends.append(action.end_s if action.end_s > 0 else horizon_s)
+    return min(max(ends), horizon_s) if ends else horizon_s

@@ -117,3 +117,123 @@ class TestRobustnessUnderChurn:
         assert injector.failures(), "churn must actually have happened"
         for t in tasks:
             assert t.state is JobState.COMPLETED, f"{t.task_id} ended {t.state}"
+
+
+class TestOutageWindows:
+    def test_window_validation(self):
+        from repro.gridsim.faults import OutageWindow
+
+        with pytest.raises(ValueError):
+            OutageWindow(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            OutageWindow(5.0, 5.0)
+
+    def test_merge_overlapping_and_abutting(self):
+        from repro.gridsim.faults import OutageWindow, merge_windows
+
+        merged = merge_windows([
+            OutageWindow(0.0, 10.0),
+            OutageWindow(10.0, 20.0),   # exact abutment: one outage
+            OutageWindow(15.0, 30.0),   # overlap
+            OutageWindow(40.0, 50.0),   # disjoint
+        ])
+        assert merged == [OutageWindow(0.0, 30.0), OutageWindow(40.0, 50.0)]
+
+    def test_flapping_full_duty_degenerates_to_one_outage(self):
+        from repro.gridsim.faults import flapping_windows, merge_windows
+
+        windows = flapping_windows(0.0, 30.0, period_s=10.0, duty=1.0)
+        assert len(windows) == 3
+        assert len(merge_windows(windows)) == 1
+
+    def test_flapping_validation(self):
+        from repro.gridsim.faults import flapping_windows
+
+        with pytest.raises(ValueError):
+            flapping_windows(0.0, 10.0, period_s=0.0)
+        with pytest.raises(ValueError):
+            flapping_windows(0.0, 10.0, period_s=5.0, duty=0.0)
+        with pytest.raises(ValueError):
+            flapping_windows(10.0, 10.0, period_s=5.0)
+
+
+class TestOutageScheduler:
+    def make(self):
+        from repro.gridsim.faults import OutageScheduler
+
+        sim = Simulator()
+        es = ExecutionService(Site.simple(sim, "s"))
+        return sim, es, OutageScheduler(sim)
+
+    def test_single_window_fails_and_recovers(self):
+        sim, es, sched = self.make()
+        sched.add_outage(es, 10.0, 5.0)
+        sched.start()
+        sim.run_until(12.0)
+        with pytest.raises(ExecutionServiceDown):
+            es.ping()
+        sim.run_until(15.0)
+        assert es.ping() is True
+        assert [e.kind for e in sched.events] == ["failure", "repair"]
+        assert sched.availability("s", 100.0) == pytest.approx(0.95)
+
+    def test_abutting_windows_do_not_double_fire_recovery(self):
+        """The boundary regression: a window ending exactly at the clock
+        tick another begins must behave as ONE outage — exactly one
+        failure and one repair, no repair/failure pair at the shared
+        boundary instant."""
+        sim, es, sched = self.make()
+        sched.add_outage(es, 0.0, 10.0)
+        sched.add_outage(es, 10.0, 10.0)   # ends exactly where #1 starts
+        sim_events = sched.start().events
+        sim.run_until(10.0)                # the shared boundary tick
+        assert [e.kind for e in sim_events] == ["failure"]
+        with pytest.raises(ExecutionServiceDown):
+            es.ping()                      # still down across the boundary
+        sim.run_until(20.0)
+        assert [(e.time, e.kind) for e in sim_events] == [
+            (0.0, "failure"), (20.0, "repair"),
+        ]
+
+    def test_boundary_tick_replay_fires_repair_once(self):
+        sim, es, sched = self.make()
+        sched.add_outage(es, 0.0, 10.0)
+        sched.start()
+        sim.run_until(10.0)
+        sim.run_until(10.0)                # re-running the boundary tick
+        sim.run_until(10.0)
+        repairs = [e for e in sched.events if e.kind == "repair"]
+        assert len(repairs) == 1
+        assert es.ping() is True
+
+    def test_does_not_repair_outages_it_did_not_cause(self):
+        sim, es, sched = self.make()
+        sched.add_outage(es, 10.0, 5.0)
+        sched.start()
+        es.fail()                          # someone else took the site down
+        sim.run_until(20.0)
+        with pytest.raises(ExecutionServiceDown):
+            es.ping()                      # scheduler must not "fix" it
+        assert sched.events == []
+
+    def test_registration_after_start_rejected(self):
+        sim, es, sched = self.make()
+        sched.add_outage(es, 0.0, 1.0)
+        sched.start()
+        with pytest.raises(RuntimeError):
+            sched.add_outage(es, 5.0, 1.0)
+        with pytest.raises(RuntimeError):
+            sched.add_flapping(es, 5.0, 10.0, 1.0)
+        with pytest.raises(RuntimeError):
+            sched.start()
+
+    def test_flapping_schedule_events(self):
+        sim, es, sched = self.make()
+        sched.add_flapping(es, 0.0, 30.0, period_s=10.0, duty=0.5)
+        sched.start()
+        sim.run_until(30.0)
+        assert [(e.time, e.kind) for e in sched.events] == [
+            (0.0, "failure"), (5.0, "repair"),
+            (10.0, "failure"), (15.0, "repair"),
+            (20.0, "failure"), (25.0, "repair"),
+        ]

@@ -1,0 +1,151 @@
+"""Property-based tests: scenario schema round-trip and report determinism.
+
+Two contracts:
+
+1. Any valid scenario config survives ``ScenarioSpec.from_dict`` /
+   ``to_dict`` as a fixpoint — re-parsing the canonical dict yields an
+   equal spec and the identical canonical JSON.
+2. ``run_campaign`` is a pure function of (spec, seed): serialising the
+   report twice for the same spec yields bit-identical JSON, the
+   determinism contract behind the committed ``SCENARIOS.json``.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios.engine import run_campaign
+from repro.scenarios.spec import ScenarioSpec
+
+SITES = ("siteA", "siteB")
+
+GRID = {
+    "sites": [
+        {"name": "siteA", "nodes": 2, "cpus_per_node": 2},
+        {"name": "siteB", "nodes": 2, "cpus_per_node": 2},
+    ],
+    "links": [{"a": "siteA", "b": "siteB", "capacity_mbps": 155.0}],
+    "flocking": [["siteA", "siteB"], ["siteB", "siteA"]],
+}
+
+finite = {"allow_nan": False, "allow_infinity": False}
+
+
+@st.composite
+def workloads(draw):
+    shape = draw(st.sampled_from(["prime", "bag", "diurnal", "multi_vo"]))
+    data = {"shape": shape}
+    if shape == "multi_vo":
+        data["vos"] = draw(
+            st.lists(
+                st.fixed_dictionaries({
+                    "owner": st.sampled_from(["cms", "atlas", "ops"]),
+                    "tasks": st.integers(1, 4),
+                    "priority": st.integers(0, 10),
+                }),
+                min_size=1, max_size=3,
+            )
+        )
+    else:
+        data["owner"] = draw(st.sampled_from(["alice", "bob"]))
+        data["tasks"] = draw(st.integers(1, 6))
+    if shape == "diurnal":
+        data["period_s"] = draw(st.floats(200.0, 2000.0, **finite))
+    return data
+
+
+@st.composite
+def chaos_actions(draw):
+    kind = draw(st.sampled_from(["outage", "flapping", "degrade", "weather"]))
+    if kind == "outage":
+        return {
+            "kind": kind,
+            "site": draw(st.sampled_from(SITES)),
+            "start_s": draw(st.floats(0.0, 500.0, **finite)),
+            "duration_s": draw(st.floats(1.0, 500.0, **finite)),
+        }
+    if kind == "flapping":
+        return {
+            "kind": kind,
+            "site": draw(st.sampled_from(SITES)),
+            "start_s": 0.0,
+            "end_s": draw(st.floats(100.0, 900.0, **finite)),
+            "period_s": draw(st.floats(50.0, 300.0, **finite)),
+            "duty": draw(st.floats(0.1, 0.9, **finite)),
+        }
+    if kind == "degrade":
+        return {
+            "kind": kind,
+            "link": ["siteA", "siteB"],
+            "start_s": 0.0,
+            "end_s": draw(st.floats(10.0, 900.0, **finite)),
+            "utilization": draw(st.floats(0.1, 0.9, **finite)),
+        }
+    return {
+        "kind": "weather",
+        "period_s": draw(st.floats(50.0, 400.0, **finite)),
+        "mean_utilization": draw(st.floats(0.05, 0.8, **finite)),
+        "volatility": draw(st.floats(0.01, 0.3, **finite)),
+    }
+
+
+@st.composite
+def slo_dicts(draw):
+    metric = draw(st.sampled_from(
+        ["completion_ratio", "makespan_s", "queue_wait_s", "tasks_failed_total"]
+    ))
+    data = {
+        "metric": metric,
+        "op": draw(st.sampled_from(["<=", ">="])),
+        "threshold": draw(st.floats(0.0, 10000.0, **finite)),
+    }
+    if metric == "queue_wait_s":
+        data["percentile"] = draw(st.sampled_from([50.0, 90.0, 95.0, 99.0]))
+    return data
+
+
+@st.composite
+def scenario_dicts(draw):
+    return {
+        "name": draw(st.sampled_from(["prop-a", "prop-b"])),
+        "description": "property-generated scenario",
+        "grid": GRID,
+        "seed": draw(st.integers(1, 2**20)),
+        "horizon_s": draw(st.floats(600.0, 5000.0, **finite)),
+        "workload": draw(workloads()),
+        "chaos": draw(st.lists(chaos_actions(), max_size=2)),
+        "slos": draw(st.lists(slo_dicts(), min_size=1, max_size=3)),
+        "tags": draw(st.lists(st.sampled_from(["a", "b"]), max_size=2, unique=True)),
+    }
+
+
+@given(scenario_dicts())
+@settings(max_examples=60, deadline=None)
+def test_spec_round_trip_is_fixpoint(data):
+    spec = ScenarioSpec.from_dict(data)
+    canonical = spec.to_dict()
+    again = ScenarioSpec.from_dict(canonical)
+    assert again == spec
+    assert json.dumps(again.to_dict(), sort_keys=True) == json.dumps(
+        canonical, sort_keys=True
+    )
+
+
+@given(st.integers(1, 2**16))
+@settings(max_examples=5, deadline=None)
+def test_same_seed_reports_serialize_bit_identically(seed):
+    spec = ScenarioSpec.from_dict({
+        "name": "prop-determinism",
+        "description": "tiny deterministic campaign",
+        "grid": GRID,
+        "seed": seed,
+        "horizon_s": 1200.0,
+        "workload": {"shape": "prime", "tasks": 2, "interval_s": 60.0},
+        "chaos": [{"kind": "outage", "site": "siteB",
+                   "start_s": 200.0, "duration_s": 150.0}],
+        "slos": [{"metric": "makespan_s", "op": "<=", "threshold": 1e6}],
+    })
+    first = json.dumps(run_campaign([spec]), sort_keys=True)
+    second = json.dumps(run_campaign([spec]), sort_keys=True)
+    assert first == second

@@ -134,12 +134,21 @@ class TestBuilding:
 
 
 class TestCliScenario:
-    def test_scenario_command(self, tmp_path, capsys):
+    def test_scenario_run_command(self, tmp_path, capsys):
         from repro.cli import main
 
+        spec = {
+            "name": "s",
+            "description": "the legacy config grid, run through the scenario engine",
+            "grid": SCENARIO["grid"],
+            "policy": SCENARIO["policy"],
+            "horizon_s": 2000.0,
+            "workload": {"shape": "prime", "tasks": 1},
+            "slos": [{"metric": "completion_ratio", "op": ">=", "threshold": 1.0}],
+        }
         path = tmp_path / "s.json"
-        path.write_text(json.dumps(SCENARIO))
-        assert main(["scenario", str(path)]) == 0
+        path.write_text(json.dumps(spec))
+        assert main(["scenario", "run", str(path), "--out", "-"]) == 0
         out = capsys.readouterr().out
-        assert "task" in out
-        assert "autonomous moves" in out
+        assert "completion_ratio" in out
+        assert "campaign: PASS" in out

@@ -13,6 +13,8 @@ import repro.core.estimators.transfer_time
 import repro.gae
 import repro.gridsim.grid
 import repro.gridsim.rng
+import repro.scenarios.slo
+import repro.scenarios.spec
 
 MODULES = [
     repro.gridsim.grid,
@@ -21,6 +23,8 @@ MODULES = [
     repro.core.estimators.service,
     repro.core.estimators.similarity,
     repro.core.estimators.transfer_time,
+    repro.scenarios.spec,
+    repro.scenarios.slo,
 ]
 
 

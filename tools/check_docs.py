@@ -16,7 +16,12 @@ Three checks, all run by CI's docs job:
    read cache can key on must be documented, and no stale names;
 5. the "Wire codecs" table lists exactly the registered codec names of
    ``repro.clarens.codecs.codec_names()`` — a codec the framed
-   transport can negotiate must be documented, and vice versa.
+   transport can negotiate must be documented, and vice versa;
+6. the generated tables in docs/SCENARIOS.md (scenario library and SLO
+   metric vocabulary) match what ``repro.scenarios.registry`` renders
+   from the committed ``scenarios/*.json`` files — run
+   ``python -m repro.scenarios.registry --write`` after editing the
+   library.
 
 Run from anywhere::
 
@@ -32,6 +37,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src"
 ARCHITECTURE_MD = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+SCENARIOS_MD = REPO_ROOT / "docs" / "SCENARIOS.md"
 
 sys.path.insert(0, str(SRC_ROOT))
 
@@ -157,6 +163,25 @@ def check_wire_codecs(text: str) -> list[str]:
     return problems
 
 
+def check_scenario_cookbook() -> list[str]:
+    from repro.scenarios.registry import render_cookbook
+    from repro.scenarios.spec import ScenarioError
+
+    if not SCENARIOS_MD.exists():
+        return [f"{SCENARIOS_MD} does not exist"]
+    text = SCENARIOS_MD.read_text(encoding="utf-8")
+    try:
+        rendered = render_cookbook(text)
+    except ScenarioError as exc:
+        return [str(exc)]
+    if rendered != text:
+        return [
+            "the generated tables disagree with the scenarios/ registry; "
+            "run `python -m repro.scenarios.registry --write`"
+        ]
+    return []
+
+
 def main() -> int:
     if not ARCHITECTURE_MD.exists():
         print(f"error: {ARCHITECTURE_MD} does not exist", file=sys.stderr)
@@ -207,11 +232,18 @@ def main() -> int:
         for problem in codec_problems:
             print(f"  - {problem}", file=sys.stderr)
         return 1
+    cookbook_problems = check_scenario_cookbook()
+    if cookbook_problems:
+        print("docs/SCENARIOS.md is out of date:", file=sys.stderr)
+        for problem in cookbook_problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
     print(f"docs/ARCHITECTURE.md covers all {len(packages)} packages")
     print("docs/ARCHITECTURE.md event taxonomy matches EventType")
     print("docs/ARCHITECTURE.md state-store namespaces match the registry")
     print("docs/ARCHITECTURE.md epoch taxonomy matches CANONICAL_EPOCHS")
     print("docs/ARCHITECTURE.md wire-codec table matches codec_names()")
+    print("docs/SCENARIOS.md generated tables match the scenario registry")
     return 0
 
 
