@@ -20,9 +20,10 @@ field glossary):
   (``completion_by_site`` over a live multi-site GAE);
 - ``monitoring``       — Clarens ``jobmon.job_info`` query latency
   through the middleware pipeline;
-- ``observability``    — end-to-end steering-verb latency with the PR-3
-  tracing/journal layer on vs off at the 10k-job scale (the <10%
-  overhead acceptance gate);
+- ``observability``    — end-to-end steering-verb latency across three
+  builds at the 10k-job scale: bare, tracing+journal, and
+  tracing+journal+telemetry/health (the <10% overhead acceptance gates,
+  one for the whole layer and one isolating the telemetry pipeline);
 - ``persistence``      — monitoring snapshot-write throughput: a loop of
   per-record ``DBManager.update`` commits vs one batched
   ``update_many`` transaction at the 10k-task scale, plus store
@@ -51,7 +52,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: History sizes for the runtime-estimator section.  10k is the scale the
 #: acceptance gate (>=5x) is checked at; keep it in every run.
@@ -427,7 +428,8 @@ def bench_monitoring_query(
 # ----------------------------------------------------------------------
 # section 6: observability instrumentation overhead
 # ----------------------------------------------------------------------
-def _gae_at_scale(seed: int, n_tasks: int, observability: bool):
+def _gae_at_scale(seed: int, n_tasks: int, observability: bool,
+                  telemetry: bool = True):
     """A two-site GAE holding ``n_tasks`` live single-task jobs."""
     from repro.gae import SteeringPolicy, build_gae
     from repro.gridsim import GridBuilder
@@ -448,6 +450,7 @@ def _gae_at_scale(seed: int, n_tasks: int, observability: bool):
     gae = build_gae(
         grid,
         observability=observability,
+        telemetry=telemetry,
         policy=SteeringPolicy(auto_move=False, poll_interval_s=3_600.0),
     )
     gae.add_user("bench", "bench")
@@ -469,57 +472,72 @@ def bench_observability_overhead(
 ) -> Dict[str, object]:
     """Steering-verb latency with vs without the tracing/journal layer.
 
-    Two identical GAEs — one built with ``observability=True``, one
-    without — each hold ``n_tasks`` live jobs.  An identical batch of
-    ``set_priority`` steering verbs (the §4 priority-change path, a full
-    Clarens RPC plus a Condor queue re-prioritisation) then runs against
-    the tail of each queue.  Rounds alternate which configuration is
-    timed first and the best round per configuration is kept, so
-    scheduler noise on a busy machine cannot masquerade as
-    instrumentation cost.
+    Three identical GAEs hold ``n_tasks`` live jobs each: one bare
+    (``observability=False``), one with tracing+journal but the windowed
+    telemetry/health layer off (``telemetry=False``), and one fully
+    instrumented.  An identical batch of ``set_priority`` steering verbs
+    (the §4 priority-change path, a full Clarens RPC plus a Condor queue
+    re-prioritisation) then runs against the tail of each queue.  Rounds
+    rotate which configuration is timed first and the best round per
+    configuration is kept, so scheduler noise on a busy machine cannot
+    masquerade as instrumentation cost.  ``overhead_pct`` compares the
+    fully instrumented GAE against the bare one (the long-standing
+    acceptance gate); ``telemetry_overhead_pct`` isolates what the
+    telemetry pipeline + health engine add on top of tracing+journal.
     """
+    BARE, TRACED, FULL = "bare", "traced", "full"
+    builds = {BARE: (False, False), TRACED: (True, False), FULL: (True, True)}
     configs = {}
-    for instrumented in (True, False):
-        gae, task_ids = _gae_at_scale(seed, n_tasks, instrumented)
+    for label, (observability, telemetry) in builds.items():
+        gae, task_ids = _gae_at_scale(
+            seed, n_tasks, observability, telemetry=telemetry
+        )
         steering = gae.client("bench", "bench").service("steering")
-        configs[instrumented] = (gae, steering, task_ids[-commands:])
+        configs[label] = (gae, steering, task_ids[-commands:])
 
-    def run_batch(instrumented: bool, priority: int):
-        _, steering, sample = configs[instrumented]
+    def run_batch(label: str, priority: int):
+        _, steering, sample = configs[label]
         ok = 0
         start = time.perf_counter()
         for task_id in sample:
             ok += steering.set_priority(task_id, priority)["ok"]
         return time.perf_counter() - start, ok
 
-    run_batch(True, 1), run_batch(False, 1)  # warm both pipelines
-    best = {True: float("inf"), False: float("inf")}
+    for label in configs:  # warm every pipeline
+        run_batch(label, 1)
+    best = {label: float("inf") for label in configs}
     ok_counts = {}
+    labels = (FULL, TRACED, BARE)
     for round_no in range(rounds):
-        order = (True, False) if round_no % 2 == 0 else (False, True)
+        order = labels[round_no % 3:] + labels[:round_no % 3]
         priority = 2 + round_no % 2  # alternate so every re-sort is real
-        for instrumented in order:
-            elapsed, ok_counts[instrumented] = run_batch(instrumented, priority)
-            best[instrumented] = min(best[instrumented], elapsed)
+        for label in order:
+            elapsed, ok_counts[label] = run_batch(label, priority)
+            best[label] = min(best[label], elapsed)
 
-    instrumentation = configs[True][0].observability
+    instrumentation = configs[FULL][0].observability
     spans, events = len(instrumentation.tracer), len(instrumentation.journal)
+    windows = instrumentation.telemetry.windows_closed
     for gae, _, _ in configs.values():
         gae.stop()
 
-    instrumented_s, baseline_s = best[True], best[False]
+    baseline_s, traced_s, instrumented_s = best[BARE], best[TRACED], best[FULL]
     return {
         "n_tasks": n_tasks,
         "commands": commands,
         "rounds": rounds,
         "baseline_s": baseline_s,
+        "traced_s": traced_s,
         "instrumented_s": instrumented_s,
         "baseline_per_command_ms": baseline_s / commands * 1e3,
+        "traced_per_command_ms": traced_s / commands * 1e3,
         "instrumented_per_command_ms": instrumented_s / commands * 1e3,
         "overhead_pct": (instrumented_s / baseline_s - 1.0) * 100.0,
-        "identical": ok_counts[True] == ok_counts[False] == commands,
+        "telemetry_overhead_pct": (instrumented_s / traced_s - 1.0) * 100.0,
+        "identical": all(ok_counts[label] == commands for label in configs),
         "spans": spans,
         "events": events,
+        "windows": windows,
     }
 
 
@@ -793,10 +811,21 @@ def _assert_invariants(report: Dict[str, object]) -> None:
         )
     if obs["events"] <= 0 or obs["spans"] <= 0:
         raise BenchError("instrumented GAE recorded no spans/events")
+    if obs["windows"] <= 0:
+        raise BenchError("instrumented GAE closed no telemetry windows")
     if obs["n_tasks"] >= 10_000 and obs["overhead_pct"] >= OVERHEAD_CEILING_PCT:
         raise BenchError(
             f"tracing+journal adds {obs['overhead_pct']:.1f}% to steering "
             f"latency at {obs['n_tasks']} jobs, above the "
+            f"{OVERHEAD_CEILING_PCT:.0f}% ceiling"
+        )
+    if (
+        obs["n_tasks"] >= 10_000
+        and obs["telemetry_overhead_pct"] >= OVERHEAD_CEILING_PCT
+    ):
+        raise BenchError(
+            f"telemetry+health adds {obs['telemetry_overhead_pct']:.1f}% on "
+            f"top of tracing+journal at {obs['n_tasks']} jobs, above the "
             f"{OVERHEAD_CEILING_PCT:.0f}% ceiling"
         )
     persistence = sections["persistence"]  # type: ignore[index]
@@ -902,14 +931,19 @@ def _print_summary(report: Dict[str, object], echo: Callable[[str], None]) -> No
         ],
     ))
     o = sections["observability"]
-    echo("observability instrumentation (steering verbs, tracing+journal on vs off)")
+    echo("observability instrumentation (steering verbs: bare vs traced vs "
+         "traced+telemetry)")
     echo(markdown_table(
-        ["jobs", "verbs", "off ms/verb", "on ms/verb", "overhead", "identical"],
+        ["jobs", "verbs", "off ms/verb", "traced ms/verb", "full ms/verb",
+         "overhead", "telemetry", "identical"],
         [[
             o["n_tasks"], o["commands"],
             round(o["baseline_per_command_ms"], 3),
+            round(o["traced_per_command_ms"], 3),
             round(o["instrumented_per_command_ms"], 3),
-            f"{o['overhead_pct']:+.1f}%", o["identical"],
+            f"{o['overhead_pct']:+.1f}%",
+            f"{o['telemetry_overhead_pct']:+.1f}%",
+            o["identical"],
         ]],
     ))
     p = sections["persistence"]
@@ -1036,10 +1070,12 @@ def validate_report(report: Dict[str, object]) -> None:
     ], "monitoring")
     check_row(sections["observability"], [
         ("n_tasks", int), ("commands", int), ("rounds", int),
-        ("baseline_s", float), ("instrumented_s", float),
-        ("baseline_per_command_ms", float), ("instrumented_per_command_ms", float),
-        ("overhead_pct", float), ("identical", bool),
-        ("spans", int), ("events", int),
+        ("baseline_s", float), ("traced_s", float), ("instrumented_s", float),
+        ("baseline_per_command_ms", float), ("traced_per_command_ms", float),
+        ("instrumented_per_command_ms", float),
+        ("overhead_pct", float), ("telemetry_overhead_pct", float),
+        ("identical", bool),
+        ("spans", int), ("events", int), ("windows", int),
     ], "observability")
     check_row(sections["persistence"], [
         ("records", int), ("loop_s", float), ("batched_s", float),

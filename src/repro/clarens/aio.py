@@ -37,6 +37,7 @@ from __future__ import annotations
 import asyncio
 import queue
 import threading
+import time
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.clarens.codecs import Codec, codec_names, get_codec, negotiate
@@ -57,12 +58,16 @@ from repro.clarens.framing import (
 from repro.clarens.framing import ERROR as ERROR_FRAME
 from repro.clarens.serialization import decode_trace_token
 from repro.clarens.server import ClarensHost
+from repro.clarens.telemetry import WorkerPoolStats
 
 
 class _Connection:
     """Loop-side state for one negotiated client connection."""
 
-    __slots__ = ("writer", "codec", "transport_label", "loop", "inflight", "closed")
+    __slots__ = (
+        "writer", "codec", "transport_label", "loop", "inflight", "closed",
+        "stats",
+    )
 
     def __init__(
         self,
@@ -70,6 +75,7 @@ class _Connection:
         codec: Codec,
         loop: asyncio.AbstractEventLoop,
         max_inflight: int,
+        stats: Optional[WorkerPoolStats] = None,
     ) -> None:
         self.writer = writer
         self.codec = codec
@@ -78,6 +84,7 @@ class _Connection:
         self.loop = loop
         self.inflight = asyncio.Semaphore(max_inflight)
         self.closed = False
+        self.stats = stats
 
     def post_replies(self, data: bytes, count: int) -> None:
         """Hand *count* concatenated reply frames to the event loop.
@@ -93,7 +100,12 @@ class _Connection:
         for _ in range(count):
             self.inflight.release()
         if not self.closed and not self.writer.is_closing():
+            t0 = time.perf_counter()
             self.writer.write(data)
+            if self.stats is not None:
+                self.stats.record_stage(
+                    "reply_flush", time.perf_counter() - t0
+                )
 
 
 class _WorkerBridge:
@@ -104,9 +116,16 @@ class _WorkerBridge:
     without a loop wake-up per call.
     """
 
-    def __init__(self, host: ClarensHost, workers: int, batch: int) -> None:
+    def __init__(
+        self,
+        host: ClarensHost,
+        workers: int,
+        batch: int,
+        stats: Optional[WorkerPoolStats] = None,
+    ) -> None:
         self._host = host
         self._batch = max(1, batch)
+        self._stats = stats
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._threads = [
             threading.Thread(
@@ -118,7 +137,9 @@ class _WorkerBridge:
             thread.start()
 
     def submit(self, conn: _Connection, request_id: int, payload: bytes) -> None:
-        self._queue.put((conn, request_id, payload))
+        if self._stats is not None:
+            self._stats.on_submit()
+        self._queue.put((conn, request_id, payload, time.perf_counter()))
 
     def stop(self) -> None:
         for _ in self._threads:
@@ -132,7 +153,7 @@ class _WorkerBridge:
             item = self._queue.get()
             if item is None:
                 return
-            batch: List[Tuple[_Connection, int, bytes]] = [item]
+            batch: List[Tuple[_Connection, int, bytes, float]] = [item]
             while len(batch) < self._batch:
                 try:
                     extra = self._queue.get_nowait()
@@ -142,33 +163,99 @@ class _WorkerBridge:
                     self._queue.put(None)  # re-post for a sibling worker
                     break
                 batch.append(extra)
+            stats = self._stats
+            if stats is not None:
+                stats.on_batch(len(batch))
             replies: Dict[_Connection, List[bytes]] = {}
-            for conn, request_id, payload in batch:
+            for conn, request_id, payload, enqueued in batch:
+                if stats is not None:
+                    stats.on_start(time.perf_counter() - enqueued)
                 replies.setdefault(conn, []).append(
                     self._execute(conn.codec, conn.transport_label, request_id, payload)
                 )
+                if stats is not None:
+                    stats.on_complete()
             for conn, frames in replies.items():
                 conn.post_replies(b"".join(frames), len(frames))
 
     def _execute(
         self, codec: Codec, label: str, request_id: int, payload: bytes
     ) -> bytes:
+        stats = self._stats
+        clk = time.perf_counter
+        method = ""
+        collect: Dict[str, Any] = {}
+        decode_s = dispatch_s = encode_s = 0.0
+        outcome = "error"
         try:
+            t0 = clk()
             method, wire_token, params = codec.decode_request(payload)
             token, trace_id = decode_trace_token(wire_token)
-            result = self._host.dispatch(
-                method,
-                params,
-                token=token,
-                trace_id=trace_id or "",
-                transport=label,
-            )
+            decode_s = clk() - t0
+            t0 = clk()
+            try:
+                result = self._host.dispatch(
+                    method,
+                    params,
+                    token=token,
+                    trace_id=trace_id or "",
+                    transport=label,
+                    collect=collect,
+                )
+            finally:
+                dispatch_s = clk() - t0
+            t0 = clk()
             body = codec.encode_response(result)
+            encode_s = clk() - t0
+            outcome = "ok"
         except ClarensFault as exc:
             body = codec.encode_fault(exc.code, exc.message)
+            outcome = "fault"
         except Exception as exc:  # encode failure etc.: never drop a reply
             body = codec.encode_fault(500, f"{type(exc).__name__}: {exc}")
+        if stats is not None:
+            stats.record_stage("decode", decode_s)
+            if dispatch_s:
+                stats.record_stage("dispatch", dispatch_s, ok=outcome == "ok")
+            if encode_s:
+                stats.record_stage("encode", encode_s)
+        self._annotate(method, label, collect, decode_s, dispatch_s, encode_s, outcome)
         return encode_frame(REPLY, request_id, body)
+
+    def _annotate(
+        self,
+        method: str,
+        label: str,
+        collect: Dict[str, Any],
+        decode_s: float,
+        dispatch_s: float,
+        encode_s: float,
+        outcome: str,
+    ) -> None:
+        """One ``aio.call`` instant span per dispatched call.
+
+        Wall-clock stage costs (decode → dispatch → encode on the worker
+        thread) ride as attributes on the *call's* trace, so a traced
+        read shows where its time went server-side — including whether
+        the reply was ``served_from`` the cache instead of executed.
+        """
+        obs = self._host.observability
+        trace_id = collect.get("trace_id")
+        if obs is None or not trace_id:
+            return
+        obs.tracer.instant(
+            f"aio:{method}" if method else "aio:<undecodable>",
+            trace_id=trace_id,
+            attributes={
+                "transport": label,
+                "decode_ms": decode_s * 1000.0,
+                "dispatch_ms": dispatch_s * 1000.0,
+                "encode_ms": encode_s * 1000.0,
+                "served_from": collect.get("served_from", "execute"),
+                "outcome": collect.get("outcome", outcome),
+            },
+            status="ok" if outcome == "ok" else "error",
+        )
 
 
 class AsyncSocketServerHandle:
@@ -213,6 +300,10 @@ class AsyncSocketServerHandle:
             get_codec(name)  # fail fast on unknown names
         self._max_inflight = max_inflight
         self._dispatch_batch = dispatch_batch
+        #: Queue-depth and stage-latency telemetry for this server's
+        #: worker pool; registered on the host as ``async:<port>`` at
+        #: :meth:`start` so ``system.stats`` / ``/metrics`` surface it.
+        self.pool_stats = WorkerPoolStats()
         self._started = False
         self._address: Optional[Tuple[str, int]] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -232,7 +323,7 @@ class AsyncSocketServerHandle:
             return self
         ready = threading.Event()
         self._bridge = _WorkerBridge(
-            self.host, self._workers, self._dispatch_batch
+            self.host, self._workers, self._dispatch_batch, self.pool_stats
         )
         self._thread = threading.Thread(
             target=self._serve,
@@ -249,6 +340,8 @@ class AsyncSocketServerHandle:
                 f"async server failed to start: {self._startup_error}"
             ) from self._startup_error
         self._started = True
+        if self._address is not None:
+            self.host.worker_pools[f"async:{self._address[1]}"] = self.pool_stats
         return self
 
     def shutdown(self) -> None:
@@ -369,7 +462,7 @@ class AsyncSocketServerHandle:
         )
         conn = _Connection(
             writer, get_codec(codec_name), asyncio.get_event_loop(),
-            self._max_inflight,
+            self._max_inflight, self.pool_stats,
         )
         self._conns.add(conn)
         bridge = self._bridge

@@ -112,8 +112,17 @@ class _SystemService:
         Returns ``calls``, ``faults``, ``per_method`` counts and
         ``latency_ms`` — per-method ``{count, faults, mean_ms, p50_ms,
         p95_ms, p99_ms, max_ms}`` summaries from the metrics middleware.
+        Hosts fronted by the async server also report ``worker_pools``:
+        per-pool queue depth and decode/dispatch/encode/reply-flush
+        stage latency summaries.
         """
-        return self._host.stats.snapshot()
+        snap = self._host.stats.snapshot()
+        if self._host.worker_pools:
+            snap["worker_pools"] = {
+                label: pool.snapshot()
+                for label, pool in sorted(self._host.worker_pools.items())
+            }
+        return snap
 
     @clarens_method(anonymous=True)
     def observability(self) -> Dict[str, Any]:
@@ -127,6 +136,20 @@ class _SystemService:
         if instrumentation is None:
             return {"enabled": False}
         return instrumentation.snapshot()
+
+    @clarens_method(anonymous=True)
+    def health(self) -> Dict[str, Any]:
+        """Live state of the declarative health-rule engine.
+
+        Returns ``{"enabled": False}`` on hosts without instrumentation
+        or with telemetry disabled; otherwise the firing count, per-rule
+        state machines (``ok``/``firing`` with streaks and observed
+        values), and each rule's firing/resolved transition history.
+        """
+        instrumentation = self._host.observability
+        if instrumentation is None:
+            return {"enabled": False}
+        return instrumentation.health_snapshot()
 
     @clarens_method(anonymous=True)
     def cache(self) -> Dict[str, Any]:
@@ -276,6 +299,11 @@ class ClarensHost:
         #: The GAE's :class:`~repro.observability.instrument.GAEInstrumentation`
         #: when wired (``build_gae`` sets it); ``system.observability`` reads it.
         self.observability = None
+        #: Async front-end worker pools by label
+        #: (:class:`~repro.clarens.telemetry.WorkerPoolStats`); the aio
+        #: server registers at start, ``system.stats`` merges the
+        #: snapshots under ``worker_pools``.
+        self.worker_pools: Dict[str, Any] = {}
         self._user_middlewares: List[Middleware] = []
         self._pipeline = self._build_pipeline()
         self.registry.register(
@@ -349,6 +377,7 @@ class ClarensHost:
         token: str = "",
         trace_id: str = "",
         transport: str = "inproc",
+        collect: Optional[Dict[str, Any]] = None,
     ) -> Any:
         """Execute one call through the middleware pipeline.
 
@@ -356,6 +385,11 @@ class ClarensHost:
         the :class:`ClarensFault` subclasses on any failure; an application
         exception inside the method surfaces as :class:`RemoteFault`
         carrying the original message.
+
+        *collect*, when given, receives ``trace_id``, ``outcome`` and
+        ``served_from`` from the finished context (filled even when the
+        call faults) — how the async front end annotates its stage spans
+        without re-parsing the reply.
         """
         ctx = CallContext(
             method_path=method_path,
@@ -365,7 +399,13 @@ class ClarensHost:
             transport=transport,
             started=self.time_source(),
         )
-        return self._pipeline(ctx)
+        try:
+            return self._pipeline(ctx)
+        finally:
+            if collect is not None:
+                collect["trace_id"] = ctx.trace_id
+                collect["outcome"] = ctx.outcome
+                collect["served_from"] = ctx.served_from
 
     def invoke_as(
         self, principal: Principal, method_path: str, params: Sequence[Any]

@@ -228,6 +228,110 @@ class CallStats:
         }
 
 
+#: Stages of the async server's worker bridge, in call order.  Every
+#: stage but ``reply_flush`` is timed on the worker thread; the flush is
+#: timed on the event loop (one sample per reply batch).
+WORKER_STAGES = ("queue_wait", "decode", "dispatch", "encode", "reply_flush")
+
+
+class WorkerPoolStats:
+    """Thread-safe stage timings and queue depth for an aio worker pool.
+
+    One instance per :class:`~repro.clarens.aio.AsyncSocketServerHandle`;
+    registered on the host (``host.worker_pools``) so ``system.stats``
+    and the Prometheus endpoint surface queue pressure and per-stage
+    latency (decode → dispatch → encode on the worker thread, plus the
+    loop-side reply flush) without touching the hot path more than a
+    few timestamps per call.
+    """
+
+    def __init__(self, reservoir_cap: int = 512) -> None:
+        self._lock = threading.Lock()
+        self._stages: Dict[str, _MethodRecord] = {
+            stage: _MethodRecord(reservoir_cap) for stage in WORKER_STAGES
+        }
+        self.submitted = 0
+        self.completed = 0
+        self.batches = 0
+        self.max_batch = 0
+        self.queue_depth = 0
+        self.max_queue_depth = 0
+
+    # -- recording (all thread-safe) -----------------------------------
+    def on_submit(self) -> None:
+        """A request entered the worker queue (loop side)."""
+        with self._lock:
+            self.submitted += 1
+            self.queue_depth += 1
+            if self.queue_depth > self.max_queue_depth:
+                self.max_queue_depth = self.queue_depth
+
+    def on_start(self, queue_wait_s: float) -> None:
+        """A worker picked the request up after *queue_wait_s* seconds."""
+        with self._lock:
+            self.queue_depth -= 1
+            self._stages["queue_wait"].add(True, queue_wait_s)
+
+    def on_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            if size > self.max_batch:
+                self.max_batch = size
+
+    def record_stage(self, stage: str, duration_s: float, ok: bool = True) -> None:
+        """Time one pipeline stage (``decode``/``dispatch``/``encode``/
+        ``reply_flush``)."""
+        with self._lock:
+            self._stages[stage].add(ok, duration_s)
+
+    def on_complete(self) -> None:
+        with self._lock:
+            self.completed += 1
+
+    # -- reading -------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Wire-safe snapshot merged into ``system.stats``."""
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "queue_depth": self.queue_depth,
+                "max_queue_depth": self.max_queue_depth,
+                "batches": self.batches,
+                "max_batch": self.max_batch,
+                "stages": {
+                    stage: rec.summary_ms()
+                    for stage, rec in self._stages.items()
+                    if rec.count
+                },
+            }
+
+    def prometheus_lines(self, pool: str) -> List[str]:
+        """Text-exposition lines for the webui ``/metrics`` endpoint."""
+        snap = self.snapshot()
+        label = f'{{pool="{pool}"}}'
+        lines = [
+            f"gae_aio_worker_submitted_total{label} {snap['submitted']}",
+            f"gae_aio_worker_completed_total{label} {snap['completed']}",
+            f"gae_aio_worker_batches_total{label} {snap['batches']}",
+            f"gae_aio_worker_queue_depth{label} {snap['queue_depth']}",
+            f"gae_aio_worker_queue_depth_max{label} {snap['max_queue_depth']}",
+        ]
+        for stage, summary in snap["stages"].items():
+            base = f'pool="{pool}",stage="{stage}"'
+            lines.append(
+                f"gae_aio_worker_stage_count{{{base}}} {summary['count']}"
+            )
+            for q in ("p50", "p95", "p99"):
+                key = f"{q}_ms"
+                if key in summary:
+                    lines.append(
+                        f'gae_aio_worker_stage_ms{{{base},quantile="{q}"}} '
+                        f"{summary[key]}"
+                    )
+        return lines
+
+
 @dataclass(frozen=True)
 class TraceRecord:
     """One finished call as kept in the trace ring buffer."""

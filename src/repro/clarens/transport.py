@@ -268,6 +268,13 @@ class AsyncSocketTransport(Transport):
     pipeline_window:
         Default maximum calls in flight for :meth:`call_pipelined`.
         Keep at or below the server's per-connection ``max_inflight``.
+    tracer:
+        A :class:`~repro.observability.tracing.Tracer` (or compatible).
+        When given, every call gets a client-side ``client:<method>``
+        span opened at send time and closed when its reply arrives —
+        pipelined calls therefore show their true overlap and
+        out-of-order completion.  A batch with no caller trace id gets
+        one minted so client and server spans correlate.
     """
 
     supports_pipelining = True
@@ -278,7 +285,9 @@ class AsyncSocketTransport(Transport):
         codec: Union[str, Sequence[str], None] = None,
         timeout_s: float = 30.0,
         pipeline_window: int = 64,
+        tracer: Optional[Any] = None,
     ) -> None:
+        self.tracer = tracer
         host, port = parse_framed_address(address)
         self.url = f"clarens://{host}:{port}"
         if codec is None:
@@ -348,58 +357,87 @@ class AsyncSocketTransport(Transport):
         assumption.
         """
         limit = self._pipeline_window if window is None else max(1, window)
+        tracer = self.tracer
+        if tracer is not None and not trace_id:
+            from repro.clarens.telemetry import new_trace_id
+
+            trace_id = new_trace_id()
         wire_token = encode_trace_token(token, trace_id)
         codec = self.codec
         results: List[Optional[Tuple[bool, Any]]] = [None] * len(calls)
-        with self._lock:
-            self._ensure_open()
-            pending: Dict[int, int] = {}  # request id -> slot
-            next_slot = 0
-            send_buffer: List[bytes] = []
-            while next_slot < len(calls) or pending:
-                while next_slot < len(calls) and len(pending) < limit:
-                    method_path, params = calls[next_slot]
-                    self._request_id += 1
-                    request_id = self._request_id
-                    pending[request_id] = next_slot
-                    send_buffer.append(
-                        encode_frame(
-                            CALL,
-                            request_id,
-                            codec.encode_request(
-                                method_path,
-                                wire_token,
-                                [to_wire(p) for p in params],
-                            ),
+        spans: Dict[int, Any] = {}  # request id -> open client span
+        try:
+            with self._lock:
+                self._ensure_open()
+                pending: Dict[int, int] = {}  # request id -> slot
+                next_slot = 0
+                send_buffer: List[bytes] = []
+                while next_slot < len(calls) or pending:
+                    while next_slot < len(calls) and len(pending) < limit:
+                        method_path, params = calls[next_slot]
+                        self._request_id += 1
+                        request_id = self._request_id
+                        pending[request_id] = next_slot
+                        send_buffer.append(
+                            encode_frame(
+                                CALL,
+                                request_id,
+                                codec.encode_request(
+                                    method_path,
+                                    wire_token,
+                                    [to_wire(p) for p in params],
+                                ),
+                            )
                         )
+                        if tracer is not None:
+                            spans[request_id] = tracer.start_span(
+                                f"client:{method_path}",
+                                trace_id=trace_id,
+                                attributes={
+                                    "method": method_path,
+                                    "codec": codec.name,
+                                    "slot": next_slot,
+                                },
+                                activate=False,
+                            )
+                        next_slot += 1
+                    if send_buffer:
+                        self._send(b"".join(send_buffer))
+                        send_buffer = []
+                    if not pending:
+                        break
+                    frame_type, request_id, payload = read_frame_from(
+                        self._read_exact
                     )
-                    next_slot += 1
-                if send_buffer:
-                    self._send(b"".join(send_buffer))
-                    send_buffer = []
-                if not pending:
-                    break
-                frame_type, request_id, payload = read_frame_from(
-                    self._read_exact
-                )
-                if frame_type == ERROR_FRAME:
-                    code, message = decode_error(payload)
-                    raise fault_from_code(code, message)
-                if frame_type != REPLY:
-                    raise ProtocolError(
-                        f"expected REPLY, got frame type {frame_type}"
-                    )
-                slot = pending.pop(request_id, None)
-                if slot is None:
-                    raise ProtocolError(
-                        f"reply for unknown request id {request_id}"
-                    )
-                try:
-                    results[slot] = (True, from_wire(codec.decode_response(payload)))
-                except (TransportError, ProtocolError):
-                    raise
-                except ClarensFault as fault:
-                    results[slot] = (False, fault)
+                    if frame_type == ERROR_FRAME:
+                        code, message = decode_error(payload)
+                        raise fault_from_code(code, message)
+                    if frame_type != REPLY:
+                        raise ProtocolError(
+                            f"expected REPLY, got frame type {frame_type}"
+                        )
+                    slot = pending.pop(request_id, None)
+                    if slot is None:
+                        raise ProtocolError(
+                            f"reply for unknown request id {request_id}"
+                        )
+                    try:
+                        results[slot] = (
+                            True, from_wire(codec.decode_response(payload))
+                        )
+                    except (TransportError, ProtocolError):
+                        raise
+                    except ClarensFault as fault:
+                        results[slot] = (False, fault)
+                    span = spans.pop(request_id, None)
+                    if span is not None:
+                        ok = results[slot] is not None and results[slot][0]
+                        tracer.end_span(span, status="ok" if ok else "error")
+        finally:
+            # A transport failure mid-batch leaves spans open; close them
+            # as errors so the trace shows which calls never completed.
+            for span in spans.values():
+                tracer.end_span(span, status="error")
         return results  # type: ignore[return-value]  # every slot filled
 
     # ------------------------------------------------------------------

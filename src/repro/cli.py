@@ -15,6 +15,7 @@ Installed as ``gae-repro`` (or run as ``python -m repro.cli``)::
     gae-repro scenario list
     gae-repro scenario run [NAME ...] [--quick] [--out SCENARIOS.json]
     gae-repro scenario validate [NAME ...] [--report SCENARIOS.json]
+    gae-repro health [--scenario NAME] [--quick] [--export telemetry.jsonl]
 
 Each figure command prints the same series, chart and paper-vs-measured
 summary as the corresponding ``benchmarks/bench_fig*.py`` module.
@@ -513,6 +514,81 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     return 0 if report["passed"] else 1
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Run one scenario and report its health rules, live and over time.
+
+    Watches a campaign through the health engine: runs the scenario with
+    its committed (or default) rules, prints every ok→firing→resolved
+    transition plus the final per-rule state, and optionally exports the
+    windowed telemetry as schema-validated JSONL (``--export``).
+    Exits non-zero when any rule is still firing at the horizon.
+    """
+    import json
+
+    from repro.scenarios.engine import run_scenario
+    from repro.scenarios.spec import ScenarioError
+
+    captured = {}
+
+    def on_complete(gae, entry):
+        captured["snapshot"] = gae.observability.health_snapshot()
+        if args.export:
+            captured["rows"] = gae.observability.telemetry.export_jsonl(args.export)
+
+    try:
+        specs = _resolve_scenarios([args.scenario], args.seed)
+        entry = run_scenario(specs[0], quick=args.quick, on_complete=on_complete)
+    except (ScenarioError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    snapshot = captured["snapshot"]
+    firing = [r["name"] for r in snapshot["rules"] if r["state"] == "firing"]
+    if args.json:
+        print(json.dumps(
+            {"scenario": entry["name"], "seed": entry["seed"],
+             "quick": entry["quick"], "health": entry["health"],
+             "snapshot": snapshot},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(f"scenario {entry['name']} (seed {entry['seed']}, "
+              f"quick={entry['quick']}): "
+              f"{snapshot['windows_closed']} windows of "
+              f"{snapshot['window_s']:.1f}s closed")
+        print(markdown_table(
+            ["rule", "kind", "severity", "state", "value", "evaluations"],
+            [
+                [
+                    r["name"], r["kind"], r["severity"], r["state"],
+                    "-" if r["value"] is None else round(r["value"], 3),
+                    r["evaluations"],
+                ]
+                for r in snapshot["rules"]
+            ],
+        ))
+        transitions = entry["health"]["transitions"]
+        if transitions:
+            print(markdown_table(
+                ["t (s)", "rule", "to", "value"],
+                [
+                    [
+                        round(t["time_s"], 1), t["rule"], t["to"],
+                        "-" if t["value"] is None else round(t["value"], 3),
+                    ]
+                    for t in transitions
+                ],
+            ))
+        else:
+            print("no health transitions (every rule stayed ok)")
+        print(f"firing at horizon: {', '.join(firing) or 'none'}")
+    if args.export:
+        # stderr so --json stdout stays a single parseable document
+        print(f"exported {captured['rows']} telemetry rows to {args.export}",
+              file=sys.stderr)
+    return 1 if firing else 0
+
+
 def _cmd_scenario_list(args: argparse.Namespace) -> int:
     """List the registered scenario library."""
     from repro.scenarios.registry import load_all
@@ -707,6 +783,24 @@ def build_parser() -> argparse.ArgumentParser:
     psv.add_argument("--report", type=str, default=None, metavar="PATH",
                      help="also validate an existing SCENARIOS.json against its schema")
     psv.set_defaults(func=_cmd_scenario_validate)
+
+    ph = sub.add_parser(
+        "health",
+        help="run a scenario and report its health-rule transitions and "
+             "final states (optionally exporting windowed telemetry)",
+    )
+    ph.add_argument("--scenario", type=str, default="site-outage-recovery",
+                    help="scenario name (from scenarios/) or JSON file path")
+    ph.add_argument("--quick", action="store_true",
+                    help="apply the scenario's quick overrides (CI-sized run)")
+    ph.add_argument("--seed", type=int, default=None,
+                    help="override the scenario's seed")
+    ph.add_argument("--export", type=str, default=None, metavar="PATH",
+                    help="write the windowed telemetry as JSONL "
+                         "(docs/schemas/telemetry_export.schema.json)")
+    ph.add_argument("--json", action="store_true",
+                    help="emit the health record as JSON instead of tables")
+    ph.set_defaults(func=_cmd_health)
 
     pr = sub.add_parser("report", help="regenerate the experiment report (markdown)")
     pr.add_argument("--out", type=str, default=None, help="write to this file")

@@ -103,6 +103,8 @@ class GAE:
         self.steering.start()
         self.load_publisher.start()
         self.service_metrics_publisher.start()
+        if self.observability is not None:
+            self.observability.start_telemetry()
         if self.monitor_snapshot_period_s is not None:
             self.monitoring.start_periodic_snapshots(self.monitor_snapshot_period_s)
         return self
@@ -112,6 +114,8 @@ class GAE:
         self.steering.stop()
         self.load_publisher.stop()
         self.service_metrics_publisher.stop()
+        if self.observability is not None:
+            self.observability.stop_telemetry()
         self.monitoring.stop_periodic_snapshots()
 
     def checkpoint(self, path: str) -> "object":
@@ -151,6 +155,9 @@ def build_gae(
     service_metrics_period_s: float = 60.0,
     transfer_cache_ttl_s: Optional[float] = 300.0,
     observability: bool = True,
+    telemetry: bool = True,
+    telemetry_window_s: float = 60.0,
+    health_rules=None,
     store: Optional[StateStore] = None,
     read_cache: bool = True,
 ) -> GAE:
@@ -184,6 +191,18 @@ def build_gae(
         steering and MonALISA, a lifecycle event journal, the unified
         metrics registry, the ``system.observability`` Clarens method,
         and an ``rpc:*`` span per dispatched call.
+    telemetry:
+        When true (and observability is on) the streaming telemetry
+        pipeline samples every metric and journal rate onto sim-aligned
+        windows and the declarative health-rule engine evaluates on each
+        closed window (``system.health``, ``health_*`` journal events,
+        MonALISA ``health`` farm).  The window tick arms with
+        :meth:`GAE.start`.
+    telemetry_window_s:
+        Width (simulated s) of one aggregation window.
+    health_rules:
+        Health rules (:class:`~repro.observability.health.HealthRule`
+        instances or their dicts); the shipped defaults when omitted.
     read_cache:
         When true (the default) the host's epoch-keyed read cache is
         enabled and every mutating subsystem is wired to bump its epoch
@@ -275,7 +294,12 @@ def build_gae(
 
     instrumentation: Optional[GAEInstrumentation] = None
     if observability:
-        instrumentation = GAEInstrumentation(sim).attach(
+        instrumentation = GAEInstrumentation(
+            sim,
+            telemetry=telemetry,
+            telemetry_window_s=telemetry_window_s,
+            health_rules=health_rules,
+        ).attach(
             grid,
             steering=steering,
             monitoring=monitoring,
@@ -311,6 +335,8 @@ def build_gae(
             "service_metrics_period_s": service_metrics_period_s,
             "transfer_cache_ttl_s": transfer_cache_ttl_s,
             "observability": observability,
+            "telemetry": telemetry,
+            "telemetry_window_s": telemetry_window_s,
             "read_cache": read_cache,
         },
     )

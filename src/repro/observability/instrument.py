@@ -38,9 +38,12 @@ from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 from repro.clarens.middleware import CallContext
 from repro.clarens.telemetry import new_trace_id
 from repro.gridsim.job import JobState
+from repro.observability.health import HealthEngine
 from repro.observability.journal import EventJournal, EventType
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.telemetry import TelemetryPipeline
 from repro.observability.tracing import Span, Tracer
+from repro.store.registry import OBSERVABILITY_TELEMETRY, namespace_record
 
 __all__ = ["GAEInstrumentation", "ObservabilityMiddleware"]
 
@@ -123,6 +126,10 @@ class GAEInstrumentation:
         *,
         span_capacity: int = 8192,
         journal_capacity: int = 100_000,
+        telemetry: bool = True,
+        telemetry_window_s: float = 60.0,
+        telemetry_retain: int = 256,
+        health_rules=None,
     ) -> None:
         self.sim = sim
         clock = lambda: sim.now  # noqa: E731 - tiny clock adapter
@@ -131,6 +138,17 @@ class GAEInstrumentation:
         self.metrics = MetricsRegistry()
         self._tasks: Dict[str, _TaskTrace] = {}
         self._jobs: Dict[str, _JobTrace] = {}
+        self.telemetry: Optional[TelemetryPipeline] = None
+        self.health: Optional[HealthEngine] = None
+        if telemetry:
+            self.telemetry = TelemetryPipeline(
+                sim,
+                self.metrics,
+                self.journal,
+                window_s=telemetry_window_s,
+                retain=telemetry_retain,
+            ).attach()
+            self.health = HealthEngine(self.telemetry, self.journal, rules=health_rules)
 
         m = self.metrics
         self._jobs_planned = m.counter("gae_scheduler_jobs_planned_total", "jobs planned")
@@ -229,6 +247,8 @@ class GAEInstrumentation:
             )
         if monalisa is not None:
             monalisa.subscribe_job_states(self._on_monalisa_publish)
+            if self.health is not None:
+                self.health.attach_monalisa(monalisa)
         if estimators is not None:
             self.metrics.gauge(
                 "gae_estimator_history_records",
@@ -564,16 +584,52 @@ class GAEInstrumentation:
             "tasks_traced": len(self._tasks),
             "jobs_traced": len(self._jobs),
             "metrics": self.metrics.snapshot(),
+            "telemetry": self.telemetry_summary(),
         }
+
+    def telemetry_summary(self) -> Dict[str, Any]:
+        """Small wire-safe summary of the windowed pipeline (never the data)."""
+        if self.telemetry is None:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "window_s": self.telemetry.window_s,
+            "windows_closed": self.telemetry.windows_closed,
+            "series": len(self.telemetry.names()),
+            "health_rules": len(self.health.rules) if self.health is not None else 0,
+            "health_firing": self.health.firing() if self.health is not None else [],
+        }
+
+    def health_snapshot(self) -> Dict[str, Any]:
+        """Wire-safe health state for ``system.health`` / CLI / webui."""
+        if self.health is None:
+            return {"enabled": False}
+        return self.health.snapshot()
+
+    def start_telemetry(self) -> None:
+        """Arm the window tick (no-op when telemetry is disabled)."""
+        if self.telemetry is not None:
+            self.telemetry.start()
+
+    def stop_telemetry(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.stop()
 
     # ------------------------------------------------------------------
     # persistence (checkpoint/restore)
     # ------------------------------------------------------------------
     def save_to(self, store) -> None:
-        """Persist journal, spans, and metric values into their namespaces."""
+        """Persist journal, spans, metric values, and telemetry windows."""
         self.journal.save_to(store)
         self.tracer.save_to(store)
         self.metrics.save_to(store)
+        if self.telemetry is not None:
+            store.register_namespace(namespace_record(OBSERVABILITY_TELEMETRY))
+            store.clear(OBSERVABILITY_TELEMETRY)
+            rows = [("pipeline", self.telemetry.export_state())]
+            if self.health is not None:
+                rows.append(("health", self.health.export_state()))
+            store.put_many(OBSERVABILITY_TELEMETRY, rows)
 
     def export_tracking(self) -> Dict[str, Any]:
         """Serializable live task/job trace-tracking state.
@@ -647,5 +703,14 @@ class GAEInstrumentation:
         self.journal.load_from(store)
         spans_by_id = self.tracer.load_from(store)
         self.metrics.load_from(store)
+        if self.telemetry is not None:
+            # Pre-telemetry checkpoints lack the namespace; registering it
+            # (idempotent) makes the read well-defined and empty.
+            store.register_namespace(namespace_record(OBSERVABILITY_TELEMETRY))
+            rows = dict(store.items(OBSERVABILITY_TELEMETRY))
+            if "pipeline" in rows:
+                self.telemetry.import_state(rows["pipeline"])
+            if self.health is not None and rows.get("health") is not None:
+                self.health.import_state(rows["health"])
         if tracking is not None:
             self.import_tracking(tracking, spans_by_id)

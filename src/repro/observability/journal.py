@@ -28,7 +28,14 @@ __all__ = ["EventJournal", "EventType", "JournalEvent"]
 
 
 class EventType(str, enum.Enum):
-    """Typed lifecycle events a job can emit."""
+    """Typed lifecycle events a job can emit.
+
+    The two ``health-*`` members are not job events: the health-rule
+    engine (:mod:`repro.observability.health`) records rule transitions
+    in the same journal, with the rule name in ``task_id``, so chaos
+    campaigns can read *when* the system degraded and recovered from the
+    one event stream every other post-hoc analysis already uses.
+    """
 
     SUBMITTED = "submitted"
     SCHEDULED = "scheduled"
@@ -44,6 +51,8 @@ class EventType(str, enum.Enum):
     KILLED = "killed"
     COMPLETED = "completed"
     OUTPUT_RETRIEVED = "output-retrieved"
+    HEALTH_FIRING = "health-firing"
+    HEALTH_RESOLVED = "health-resolved"
 
 
 #: Shared empty mapping for the (very common) attribute-less event, so a

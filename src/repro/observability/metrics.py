@@ -190,6 +190,10 @@ class Gauge(_Instrument):
             values[()] = float(self._fn())
         return values
 
+    def total(self) -> float:
+        """Sum over every labelset (including the fn-backed value)."""
+        return sum(self._current().values())
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "kind": self.kind,
@@ -312,6 +316,30 @@ class Histogram(_Instrument):
         with self._lock:
             series = self._series.get(_label_key(labels))
             return series.summary() if series is not None else {}
+
+    def total_count(self) -> float:
+        """Observation count summed over every labelset."""
+        with self._lock:
+            return float(sum(s.count for s in self._series.values()))
+
+    def merged_summary(self) -> Dict[str, float]:
+        """Count/sum/max plus p50/p95/p99 over all labelsets' reservoirs."""
+        with self._lock:
+            series = list(self._series.values())
+            merged: List[float] = []
+            for s in series:
+                merged.extend(s.reservoir.samples)
+            out: Dict[str, float] = {
+                "count": float(sum(s.count for s in series)),
+                "sum": sum(s.sum for s in series),
+                "max": max((s.max for s in series), default=0.0),
+            }
+        if merged:
+            ordered = sorted(merged)
+            out["p50"] = percentile(ordered, 50)
+            out["p95"] = percentile(ordered, 95)
+            out["p99"] = percentile(ordered, 99)
+        return out
 
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:

@@ -13,10 +13,11 @@ clocks, no host-dependent values beyond the interpreter version string —
 so two calls with the same specs and seeds serialise bit-identically
 (pinned by ``tests/property/test_properties_scenarios.py``).
 
-The artifact's layout::
+The artifact's layout (schema v2 added the per-phase ``telemetry``
+block and the ``health`` rule/transition record)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "generated_by": "gae-repro scenario run",
       "quick": false,
       "python": "3.12.3",
@@ -31,13 +32,27 @@ The artifact's layout::
                       "start_s": 600.0, "end_s": 1200.0}],
           "fault_events": 2,
           "phases": [{"name": "baseline", "start_s": 0.0, "end_s": 600.0,
-                       "events": {"submitted": 15, ...}}, ...],
+                       "events": {"submitted": 15, ...,
+                                   "health-firing": 0}}, ...],
+          "telemetry": {"window_s": 166.67, "windows_closed": 24,
+                         "phases": [{"name": "baseline",
+                                      "series": {"journal.completed.count":
+                                                  [[166.67, 3.0], ...]}}, ...]},
+          "health": {"rules": [{"name": "task-failures", "kind": "threshold",
+                                 "severity": "critical", "state": "ok"}, ...],
+                      "transitions": [{"rule": "task-failures", "to": "firing",
+                                        "time_s": 833.3, "value": 2.0}, ...]},
           "slos": [{"slo": "completion_ratio >= 1", "metric": ...,
                      "value": 1.0, "samples": 15, "passed": true}, ...],
           "passed": true
         }, ...
       ]
     }
+
+The telemetry block keeps only the journal-derived series (pure
+functions of simulation time), windows bucketed into the phase that
+contains the window's *start* — so the same-seed bit-identity contract
+extends to the streamed aggregates.
 """
 
 from __future__ import annotations
@@ -45,7 +60,7 @@ from __future__ import annotations
 import json
 import platform
 from pathlib import Path
-from typing import Callable, Dict, List, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import grid_from_config
 from repro.gridsim.job import reset_id_counters
@@ -69,7 +84,7 @@ __all__ = [
     "write_scenarios_report",
 ]
 
-SCENARIOS_SCHEMA_VERSION = 1
+SCENARIOS_SCHEMA_VERSION = 2
 
 #: Event types counted per phase in the artifact.
 _PHASE_EVENT_TYPES: Tuple[EventType, ...] = (
@@ -80,7 +95,13 @@ _PHASE_EVENT_TYPES: Tuple[EventType, ...] = (
     EventType.FAILED,
     EventType.RECOVERED,
     EventType.MOVED,
+    EventType.HEALTH_FIRING,
+    EventType.HEALTH_RESOLVED,
 )
+
+#: Telemetry windows per scenario run: ``window_s = horizon_s / 24``, so
+#: the boundary chain lands exactly on the horizon regardless of scale.
+_TELEMETRY_WINDOWS = 24
 
 
 class ScenarioReportError(ValueError):
@@ -128,17 +149,80 @@ def _phase_rows(
     return rows
 
 
-def run_scenario(spec: ScenarioSpec, quick: bool = False) -> Dict[str, object]:
+def _telemetry_rows(
+    spec: ScenarioSpec, telemetry
+) -> Dict[str, object]:
+    """The per-phase ``telemetry`` block: journal-derived series only.
+
+    Each closed window (a ``(t_end, value)`` sample) is bucketed into
+    the phase containing its *start* ``t_end - window_s``; the final
+    phase claims its inclusive end so the horizon boundary is kept.
+    """
+    bounds = _phase_bounds(spec)
+    phases: List[Dict[str, object]] = [
+        {"name": name, "series": {}} for name, _, _ in bounds
+    ]
+
+    def bucket(t_start: float) -> Dict[str, object]:
+        for row, (_, lo, hi) in zip(phases, bounds):
+            if lo <= t_start < hi:
+                return row
+        return phases[-1]
+
+    for name in telemetry.names():
+        if not name.startswith("journal."):
+            continue
+        for t, v in telemetry.series(name).samples():
+            row = bucket(t - telemetry.window_s)
+            row["series"].setdefault(name, []).append([t, v])
+    return {
+        "window_s": telemetry.window_s,
+        "windows_closed": telemetry.windows_closed,
+        "phases": phases,
+    }
+
+
+def _health_rows(health) -> Dict[str, object]:
+    """The ``health`` block: final rule states plus every transition."""
+    snap = health.snapshot()
+    return {
+        "rules": [
+            {
+                "name": rule["name"],
+                "kind": rule["kind"],
+                "severity": rule["severity"],
+                "state": rule["state"],
+            }
+            for rule in snap["rules"]
+        ],
+        "transitions": health.transitions(),
+    }
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    quick: bool = False,
+    on_complete: Optional[Callable[[object, Dict[str, object]], None]] = None,
+) -> Dict[str, object]:
     """Execute one scenario and return its artifact entry.
 
     ``quick`` applies the spec's ``quick`` overrides (CI-sized run).
+    ``on_complete(gae, entry)``, when given, runs after the entry is
+    assembled but while the GAE is still in scope — ``gae-repro health``
+    uses it to export telemetry and print the live health snapshot.
     """
     from repro.gae import build_gae
 
     eff = spec.effective(quick)
     reset_id_counters()
     grid = grid_from_config(eff.grid, seed=eff.seed)
-    gae = build_gae(grid, policy=eff.steering_policy(), observability=True)
+    gae = build_gae(
+        grid,
+        policy=eff.steering_policy(),
+        observability=True,
+        telemetry_window_s=eff.horizon_s / _TELEMETRY_WINDOWS,
+        health_rules=list(eff.health_rules) or None,
+    )
     for owner in eff.workload.owners():
         gae.add_user(owner, "scenario")
 
@@ -166,7 +250,7 @@ def run_scenario(spec: ScenarioSpec, quick: bool = False) -> Dict[str, object]:
         e.task_id for e in events if e.type is EventType.COMPLETED
     } & set(submitted)
 
-    return {
+    entry: Dict[str, object] = {
         "name": spec.name,
         "seed": eff.seed,
         "horizon_s": eff.horizon_s,
@@ -182,9 +266,14 @@ def run_scenario(spec: ScenarioSpec, quick: bool = False) -> Dict[str, object]:
         "chaos": controller.resolved,
         "fault_events": len(controller.fault_events),
         "phases": _phase_rows(eff, events),
+        "telemetry": _telemetry_rows(eff, gae.observability.telemetry),
+        "health": _health_rows(gae.observability.health),
         "slos": slos,
         "passed": all(v["passed"] for v in slos),
     }
+    if on_complete is not None:
+        on_complete(gae, entry)
+    return entry
 
 
 def run_campaign(
@@ -233,7 +322,7 @@ def _require(condition: bool, message: str) -> None:
 
 
 def validate_scenarios_report(report: Dict[str, object]) -> None:
-    """Validate a ``SCENARIOS.json`` report against the v1 schema."""
+    """Validate a ``SCENARIOS.json`` report against the v2 schema."""
     _require(isinstance(report, dict), "report must be a JSON object")
     for key, kind in (
         ("schema_version", int), ("generated_by", str), ("quick", bool),
@@ -259,8 +348,8 @@ def _validate_entry(entry: object, path: str) -> None:
     for key, kind in (
         ("name", str), ("seed", int), ("horizon_s", (int, float)),
         ("quick", bool), ("tags", list), ("workload", dict), ("chaos", list),
-        ("fault_events", int), ("phases", list), ("slos", list),
-        ("passed", bool),
+        ("fault_events", int), ("phases", list), ("telemetry", dict),
+        ("health", dict), ("slos", list), ("passed", bool),
     ):
         _require(key in entry, f"{path} missing key {key!r}")
         _require(isinstance(entry[key], kind), f"{path}.{key} has the wrong type")
@@ -295,6 +384,9 @@ def _validate_entry(entry: object, path: str) -> None:
             )
     _require(previous_end == entry["horizon_s"],
              f"{path}.phases must cover exactly [0, horizon_s]")
+    _validate_telemetry(entry["telemetry"], [p["name"] for p in phases],
+                        f"{path}.telemetry")
+    _validate_health(entry["health"], f"{path}.health")
     slos = entry["slos"]
     for j, verdict in enumerate(slos):
         vpath = f"{path}.slos[{j}]"
@@ -311,6 +403,94 @@ def _validate_entry(entry: object, path: str) -> None:
         entry["passed"] == all(v["passed"] for v in slos),
         f"{path}.passed must equal the conjunction of its SLO verdicts",
     )
+
+
+def _validate_telemetry(
+    block: object, phase_names: List[object], path: str
+) -> None:
+    _require(isinstance(block, dict), f"{path} must be an object")
+    for key in ("window_s", "windows_closed", "phases"):
+        _require(key in block, f"{path} missing key {key!r}")
+    _require(
+        isinstance(block["window_s"], (int, float))
+        and not isinstance(block["window_s"], bool)
+        and block["window_s"] > 0,
+        f"{path}.window_s must be a positive number",
+    )
+    _require(
+        isinstance(block["windows_closed"], int)
+        and not isinstance(block["windows_closed"], bool)
+        and block["windows_closed"] >= 0,
+        f"{path}.windows_closed must be a non-negative integer",
+    )
+    telemetry_phases = block["phases"]
+    _require(isinstance(telemetry_phases, list), f"{path}.phases must be a list")
+    _require(
+        [p.get("name") if isinstance(p, dict) else None for p in telemetry_phases]
+        == phase_names,
+        f"{path}.phases must mirror the entry's phase names, in order",
+    )
+    for j, phase in enumerate(telemetry_phases):
+        ppath = f"{path}.phases[{j}]"
+        series = phase.get("series")
+        _require(isinstance(series, dict), f"{ppath}.series must be an object")
+        for name, samples in series.items():
+            spath = f"{ppath}.series[{name!r}]"
+            _require(
+                isinstance(name, str) and name.startswith("journal."),
+                f"{spath}: only journal-derived series belong in the artifact",
+            )
+            _require(
+                isinstance(samples, list) and len(samples) >= 1,
+                f"{spath} must be a non-empty list",
+            )
+            previous = None
+            for sample in samples:
+                _require(
+                    isinstance(sample, list) and len(sample) == 2
+                    and all(
+                        isinstance(x, (int, float)) and not isinstance(x, bool)
+                        for x in sample
+                    ),
+                    f"{spath} samples must be [time_s, value] pairs",
+                )
+                _require(
+                    previous is None or sample[0] > previous,
+                    f"{spath} sample times must be strictly increasing",
+                )
+                previous = sample[0]
+
+
+def _validate_health(block: object, path: str) -> None:
+    _require(isinstance(block, dict), f"{path} must be an object")
+    for key in ("rules", "transitions"):
+        _require(key in block, f"{path} missing key {key!r}")
+        _require(isinstance(block[key], list), f"{path}.{key} must be a list")
+    names = set()
+    for j, rule in enumerate(block["rules"]):
+        rpath = f"{path}.rules[{j}]"
+        _require(isinstance(rule, dict), f"{rpath} must be an object")
+        for key in ("name", "kind", "severity", "state"):
+            _require(isinstance(rule.get(key), str), f"{rpath}.{key} must be a string")
+        _require(rule["state"] in ("ok", "firing"),
+                 f"{rpath}.state must be 'ok' or 'firing'")
+        names.add(rule["name"])
+    previous_time = None
+    for j, transition in enumerate(block["transitions"]):
+        tpath = f"{path}.transitions[{j}]"
+        _require(isinstance(transition, dict), f"{tpath} must be an object")
+        _require(transition.get("rule") in names,
+                 f"{tpath}.rule must name a declared rule")
+        _require(transition.get("to") in ("firing", "resolved"),
+                 f"{tpath}.to must be 'firing' or 'resolved'")
+        time_s = transition.get("time_s")
+        _require(
+            isinstance(time_s, (int, float)) and not isinstance(time_s, bool),
+            f"{tpath}.time_s must be a number",
+        )
+        _require(previous_time is None or time_s >= previous_time,
+                 f"{tpath}.time_s must be non-decreasing")
+        previous_time = time_s
 
 
 def validate_scenarios_file(path: Union[str, Path]) -> Dict[str, object]:

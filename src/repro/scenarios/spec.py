@@ -52,6 +52,7 @@ from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.config import ConfigError, GridConfig
 from repro.core.steering.optimizer import SteeringPolicy
+from repro.observability.health import HealthRule, HealthRuleError
 from repro.scenarios.slo import SloSpec
 
 __all__ = [
@@ -369,7 +370,12 @@ _QUICK_KEYS = ("horizon_s", "workload", "chaos", "slos")
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """A complete named scenario: grid + workload + chaos + SLOs."""
+    """A complete named scenario: grid + workload + chaos + SLOs.
+
+    ``health_rules`` optionally overrides the GAE's default health-rule
+    set (:func:`repro.observability.health.default_health_rules`) for
+    the run — the scenario artifact then pins those rules' transitions.
+    """
 
     name: str
     description: str
@@ -377,6 +383,7 @@ class ScenarioSpec:
     workload: WorkloadShape = field(default_factory=WorkloadShape)
     chaos: Tuple[ChaosAction, ...] = ()
     slos: Tuple[SloSpec, ...] = ()
+    health_rules: Tuple[HealthRule, ...] = ()
     policy: Dict[str, object] = field(default_factory=dict)
     tags: Tuple[str, ...] = ()
     seed: int = 2005
@@ -412,6 +419,16 @@ class ScenarioSpec:
         slos_data = data.get("slos", [])
         if not isinstance(slos_data, list):
             raise ScenarioError("scenario.slos: expected a list")
+        rules_data = data.get("health_rules", [])
+        if not isinstance(rules_data, list):
+            raise ScenarioError("scenario.health_rules: expected a list")
+        try:
+            health_rules = tuple(
+                HealthRule.from_dict(r, f"health_rules[{i}]")
+                for i, r in enumerate(rules_data)
+            )
+        except HealthRuleError as exc:
+            raise ScenarioError(f"scenario.{exc}") from exc
         tags = data.get("tags", [])
         if not isinstance(tags, list) or not all(isinstance(t, str) for t in tags):
             raise ScenarioError("scenario.tags: expected a list of strings")
@@ -439,6 +456,7 @@ class ScenarioSpec:
             slos=tuple(
                 SloSpec.from_dict(s, f"slos[{i}]") for i, s in enumerate(slos_data)
             ),
+            health_rules=health_rules,
             policy=dict(policy),
             tags=tuple(tags),
             seed=_integer(data, "seed", "scenario", 2005),
@@ -489,6 +507,7 @@ class ScenarioSpec:
             "workload": self.workload.to_dict(),
             "chaos": [c.to_dict() for c in self.chaos],
             "slos": [s.to_dict() for s in self.slos],
+            "health_rules": [r.to_dict() for r in self.health_rules],
             "policy": dict(self.policy),
             "tags": list(self.tags),
             "seed": self.seed,

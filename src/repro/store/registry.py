@@ -31,6 +31,7 @@ __all__ = [
     "NAMESPACES",
     "OBSERVABILITY_JOURNAL",
     "OBSERVABILITY_METRICS",
+    "OBSERVABILITY_TELEMETRY",
     "OBSERVABILITY_TRACING",
     "STEERING_STATE",
     "namespace_names",
@@ -46,6 +47,7 @@ MONALISA_EVENTS = "monalisa.events"
 OBSERVABILITY_JOURNAL = "observability.journal"
 OBSERVABILITY_TRACING = "observability.tracing"
 OBSERVABILITY_METRICS = "observability.metrics"
+OBSERVABILITY_TELEMETRY = "observability.telemetry"
 CHECKPOINT_META = "checkpoint.meta"
 CHECKPOINT_GRIDSIM = "checkpoint.gridsim"
 STEERING_STATE = "checkpoint.steering"
@@ -60,6 +62,7 @@ NAMESPACES: Tuple[Namespace, ...] = (
     Namespace(OBSERVABILITY_JOURNAL, 1, "lifecycle event journal rows"),
     Namespace(OBSERVABILITY_TRACING, 1, "tracer span store"),
     Namespace(OBSERVABILITY_METRICS, 1, "metrics registry instrument values"),
+    Namespace(OBSERVABILITY_TELEMETRY, 1, "windowed telemetry series and health-rule state"),
     Namespace(CHECKPOINT_META, 1, "checkpoint barrier metadata, grid spec, id counters"),
     Namespace(CHECKPOINT_GRIDSIM, 1, "scheduler, Condor pools, replica catalog, RNG streams"),
     Namespace(STEERING_STATE, 1, "steering subscriptions and Backup & Recovery state"),

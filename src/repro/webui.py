@@ -13,6 +13,8 @@ downloads:
 - ``/trace/<task_id>``  — the task's rendered span tree (observability)
 - ``/timeline/<task_id>`` — the task's journal timeline (JSON)
 - ``/notifications``    — Backup & Recovery's client notifications
+- ``/health``           — the declarative health rules' live state and
+  their firing/resolved transition history
 - ``/weather``          — the MonALISA grid-weather snapshot (JSON)
 - ``/store``            — the GAE's state-store namespaces and key counts
   (JSON; the persistence layer behind checkpoint/restore)
@@ -49,7 +51,8 @@ _PAGE = """<!DOCTYPE html>
 </style></head>
 <body>
 <nav><a href="/">overview</a><a href="/jobs">jobs</a>
-<a href="/notifications">notifications</a><a href="/weather">grid weather</a>
+<a href="/notifications">notifications</a><a href="/health">health</a>
+<a href="/weather">grid weather</a>
 <a href="/store">store</a><a href="/metrics">metrics</a></nav>
 <h1>{title}</h1>
 {body}
@@ -99,6 +102,8 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
                 self._send_timeline(path[len("/timeline/"):])
             elif path == "/notifications":
                 self._send_html("Notifications", self._notifications())
+            elif path == "/health":
+                self._send_health()
             elif path == "/weather":
                 self._send_json(self._weather())
             elif path == "/store":
@@ -205,6 +210,53 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
             for n in self.gae.steering.backup_recovery.notifications
         ]
         return _table(["time (s)", "kind", "task", "owner", "site", "detail"], rows)
+
+    def _send_health(self) -> None:
+        obs = self.gae.observability
+        if obs is None or obs.health is None:
+            self._send_json({"error": "health-disabled", "status": 503}, code=503)
+            return
+        snap = obs.health_snapshot()
+        firing = snap["firing"]
+        headline = (
+            f"<p><strong>{firing} rule(s) firing</strong></p>"
+            if firing
+            else "<p>all rules ok</p>"
+        )
+        rule_rows = []
+        transition_rows = []
+        for rule in snap["rules"]:
+            rule_rows.append([
+                _esc(rule["name"]), _esc(rule["kind"]), _esc(rule["severity"]),
+                _esc(rule["state"]), f"{rule['since_s']:.1f}",
+                "" if rule["value"] is None else f"{rule['value']:.4g}",
+                _esc(rule["op"]) + " " + f"{rule['threshold']:.4g}",
+                rule["evaluations"],
+            ])
+            for t in rule["transitions"]:
+                transition_rows.append(
+                    (t["time_s"], rule["name"], t["to"], t["value"])
+                )
+        transition_rows.sort(key=lambda r: (r[0], r[1]))
+        body = headline + _table(
+            ["rule", "kind", "severity", "state", "since (s)", "value",
+             "condition", "evaluations"],
+            rule_rows,
+        )
+        if transition_rows:
+            body += "<h2>Transitions</h2>" + _table(
+                ["time (s)", "rule", "to", "value"],
+                [
+                    [f"{t:.1f}", _esc(name), _esc(to),
+                     "" if value is None else f"{value:.4g}"]
+                    for t, name, to, value in transition_rows
+                ],
+            )
+        body += (
+            f"<p><small>window {snap['window_s']:.0f}s · "
+            f"{snap['windows_closed']} windows closed</small></p>"
+        )
+        self._send_html("Health", body)
 
     def _weather(self) -> Dict[str, float]:
         return self.gae.host.read_cache.cached(
@@ -322,6 +374,15 @@ class _GAEStatusHandler(BaseHTTPRequestHandler):
         ]
         for farm, load in sorted(self._weather().items()):
             lines.append(f'gae_site_load{{site="{farm}"}} {load:.6f}')
+        if self.gae.host.worker_pools:
+            lines += [
+                "# HELP gae_aio_worker Async front-end worker-pool telemetry.",
+                "# TYPE gae_aio_worker untyped",
+            ]
+            for label in sorted(self.gae.host.worker_pools):
+                lines.extend(
+                    self.gae.host.worker_pools[label].prometheus_lines(label)
+                )
         if self.gae.observability is not None:
             lines.extend(self.gae.observability.metrics.prometheus_lines())
         return "\n".join(lines) + "\n"

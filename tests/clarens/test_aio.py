@@ -180,3 +180,129 @@ class TestTelemetry:
             assert all(r.ok for r in results)
         finally:
             client.close()
+
+
+class Gated:
+    """A slow/fast method pair: ``slow`` blocks until ``fast`` has run.
+
+    With two workers a pipelined [slow, fast] batch completes out of
+    issue order, exercising the reply-reordering path.
+    """
+
+    def __init__(self):
+        self.gate = threading.Event()
+
+    def slow(self, value):
+        assert self.gate.wait(timeout=10.0), "fast call never arrived"
+        return value
+
+    def fast(self, value):
+        self.gate.set()
+        return value
+
+
+@pytest.mark.parametrize("codec", ["json", "xmlrpc"])
+class TestTraceIdPropagation:
+    """Wire trace ids must reach the host pipeline under every codec."""
+
+    def test_call_carries_trace_id_to_host(self, server, host, codec):
+        with AsyncSocketTransport(server.address, codec=codec) as t:
+            token = t.call("system.login", ["u", "p"])
+            t.call("echo.echo", ["x"], token, trace_id=f"trace-{codec}")
+        records = host.traces.snapshot(trace_id=f"trace-{codec}")
+        assert [r.method for r in records] == ["echo.echo"]
+        assert records[0].transport == f"async+{codec}"
+
+    def test_pipelined_batch_shares_one_trace(self, server, host, codec):
+        with AsyncSocketTransport(server.address, codec=codec) as t:
+            token = t.call("system.login", ["u", "p"])
+            calls = [("echo.echo", [i]) for i in range(20)]
+            outcomes = t.call_pipelined(
+                calls, token=token, trace_id=f"batch-{codec}"
+            )
+        assert outcomes == [(True, i) for i in range(20)]
+        records = host.traces.snapshot(trace_id=f"batch-{codec}")
+        assert len(records) == 20
+        assert {r.method for r in records} == {"echo.echo"}
+
+    def test_out_of_order_completion_preserves_order_and_trace(
+        self, host, codec
+    ):
+        gated = Gated()
+        host.acl.allow("gated.*", groups=("g",))
+        host.register("gated", gated)
+        with AsyncSocketServerHandle(host, workers=2, dispatch_batch=1) as handle:
+            with AsyncSocketTransport(handle.address, codec=codec) as t:
+                token = t.call("system.login", ["u", "p"])
+                outcomes = t.call_pipelined(
+                    [("gated.slow", ["s"]), ("gated.fast", ["f"])],
+                    token=token, trace_id=f"ooo-{codec}",
+                )
+        # Results come back in issue order even though 'fast' finished first.
+        assert outcomes == [(True, "s"), (True, "f")]
+        records = host.traces.snapshot(trace_id=f"ooo-{codec}")
+        assert sorted(r.method for r in records) == ["gated.fast", "gated.slow"]
+
+
+class TestClientSpans:
+    """AsyncSocketTransport emits client:<method> spans when given a tracer."""
+
+    def _tracer(self):
+        import time as _time
+
+        from repro.observability.tracing import Tracer
+
+        return Tracer(_time.monotonic)
+
+    def test_pipelined_spans_one_per_call(self, server, host):
+        tracer = self._tracer()
+        with AsyncSocketTransport(
+            server.address, codec="json", tracer=tracer
+        ) as t:
+            token = t.call("system.login", ["u", "p"])
+            t.call_pipelined(
+                [("echo.echo", [i]) for i in range(5)], token=token
+            )
+        spans = [s for s in tracer.spans() if s.name == "client:echo.echo"]
+        assert len(spans) == 5
+        assert all(s.status == "ok" and s.end is not None for s in spans)
+        assert sorted(s.attributes["slot"] for s in spans) == list(range(5))
+        # A batch trace id was minted and shared; the host saw the same id.
+        trace_ids = {s.trace_id for s in spans}
+        assert len(trace_ids) == 1
+        records = host.traces.snapshot(trace_id=trace_ids.pop())
+        assert sum(r.method == "echo.echo" for r in records) == 5
+
+    def test_out_of_order_spans_end_as_replies_arrive(self, host):
+        gated = Gated()
+        host.acl.allow("gated.*", groups=("g",))
+        host.register("gated", gated)
+        tracer = self._tracer()
+        with AsyncSocketServerHandle(host, workers=2, dispatch_batch=1) as handle:
+            with AsyncSocketTransport(
+                handle.address, codec="json", tracer=tracer
+            ) as t:
+                token = t.call("system.login", ["u", "p"])
+                t.call_pipelined(
+                    [("gated.slow", ["s"]), ("gated.fast", ["f"])],
+                    token=token,
+                )
+        by_name = {
+            s.name: s for s in tracer.spans() if s.name.startswith("client:gated")
+        }
+        slow, fast = by_name["client:gated.slow"], by_name["client:gated.fast"]
+        assert slow.status == fast.status == "ok"
+        # 'fast' was issued second but its reply (and span end) came first.
+        assert fast.end <= slow.end
+
+    def test_explicit_trace_id_not_overridden(self, server):
+        tracer = self._tracer()
+        with AsyncSocketTransport(
+            server.address, codec="json", tracer=tracer
+        ) as t:
+            token = t.call("system.login", ["u", "p"])
+            t.call_pipelined(
+                [("echo.echo", [1])], token=token, trace_id="mine"
+            )
+        spans = [s for s in tracer.spans() if s.name == "client:echo.echo"]
+        assert spans and all(s.trace_id == "mine" for s in spans)

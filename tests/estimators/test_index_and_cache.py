@@ -224,7 +224,7 @@ class TestBenchHarness:
         )
 
         report = {
-            "schema_version": 2, "generated_by": "test", "quick": True,
+            "schema_version": 3, "generated_by": "test", "quick": True,
             "seed": 3, "python": "3",
             "sections": {
                 "runtime_estimator": {
@@ -244,11 +244,13 @@ class TestBenchHarness:
                 },
                 "observability": {
                     "n_tasks": 10, "commands": 2, "rounds": 1,
-                    "baseline_s": 1.0, "instrumented_s": 1.0,
+                    "baseline_s": 1.0, "traced_s": 1.0, "instrumented_s": 1.0,
                     "baseline_per_command_ms": 500.0,
+                    "traced_per_command_ms": 500.0,
                     "instrumented_per_command_ms": 500.0,
-                    "overhead_pct": 0.0, "identical": True,
-                    "spans": 1, "events": 1,
+                    "overhead_pct": 0.0, "telemetry_overhead_pct": 0.0,
+                    "identical": True,
+                    "spans": 1, "events": 1, "windows": 1,
                 },
                 "persistence": {
                     "records": 10, "loop_s": 1.0, "batched_s": 0.5,

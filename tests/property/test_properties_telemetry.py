@@ -1,0 +1,115 @@
+"""Property-based tests: streaming telemetry equals offline recomputation.
+
+The pipeline's determinism contract: every windowed aggregate it streams
+is a pure function of the raw samples, so recomputing the same windows
+offline — ``windows_from_events`` over the raw journal, and
+``derive_window_series`` over the raw metric boundary samples — must be
+**bit-identical** to the streamed series, whatever the workload or fault
+schedule did.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.steering.optimizer import SteeringPolicy
+from repro.gae import build_gae
+from repro.gridsim import GridBuilder, Job, Task, TaskSpec
+from repro.gridsim.faults import FaultInjector
+from repro.observability.telemetry import (
+    derive_window_series,
+    windows_from_events,
+)
+
+HORIZON_S = 6000.0
+
+
+def run_telemetry_gae(seed, window_s, n_tasks, with_faults):
+    grid = (
+        GridBuilder(seed=seed)
+        .site("siteA", nodes=2, background_load=0.0)
+        .site("siteB", nodes=2, background_load=0.0)
+        .link("siteA", "siteB", capacity_mbps=100.0, latency_s=0.05)
+        .probe_noise(0.0)
+        .build()
+    )
+    gae = build_gae(
+        grid,
+        policy=SteeringPolicy(auto_move=False),
+        telemetry_window_s=window_s,  # ≤100 windows: the ring keeps them all
+    )
+    for i in range(n_tasks):
+        task = Task(spec=TaskSpec(owner="prop"), work_seconds=50.0 + 35.0 * i)
+        gae.scheduler.submit_job(Job(tasks=[task], owner="prop"))
+    if with_faults:
+        injector = FaultInjector(gae.sim, rng=np.random.default_rng(seed))
+        for site in ("siteA", "siteB"):
+            injector.add_site(
+                gae.grid.execution_services[site], mtbf_s=900.0, mttr_s=200.0
+            )
+        injector.start()
+    gae.start()
+    gae.grid.run_until(HORIZON_S)
+    gae.stop()
+    return gae
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    window_s=st.sampled_from([60.0, 125.0, 250.0]),
+    n_tasks=st.integers(min_value=1, max_value=4),
+    with_faults=st.booleans(),
+)
+def test_streamed_windows_equal_offline_recomputation(
+    seed, window_s, n_tasks, with_faults
+):
+    gae = run_telemetry_gae(seed, window_s, n_tasks, with_faults)
+    telemetry = gae.observability.telemetry
+    boundaries = telemetry.boundaries()
+    assert telemetry.windows_closed == len(boundaries)
+
+    # -- journal series: counts, rates, cumulative totals --------------
+    recomputed = windows_from_events(
+        gae.observability.journal.events(), boundaries, telemetry.origin
+    )
+    streamed_types = {
+        name.split(".")[1]
+        for name in telemetry.names()
+        if name.startswith("journal.") and name.endswith(".count")
+    }
+    assert streamed_types == set(recomputed)
+    for event_type, expected in recomputed.items():
+        count = telemetry.series(f"journal.{event_type}.count").samples()
+        assert count == [(t, float(v)) for t, v in expected]
+        rate = telemetry.series(f"journal.{event_type}.rate").samples()
+        assert rate == [(t, v / window_s) for t, v in expected]
+        total = telemetry.series(f"journal.{event_type}.total").samples()
+        running = 0
+        expected_total = []
+        for t, v in expected:
+            running += v
+            expected_total.append((t, float(running)))
+        assert total == expected_total
+
+    # -- metric series: derived rates/deltas from raw boundary samples -
+    for name in telemetry.names():
+        if name.endswith(".total"):
+            raw, derived, kind = name, name[: -len(".total")] + ".rate", "counter"
+        elif name.endswith(".value"):
+            raw, derived, kind = name, name[: -len(".value")] + ".delta", "gauge"
+        else:
+            continue
+        if not name.startswith("metric."):
+            continue
+        derived_series = telemetry.series(derived)
+        if derived_series is None:
+            continue
+        expected = derive_window_series(
+            telemetry.series(raw).samples(), kind, window_s
+        )
+        assert derived_series.samples() == expected, name

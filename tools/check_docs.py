@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Check that docs/ARCHITECTURE.md matches the source tree.
 
-Three checks, all run by CI's docs job:
+Seven checks, all run by CI's docs job:
 
 1. every package under src/ (directory with ``__init__.py``) appears by
    dotted name in docs/ARCHITECTURE.md;
@@ -21,7 +21,10 @@ Three checks, all run by CI's docs job:
    metric vocabulary) match what ``repro.scenarios.registry`` renders
    from the committed ``scenarios/*.json`` files — run
    ``python -m repro.scenarios.registry --write`` after editing the
-   library.
+   library;
+7. the "Health-rule taxonomy" table lists exactly the rule kinds of
+   ``repro.observability.health.RULE_KINDS`` — every kind the health
+   engine evaluates must be documented, and no stale kinds.
 
 Run from anywhere::
 
@@ -163,6 +166,37 @@ def check_wire_codecs(text: str) -> list[str]:
     return problems
 
 
+def documented_rule_kinds(text: str) -> set[str]:
+    """Backticked tokens in the "Health-rule taxonomy" table rows."""
+    match = re.search(r"### Health-rule taxonomy\n(.*?)(?:\n#|\Z)", text, re.DOTALL)
+    if match is None:
+        return set()
+    tokens: set[str] = set()
+    for line in match.group(1).splitlines():
+        if line.startswith("|"):
+            first_cell = line.split("|")[1]
+            tokens.update(re.findall(r"`([a-z_]+)`", first_cell))
+    tokens.discard("kind")  # the table header
+    return tokens
+
+
+def check_health_rule_taxonomy(text: str) -> list[str]:
+    from repro.observability.health import RULE_KINDS
+
+    documented = documented_rule_kinds(text)
+    actual = set(RULE_KINDS)
+    problems = []
+    for name in sorted(actual - documented):
+        problems.append(
+            f"rule kind {name!r} is not documented in the health-rule taxonomy"
+        )
+    for name in sorted(documented - actual):
+        problems.append(
+            f"documented rule kind {name!r} is not in RULE_KINDS"
+        )
+    return problems
+
+
 def check_scenario_cookbook() -> list[str]:
     from repro.scenarios.registry import render_cookbook
     from repro.scenarios.spec import ScenarioError
@@ -232,6 +266,15 @@ def main() -> int:
         for problem in codec_problems:
             print(f"  - {problem}", file=sys.stderr)
         return 1
+    rule_problems = check_health_rule_taxonomy(text)
+    if rule_problems:
+        print(
+            "docs/ARCHITECTURE.md health-rule taxonomy is out of date:",
+            file=sys.stderr,
+        )
+        for problem in rule_problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
     cookbook_problems = check_scenario_cookbook()
     if cookbook_problems:
         print("docs/SCENARIOS.md is out of date:", file=sys.stderr)
@@ -243,6 +286,7 @@ def main() -> int:
     print("docs/ARCHITECTURE.md state-store namespaces match the registry")
     print("docs/ARCHITECTURE.md epoch taxonomy matches CANONICAL_EPOCHS")
     print("docs/ARCHITECTURE.md wire-codec table matches codec_names()")
+    print("docs/ARCHITECTURE.md health-rule taxonomy matches RULE_KINDS")
     print("docs/SCENARIOS.md generated tables match the scenario registry")
     return 0
 
