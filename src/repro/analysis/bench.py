@@ -52,7 +52,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: History sizes for the runtime-estimator section.  10k is the scale the
 #: acceptance gate (>=5x) is checked at; keep it in every run.
@@ -542,6 +542,114 @@ def bench_observability_overhead(
 
 
 # ----------------------------------------------------------------------
+# section 6b: event-sourced core (journal-first write path marginal cost)
+# ----------------------------------------------------------------------
+def bench_event_core(
+    n_tasks: int, commands: int, rounds: int, seed: int
+) -> Dict[str, object]:
+    """Steering-verb latency with the journal-first write path vs direct.
+
+    Two identical fully-instrumented GAEs hold ``n_tasks`` live jobs
+    each.  One keeps the event-sourced core (every producer journals
+    first, consumers fold the event into their stores); the other has
+    the core surgically reverted — dispatch listener removed, emit
+    seams cleared — so writes take the original direct path.  The same
+    ``set_priority`` batch then times both, isolating what event
+    sourcing adds on top of tracing+journal (the ``observability``
+    section's gate).  The event-sourced GAE afterwards writes one full
+    and one incremental checkpoint (journal tail + runtime state, no
+    consumer namespaces) so the report records the size/time trade-off
+    of snapshot-plus-tail persistence, and every consumer must rebuild
+    bit-identically from the journal.
+    """
+    import os
+    import tempfile
+
+    from repro.store.checkpoint import Checkpointer
+
+    EVENTED, DIRECT = "evented", "direct"
+    configs = {}
+    for label in (EVENTED, DIRECT):
+        gae, task_ids = _gae_at_scale(seed, n_tasks, observability=True)
+        if label == DIRECT:
+            core = gae.observability.eventcore
+            core.journal.listeners.remove(core._dispatch)
+            core._installed = False
+            gae.estimators.estimate_sink = None
+            gae.monitoring.db_manager.emit = None
+            gae.monalisa.emit = None
+        steering = gae.client("bench", "bench").service("steering")
+        configs[label] = (gae, steering, task_ids[-commands:])
+
+    def run_batch(label: str, priority: int):
+        _, steering, sample = configs[label]
+        ok = 0
+        start = time.perf_counter()
+        for task_id in sample:
+            ok += steering.set_priority(task_id, priority)["ok"]
+        return time.perf_counter() - start, ok
+
+    for label in configs:  # warm every pipeline
+        run_batch(label, 1)
+    best = {label: float("inf") for label in configs}
+    ok_counts = {}
+    labels = (EVENTED, DIRECT)
+    for round_no in range(rounds):
+        order = labels[round_no % 2:] + labels[:round_no % 2]
+        priority = 2 + round_no % 2  # alternate so every re-sort is real
+        for label in order:
+            elapsed, ok_counts[label] = run_batch(label, priority)
+            best[label] = min(best[label], elapsed)
+
+    evented = configs[EVENTED][0]
+    reports = evented.observability.eventcore.verify_all()
+    rebuild_identical = all(r["identical"] and r["covered"] for r in reports)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        full_path = os.path.join(tmp, "full.sqlite")
+        delta_path = os.path.join(tmp, "delta.sqlite")
+        ckpt = Checkpointer(evented)
+        start = time.perf_counter()
+        ckpt.checkpoint(full_path)
+        full_write_s = time.perf_counter() - start
+        # Accrue a journal tail, then write the delta against the base.
+        evented.grid.run_until(evented.sim.now + 60.0)
+        start = time.perf_counter()
+        ckpt.checkpoint_incremental(delta_path)
+        incremental_write_s = time.perf_counter() - start
+        full_bytes = os.path.getsize(full_path)
+        delta_bytes = os.path.getsize(delta_path)
+
+    journal_events = len(evented.observability.journal)
+    for gae, _, _ in configs.values():
+        gae.stop()
+
+    direct_s, evented_s = best[DIRECT], best[EVENTED]
+    return {
+        "n_tasks": n_tasks,
+        "commands": commands,
+        "rounds": rounds,
+        "direct_s": direct_s,
+        "evented_s": evented_s,
+        "direct_per_command_ms": direct_s / commands * 1e3,
+        "evented_per_command_ms": evented_s / commands * 1e3,
+        "overhead_pct": (evented_s / direct_s - 1.0) * 100.0,
+        # Identity here is *between the two write paths*: both must accept
+        # and reject exactly the same verbs (a task that completed before
+        # the batch is rejected by both, equally).
+        "identical": ok_counts[EVENTED] == ok_counts[DIRECT] > 0,
+        "rebuild_identical": rebuild_identical,
+        "consumers": len(reports),
+        "journal_events": journal_events,
+        "full_checkpoint_bytes": full_bytes,
+        "incremental_checkpoint_bytes": delta_bytes,
+        "incremental_vs_full_pct": 100.0 * delta_bytes / full_bytes,
+        "full_checkpoint_write_s": full_write_s,
+        "incremental_checkpoint_write_s": incremental_write_s,
+    }
+
+
+# ----------------------------------------------------------------------
 # section 7: persistence (batched snapshot writes, backend identity)
 # ----------------------------------------------------------------------
 def _monitoring_records(n: int, seed: int):
@@ -732,6 +840,13 @@ def run_bench(
         rounds=3 if quick else 5,
         seed=seed,
     )
+    echo("  event-sourced core overhead + incremental checkpoints")
+    event_core = bench_event_core(
+        n_tasks=2_000 if quick else 10_000,
+        commands=100 if quick else 300,
+        rounds=3 if quick else 5,
+        seed=seed,
+    )
     echo("  persistence: batched snapshot writes")
     persistence = bench_persistence(
         n_records=2_000 if quick else 10_000, repeats=repeats, seed=seed
@@ -764,6 +879,7 @@ def run_bench(
             "steering": steering,
             "monitoring": monitoring,
             "observability": observability,
+            "event_core": event_core,
             "persistence": persistence,
             "rpc_read_path": rpc_read_path,
             "transport": transport,
@@ -826,6 +942,27 @@ def _assert_invariants(report: Dict[str, object]) -> None:
         raise BenchError(
             f"telemetry+health adds {obs['telemetry_overhead_pct']:.1f}% on "
             f"top of tracing+journal at {obs['n_tasks']} jobs, above the "
+            f"{OVERHEAD_CEILING_PCT:.0f}% ceiling"
+        )
+    event_core = sections["event_core"]  # type: ignore[index]
+    if not event_core["identical"]:
+        raise BenchError(
+            "steering verbs did not all succeed identically with the "
+            "journal-first and direct write paths"
+        )
+    if not event_core["rebuild_identical"]:
+        raise BenchError(
+            "a journal consumer's fold-from-journal state diverged from "
+            "its live store"
+        )
+    if (
+        event_core["n_tasks"] >= 10_000
+        and event_core["overhead_pct"] >= OVERHEAD_CEILING_PCT
+    ):
+        raise BenchError(
+            f"the event-sourced write path adds "
+            f"{event_core['overhead_pct']:.1f}% to steering latency at "
+            f"{event_core['n_tasks']} jobs, above the "
             f"{OVERHEAD_CEILING_PCT:.0f}% ceiling"
         )
     persistence = sections["persistence"]  # type: ignore[index]
@@ -946,6 +1083,21 @@ def _print_summary(report: Dict[str, object], echo: Callable[[str], None]) -> No
             o["identical"],
         ]],
     ))
+    e = sections["event_core"]
+    echo("event-sourced core (steering verbs: direct vs journal-first; "
+         "incremental vs full checkpoint)")
+    echo(markdown_table(
+        ["jobs", "verbs", "direct ms/verb", "evented ms/verb", "overhead",
+         "rebuild identical", "delta/full size"],
+        [[
+            e["n_tasks"], e["commands"],
+            round(e["direct_per_command_ms"], 3),
+            round(e["evented_per_command_ms"], 3),
+            f"{e['overhead_pct']:+.1f}%",
+            e["rebuild_identical"],
+            f"{e['incremental_vs_full_pct']:.0f}%",
+        ]],
+    ))
     p = sections["persistence"]
     echo("persistence (monitoring snapshot writes, per-record vs batched)")
     echo(markdown_table(
@@ -1013,8 +1165,8 @@ def validate_report(report: Dict[str, object]) -> None:
              f"schema_version must be {SCHEMA_VERSION}")
     sections = report["sections"]
     for name in ("runtime_estimator", "queue_time", "transfer_time",
-                 "steering", "monitoring", "observability", "persistence",
-                 "rpc_read_path", "transport"):
+                 "steering", "monitoring", "observability", "event_core",
+                 "persistence", "rpc_read_path", "transport"):
         _require(name in sections, f"missing section {name!r}")
 
     def check_row(row, fields, where):
@@ -1077,6 +1229,18 @@ def validate_report(report: Dict[str, object]) -> None:
         ("identical", bool),
         ("spans", int), ("events", int), ("windows", int),
     ], "observability")
+    check_row(sections["event_core"], [
+        ("n_tasks", int), ("commands", int), ("rounds", int),
+        ("direct_s", float), ("evented_s", float),
+        ("direct_per_command_ms", float), ("evented_per_command_ms", float),
+        ("overhead_pct", float), ("identical", bool),
+        ("rebuild_identical", bool), ("consumers", int),
+        ("journal_events", int),
+        ("full_checkpoint_bytes", int), ("incremental_checkpoint_bytes", int),
+        ("incremental_vs_full_pct", float),
+        ("full_checkpoint_write_s", float),
+        ("incremental_checkpoint_write_s", float),
+    ], "event_core")
     check_row(sections["persistence"], [
         ("records", int), ("loop_s", float), ("batched_s", float),
         ("loop_per_record_ms", float), ("batched_per_record_ms", float),

@@ -138,6 +138,20 @@ class _SystemService:
         return instrumentation.snapshot()
 
     @clarens_method(anonymous=True)
+    def consumers(self) -> Dict[str, Any]:
+        """Per-consumer cursors/lag of the event-sourced write path.
+
+        Returns ``{"enabled": False}`` on hosts without the event core;
+        otherwise the journal head seq plus, per registered consumer,
+        its cursor, lag, folded event kinds, namespaces, and baseline.
+        """
+        instrumentation = self._host.observability
+        core = getattr(instrumentation, "eventcore", None)
+        if core is None:
+            return {"enabled": False}
+        return core.snapshot()
+
+    @clarens_method(anonymous=True)
     def health(self) -> Dict[str, Any]:
         """Live state of the declarative health-rule engine.
 

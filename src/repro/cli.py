@@ -12,6 +12,8 @@ Installed as ``gae-repro`` (or run as ``python -m repro.cli``)::
     gae-repro demo [--trace-export gae_trace_export.jsonl]
     gae-repro checkpoint [--out gae_checkpoint.sqlite] [--at 205]
     gae-repro restore gae_checkpoint.sqlite [--inspect]
+    gae-repro journal tail [TASK_ID] [--n 20] [--checkpoint PATH]
+    gae-repro journal replay [CONSUMER ...] [--until 600]
     gae-repro scenario list
     gae-repro scenario run [NAME ...] [--quick] [--out SCENARIOS.json]
     gae-repro scenario validate [NAME ...] [--report SCENARIOS.json]
@@ -457,6 +459,107 @@ def _cmd_restore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _journal_workload(args: argparse.Namespace):
+    """Run the deterministic demo workload to the inspection horizon."""
+    gae, job = checkpoint_demo_workload(seed=args.seed, tasks=args.tasks)
+    gae.sim.run_until(args.until)
+    return gae, job
+
+
+def _cmd_journal_tail(args: argparse.Namespace) -> int:
+    """Print the last N journal events (optionally for one task).
+
+    Reads the journal from a checkpoint file when ``--checkpoint`` is
+    given; otherwise runs the deterministic demo workload and tails its
+    live journal.
+    """
+    if args.checkpoint:
+        from repro.observability.journal import EventJournal
+        from repro.store.sqlite import SqliteStore
+
+        journal = EventJournal(clock=lambda: 0.0)
+        try:
+            with SqliteStore(args.checkpoint) as store:
+                journal.load_from(store)
+        except Exception as exc:  # unreadable file or missing namespace
+            print(f"error: cannot read journal from {args.checkpoint!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        source = args.checkpoint
+    else:
+        gae, _job = _journal_workload(args)
+        journal = gae.observability.journal
+        source = f"demo workload at t={gae.sim.now:.0f}s"
+
+    events = journal.events()
+    if args.task_id:
+        events = [e for e in events if e.task_id == args.task_id]
+        if not events:
+            known = sorted({e.task_id for e in journal.events() if e.task_id})
+            hint = f" (journal has: {', '.join(known[:12])})" if known else ""
+            print(f"error: no events for task {args.task_id!r}{hint}",
+                  file=sys.stderr)
+            return 1
+    from repro.observability.journal import JOURNAL_SCHEMA_VERSION
+
+    tail = events[-args.n:]
+    print(f"{len(tail)} of {len(events)} event(s) from {source} "
+          f"(journal schema {JOURNAL_SCHEMA_VERSION}, "
+          f"head seq {journal.head_seq})")
+    print(markdown_table(
+        ["seq", "t (s)", "event", "task", "site", "attributes"],
+        [
+            [
+                e.seq, f"{e.time:.1f}", e.type.value, e.task_id or "-",
+                e.site or "-",
+                ", ".join(f"{k}={v}" for k, v in sorted(e.attributes.items())) or "-",
+            ]
+            for e in tail
+        ],
+    ))
+    return 0
+
+
+def _cmd_journal_replay(args: argparse.Namespace) -> int:
+    """Rebuild consumers from the journal and compare with live state.
+
+    Runs the deterministic demo workload, then folds each named
+    consumer's events back out of the journal and checks the rebuilt
+    state is bit-identical to the live fold.  Exits non-zero on any
+    divergence — the event-sourced core's invariant is broken.
+    """
+    gae, _job = _journal_workload(args)
+    core = gae.observability.eventcore
+    names = args.consumers or list(core.consumers)
+    unknown = [n for n in names if n not in core.consumers]
+    if unknown:
+        print(f"error: unknown consumer(s) {', '.join(unknown)} "
+              f"(registered: {', '.join(core.consumers)})", file=sys.stderr)
+        return 2
+    journal = gae.observability.journal
+    reports = [core.consumers[name].verify(journal) for name in names]
+    print(f"journal head seq {journal.head_seq}, "
+          f"{len(journal.events())} retained event(s)")
+    print(markdown_table(
+        ["consumer", "cursor", "baseline", "folded", "covered", "verdict"],
+        [
+            [
+                r["consumer"], r["cursor"], r["baseline_seq"],
+                r["events_applied"], "yes" if r["covered"] else "NO",
+                "identical" if r["identical"] else "DIVERGED",
+            ]
+            for r in reports
+        ],
+    ))
+    diverged = [r["consumer"] for r in reports if not r["identical"]]
+    if diverged:
+        print(f"DIVERGED: {', '.join(diverged)} — rebuilt state does not "
+              f"match the live fold", file=sys.stderr)
+        return 1
+    print("all rebuilt consumers identical to live state")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import write_report
 
@@ -750,6 +853,41 @@ def build_parser() -> argparse.ArgumentParser:
     pre.add_argument("--inspect", action="store_true",
                      help="print the restored state without resuming")
     pre.set_defaults(func=_cmd_restore)
+
+    pj = sub.add_parser(
+        "journal",
+        help="inspect the event journal and verify replayable consumers",
+    )
+    jsub = pj.add_subparsers(dest="journal_command", required=True)
+
+    pjt = jsub.add_parser(
+        "tail", help="print the last N journal events (optionally one task's)"
+    )
+    pjt.add_argument("task_id", type=str, nargs="?", default=None,
+                     help="only this task's events")
+    pjt.add_argument("--n", type=int, default=20,
+                     help="how many trailing events to show")
+    pjt.add_argument("--checkpoint", type=str, default=None, metavar="PATH",
+                     help="read the journal from this checkpoint file instead "
+                          "of running the demo workload")
+    pjt.add_argument("--seed", type=int, default=11)
+    pjt.add_argument("--tasks", type=int, default=6)
+    pjt.add_argument("--until", type=float, default=600.0,
+                     help="demo-workload horizon (s) when no --checkpoint")
+    pjt.set_defaults(func=_cmd_journal_tail)
+
+    pjr = jsub.add_parser(
+        "replay",
+        help="rebuild consumers from the journal and diff against live state "
+             "(non-zero exit on divergence)",
+    )
+    pjr.add_argument("consumers", type=str, nargs="*",
+                     help="consumer names (default: every registered consumer)")
+    pjr.add_argument("--seed", type=int, default=11)
+    pjr.add_argument("--tasks", type=int, default=6)
+    pjr.add_argument("--until", type=float, default=600.0,
+                     help="demo-workload horizon (s)")
+    pjr.set_defaults(func=_cmd_journal_replay)
 
     ps = sub.add_parser(
         "scenario",

@@ -138,16 +138,22 @@ class HistoryRepository:
     def __iter__(self) -> Iterator[TaskRecord]:
         return iter(self._records)
 
-    def add(self, record: TaskRecord) -> None:
-        """Append one completed-task record (updates every live index)."""
+    def add(self, record: TaskRecord, notify: bool = True) -> None:
+        """Append one completed-task record (updates every live index).
+
+        ``notify=False`` is the quiet fold used when an event-sourced
+        restore replays the journal tail — the row (and every live
+        index) lands without re-announcing the arrival.
+        """
         self._records.append(record)
         if record.status == "successful":
             self._successful.append(record)
             for attributes, buckets in self._indexes.items():
                 key = tuple(record.attribute(a) for a in attributes)
                 buckets.setdefault(key, []).append(record)
-        for listener in self.listeners:
-            listener(record)
+        if notify:
+            for listener in self.listeners:
+                listener(record)
 
     def extend(self, records: Iterable[TaskRecord]) -> None:
         """Append many records."""
@@ -276,16 +282,27 @@ class HistoryRecorder:
     def __init__(self, repository: HistoryRepository, record_failures: bool = False) -> None:
         self.repository = repository
         self.record_failures = record_failures
+        #: Event-sourced write seam: when set (to
+        #: ``EventCore.emit_history``) records are journalled first and
+        #: the repository is fed by the estimators consumer; when None
+        #: the recorder writes the repository directly as before.
+        self.sink = None
+
+    def _deliver(self, record: TaskRecord, task_id: str) -> None:
+        if self.sink is not None:
+            self.sink(record, task_id)
+        else:
+            self.repository.add(record)
 
     def attach(self, site: Site) -> None:
         """Subscribe to a site pool's completion/failure callbacks."""
 
         def on_complete(ad: CondorJobAd) -> None:
-            self.repository.add(self._record(ad, site.name, "successful"))
+            self._deliver(self._record(ad, site.name, "successful"), ad.task_id)
 
         def on_failed(ad: CondorJobAd) -> None:
             if self.record_failures:
-                self.repository.add(self._record(ad, site.name, "failed"))
+                self._deliver(self._record(ad, site.name, "failed"), ad.task_id)
 
         site.pool.on_complete.append(on_complete)
         site.pool.on_failed.append(on_failed)

@@ -67,15 +67,23 @@ class RuntimeEstimateDB:
         """Call *listener(task_id, value)* after every :meth:`record`."""
         self._listeners.append(listener)
 
-    def record(self, task_id: str, estimated_runtime_s: float) -> None:
-        """Store the estimate made at submission time."""
+    def record(
+        self, task_id: str, estimated_runtime_s: float, notify: bool = True
+    ) -> None:
+        """Store the estimate made at submission time.
+
+        ``notify=False`` is the quiet fold used when an event-sourced
+        restore replays the journal tail: the estimate lands, but
+        subscribers (who already saw the original event) stay silent.
+        """
         if estimated_runtime_s < 0:
             raise ValueError(
                 f"estimated runtime must be non-negative, got {estimated_runtime_s}"
             )
         self._estimates[task_id] = float(estimated_runtime_s)
-        for listener in list(self._listeners):
-            listener(task_id, self._estimates[task_id])
+        if notify:
+            for listener in list(self._listeners):
+                listener(task_id, self._estimates[task_id])
 
     def lookup(self, task_id: str) -> float:
         """The stored estimate (QueueEstimationError when absent)."""
@@ -89,6 +97,10 @@ class RuntimeEstimateDB:
     def has(self, task_id: str) -> bool:
         """Whether an estimate was recorded for this task."""
         return task_id in self._estimates
+
+    def as_dict(self) -> Dict[str, float]:
+        """All stored estimates (copy) — consumer fingerprints use this."""
+        return dict(self._estimates)
 
     def __len__(self) -> int:
         return len(self._estimates)

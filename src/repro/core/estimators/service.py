@@ -98,6 +98,11 @@ class EstimatorService:
         )
         self.catalog = catalog
         self._services: Dict[str, ExecutionService] = {}
+        #: Event-sourced write seam: when set (to
+        #: ``EventCore.emit_estimate``) at-submission estimates are
+        #: journalled first (``estimate-recorded``) and the estimators
+        #: consumer writes the estimate DB; ``None`` writes directly.
+        self.estimate_sink: Optional[Callable[[str, float], None]] = None
 
     # ------------------------------------------------------------------
     # wiring
@@ -136,9 +141,20 @@ class EstimatorService:
                 value = self.runtime.estimate(task.spec).value
             except EstimationError:
                 value = task.spec.requested_cpu_hours * 3600.0
-            self.estimate_db.record(task.task_id, value)
+            self.record_estimate(task.task_id, value)
 
         scheduler.submission_listeners.append(on_submission)
+
+    def record_estimate(self, task_id: str, value: float) -> None:
+        """Store an at-submission estimate through the write path.
+
+        Journal-first when the :attr:`estimate_sink` seam is installed
+        (the estimators consumer then writes the DB), direct otherwise.
+        """
+        if self.estimate_sink is not None:
+            self.estimate_sink(task_id, value)
+        else:
+            self.estimate_db.record(task_id, value)
 
     # ------------------------------------------------------------------
     # Clarens-exposed estimator methods

@@ -139,6 +139,14 @@ class DBManager:
         #: Called with each record after it is upserted — the read-cache
         #: "monitoring" epoch (and any other watcher) hangs here.
         self.update_listeners: list = []
+        #: Event-sourced write seam: when set (to
+        #: ``EventCore.emit_monitoring``) every :meth:`update` journals a
+        #: ``monitoring-updated`` event instead of writing directly; the
+        #: monitoring consumer then calls :meth:`apply_record` and the
+        #: monalisa consumer performs the derived job-state publish.
+        #: ``None`` keeps the original direct path (stand-alone managers,
+        #: old tests, ``observability=False`` builds).
+        self.emit = None
 
     def close(self) -> None:
         """Idempotently close the underlying database connection.
@@ -162,17 +170,38 @@ class DBManager:
 
     # ------------------------------------------------------------------
     def update(self, record: MonitoringRecord) -> None:
-        """Upsert a task's latest record; publish the update to MonALISA."""
+        """Upsert a task's latest record; publish the update to MonALISA.
+
+        With the :attr:`emit` seam installed the record is journalled
+        first (``monitoring-updated``) and the SQL write + MonALISA
+        publish happen in the journal consumers, in the same relative
+        order as the direct path.
+        """
+        if self.emit is not None:
+            self.emit(record)
+            return
+        self.apply_record(record, notify=False)
+        if self.monalisa is not None:
+            self.monalisa.publish_job_state(self._job_state_event(record))
+        for listener in self.update_listeners:
+            listener(record)
+
+    def apply_record(self, record: MonitoringRecord, notify: bool = True) -> None:
+        """The SQL half of an update: upsert + append-only history row.
+
+        The journal consumers' fold primitive — no MonALISA publish (the
+        monalisa consumer owns the derived event), and ``notify=False``
+        keeps update listeners quiet during tail replay.
+        """
         with self._lock:
             self._conn.execute(_UPSERT_SQL, _record_values(record))
             # Append-only history row: the raw material of progress-vs-time
             # charts like Figure 7, queryable long after the task is gone.
             self._conn.execute(_HISTORY_SQL, _history_values(record))
             self._conn.commit()
-        if self.monalisa is not None:
-            self.monalisa.publish_job_state(self._job_state_event(record))
-        for listener in self.update_listeners:
-            listener(record)
+        if notify:
+            for listener in self.update_listeners:
+                listener(record)
 
     def update_many(self, records: Iterable[MonitoringRecord]) -> int:
         """Batched upsert: one ``executemany`` pair in one transaction.
@@ -181,11 +210,17 @@ class DBManager:
         once; batching amortises the per-statement and per-commit cost
         (see the ``persistence`` benchmark section).  MonALISA publishes
         happen after the transaction, in record order, exactly as a loop
-        of :meth:`update` calls would have done.
+        of :meth:`update` calls would have done.  On the event-sourced
+        path each record is journalled individually (the log is the
+        authority; consumers keep record order).
         """
         records = list(records)
         if not records:
             return 0
+        if self.emit is not None:
+            for record in records:
+                self.emit(record)
+            return len(records)
         with self._lock:
             self._conn.executemany(_UPSERT_SQL, [_record_values(r) for r in records])
             self._conn.executemany(_HISTORY_SQL, [_history_values(r) for r in records])

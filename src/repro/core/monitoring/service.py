@@ -78,6 +78,9 @@ class JobMonitoringService:
         self.manager = JMManager(self.db_manager, self.collector)
         self.executable = JMExecutable(self.manager)
         self._snapshot_handle = None
+        #: Set by a checkpoint restore to the next snapshot's original fire
+        #: time so the periodic cadence survives a restart phase-faithfully.
+        self.resume_at: Optional[float] = None
 
     def attach(self, service: ExecutionService) -> None:
         """Start monitoring a site's execution service."""
@@ -103,9 +106,23 @@ class JobMonitoringService:
         """
         if self._snapshot_handle is not None:
             raise RuntimeError("periodic snapshots already started")
+        first_delay = None
+        if self.resume_at is not None:
+            first_delay = max(self.resume_at - self.sim.now, 0.0)
+            self.resume_at = None
         self._snapshot_handle = self.sim.every(
-            period_s, self.snapshot_running, label="jobmon.snapshots"
+            period_s,
+            self.snapshot_running,
+            label="jobmon.snapshots",
+            first_delay=first_delay,
         )
+
+    @property
+    def next_fire_time(self) -> Optional[float]:
+        """Fire time of the pending snapshot (``None`` when not running)."""
+        if self._snapshot_handle is None:
+            return None
+        return self._snapshot_handle.next_time
 
     def stop_periodic_snapshots(self) -> None:
         """Cancel the periodic snapshotting."""

@@ -76,6 +76,9 @@ class BackupRecovery:
         self.failed_sites: Set[str] = set()
         self._resubmitted: Set[tuple] = set()  # (task_id, failed_site) pairs
         self._handle: Optional[PeriodicHandle] = None
+        #: Set by a checkpoint restore to the next sweep's original fire
+        #: time so the ping cadence survives a restart phase-faithfully.
+        self.resume_at: Optional[float] = None
         self.notification_listeners: List[Callable[[ClientNotification], None]] = []
         #: Called as (task_id, files) after local files are salvaged from a
         #: failed task, and as (task_id, state) after a completed task's
@@ -266,10 +269,24 @@ class BackupRecovery:
         """Begin the periodic ping sweep under the simulation clock."""
         if self._handle is not None:
             raise RuntimeError("backup & recovery already started")
+        first_delay = None
+        if self.resume_at is not None:
+            first_delay = max(self.resume_at - self.sim.now, 0.0)
+            self.resume_at = None
         self._handle = self.sim.every(
-            self.ping_interval_s, self.check_services, label="steering.backup_recovery"
+            self.ping_interval_s,
+            self.check_services,
+            label="steering.backup_recovery",
+            first_delay=first_delay,
         )
         return self
+
+    @property
+    def next_fire_time(self) -> Optional[float]:
+        """Fire time of the pending sweep (``None`` when not running)."""
+        if self._handle is None:
+            return None
+        return self._handle.next_time
 
     def stop(self) -> None:
         """Cancel the periodic sweep."""

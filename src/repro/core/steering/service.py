@@ -87,6 +87,9 @@ class SteeringService:
         #: advanced users"); see :meth:`attach_agent`.
         self.agent = None
         self._loop_handle: Optional[PeriodicHandle] = None
+        #: Set by a checkpoint restore to the next poll's original fire
+        #: time so the steering cadence survives a restart phase-faithfully.
+        self.resume_at: Optional[float] = None
         # Receive every concrete job plan the scheduler emits (§4.2.1).
         scheduler.plan_listeners.append(self.subscriber.receive_plan)
 
@@ -141,11 +144,25 @@ class SteeringService:
         """Arm the steering loop and the Backup & Recovery sweep."""
         if self._loop_handle is not None:
             raise RuntimeError("steering service already started")
+        first_delay = None
+        if self.resume_at is not None:
+            first_delay = max(self.resume_at - self.sim.now, 0.0)
+            self.resume_at = None
         self._loop_handle = self.sim.every(
-            self.policy.poll_interval_s, self.steer_once, label="steering.loop"
+            self.policy.poll_interval_s,
+            self.steer_once,
+            label="steering.loop",
+            first_delay=first_delay,
         )
         self.backup_recovery.start()
         return self
+
+    @property
+    def next_fire_time(self) -> Optional[float]:
+        """Fire time of the pending steering poll (``None`` when stopped)."""
+        if self._loop_handle is None:
+            return None
+        return self._loop_handle.next_time
 
     def stop(self) -> None:
         """Cancel both periodic activities."""

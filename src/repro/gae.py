@@ -42,6 +42,13 @@ from repro.gridsim.grid import Grid
 from repro.monalisa.publisher import ServiceMetricsPublisher, SiteLoadPublisher
 from repro.monalisa.repository import MonALISARepository
 from repro.monalisa.service import MonALISAQueryService
+from repro.observability.eventbus import (
+    AccountingConsumer,
+    EstimatorConsumer,
+    EventCore,
+    MonALISAConsumer,
+    MonitoringConsumer,
+)
 from repro.observability.instrument import GAEInstrumentation
 from repro.store.base import StateStore
 from repro.store.memory import MemoryStore
@@ -252,6 +259,7 @@ def build_gae(
     for name in sorted(grid.sites):
         steering.attach_site(grid.sites[name])
 
+    recorder: Optional[HistoryRecorder] = None
     if record_history:
         recorder = HistoryRecorder(history)
         for name in sorted(grid.sites):
@@ -310,6 +318,34 @@ def build_gae(
         host.observability = instrumentation
         host.add_middleware(instrumentation.middleware())
         host.read_cache.bind_metrics(instrumentation.metrics)
+
+        # Event-sourced core: the journal becomes the authoritative write
+        # path.  Consumers fold journalled state changes into their
+        # stores; the emit seams below route every producer through the
+        # journal first.  Registration order is load-bearing: monitoring
+        # (SQL upsert) before monalisa (derived job-state publish).
+        core = EventCore(
+            instrumentation.journal,
+            trace_context=instrumentation.trace_context_of,
+        )
+        core.register(EstimatorConsumer(estimators.estimate_db, history))
+        core.register(MonitoringConsumer(monitoring.db_manager))
+        core.register(MonALISAConsumer(monalisa))
+        core.register(
+            AccountingConsumer(dict(grid.execution_services), estimators.estimate_db)
+        )
+        core.install()
+        core.bind_metrics(instrumentation.metrics)
+        # Anchor every fold at the pre-seeded state (e.g. an imported
+        # task history) so rebuild-from-journal stays well-defined.
+        core.rebaseline_all()
+        instrumentation.eventcore = core
+
+        estimators.estimate_sink = core.emit_estimate
+        if recorder is not None:
+            recorder.sink = core.emit_history
+        monitoring.db_manager.emit = core.emit_monitoring
+        monalisa.emit = core.emit_metric
 
     return GAE(
         grid=grid,

@@ -63,6 +63,13 @@ class PeriodicHandle:
     def cancelled(self) -> bool:
         return self._cancelled
 
+    @property
+    def next_time(self) -> Optional[float]:
+        """Fire time of the pending occurrence (``None`` once cancelled)."""
+        if self._cancelled or self._current is None:
+            return None
+        return self._current.time
+
     def cancel(self) -> None:
         """Stop the periodic activity; the pending firing is cancelled too."""
         self._cancelled = True

@@ -39,6 +39,11 @@ class SiteLoadPublisher:
         self.period_s = period_s
         self._handle: Optional[PeriodicHandle] = None
         self._stopped = False
+        #: When set, the next :meth:`start` resumes the original cadence:
+        #: no immediate sample, first firing at this absolute sim time.
+        #: Checkpoint restore uses this so a resumed run publishes on the
+        #: same schedule (and the event journal folds identically).
+        self.resume_at: Optional[float] = None
 
     def publish_now(self) -> None:
         """Take one sample of every site immediately.
@@ -61,11 +66,29 @@ class SiteLoadPublisher:
         if self._handle is not None:
             return self
         self._stopped = False
-        self.publish_now()
+        first_delay = self._consume_resume_phase()
+        if first_delay is None:
+            self.publish_now()
         self._handle = self.sim.every(
-            self.period_s, self.publish_now, label="monalisa.site_load"
+            self.period_s,
+            self.publish_now,
+            label="monalisa.site_load",
+            first_delay=first_delay,
         )
         return self
+
+    def _consume_resume_phase(self) -> Optional[float]:
+        """Return the ``first_delay`` that re-joins the original cadence."""
+        if self.resume_at is None:
+            return None
+        delay = self.resume_at - self.sim.now
+        self.resume_at = None
+        return max(delay, 0.0)
+
+    @property
+    def next_fire_time(self) -> Optional[float]:
+        """Absolute sim time of the next periodic sample (``None`` if idle)."""
+        return self._handle.next_time if self._handle is not None else None
 
     def stop(self) -> None:
         """Cancel the periodic publication (idempotent)."""
@@ -114,6 +137,8 @@ class ServiceMetricsPublisher:
         self.period_s = period_s
         self._handle: Optional[PeriodicHandle] = None
         self._stopped = False
+        #: See :attr:`SiteLoadPublisher.resume_at` — phase-faithful restart.
+        self.resume_at: Optional[float] = None
 
     def publish_now(self) -> None:
         """Take one sample of the host's call statistics immediately.
@@ -145,11 +170,29 @@ class ServiceMetricsPublisher:
         if self._handle is not None:
             return self
         self._stopped = False
-        self.publish_now()
+        first_delay = self._consume_resume_phase()
+        if first_delay is None:
+            self.publish_now()
         self._handle = self.sim.every(
-            self.period_s, self.publish_now, label="monalisa.service_metrics"
+            self.period_s,
+            self.publish_now,
+            label="monalisa.service_metrics",
+            first_delay=first_delay,
         )
         return self
+
+    def _consume_resume_phase(self) -> Optional[float]:
+        """Return the ``first_delay`` that re-joins the original cadence."""
+        if self.resume_at is None:
+            return None
+        delay = self.resume_at - self.sim.now
+        self.resume_at = None
+        return max(delay, 0.0)
+
+    @property
+    def next_fire_time(self) -> Optional[float]:
+        """Absolute sim time of the next periodic sample (``None`` if idle)."""
+        return self._handle.next_time if self._handle is not None else None
 
     def stop(self) -> None:
         """Cancel the periodic publication (idempotent)."""

@@ -85,19 +85,38 @@ class MonALISARepository:
         self._metric_subscribers: List[Callable[[MetricUpdate], None]] = []
         self._job_events: List[JobStateEvent] = []
         self._job_subscribers: List[Callable[[JobStateEvent], None]] = []
+        #: Event-sourced write seam: when set (to
+        #: ``EventCore.emit_metric``) :meth:`publish` journals a
+        #: ``metric-published`` event and the monalisa consumer applies
+        #: the sample; ``None`` keeps the original direct append.
+        self.emit: Optional[Callable[[str, str, float, float], None]] = None
 
     # ------------------------------------------------------------------
     # numeric metrics
     # ------------------------------------------------------------------
     def publish(self, farm: str, metric: str, time: float, value: float) -> None:
         """Record one sample and fan it out to metric subscribers."""
+        if self.emit is not None:
+            self.emit(farm, metric, time, value)
+            return
+        self._apply_publish(farm, metric, time, value)
+
+    def _apply_publish(
+        self, farm: str, metric: str, time: float, value: float, notify: bool = True
+    ) -> None:
+        """Append one sample (the journal consumer's fold primitive).
+
+        ``notify=False`` is the quiet variant used when replaying a
+        journal tail during an incremental restore.
+        """
         key = (farm, metric)
         if key not in self._series:
             self._series[key] = TimeSeries()
         self._series[key].append(time, value)
-        update = MetricUpdate(farm=farm, metric=metric, time=time, value=value)
-        for cb in list(self._metric_subscribers):
-            cb(update)
+        if notify:
+            update = MetricUpdate(farm=farm, metric=metric, time=time, value=value)
+            for cb in list(self._metric_subscribers):
+                cb(update)
 
     def series(self, farm: str, metric: str) -> TimeSeries:
         """The full series for (farm, metric).
@@ -155,9 +174,14 @@ class MonALISARepository:
     # ------------------------------------------------------------------
     def publish_job_state(self, event: JobStateEvent) -> None:
         """Record a job-state transition and fan it out."""
+        self._apply_job_state(event)
+
+    def _apply_job_state(self, event: JobStateEvent, notify: bool = True) -> None:
+        """Append one job-state event; quiet when ``notify=False``."""
         self._job_events.append(event)
-        for cb in list(self._job_subscribers):
-            cb(event)
+        if notify:
+            for cb in list(self._job_subscribers):
+                cb(event)
 
     def job_events(
         self, task_id: Optional[str] = None, job_id: Optional[str] = None

@@ -17,7 +17,11 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from repro.observability.journal import EventJournal
+from repro.observability.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    EventJournal,
+    OutOfOrderError,
+)
 from repro.observability.tracing import Tracer
 
 __all__ = [
@@ -28,7 +32,10 @@ __all__ = [
     "validate_export_file",
 ]
 
-EXPORT_SCHEMA_VERSION = "gae-trace-export/1"
+#: /2 adds the journal row-schema version to the meta header and the
+#: strict monotonic-``seq`` ordering guarantee for event rows (imports
+#: reject violations — see :func:`load_export`).
+EXPORT_SCHEMA_VERSION = "gae-trace-export/2"
 
 
 class ExportValidationError(ValueError):
@@ -57,6 +64,7 @@ def export_observability(
         {
             "kind": "meta",
             "schema": EXPORT_SCHEMA_VERSION,
+            "journal_schema": JOURNAL_SCHEMA_VERSION,
             "sim_now": sim_now,
             "span_count": len(spans),
             "event_count": len(events),
@@ -72,8 +80,16 @@ def export_observability(
 
 
 def load_export(path: Union[str, Path]) -> Dict[str, List[Dict[str, Any]]]:
-    """Read a JSONL export back into ``{"meta": [...], "span": [...], "event": [...]}``."""
+    """Read a JSONL export back into ``{"meta": [...], "span": [...], "event": [...]}``.
+
+    Event rows must arrive in strictly increasing ``seq`` order — the
+    journal is a monotonically sequenced log, and an out-of-order stream
+    (a corrupt or hand-spliced export) is rejected with
+    :class:`~repro.observability.journal.OutOfOrderError` rather than
+    silently producing a log consumers cannot fold.
+    """
     out: Dict[str, List[Dict[str, Any]]] = {"meta": [], "span": [], "event": []}
+    last_seq: Optional[int] = None
     with Path(path).open("r", encoding="utf-8") as fh:
         for line_no, line in enumerate(fh, start=1):
             line = line.strip()
@@ -86,6 +102,15 @@ def load_export(path: Union[str, Path]) -> Dict[str, List[Dict[str, Any]]]:
             kind = row.get("kind")
             if kind not in out:
                 raise ExportValidationError(f"line {line_no}: unknown row kind {kind!r}")
+            if kind == "event":
+                seq = row.get("seq")
+                if last_seq is not None and isinstance(seq, int) and seq <= last_seq:
+                    raise OutOfOrderError(
+                        f"line {line_no}: event seq {seq} after {last_seq} "
+                        "violates monotonic order"
+                    )
+                if isinstance(seq, int):
+                    last_seq = seq
             out[kind].append(row)
     return out
 

@@ -138,6 +138,9 @@ class GAEInstrumentation:
         self.metrics = MetricsRegistry()
         self._tasks: Dict[str, _TaskTrace] = {}
         self._jobs: Dict[str, _JobTrace] = {}
+        #: The event-sourced consumer registry; installed by build_gae
+        #: (None for partially-wired rigs and stand-alone tests).
+        self.eventcore = None
         self.telemetry: Optional[TelemetryPipeline] = None
         self.health: Optional[HealthEngine] = None
         if telemetry:
@@ -393,7 +396,12 @@ class GAEInstrumentation:
             if tt.flock_span is not None:
                 tt.flock_span.set_attribute("to", site)
                 tt.flock_span = None
-            self._record(EventType.DISPATCHED, tt, ad.task_id, site=site)
+            # priority/elapsed ride along so the event-sourced accounting
+            # consumer can fold the queue books from the journal alone.
+            self._record(
+                EventType.DISPATCHED, tt, ad.task_id, site=site,
+                priority=ad.priority, elapsed=ad.elapsed_runtime(),
+            )
         elif state is JobState.RUNNING:
             resumed = tt.last_state is JobState.PAUSED
             if not resumed and tt.queued_at is not None:
@@ -563,6 +571,17 @@ class GAEInstrumentation:
         tt = self._tasks.get(task_id)
         return tt.trace_id if tt is not None else None
 
+    def trace_context_of(self, task_id: str) -> Tuple[Optional[str], Optional[str]]:
+        """(trace_id, root span_id) for a tracked task, else (None, None).
+
+        The event core stamps journal-schema-v2 events with this, so a
+        task's derived events share its lifecycle trace.
+        """
+        tt = self._tasks.get(task_id)
+        if tt is None:
+            return (None, None)
+        return (tt.trace_id, tt.root.span_id)
+
     def render_trace(self, task_id: str) -> Optional[str]:
         """ASCII span tree for the trace the task belongs to."""
         trace_id = self.trace_id_of(task_id)
@@ -585,6 +604,11 @@ class GAEInstrumentation:
             "jobs_traced": len(self._jobs),
             "metrics": self.metrics.snapshot(),
             "telemetry": self.telemetry_summary(),
+            "consumers": (
+                self.eventcore.snapshot()
+                if self.eventcore is not None
+                else {"enabled": False}
+            ),
         }
 
     def telemetry_summary(self) -> Dict[str, Any]:

@@ -24,7 +24,23 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.store.base import StateStore
 from repro.store.registry import OBSERVABILITY_JOURNAL, namespace_record
 
-__all__ = ["EventJournal", "EventType", "JournalEvent"]
+__all__ = [
+    "EventJournal",
+    "EventType",
+    "JournalEvent",
+    "JOURNAL_SCHEMA_VERSION",
+    "OutOfOrderError",
+]
+
+#: Version of the journal row schema.  Version 2 adds the event-sourced
+#: write path: ``estimate-recorded``, ``monitoring-updated``,
+#: ``metric-published`` and ``history-recorded`` rows that downstream
+#: consumers fold into their state (see :mod:`repro.observability.eventbus`).
+JOURNAL_SCHEMA_VERSION = 2
+
+
+class OutOfOrderError(ValueError):
+    """An imported journal stream violated monotonic ``seq`` order."""
 
 
 class EventType(str, enum.Enum):
@@ -53,6 +69,13 @@ class EventType(str, enum.Enum):
     OUTPUT_RETRIEVED = "output-retrieved"
     HEALTH_FIRING = "health-firing"
     HEALTH_RESOLVED = "health-resolved"
+    # Journal-schema v2: state-change events consumed by the event-sourced
+    # write path (repro.observability.eventbus).  Each carries the full
+    # payload a consumer needs to fold the change into its store.
+    ESTIMATE_RECORDED = "estimate-recorded"
+    MONITORING_UPDATED = "monitoring-updated"
+    METRIC_PUBLISHED = "metric-published"
+    HISTORY_RECORDED = "history-recorded"
 
 
 #: Shared empty mapping for the (very common) attribute-less event, so a
@@ -104,6 +127,16 @@ class EventJournal:
         self._seq = itertools.count()
         self.capacity = capacity
         self.listeners: List[Callable[[JournalEvent], None]] = []
+        self._head_seq = -1
+
+    @property
+    def head_seq(self) -> int:
+        """``seq`` of the most recently recorded event, ``-1`` when empty.
+
+        Unlike ``self._events[-1].seq`` this survives eviction-free and
+        is what incremental checkpoints use as the high-water mark.
+        """
+        return self._head_seq
 
     def record(
         self,
@@ -130,6 +163,7 @@ class EventJournal:
         )
         # deque.append is atomic under the GIL; readers use _snapshot().
         self._events.append(event)
+        self._head_seq = event.seq
         for listener in self.listeners:
             listener(event)
         return event
@@ -163,6 +197,14 @@ class EventJournal:
         """Every event for one task, in (time, seq) order."""
         return sorted(self.events(task_id=task_id), key=lambda e: (e.time, e.seq))
 
+    def events_since(self, seq: int) -> List[JournalEvent]:
+        """Every retained event with ``seq`` strictly greater than ``seq``.
+
+        The tail a consumer replays to catch its cursor up to the head,
+        and the delta an incremental checkpoint persists.
+        """
+        return [e for e in self._snapshot() if e.seq > seq]
+
     def task_ids(self) -> List[str]:
         snapshot = self._snapshot()
         seen: List[str] = []
@@ -193,11 +235,23 @@ class EventJournal:
         Events are appended directly (listeners do **not** fire — a
         restore replays state, not events) and the sequence counter is
         re-seeded past the highest restored ``seq`` so new events keep
-        the monotonic order.
+        the monotonic order.  A stream whose ``seq`` values are not
+        strictly increasing is rejected with :class:`OutOfOrderError`
+        before any row is applied — a corrupt or hand-spliced store must
+        not silently produce a journal consumers cannot fold.
         """
+        rows = [row for _, row in store.items(OBSERVABILITY_JOURNAL)]
+        last_seq = -1
+        for row in rows:
+            if row["seq"] <= last_seq:
+                raise OutOfOrderError(
+                    f"journal import: seq {row['seq']} after {last_seq} "
+                    "violates monotonic order"
+                )
+            last_seq = row["seq"]
         self._events.clear()
         max_seq = -1
-        for _, row in store.items(OBSERVABILITY_JOURNAL):
+        for row in rows:
             attributes = row["attributes"] or _NO_ATTRIBUTES
             event = JournalEvent(
                 seq=row["seq"],
@@ -213,4 +267,5 @@ class EventJournal:
             self._events.append(event)
             max_seq = max(max_seq, event.seq)
         self._seq = itertools.count(max_seq + 1)
+        self._head_seq = max_seq
         return len(self._events)

@@ -1,19 +1,29 @@
-"""GAE-wide checkpoint/restore.
+"""GAE-wide checkpoint/restore, full and incremental.
 
-A checkpoint is one SQLite file (a :class:`~repro.store.sqlite.SqliteStore`)
-holding every canonical namespace: the five migrated service stores
-(estimator history, runtime estimates, monitoring DB, MonALISA, event
-journal), the observability layer, and the live gridsim/steering/accounting
-state captured at a *barrier event* — a scheduled simulation instant, so
-the snapshot is taken between events while the system is quiescent.
+A full checkpoint is one SQLite file (a
+:class:`~repro.store.sqlite.SqliteStore`) holding every canonical
+namespace: the five migrated service stores (estimator history, runtime
+estimates, monitoring DB, MonALISA, event journal), the observability
+layer, and the live gridsim/steering/accounting state captured at a
+*barrier event* — a scheduled simulation instant, so the snapshot is
+taken between events while the system is quiescent.
 
-:func:`restore_gae` rebuilds the grid from its declarative spec, rewires a
-fresh GAE through :func:`repro.gae.build_gae`, and rehydrates every layer
-*without firing listeners*: a restore replays state, not events.  The
-restored system's estimator answers, monitoring answers, MonALISA series,
-Backup & Recovery failed-set, and ``system.observability`` report are
-identical to the pre-snapshot system at the checkpoint instant, and running
-it to completion finishes every in-flight job.
+With the event-sourced core, the four journal consumers (estimators,
+monitoring, MonALISA, queue accounting) are pure folds over the journal.
+That makes a cheaper *incremental* checkpoint possible: skip the
+consumer namespaces entirely and record only the journal (whose retained
+window covers the tail since the last full checkpoint), the runtime
+state, and the per-consumer ``(namespace, cursor)`` high-water marks.
+:func:`restore_incremental` rebuilds consumer state as *base snapshot +
+quiet replay of the journal tail*, bit-identical to a full restore.
+
+:func:`restore_gae` rebuilds the grid from its declarative spec, rewires
+a fresh GAE through :func:`repro.gae.build_gae`, and rehydrates every
+layer *without firing listeners*: a restore replays state, not events.
+The restored system's estimator answers, monitoring answers, MonALISA
+series, Backup & Recovery failed-set, and ``system.observability``
+report are identical to the pre-snapshot system at the checkpoint
+instant, and running it to completion finishes every in-flight job.
 
 Restore ordering matters and is documented inline; the broad strokes:
 
@@ -22,23 +32,26 @@ Restore ordering matters and is documented inline; the broad strokes:
 2. the grid substrate from its spec, clock started at the checkpoint time,
 3. ``build_gae`` with the saved build parameters, policy, and history,
 4. store-backed layers (estimates, monitoring rows, MonALISA, journal),
+   then — on the incremental path — the quiet journal-tail replay that
+   brings consumer state from the base snapshot to the barrier,
 5. scheduler entries, then pools (ads resolve task ids against the
    restored jobs), then incremental queue accounting reseeded from the
    restored queues,
-6. steering/accounting/observability state,
+6. steering/accounting state and the publishers' resume phases,
 7. the periodic activities re-armed via :meth:`repro.gae.GAE.start`.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.store.base import StateStore, StoreError, UnknownNamespaceError
 from repro.store.registry import (
     ACCOUNTING_STATE,
     CHECKPOINT_GRIDSIM,
     CHECKPOINT_META,
+    EVENTCORE_CURSORS,
     MONITORING_JOBS,
     STEERING_STATE,
     register_all,
@@ -66,6 +79,11 @@ class CheckpointInfo:
     time: float
     jobs: int
     tasks: int
+    #: ``True`` for a journal-tail delta written by
+    #: :meth:`Checkpointer.checkpoint_incremental`.
+    incremental: bool = False
+    #: Journal head sequence at the barrier (``None`` without observability).
+    head_seq: Optional[int] = None
 
 
 class Checkpointer:
@@ -76,18 +94,19 @@ class Checkpointer:
         #: The most recent :meth:`checkpoint` result; lets callers of
         #: :meth:`checkpoint_at` read the outcome after the event fires.
         self.last_info: Optional[CheckpointInfo] = None
+        #: Journal head seq of the last *full* checkpoint — the default
+        #: base for :meth:`checkpoint_incremental`.
+        self.last_full_head_seq: Optional[int] = None
 
+    # ------------------------------------------------------------------
+    # full checkpoints
+    # ------------------------------------------------------------------
     def checkpoint(self, path: str) -> CheckpointInfo:
         """Write a full checkpoint to the SQLite file at *path*."""
         with SqliteStore(path) as store:
             self.write_state(store)
-        jobs = self.gae.scheduler.jobs()
-        self.last_info = CheckpointInfo(
-            path=str(path),
-            time=self.gae.sim.now,
-            jobs=len(jobs),
-            tasks=sum(len(j.tasks) for j in jobs),
-        )
+        self.last_full_head_seq = self._head_seq()
+        self.last_info = self._info(path, incremental=False)
         return self.last_info
 
     def checkpoint_at(self, time: float, path: str) -> "EventHandle":
@@ -103,12 +122,99 @@ class Checkpointer:
 
     def write_state(self, store: StateStore) -> None:
         """Write every layer's state into *store* (any backend)."""
+        gae = self.gae
+        register_all(store)
+        self._write_meta(store)
+
+        # The five migrated service stores (the journal-consumer base).
+        gae.history.save_to(store)
+        gae.estimators.estimate_db.save_to(store)
+        store.put(MONITORING_JOBS, "state", gae.monitoring.db_manager.export_state())
+        gae.monalisa.save_to(store)
+
+        self._write_runtime(store)
+
+    # ------------------------------------------------------------------
+    # incremental checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint_incremental(
+        self, path: str, *, base_seq: Optional[int] = None
+    ) -> CheckpointInfo:
+        """Write a journal-tail delta against the last full checkpoint.
+
+        The delta skips the four consumer namespaces entirely — their
+        state at the barrier is ``base snapshot + fold of journal events
+        with seq > base_seq``, which :func:`restore_incremental` replays
+        quietly.  *base_seq* defaults to the journal head recorded by the
+        last :meth:`checkpoint` on this instance.
+
+        Raises :class:`CheckpointError` when observability is off, when
+        no base is known, or when the journal's retained window no longer
+        reaches ``base_seq`` (the tail cannot be replayed).
+        """
+        gae = self.gae
+        if gae.observability is None:
+            raise CheckpointError("incremental checkpoints require observability")
+        if base_seq is None:
+            base_seq = self.last_full_head_seq
+        if base_seq is None:
+            raise CheckpointError(
+                "no base checkpoint: write a full checkpoint() first "
+                "or pass base_seq explicitly"
+            )
+        retained = gae.observability.journal.events()
+        if retained and retained[0].seq > base_seq + 1:
+            raise CheckpointError(
+                f"journal retention starts at seq {retained[0].seq}, "
+                f"after base {base_seq}: tail is not replayable "
+                "(raise journal max_events or checkpoint more often)"
+            )
+        with SqliteStore(path) as store:
+            self.write_incremental_state(store, base_seq)
+        self.last_info = self._info(path, incremental=True)
+        return self.last_info
+
+    def checkpoint_incremental_at(self, time: float, path: str) -> "EventHandle":
+        """Schedule :meth:`checkpoint_incremental` as a barrier event."""
+        return self.gae.sim.at(
+            time,
+            lambda: self.checkpoint_incremental(path),
+            label=f"gae.checkpoint.incremental:{path}",
+        )
+
+    def write_incremental_state(self, store: StateStore, base_seq: int) -> None:
+        """Write the delta layers (everything but the consumer stores)."""
+        register_all(store)
+        self._write_meta(
+            store,
+            incremental={"base_seq": base_seq, "head_seq": self._head_seq()},
+        )
+        self._write_runtime(store)
+
+    # ------------------------------------------------------------------
+    # shared pieces
+    # ------------------------------------------------------------------
+    def _head_seq(self) -> Optional[int]:
+        obs = self.gae.observability
+        return obs.journal.head_seq if obs is not None else None
+
+    def _info(self, path: str, *, incremental: bool) -> CheckpointInfo:
+        jobs = self.gae.scheduler.jobs()
+        return CheckpointInfo(
+            path=str(path),
+            time=self.gae.sim.now,
+            jobs=len(jobs),
+            tasks=sum(len(j.tasks) for j in jobs),
+            incremental=incremental,
+            head_seq=self._head_seq(),
+        )
+
+    def _write_meta(
+        self, store: StateStore, incremental: Optional[Dict[str, Any]] = None
+    ) -> None:
         from repro.gridsim.job import snapshot_id_counters
 
         gae = self.gae
-        grid = gae.grid
-        register_all(store)
-
         tracking = (
             gae.observability.export_tracking()
             if gae.observability is not None
@@ -120,22 +226,26 @@ class Checkpointer:
             {
                 "format": CHECKPOINT_FORMAT,
                 "time": gae.sim.now,
-                "grid_spec": grid.spec,
+                "grid_spec": gae.grid.spec,
                 "id_counters": list(snapshot_id_counters()),
                 "policy": asdict(gae.steering.policy),
                 "build_params": dict(gae.build_params),
                 "observability_tracking": tracking,
                 "users": gae.host.users.export_state(),
+                "incremental": incremental,
             },
         )
 
-        # The five migrated service stores.
-        gae.history.save_to(store)
-        gae.estimators.estimate_db.save_to(store)
-        store.put(MONITORING_JOBS, "state", gae.monitoring.db_manager.export_state())
-        gae.monalisa.save_to(store)
+    def _write_runtime(self, store: StateStore) -> None:
+        """Observability, gridsim substrate, steering, and accounting."""
+        gae = self.gae
+        grid = gae.grid
+
         if gae.observability is not None:
             gae.observability.save_to(store)
+            core = getattr(gae.observability, "eventcore", None)
+            if core is not None:
+                store.put(EVENTCORE_CURSORS, "state", core.snapshot())
 
         # The gridsim substrate.  Pool snapshots sync running accruals to
         # the barrier instant themselves.
@@ -162,6 +272,21 @@ class Checkpointer:
                 for name in sorted(grid.execution_services)
             },
         )
+        # Periodic-activity phases: a restore re-joins every original
+        # cadence, so a resumed run fires publishers, the steering poll,
+        # the B&R sweep, and monitoring snapshots at the same instants
+        # the uninterrupted run would have.
+        store.put(
+            CHECKPOINT_GRIDSIM,
+            "publishers",
+            {
+                "site_load": gae.load_publisher.next_fire_time,
+                "service_metrics": gae.service_metrics_publisher.next_fire_time,
+                "steering_loop": gae.steering.next_fire_time,
+                "backup_recovery": gae.steering.backup_recovery.next_fire_time,
+                "monitor_snapshots": gae.monitoring.next_fire_time,
+            },
+        )
 
         # Steering and accounting.
         store.put(STEERING_STATE, "subscriber", gae.steering.subscriber.export_state())
@@ -174,12 +299,100 @@ class Checkpointer:
 
 
 def restore_gae(path: str, store: Optional[StateStore] = None) -> "GAE":
-    """Rehydrate a runnable :class:`~repro.gae.GAE` from a checkpoint file.
+    """Rehydrate a runnable :class:`~repro.gae.GAE` from a full checkpoint.
 
     *store* becomes the restored system's live state store (a fresh
     in-memory store when omitted, so the checkpoint file itself is never
     mutated and can be restored from repeatedly).  The returned GAE's
     periodic activities are armed; ``gae.sim.run()`` resumes the workload.
+    """
+    source = SqliteStore(path)
+    try:
+        meta = _read_meta(source, path)
+        if meta.get("incremental") is not None:
+            raise CheckpointError(
+                f"{path!r} is an incremental checkpoint: restore it with "
+                "restore_incremental(base_path, delta_path)"
+            )
+        return _restore(meta, source, source, store=store)
+    finally:
+        source.close()
+
+
+def restore_incremental(
+    base_path: str, delta_path: str, store: Optional[StateStore] = None
+) -> "GAE":
+    """Rehydrate a GAE from a full checkpoint plus a journal-tail delta.
+
+    Consumer state (estimates, history, monitoring rows, MonALISA) comes
+    from *base_path*; everything else — clock, scheduler, pools, journal,
+    steering, accounting — comes from *delta_path*.  The journal tail
+    (events with ``seq > base_seq``) is replayed quietly through the
+    event core, which brings every consumer to the exact barrier state a
+    full checkpoint would have stored.
+    """
+    base = SqliteStore(base_path)
+    delta = SqliteStore(delta_path)
+    try:
+        meta = _read_meta(delta, delta_path)
+        inc = meta.get("incremental")
+        if inc is None:
+            raise CheckpointError(
+                f"{delta_path!r} is a full checkpoint, not a delta: "
+                "use restore_gae"
+            )
+        base_meta = _read_meta(base, base_path)
+        if base_meta.get("incremental") is not None:
+            raise CheckpointError(
+                f"{base_path!r} is itself incremental: deltas must be "
+                "restored against a full checkpoint"
+            )
+        base_state = base.get(EVENTCORE_CURSORS, "state", default=None)
+        if base_state is not None:
+            base_head = base_state.get("journal_head_seq")
+            if base_head is not None and base_head != inc["base_seq"]:
+                raise CheckpointError(
+                    f"delta was cut against journal head {inc['base_seq']} "
+                    f"but {base_path!r} stops at {base_head}"
+                )
+        return _restore(
+            meta, delta, base, store=store, replay_from=inc["base_seq"]
+        )
+    finally:
+        base.close()
+        delta.close()
+
+
+def _read_meta(source: StateStore, path: str) -> Dict[str, Any]:
+    try:
+        meta = source.get(CHECKPOINT_META, "meta", default=None)
+    except UnknownNamespaceError:
+        meta = None
+    if meta is None:
+        raise CheckpointError(f"{path!r} holds no checkpoint metadata")
+    if meta["format"] != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"checkpoint format {meta['format']} unsupported "
+            f"(this build reads format {CHECKPOINT_FORMAT})"
+        )
+    return meta
+
+
+def _restore(
+    meta: Dict[str, Any],
+    source: StateStore,
+    consumer_source: StateStore,
+    store: Optional[StateStore] = None,
+    replay_from: Optional[int] = None,
+) -> "GAE":
+    """Shared restore path.
+
+    *source* provides the runtime state (clock, scheduler, pools,
+    journal, steering, accounting); *consumer_source* provides the four
+    consumer stores.  For a full restore they are the same file and
+    *replay_from* is ``None``; for an incremental restore the consumers
+    load from the base file and the journal tail past *replay_from* is
+    folded on top.
     """
     from repro.core.estimators.history import HistoryRepository
     from repro.core.steering.optimizer import SteeringPolicy
@@ -187,76 +400,89 @@ def restore_gae(path: str, store: Optional[StateStore] = None) -> "GAE":
     from repro.gridsim.grid import GridBuilder
     from repro.gridsim.job import restore_id_counters
 
-    source = SqliteStore(path)
-    try:
-        try:
-            meta = source.get(CHECKPOINT_META, "meta", default=None)
-        except UnknownNamespaceError:
-            meta = None
-        if meta is None:
-            raise CheckpointError(f"{path!r} holds no checkpoint metadata")
-        if meta["format"] != CHECKPOINT_FORMAT:
-            raise CheckpointError(
-                f"checkpoint format {meta['format']} unsupported "
-                f"(this build reads format {CHECKPOINT_FORMAT})"
-            )
+    # 1. Allocators and streams before anything may draw from them.
+    restore_id_counters(*meta["id_counters"])
 
-        # 1. Allocators and streams before anything may draw from them.
-        restore_id_counters(*meta["id_counters"])
+    # 2. The substrate, clock starting at the barrier instant.
+    grid = GridBuilder.from_spec(meta["grid_spec"], start_time=meta["time"]).build()
+    grid.rngs.restore_states(source.get(CHECKPOINT_GRIDSIM, "rng"))
 
-        # 2. The substrate, clock starting at the barrier instant.
-        grid = GridBuilder.from_spec(meta["grid_spec"], start_time=meta["time"]).build()
-        grid.rngs.restore_states(source.get(CHECKPOINT_GRIDSIM, "rng"))
+    # 3. The same wiring the original had.
+    history = HistoryRepository.load_from(consumer_source)
+    gae = build_gae(
+        grid,
+        policy=SteeringPolicy(**meta["policy"]),
+        history=history,
+        store=store,
+        **meta["build_params"],
+    )
 
-        # 3. The same wiring the original had.
-        history = HistoryRepository.load_from(source)
-        gae = build_gae(
-            grid,
-            policy=SteeringPolicy(**meta["policy"]),
-            history=history,
-            store=store,
-            **meta["build_params"],
+    # 4. Store-backed layers: direct loads, no listener traffic.  On the
+    # incremental path the journal tail is folded quietly on top, BEFORE
+    # queue accounting reseeds (step 5) so the reseed sees post-tail
+    # estimates exactly as the live run did.
+    gae.estimators.estimate_db.load_from(consumer_source)
+    gae.monitoring.db_manager.import_state(consumer_source.get(MONITORING_JOBS, "state"))
+    gae.monalisa.load_from(consumer_source)
+    core = None
+    if gae.observability is not None:
+        gae.observability.load_from(source, tracking=meta["observability_tracking"])
+        core = getattr(gae.observability, "eventcore", None)
+        if replay_from is not None:
+            if core is None:
+                raise CheckpointError(
+                    "incremental restore needs the event core, but this "
+                    "build has no consumers registered"
+                )
+            tail = [
+                e
+                for e in gae.observability.journal.events()
+                if e.seq > replay_from
+            ]
+            core.replay_tail(tail)
+    elif replay_from is not None:
+        raise CheckpointError("incremental restore requires observability")
+
+    # 5. Scheduler before pools: pool ads resolve task ids against the
+    # restored job entries.  Queue accounting reseeds from the restored
+    # queues afterwards (its incremental sums saw none of the restores).
+    gae.scheduler.restore_state(source.get(CHECKPOINT_GRIDSIM, "scheduler"))
+    for name in sorted(grid.sites):
+        grid.sites[name].pool.restore_state(
+            source.get(CHECKPOINT_GRIDSIM, f"pool:{name}"), gae.scheduler.task
         )
+    for name in sorted(grid.execution_services):
+        accounting = grid.execution_services[name].queue_accounting
+        if accounting is not None:
+            accounting.reseed()
+    for name, failed in source.get(CHECKPOINT_GRIDSIM, "services").items():
+        grid.execution_services[name].restore_availability(failed)
+    grid.catalog.restore_files(source.get(CHECKPOINT_GRIDSIM, "catalog"))
+    transfer_cache = source.get(CHECKPOINT_GRIDSIM, "transfer_cache", default=None)
+    if transfer_cache is not None and gae.estimators.transfer is not None:
+        gae.estimators.transfer.import_cache_state(transfer_cache)
 
-        # 4. Store-backed layers: direct loads, no listener traffic.
-        gae.estimators.estimate_db.load_from(source)
-        gae.monitoring.db_manager.import_state(source.get(MONITORING_JOBS, "state"))
-        gae.monalisa.load_from(source)
+    # 6. Steering, accounting, publisher resume phases.
+    gae.steering.subscriber.import_state(
+        source.get(STEERING_STATE, "subscriber"), gae.scheduler.job
+    )
+    gae.steering.backup_recovery.import_state(
+        source.get(STEERING_STATE, "backup_recovery")
+    )
+    gae.accounting.quotas.import_state(source.get(ACCOUNTING_STATE, "quotas"))
+    gae.host.users.import_state(meta["users"])
+    phases = source.get(CHECKPOINT_GRIDSIM, "publishers", default=None)
+    if phases is not None:
+        gae.load_publisher.resume_at = phases.get("site_load")
+        gae.service_metrics_publisher.resume_at = phases.get("service_metrics")
+        gae.steering.resume_at = phases.get("steering_loop")
+        gae.steering.backup_recovery.resume_at = phases.get("backup_recovery")
+        gae.monitoring.resume_at = phases.get("monitor_snapshots")
 
-        # 5. Scheduler before pools: pool ads resolve task ids against the
-        # restored job entries.  Queue accounting reseeds from the restored
-        # queues afterwards (its incremental sums saw none of the restores).
-        gae.scheduler.restore_state(source.get(CHECKPOINT_GRIDSIM, "scheduler"))
-        for name in sorted(grid.sites):
-            grid.sites[name].pool.restore_state(
-                source.get(CHECKPOINT_GRIDSIM, f"pool:{name}"), gae.scheduler.task
-            )
-        for name in sorted(grid.execution_services):
-            accounting = grid.execution_services[name].queue_accounting
-            if accounting is not None:
-                accounting.reseed()
-        for name, failed in source.get(CHECKPOINT_GRIDSIM, "services").items():
-            grid.execution_services[name].restore_availability(failed)
-        grid.catalog.restore_files(source.get(CHECKPOINT_GRIDSIM, "catalog"))
-        transfer_cache = source.get(CHECKPOINT_GRIDSIM, "transfer_cache", default=None)
-        if transfer_cache is not None and gae.estimators.transfer is not None:
-            gae.estimators.transfer.import_cache_state(transfer_cache)
+    # Consumers now hold barrier state; re-anchor their baselines so
+    # verify()/rebuild() fold only post-restore events.
+    if core is not None:
+        core.rebaseline_all()
 
-        # 6. Steering, accounting, observability.
-        gae.steering.subscriber.import_state(
-            source.get(STEERING_STATE, "subscriber"), gae.scheduler.job
-        )
-        gae.steering.backup_recovery.import_state(
-            source.get(STEERING_STATE, "backup_recovery")
-        )
-        gae.accounting.quotas.import_state(source.get(ACCOUNTING_STATE, "quotas"))
-        gae.host.users.import_state(meta["users"])
-        if gae.observability is not None:
-            gae.observability.load_from(
-                source, tracking=meta["observability_tracking"]
-            )
-
-        # 7. Re-arm the periodic activities; the caller just runs.
-        return gae.start()
-    finally:
-        source.close()
+    # 7. Re-arm the periodic activities; the caller just runs.
+    return gae.start()

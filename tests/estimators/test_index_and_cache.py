@@ -224,7 +224,7 @@ class TestBenchHarness:
         )
 
         report = {
-            "schema_version": 3, "generated_by": "test", "quick": True,
+            "schema_version": 4, "generated_by": "test", "quick": True,
             "seed": 3, "python": "3",
             "sections": {
                 "runtime_estimator": {
@@ -251,6 +251,20 @@ class TestBenchHarness:
                     "overhead_pct": 0.0, "telemetry_overhead_pct": 0.0,
                     "identical": True,
                     "spans": 1, "events": 1, "windows": 1,
+                },
+                "event_core": {
+                    "n_tasks": 10, "commands": 2, "rounds": 1,
+                    "direct_s": 1.0, "evented_s": 1.0,
+                    "direct_per_command_ms": 500.0,
+                    "evented_per_command_ms": 500.0,
+                    "overhead_pct": 0.0, "identical": True,
+                    "rebuild_identical": True, "consumers": 4,
+                    "journal_events": 10,
+                    "full_checkpoint_bytes": 100,
+                    "incremental_checkpoint_bytes": 50,
+                    "incremental_vs_full_pct": 50.0,
+                    "full_checkpoint_write_s": 0.1,
+                    "incremental_checkpoint_write_s": 0.05,
                 },
                 "persistence": {
                     "records": 10, "loop_s": 1.0, "batched_s": 0.5,

@@ -11,7 +11,11 @@ from repro.observability.export import (
     load_export,
     validate_export_file,
 )
-from repro.observability.journal import EventJournal, EventType
+from repro.observability.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    EventJournal,
+    EventType,
+)
 from repro.observability.tracing import Tracer
 
 SCHEMA = "docs/schemas/trace_export.schema.json"
@@ -49,6 +53,7 @@ class TestExportRoundTrip:
         first = json.loads(path.read_text().splitlines()[0])
         assert first == {
             "kind": "meta", "schema": EXPORT_SCHEMA_VERSION,
+            "journal_schema": JOURNAL_SCHEMA_VERSION,
             "sim_now": 10.0, "span_count": 2, "event_count": 3,
         }
         data = load_export(path)
@@ -78,6 +83,7 @@ class TestValidator:
 
     def meta(self, **over):
         row = {"kind": "meta", "schema": EXPORT_SCHEMA_VERSION,
+               "journal_schema": JOURNAL_SCHEMA_VERSION,
                "sim_now": 0.0, "span_count": 0, "event_count": 0}
         row.update(over)
         return row

@@ -1,0 +1,93 @@
+"""Property-based tests: event-sourced core fold/replay identity.
+
+Two invariants of the journal-first write path, for random workloads,
+random fault schedules and random checkpoint barriers:
+
+1. every registered consumer's state is a pure fold over the journal —
+   ``rebuild(baseline + tail)`` is bit-identical to the live store at
+   any instant the simulation can pause on;
+2. an incremental restore (base snapshot + quiet journal-tail replay)
+   answers exactly like a full restore of the same barrier, and both
+   match the live answers captured at that barrier.
+"""
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridsim.job import reset_id_counters
+from repro.observability.eventbus import CONSUMER_NAMES
+from repro.store.checkpoint import Checkpointer, restore_gae, restore_incremental
+
+from tests.property.test_properties_checkpoint import (
+    answers,
+    barrier_times,
+    build_workload,
+    fault_schedules,
+    work_lists,
+)
+
+# Base barriers strictly before every delta barrier, so incremental
+# checkpoints always have a full snapshot to build on.
+base_times = st.sampled_from([105.0, 125.0, 145.0])
+delta_times = st.sampled_from([185.0, 205.0, 265.0])
+
+
+class TestEventCoreProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        works=work_lists,
+        t_stop=barrier_times,
+        fault=fault_schedules(),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_fold_from_journal_matches_live_state(self, seed, works, t_stop, fault):
+        """rebuild(journal) == live fingerprint for every consumer."""
+        gae, _ = build_workload(seed, works, fault)
+        gae.sim.run_until(t_stop)
+        reports = gae.observability.eventcore.verify_all()
+        assert {r["consumer"] for r in reports} == set(CONSUMER_NAMES)
+        for report in reports:
+            assert report["covered"], report
+            assert report["identical"], report
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        works=work_lists,
+        t_base=base_times,
+        t_delta=delta_times,
+        fault=fault_schedules(),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_snapshot_plus_tail_replay_equals_full_replay(
+        self, seed, works, t_base, t_delta, fault
+    ):
+        """Incremental restore == full restore == live barrier answers."""
+        with tempfile.TemporaryDirectory() as tmp:
+            base = os.path.join(tmp, "base.sqlite")
+            delta = os.path.join(tmp, "delta.sqlite")
+            full = os.path.join(tmp, "full.sqlite")
+
+            gae, job = build_workload(seed, works, fault)
+            incremental_ckpt = Checkpointer(gae)
+            incremental_ckpt.checkpoint_at(t_base, base)
+            incremental_ckpt.checkpoint_incremental_at(t_delta, delta)
+            Checkpointer(gae).checkpoint_at(t_delta, full)
+
+            captured = {}
+            gae.sim.at(t_delta, lambda: captured.update(answers(gae, job)))
+            gae.sim.run_until(t_delta)
+
+            reset_id_counters()
+            restored = restore_incremental(base, delta)
+            restored_answers = answers(restored, restored.scheduler.jobs()[0])
+            assert restored_answers == captured
+            # The replayed tail must leave the consumers rebuildable too.
+            for report in restored.observability.eventcore.verify_all():
+                assert report["identical"], report
+
+            reset_id_counters()
+            control = restore_gae(full)
+            assert answers(control, control.scheduler.jobs()[0]) == captured

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Check that docs/ARCHITECTURE.md matches the source tree.
 
-Seven checks, all run by CI's docs job:
+Eight checks, all run by CI's docs job:
 
 1. every package under src/ (directory with ``__init__.py``) appears by
    dotted name in docs/ARCHITECTURE.md;
@@ -24,7 +24,11 @@ Seven checks, all run by CI's docs job:
    library;
 7. the "Health-rule taxonomy" table lists exactly the rule kinds of
    ``repro.observability.health.RULE_KINDS`` — every kind the health
-   engine evaluates must be documented, and no stale kinds.
+   engine evaluates must be documented, and no stale kinds;
+8. the "Journal consumers" table lists exactly the registered consumer
+   names of ``repro.observability.eventbus.CONSUMER_NAMES`` — every
+   replayable consumer in the event-sourced core must be documented,
+   and no stale names.
 
 Run from anywhere::
 
@@ -197,6 +201,37 @@ def check_health_rule_taxonomy(text: str) -> list[str]:
     return problems
 
 
+def documented_consumers(text: str) -> set[str]:
+    """Backticked tokens in the "Journal consumers" table rows."""
+    match = re.search(r"### Journal consumers\n(.*?)(?:\n#|\Z)", text, re.DOTALL)
+    if match is None:
+        return set()
+    tokens: set[str] = set()
+    for line in match.group(1).splitlines():
+        if line.startswith("|"):
+            first_cell = line.split("|")[1]
+            tokens.update(re.findall(r"`([a-z]+)`", first_cell))
+    tokens.discard("consumer")  # the table header
+    return tokens
+
+
+def check_journal_consumers(text: str) -> list[str]:
+    from repro.observability.eventbus import CONSUMER_NAMES
+
+    documented = documented_consumers(text)
+    actual = set(CONSUMER_NAMES)
+    problems = []
+    for name in sorted(actual - documented):
+        problems.append(
+            f"consumer {name!r} is not documented in the journal-consumers table"
+        )
+    for name in sorted(documented - actual):
+        problems.append(
+            f"documented consumer {name!r} is not in CONSUMER_NAMES"
+        )
+    return problems
+
+
 def check_scenario_cookbook() -> list[str]:
     from repro.scenarios.registry import render_cookbook
     from repro.scenarios.spec import ScenarioError
@@ -275,6 +310,15 @@ def main() -> int:
         for problem in rule_problems:
             print(f"  - {problem}", file=sys.stderr)
         return 1
+    consumer_problems = check_journal_consumers(text)
+    if consumer_problems:
+        print(
+            "docs/ARCHITECTURE.md journal-consumers table is out of date:",
+            file=sys.stderr,
+        )
+        for problem in consumer_problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
     cookbook_problems = check_scenario_cookbook()
     if cookbook_problems:
         print("docs/SCENARIOS.md is out of date:", file=sys.stderr)
@@ -287,6 +331,7 @@ def main() -> int:
     print("docs/ARCHITECTURE.md epoch taxonomy matches CANONICAL_EPOCHS")
     print("docs/ARCHITECTURE.md wire-codec table matches codec_names()")
     print("docs/ARCHITECTURE.md health-rule taxonomy matches RULE_KINDS")
+    print("docs/ARCHITECTURE.md journal-consumers table matches CONSUMER_NAMES")
     print("docs/SCENARIOS.md generated tables match the scenario registry")
     return 0
 

@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Incremental-checkpoint replay smoke test: outage, hard-kill, tail replay.
+
+The event-sourced core's CI gate.  Four phases, the third a *genuine*
+process death:
+
+1. **reference** — run the demo workload with a deterministic siteB
+   outage window, uninterrupted, to completion; record every task's
+   final state, its ``jobmon.job_status`` answer, and the final
+   ``system.observability`` report;
+2. **victim** — a child process runs the same workload, writes a *full*
+   checkpoint at t=155 s and an *incremental* delta (journal tail +
+   runtime state, no consumer namespaces) at t=205 s, then dies via
+   ``os._exit`` — no cleanup, nothing survives but the two files;
+3. **incremental restore** — the parent rehydrates a GAE with
+   ``restore_incremental(base, delta)``: consumer state loads from the
+   base snapshot and the journal tail is folded quietly on top;
+4. **full restore** — the parent also restores the victim's full
+   t=205 s checkpoint with ``restore_gae`` as a control.
+
+Both restored systems run to completion and every recorded answer must
+be bit-identical to the reference run's.  The reference run writes the
+same checkpoints (to throwaway paths) at the same instants, so barrier
+bookkeeping is symmetric across all three runs.
+
+CI runs this on every supported Python version::
+
+    PYTHONPATH=src python tools/replay_smoke.py
+
+Exit status 0 on success, 1 on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC_ROOT))
+
+OUTAGE_START = 60.0
+OUTAGE_DURATION = 50.0  # siteB down for [60, 110): fully before the base barrier
+T_BASE = 155.0  # full checkpoint (not a multiple of any periodic 20/30/60 s)
+T_DELTA = 205.0  # incremental delta barrier
+CRASH_EXIT_CODE = 86  # distinctive, so a clean exit can't masquerade as a crash
+
+
+def outage_workload():
+    """The demo workload plus a deterministic siteB outage window."""
+    from repro.cli import checkpoint_demo_workload
+    from repro.gridsim.faults import OutageScheduler
+
+    gae, job = checkpoint_demo_workload()
+    outages = OutageScheduler(gae.sim)
+    outages.add_outage(
+        gae.grid.execution_services["siteB"], OUTAGE_START, OUTAGE_DURATION
+    )
+    outages.start()
+    return gae, job
+
+
+T_HORIZON = 20000.0  # absolute, so all three runs close identical windows
+
+
+def final_answers(gae) -> dict:
+    """Run to completion; the answers every phase must agree on."""
+    gae.sim.run_until(T_HORIZON)
+    gae.stop()
+    gae.sim.run()
+    states = {
+        task.task_id: task.state.value
+        for job in gae.scheduler.jobs()
+        for task in job.tasks
+    }
+    with gae.client("demo", "demo") as client:
+        status = {t: client.call("jobmon.job_status", t) for t in sorted(states)}
+        observability = client.call("system.observability")
+    return {"states": states, "status": status, "observability": observability}
+
+
+def write_checkpoints(gae, base: str, delta: str) -> "object":
+    """Arm the full-then-incremental checkpoint pair on the barrier clock."""
+    from repro.store.checkpoint import Checkpointer
+
+    ckpt = Checkpointer(gae)
+    ckpt.checkpoint_at(T_BASE, base)
+    ckpt.checkpoint_incremental_at(T_DELTA, delta)
+    return ckpt
+
+
+def run_victim(base: str, delta: str) -> None:
+    """Checkpoint the outage workload mid-flight, then die without cleanup."""
+    gae, _ = outage_workload()
+    ckpt = write_checkpoints(gae, base, delta)
+    gae.sim.run_until(T_DELTA)
+    info = ckpt.last_info
+    if info is None or not info.incremental:
+        os._exit(2)  # delta never fired: distinguishable failure
+    sys.stdout.flush()
+    os._exit(CRASH_EXIT_CODE)  # the "kill": skips atexit, GC, everything
+
+
+def diff(label: str, reference: dict, candidate: dict) -> bool:
+    """Print any mismatch between two final-answer records."""
+    ok = True
+    for key in ("states", "status", "observability"):
+        if reference[key] != candidate[key]:
+            ok = False
+            print(f"FAIL: {label} diverged from the reference in {key!r}",
+                  file=sys.stderr)
+            if key != "observability":
+                for item in sorted(set(reference[key]) | set(candidate[key])):
+                    a, b = reference[key].get(item), candidate[key].get(item)
+                    if a != b:
+                        print(f"  {item}: reference={a!r} {label}={b!r}",
+                              file=sys.stderr)
+    return ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--phase", choices=["victim"], default=None)
+    parser.add_argument("--base", default=None, help="full checkpoint path")
+    parser.add_argument("--delta", default=None, help="incremental delta path")
+    args = parser.parse_args()
+
+    if args.phase == "victim":
+        run_victim(args.base, args.delta)
+        return 1  # unreachable: run_victim always _exits
+
+    from repro.gridsim.job import reset_id_counters
+    from repro.store.checkpoint import restore_gae, restore_incremental
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Phase 1: the uninterrupted reference run (checkpoints to
+        # throwaway paths keep barrier bookkeeping symmetric).
+        gae, _ = outage_workload()
+        write_checkpoints(
+            gae, os.path.join(tmp, "ref_base.sqlite"),
+            os.path.join(tmp, "ref_delta.sqlite"),
+        )
+        reference = final_answers(gae)
+        if set(reference["states"].values()) != {"completed"}:
+            print(f"FAIL: reference run did not complete: {reference['states']}",
+                  file=sys.stderr)
+            return 1
+        print(f"reference run: {len(reference['states'])} tasks completed "
+              f"through the siteB outage")
+
+        base = os.path.join(tmp, "base.sqlite")
+        delta = os.path.join(tmp, "delta.sqlite")
+
+        # Phase 2: the victim checkpoints (full, then delta), then dies hard.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_ROOT) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, __file__, "--phase", "victim",
+             "--base", base, "--delta", delta],
+            env=env,
+            timeout=300,
+        )
+        if proc.returncode != CRASH_EXIT_CODE:
+            print(f"FAIL: victim exited {proc.returncode}, "
+                  f"expected crash code {CRASH_EXIT_CODE}", file=sys.stderr)
+            return 1
+        for path in (base, delta):
+            if not os.path.exists(path):
+                print(f"FAIL: victim died without leaving {path}", file=sys.stderr)
+                return 1
+        base_size = os.path.getsize(base)
+        delta_size = os.path.getsize(delta)
+        print(f"victim crashed as intended (exit {proc.returncode}); "
+              f"full={base_size} B, delta={delta_size} B "
+              f"({100.0 * delta_size / base_size:.0f}% of full)")
+
+        # Phase 3: incremental restore = base snapshot + journal tail replay.
+        reset_id_counters()
+        incremental = final_answers(restore_incremental(base, delta))
+
+        # Phase 4: control — restore the victim's delta-time state fully.
+        # (The reference's own t=205 full checkpoint is the same barrier.)
+        reset_id_counters()
+        full = final_answers(restore_gae(os.path.join(tmp, "ref_base.sqlite")))
+
+    ok = diff("incremental-restore", reference, incremental)
+    ok = diff("full-restore", reference, full) and ok
+    if not ok:
+        return 1
+    print(f"incremental restore: {len(incremental['states'])} tasks completed, "
+          f"answers bit-identical to the uninterrupted run")
+    print(f"full restore: {len(full['states'])} tasks completed, "
+          f"answers bit-identical to the uninterrupted run")
+    print("replay smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
